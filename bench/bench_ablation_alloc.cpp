@@ -1,0 +1,99 @@
+// bench_ablation_alloc — design-choice ablation: why *linear* clustering?
+//
+// DESIGN.md decision 5: the paper picks Linear Clustering (Gerasoulis &
+// Yang) for the §4.2.3 thread allocation. This ablation sweeps random
+// layered applications and compares LC against DSC and naive baselines on
+// inter-CPU traffic and simulated MPSoC makespan (shared bus), including
+// how the advantage scales with communication weight.
+#include "bench_common.hpp"
+#include "sim/mpsoc.hpp"
+#include "taskgraph/baselines.hpp"
+#include "taskgraph/dsc.hpp"
+#include "taskgraph/generate.hpp"
+#include "taskgraph/linear.hpp"
+
+namespace {
+
+using namespace uhcg;
+using namespace uhcg::taskgraph;
+
+void print_reproduction() {
+    bench::banner("Ablation — allocation algorithm choice (§4.2.3)",
+                  "linear clustering keeps heavy traffic on-CPU; naive "
+                  "mappings pay for it on the bus");
+    const int kSamples = 20;
+    struct Accumulator {
+        double inter = 0.0;
+        double makespan = 0.0;
+    };
+    // Sweep the communication-to-computation ratio: LC's advantage should
+    // grow as communication gets more expensive relative to work.
+    for (double comm_scale : {0.5, 2.0, 8.0}) {
+        Accumulator lc{}, dsc{}, rr{}, rnd{}, lb{};
+        for (int s = 0; s < kSamples; ++s) {
+            RandomDagOptions options;
+            options.tasks = 32;
+            options.layers = 6;
+            options.min_cost = 1.0 * comm_scale;
+            options.max_cost = 12.0 * comm_scale;
+            options.seed = 1000 + static_cast<std::uint64_t>(s);
+            TaskGraph g = random_layered_dag(options);
+            Clustering c_lc = linear_clustering(g);
+            auto k = static_cast<std::size_t>(c_lc.cluster_count());
+            auto add = [&](Accumulator& a, const Clustering& c) {
+                sim::MpsocResult r = sim::simulate_mpsoc(g, c);
+                a.inter += r.inter_traffic;
+                a.makespan += r.makespan;
+            };
+            add(lc, c_lc);
+            add(dsc, dsc_clustering(g));
+            add(rr, round_robin_clustering(g, k));
+            add(rnd, random_clustering(g, k, options.seed));
+            add(lb, load_balance_clustering(g, k));
+        }
+        std::printf("\ncomm scale ×%.1f (mean over %d graphs):\n", comm_scale,
+                    kSamples);
+        std::printf("%-20s %14s %12s\n", "strategy", "inter-traffic",
+                    "makespan");
+        auto line = [&](const char* name, const Accumulator& a) {
+            std::printf("%-20s %14.1f %12.1f\n", name, a.inter / kSamples,
+                        a.makespan / kSamples);
+        };
+        line("linear clustering", lc);
+        line("DSC", dsc);
+        line("round robin", rr);
+        line("random", rnd);
+        line("load balance", lb);
+    }
+}
+
+void BM_Ablation_LC(benchmark::State& state) {
+    RandomDagOptions options;
+    options.tasks = 64;
+    options.layers = 8;
+    options.seed = 5;
+    TaskGraph g = random_layered_dag(options);
+    for (auto _ : state) {
+        Clustering c = linear_clustering(g);
+        benchmark::DoNotOptimize(c.cluster_count());
+    }
+}
+BENCHMARK(BM_Ablation_LC);
+
+void BM_Ablation_MpsocSimulation(benchmark::State& state) {
+    RandomDagOptions options;
+    options.tasks = 64;
+    options.layers = 8;
+    options.seed = 5;
+    TaskGraph g = random_layered_dag(options);
+    Clustering c = linear_clustering(g);
+    for (auto _ : state) {
+        sim::MpsocResult r = sim::simulate_mpsoc(g, c);
+        benchmark::DoNotOptimize(r.makespan);
+    }
+}
+BENCHMARK(BM_Ablation_MpsocSimulation);
+
+}  // namespace
+
+UHCG_BENCH_MAIN(print_reproduction)

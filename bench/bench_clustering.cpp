@@ -1,0 +1,115 @@
+// bench_clustering — Fig. 6/7 + §5.2: thread allocation by linear
+// clustering on the synthetic twelve-thread example.
+//
+// Paper claim: the task graph mined from the sequence diagram (Fig. 7(a))
+// is grouped by linear clustering into {A,B,C,D,F,J} {E,I} {G,M} {H,L}
+// (Fig. 7(b)); the algorithm "allocates all threads that are in the system
+// critical path to the same processor" and reduces inter-CPU traffic
+// versus naive mappings.
+#include "bench_common.hpp"
+#include "cases/cases.hpp"
+#include "core/allocation.hpp"
+#include "sim/mpsoc.hpp"
+#include "taskgraph/baselines.hpp"
+#include "taskgraph/dsc.hpp"
+#include "taskgraph/generate.hpp"
+#include "taskgraph/linear.hpp"
+
+namespace {
+
+using namespace uhcg;
+using namespace uhcg::taskgraph;
+
+void print_reproduction() {
+    bench::banner("Fig. 6/7 — synthetic example, automatic thread allocation",
+                  "LC groups {A,B,C,D,F,J} {E,I} {G,M} {H,L} onto 4 CPUs; "
+                  "critical path on one CPU; beats naive allocations");
+    uml::Model syn = cases::synthetic_model();
+    core::CommModel comm = core::analyze_communication(syn);
+    TaskGraph g = core::build_task_graph(syn, comm);
+    bench::row("threads (nodes)", g.task_count());
+    bench::row("dependencies (edges)", g.edge_count());
+    bench::row("total traffic", g.total_edge_cost());
+    bench::row("critical path length", g.critical_path_length());
+
+    Clustering lc = linear_clustering(g);
+    bench::row("linear clustering", format(g, lc));
+    bench::row("clusters (processors)",
+               static_cast<std::size_t>(lc.cluster_count()));
+    bench::row("clustering is linear", is_linear(g, lc) ? "yes" : "NO");
+
+    std::printf("\n%-20s %6s %14s %12s %12s\n", "strategy", "CPUs",
+                "inter-traffic", "makespan", "bus-busy");
+    auto k = static_cast<std::size_t>(lc.cluster_count());
+    struct Row {
+        const char* name;
+        Clustering clustering;
+    };
+    Row rows[] = {
+        {"linear clustering", lc},
+        {"DSC", dsc_clustering(g)},
+        {"round robin", round_robin_clustering(g, k)},
+        {"random (seed 7)", random_clustering(g, k, 7)},
+        {"load balance", load_balance_clustering(g, k)},
+        {"single CPU", single_cluster(g)},
+    };
+    for (const Row& r : rows) {
+        sim::MpsocResult m = sim::simulate_mpsoc(g, r.clustering);
+        std::printf("%-20s %6d %14g %12g %12g\n", r.name,
+                    r.clustering.cluster_count(), m.inter_traffic, m.makespan,
+                    m.bus_busy);
+    }
+}
+
+void BM_LinearClusteringPaperGraph(benchmark::State& state) {
+    TaskGraph g = paper_synthetic_graph();
+    for (auto _ : state) {
+        Clustering c = linear_clustering(g);
+        benchmark::DoNotOptimize(c.cluster_count());
+    }
+}
+BENCHMARK(BM_LinearClusteringPaperGraph);
+
+void BM_LinearClusteringScaling(benchmark::State& state) {
+    RandomDagOptions options;
+    options.tasks = static_cast<std::size_t>(state.range(0));
+    options.layers = 8;
+    options.seed = 42;
+    TaskGraph g = random_layered_dag(options);
+    for (auto _ : state) {
+        Clustering c = linear_clustering(g);
+        benchmark::DoNotOptimize(c.cluster_count());
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LinearClusteringScaling)
+    ->RangeMultiplier(2)
+    ->Range(16, 512)
+    ->Complexity();
+
+void BM_DscScaling(benchmark::State& state) {
+    RandomDagOptions options;
+    options.tasks = static_cast<std::size_t>(state.range(0));
+    options.layers = 8;
+    options.seed = 42;
+    TaskGraph g = random_layered_dag(options);
+    for (auto _ : state) {
+        Clustering c = dsc_clustering(g);
+        benchmark::DoNotOptimize(c.cluster_count());
+    }
+}
+BENCHMARK(BM_DscScaling)->RangeMultiplier(4)->Range(16, 256);
+
+void BM_TaskGraphMining(benchmark::State& state) {
+    uml::Model syn = cases::synthetic_model();
+    core::CommModel comm = core::analyze_communication(syn);
+    for (auto _ : state) {
+        TaskGraph g = core::build_task_graph(syn, comm);
+        benchmark::DoNotOptimize(g.task_count());
+    }
+}
+BENCHMARK(BM_TaskGraphMining);
+
+}  // namespace
+
+UHCG_BENCH_MAIN(print_reproduction)

@@ -1,0 +1,45 @@
+// bench_common.hpp — shared plumbing for the experiment harness.
+//
+// Every bench binary reproduces one figure/experiment of the paper: it
+// first prints the qualitative result the paper reports (the "shape"),
+// then runs google-benchmark timings of the machinery involved. Binaries
+// run standalone with no arguments.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace uhcg::bench {
+
+/// Prints a section header for the reproduction table.
+inline void banner(const std::string& experiment, const std::string& claim) {
+    std::printf("\n=== %s ===\n--- paper: %s\n", experiment.c_str(),
+                claim.c_str());
+}
+
+inline void row(const std::string& label, const std::string& value) {
+    std::printf("%-38s %s\n", label.c_str(), value.c_str());
+}
+
+inline void row(const std::string& label, double value) {
+    std::printf("%-38s %g\n", label.c_str(), value);
+}
+
+inline void row(const std::string& label, std::size_t value) {
+    std::printf("%-38s %zu\n", label.c_str(), value);
+}
+
+/// Standard main: print the reproduction table, then run the timings.
+#define UHCG_BENCH_MAIN(print_reproduction)                 \
+    int main(int argc, char** argv) {                       \
+        print_reproduction();                               \
+        ::benchmark::Initialize(&argc, argv);               \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+        ::benchmark::RunSpecifiedBenchmarks();              \
+        ::benchmark::Shutdown();                            \
+        return 0;                                           \
+    }
+
+}  // namespace uhcg::bench

@@ -1,0 +1,71 @@
+// bench_didactic — Fig. 3: the didactic mapping example.
+//
+// Paper claim: the deployment + sequence diagrams of Fig. 3(a)/(b) map to
+// the Simulink CAAM of Fig. 3(c): CPU subsystems per <<SAengine>> node,
+// Thread subsystems per <<SASchedRes>> object, an S-function per passive
+// method call, a Product for the Platform mult, input/output ports from
+// parameter directions, data links from argument names, an inter-CPU and
+// an intra-CPU channel, and system ports from <<IO>> accesses.
+#include "bench_common.hpp"
+#include "cases/cases.hpp"
+#include "core/pipeline.hpp"
+#include "simulink/caam.hpp"
+#include "simulink/mdl.hpp"
+
+namespace {
+
+using namespace uhcg;
+
+void print_reproduction() {
+    bench::banner("Fig. 3 — didactic mapping example",
+                  "2 CPU-SS, 3 Thread-SS, S-functions + Product, 1 inter-SS "
+                  "+ 1 intra-SS channel, system In/Out ports");
+    core::MapperReport report;
+    simulink::Model caam =
+        core::map_to_caam(cases::didactic_model(), {}, &report);
+    simulink::CaamStats s = simulink::caam_stats(caam);
+    bench::row("CPU subsystems (CPU-SS)", s.cpus);
+    bench::row("thread subsystems (Thread-SS)", s.threads);
+    bench::row("S-function blocks", s.sfunctions);
+    bench::row("pre-defined blocks (Product/...)", s.predefined_blocks);
+    bench::row("inter-SS channels (GFIFO)", s.inter_channels);
+    bench::row("intra-SS channels (SWFIFO)", s.intra_channels);
+    bench::row("system input ports", s.system_inports);
+    bench::row("system output ports", s.system_outports);
+    bench::row("total blocks / lines",
+               std::to_string(s.total_blocks) + " / " +
+                   std::to_string(s.total_lines));
+    bench::row("CAAM validation problems",
+               simulink::validate_caam(caam).size());
+    bench::row("generated .mdl bytes", simulink::write_mdl(caam).size());
+}
+
+void BM_DidacticFullMapping(benchmark::State& state) {
+    uml::Model model = cases::didactic_model();
+    for (auto _ : state) {
+        simulink::Model caam = core::map_to_caam(model);
+        benchmark::DoNotOptimize(&caam);
+    }
+}
+BENCHMARK(BM_DidacticFullMapping);
+
+void BM_DidacticModelConstruction(benchmark::State& state) {
+    for (auto _ : state) {
+        uml::Model model = cases::didactic_model();
+        benchmark::DoNotOptimize(&model);
+    }
+}
+BENCHMARK(BM_DidacticModelConstruction);
+
+void BM_DidacticMdlGeneration(benchmark::State& state) {
+    simulink::Model caam = core::map_to_caam(cases::didactic_model());
+    for (auto _ : state) {
+        std::string mdl = simulink::write_mdl(caam);
+        benchmark::DoNotOptimize(mdl.data());
+    }
+}
+BENCHMARK(BM_DidacticMdlGeneration);
+
+}  // namespace
+
+UHCG_BENCH_MAIN(print_reproduction)

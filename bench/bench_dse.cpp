@@ -1,0 +1,75 @@
+// bench_dse — §6 future work realized: estimation-driven design-space
+// exploration over partitioning/mapping solutions.
+//
+// Paper claim (future work): "integrate an estimation step in the proposed
+// development flow to automatically determine the best partitioning and
+// mapping solution ... supporting design space exploration." This bench
+// prints the explored Pareto front (processors vs estimated makespan) for
+// the synthetic example and shows that the §4.2.3 linear-clustering
+// default sits on (or near) the front.
+#include "bench_common.hpp"
+#include "cases/cases.hpp"
+#include "core/pipeline.hpp"
+#include "simulink/generic.hpp"
+#include "dse/explore.hpp"
+#include "simulink/caam.hpp"
+
+namespace {
+
+using namespace uhcg;
+
+void print_reproduction() {
+    bench::banner("DSE — automatic mapping selection (§6 future work)",
+                  "sweep allocation strategies × processor budgets, estimate "
+                  "on the MPSoC cost model, expose the Pareto front");
+    uml::Model syn = cases::synthetic_model();
+    core::CommModel comm = core::analyze_communication(syn);
+    dse::ExploreResult result = dse::explore(syn, comm);
+    bench::row("candidates evaluated", result.candidates.size());
+    std::printf("%s", dse::format(result).c_str());
+
+    // Where does the §4.2.3 default land?
+    const dse::Candidate* lc = nullptr;
+    for (const dse::Candidate& c : result.candidates)
+        if (c.strategy == "linear") lc = &c;
+    if (lc)
+        bench::row("linear-clustering default",
+                   "CPUs=" + std::to_string(lc->processors) + " makespan=" +
+                       std::to_string(lc->makespan) +
+                       (lc->pareto ? "  (on the front)" : "  (dominated)"));
+
+    // Feed the recommendation back into the Fig. 2 flow.
+    core::Allocation best = dse::best_allocation(syn, comm);
+    core::MappingOutput mapped = core::run_mapping(syn, comm, best);
+    simulink::Model caam = simulink::from_generic(mapped.caam);
+    bench::row("recommended mapping → CAAM threads",
+               simulink::caam_stats(caam).threads);
+}
+
+void BM_ExploreSynthetic(benchmark::State& state) {
+    uml::Model syn = cases::synthetic_model();
+    core::CommModel comm = core::analyze_communication(syn);
+    for (auto _ : state) {
+        dse::ExploreResult r = dse::explore(syn, comm);
+        benchmark::DoNotOptimize(r.best);
+    }
+}
+BENCHMARK(BM_ExploreSynthetic);
+
+void BM_ExploreScaling(benchmark::State& state) {
+    uml::Model app =
+        cases::random_application(9, static_cast<std::size_t>(state.range(0)), 5);
+    core::CommModel comm = core::analyze_communication(app);
+    dse::ExploreOptions options;
+    options.random_samples = 1;
+    for (auto _ : state) {
+        dse::ExploreResult r = dse::explore(app, comm, options);
+        benchmark::DoNotOptimize(r.best);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExploreScaling)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+
+}  // namespace
+
+UHCG_BENCH_MAIN(print_reproduction)

@@ -1,0 +1,74 @@
+// crane_control.cpp — the §5.1 case study end to end: the crane control
+// system (Moser & Nebel, DATE'99) modeled as three UML threads on one CPU.
+// Demonstrates the §4.2.2 temporal barriers: the closed control loop
+// deadlocks without the automatically inserted UnitDelay and stabilizes
+// the load with it.
+//
+//   $ ./crane_control [out_dir]
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "cases/cases.hpp"
+#include "codegen/caam_to_c.hpp"
+#include "core/pipeline.hpp"
+#include "sim/engine.hpp"
+#include "simulink/caam.hpp"
+#include "simulink/mdl.hpp"
+
+int main(int argc, char** argv) {
+    using namespace uhcg;
+    std::filesystem::path out_dir = argc > 1 ? argv[1] : "crane_out";
+
+    uml::Model crane = cases::crane_model();
+    std::cout << "Crane model: " << crane.threads().size() << " threads, "
+              << crane.sequence_diagrams().size() << " sequence diagrams\n";
+
+    // 1. Without temporal barriers the generated dataflow cannot run.
+    core::MapperOptions no_delays;
+    no_delays.insert_delays = false;
+    simulink::Model cyclic = core::map_to_caam(crane, no_delays);
+    sim::SFunctionRegistry registry;
+    cases::register_crane_sfunctions(registry);
+    try {
+        sim::Simulator doomed(cyclic, registry);
+        std::cout << "UNEXPECTED: cyclic model scheduled\n";
+    } catch (const sim::DeadlockError& e) {
+        std::cout << "Without §4.2.2 barriers: " << e.what() << '\n';
+    }
+
+    // 2. The full flow inserts the barrier automatically.
+    core::MapperReport report;
+    simulink::Model caam = core::map_to_caam(crane, {}, &report);
+    std::cout << "With barriers: " << report.delays.inserted
+              << " UnitDelay block(s) inserted:\n";
+    for (const std::string& loc : report.delays.locations)
+        std::cout << "  " << loc << '\n';
+    std::cout << "Channels: " << report.channels.intra_channels
+              << " intra-CPU (SWFIFO), " << report.channels.inter_channels
+              << " inter-CPU (GFIFO)\n";
+
+    // 3. Execute: the load should settle at the 1.0 m setpoint.
+    sim::Simulator simulator(caam, registry);
+    sim::SimResult result = simulator.run(600);
+    const auto& pos = result.outputs.at("pos_f");
+    std::cout << "\nCrane position (filtered), setpoint 1.0 m:\n"
+              << "   t[s]   pos[m]\n";
+    for (std::size_t k = 0; k < pos.size(); k += 100)
+        std::cout << "  " << result.time[k] << "   " << pos[k] << '\n';
+    std::cout << "  final  " << pos.back() << '\n';
+
+    // 4. Emit the artifacts: the .mdl (Fig. 5's model, textual) and the
+    //    per-CPU C program of the Simulink-branch code generator.
+    std::filesystem::create_directories(out_dir);
+    simulink::save_mdl(caam, (out_dir / "crane.mdl").string());
+    codegen::GeneratedProgram program = codegen::generate_c_program(caam);
+    for (const auto& [name, contents] : program.files) {
+        std::ofstream f(out_dir / name);
+        f << contents;
+    }
+    std::cout << "\nWrote " << (1 + program.files.size()) << " files to "
+              << out_dir << " (crane.mdl + generated C program; build with\n"
+              << "  cc -std=c99 main.c sfunctions.c cpu_*.c)\n";
+    return 0;
+}

@@ -1,0 +1,88 @@
+// kpn_pipeline.cpp — retargeting the UML front-end to Kahn Process
+// Networks (§3): the crane model maps to a KPN, the mapping seeds the
+// cyclic control loop with an initial token (the KPN form of a §4.2.2
+// temporal barrier), and the network executes with real crane kernels —
+// converging to the same setpoint as the Simulink-branch simulation.
+//
+//   $ ./kpn_pipeline
+#include <iostream>
+
+#include "cases/cases.hpp"
+#include "kpn/execute.hpp"
+#include "kpn/from_uml.hpp"
+
+int main() {
+    using namespace uhcg;
+
+    uml::Model crane = cases::crane_model();
+    kpn::KpnMappingOutput out = kpn::map_to_kpn(crane);
+    std::cout << "KPN for the crane: " << out.network.processes().size()
+              << " processes, " << out.network.channels().size()
+              << " channels, " << out.initial_tokens_inserted
+              << " initial token(s) seeded on the control loop\n";
+    for (const kpn::ChannelDecl& c : out.network.channels())
+        std::cout << "  " << c.producer->name() << " --" << c.variable << "--> "
+                  << c.consumer->name()
+                  << (c.initial_tokens ? "  [seeded]" : "") << '\n';
+
+    // Process kernels: the same crane physics the Simulink branch runs,
+    // phrased as token functions (T1 = plant, T2 = filter, T3 = control).
+    const double dt = 0.05, setpoint = 1.0;
+    kpn::KernelRegistry registry;
+    registry.register_kernel(
+        "T1",
+        [dt](std::span<const double> in, std::span<double> out_tokens,
+             std::vector<double>& s) {
+            double& x = s[0];
+            double& v = s[1];
+            double& th = s[2];
+            double& om = s[3];
+            double F = in.empty() ? 0.0 : in[0];
+            double acc = (F - 2.0 * v + 9.81 * th) / 10.0;
+            double aacc = -(acc + 9.81 * th + 0.5 * om) / 2.0;
+            x += dt * v;
+            v += dt * acc;
+            th += dt * om;
+            om += dt * aacc;
+            out_tokens[0] = x;   // xc
+            out_tokens[1] = th;  // alpha
+        },
+        4);
+    registry.register_kernel(
+        "T2",
+        [](std::span<const double> in, std::span<double> out_tokens,
+           std::vector<double>& s) {
+            s[0] += 0.5 * ((in.empty() ? 0.0 : in[0]) - s[0]);
+            out_tokens[0] = s[0];  // pos_f
+        },
+        1);
+    // Port order on T3 follows the link-discovery order, so resolve the
+    // indices by variable name instead of assuming them.
+    const kpn::Process* t3 = out.network.find_process("T3");
+    const std::size_t pos_port = *t3->input_named("pos_f");
+    const std::size_t ang_port = *t3->input_named("alpha");
+    registry.register_kernel(
+        "T3",
+        [dt, setpoint, pos_port, ang_port](std::span<const double> in,
+                                           std::span<double> out_tokens,
+                                           std::vector<double>& s) {
+            double pos = in[pos_port];
+            double ang = in[ang_port];
+            double e = setpoint - pos;
+            out_tokens[0] = 12.0 * e + 5.0 * (e - s[0]) / dt - 10.0 * ang;
+            s[0] = e;
+        },
+        1);
+
+    kpn::Executor exec(out.network, registry);
+    kpn::KpnResult result = exec.run(600);
+    const auto& pos = result.outputs.at("pos_f");
+    std::cout << "\nExecuted " << result.rounds << " rounds ("
+              << result.firings << " firings, max queue depth "
+              << result.max_queue_depth << ")\n"
+              << "Crane position, setpoint 1.0 m:\n";
+    for (std::size_t k = 0; k < pos.size(); k += 150)
+        std::cout << "  round " << k << "  pos = " << pos[k] << '\n';
+    std::cout << "  final     pos = " << pos.back() << '\n';
+    return 0;
+}

@@ -1,0 +1,89 @@
+// quickstart.cpp — smallest end-to-end tour of the uml-hcg flow:
+// build a UML model programmatically, run the UML → Simulink-CAAM mapping
+// (Fig. 2 steps 2-4), inspect the result, execute it, and emit the .mdl.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "sim/engine.hpp"
+#include "simulink/caam.hpp"
+#include "simulink/mdl.hpp"
+#include "uml/builder.hpp"
+
+int main() {
+    using namespace uhcg;
+
+    // Step 1 (the designer's): a producer thread low-passes a sensor value
+    // and ships it to a consumer thread on another CPU, which scales it
+    // and drives an actuator.
+    uml::ModelBuilder b("quickstart");
+    b.cls("Filter").op("smooth").in("u").result("y").body(
+        "    static double y = 0;\n"
+        "    y += 0.3 * (in[0] - y);\n"
+        "    out[0] = y;");
+    b.thread("Producer");
+    b.thread("Consumer");
+    b.passive("Smoother", "Filter");
+    b.platform();
+    b.iodevice("Sensor");
+    b.iodevice("Actuator");
+
+    auto producer = b.seq("Producer_behaviour");
+    producer.message("Producer", "Sensor", "getSample").result("raw");
+    producer.message("Producer", "Smoother", "smooth").arg("raw").result("clean");
+    producer.message("Producer", "Consumer", "SetClean").arg("clean").data(8);
+
+    auto consumer = b.seq("Consumer_behaviour");
+    consumer.message("Consumer", "Platform", "mult").arg("clean").arg("2.5")
+        .result("drive");
+    consumer.message("Consumer", "Actuator", "setDrive").arg("drive");
+
+    b.cpu("CPU0");
+    b.cpu("CPU1");
+    b.bus("bus", {"CPU0", "CPU1"});
+    b.deploy("Producer", "CPU0").deploy("Consumer", "CPU1");
+    uml::Model model = b.take();
+
+    // Steps 2-3: mapping + optimizations.
+    core::MapperReport report;
+    simulink::Model caam = core::map_to_caam(model, {}, &report);
+
+    simulink::CaamStats stats = simulink::caam_stats(caam);
+    std::cout << "Generated CAAM '" << caam.name() << "':\n"
+              << "  CPU subsystems     : " << stats.cpus << '\n'
+              << "  thread subsystems  : " << stats.threads << '\n'
+              << "  inter-CPU channels : " << stats.inter_channels << " (GFIFO)\n"
+              << "  intra-CPU channels : " << stats.intra_channels << " (SWFIFO)\n"
+              << "  system ports       : " << stats.system_inports << " in, "
+              << stats.system_outports << " out\n"
+              << "  temporal barriers  : " << report.delays.inserted << '\n';
+    for (const std::string& problem : simulink::validate_caam(caam))
+        std::cout << "  VALIDATION: " << problem << '\n';
+
+    // Execute the generated model against a synthetic sensor.
+    sim::SFunctionRegistry registry;
+    registry.register_function(
+        "smooth",
+        [](std::span<const double> in, std::span<double> out, double,
+           std::vector<double>& state) {
+            state[0] += 0.3 * ((in.empty() ? 0.0 : in[0]) - state[0]);
+            if (!out.empty()) out[0] = state[0];
+        },
+        1);
+    sim::Simulator simulator(caam, registry);
+    simulator.set_input("raw", [](double t) { return t < 5.0 ? 0.0 : 1.0; });
+    sim::SimResult result = simulator.run(20);
+
+    std::cout << "\nExecution (20 steps, unit step on the sensor at t=5):\n"
+              << "   t    drive\n";
+    const auto& drive = result.outputs.at("drive");
+    for (std::size_t k = 0; k < drive.size(); k += 4)
+        std::cout << "  " << result.time[k] << "    " << drive[k] << '\n';
+
+    // Step 4: the artifact a Simulink-based MPSoC flow would consume.
+    simulink::save_mdl(caam, "quickstart.mdl");
+    std::cout << "\nWrote quickstart.mdl ("
+              << simulink::write_mdl(caam).size() << " bytes)\n";
+    return 0;
+}

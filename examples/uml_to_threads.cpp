@@ -1,0 +1,37 @@
+// uml_to_threads.cpp — the fallback branch of Fig. 1: when no Simulink
+// compiler is available, the *same* UML model generates multithreaded
+// code directly (the paper names Java; we emit C++17 with std::thread and
+// blocking queues). Also demonstrates XMI round-tripping: the model is
+// serialized to XMI and read back before generation, the path a MagicDraw
+// user would take.
+//
+//   $ ./uml_to_threads [out.cpp]
+#include <fstream>
+#include <iostream>
+
+#include "cases/cases.hpp"
+#include "codegen/uml_to_cpp.hpp"
+#include "uml/xmi.hpp"
+
+int main(int argc, char** argv) {
+    using namespace uhcg;
+    std::string out_path = argc > 1 ? argv[1] : "crane_threads.cpp";
+
+    // The same crane model the Simulink branch consumes...
+    uml::Model crane = cases::crane_model();
+
+    // ...through the XMI interchange a UML editor would produce.
+    std::string xmi = uml::to_xmi_string(crane);
+    uml::Model reloaded = uml::from_xmi_string(xmi);
+    std::cout << "XMI round trip: " << xmi.size() << " bytes, "
+              << reloaded.threads().size() << " threads preserved\n";
+
+    codegen::CppProgram program = codegen::generate_cpp_threads(reloaded, 50);
+    std::ofstream(out_path) << program.source;
+    std::cout << "Generated " << out_path << ": " << program.thread_count
+              << " worker threads, " << program.queue_count
+              << " inter-thread queues, " << program.source.size()
+              << " bytes\nBuild with: c++ -std=c++17 -pthread " << out_path
+              << '\n';
+    return 0;
+}

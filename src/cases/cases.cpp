@@ -1,0 +1,339 @@
+#include "cases/cases.hpp"
+
+#include <cmath>
+#include <random>
+#include <string>
+
+#include "uml/builder.hpp"
+
+namespace uhcg::cases {
+namespace {
+
+// Crane physics constants (linearized gantry crane, Moser & Nebel's case
+// study re-dimensioned for a fixed-step discrete model).
+constexpr double kCartMass = 10.0;  // kg
+constexpr double kLoadMass = 1.0;   // kg
+constexpr double kGravity = 9.81;   // m/s^2
+constexpr double kCable = 2.0;      // m
+constexpr double kCartDamping = 2.0;
+constexpr double kSwingDamping = 0.5;
+
+// Controller gains (PD on position + swing damping).
+constexpr double kKp = 12.0;
+constexpr double kKd = 5.0;
+constexpr double kKa = 10.0;
+
+// C sources attached to the UML operations — the §4.1 "behavior described
+// in a C code that is compiled and linked" — consumed verbatim by the CAAM
+// code generator. They mirror the native behaviours registered with the
+// execution engine.
+const char* kPlantSource = R"(    /* linearized gantry crane, Euler integration, dt = 0.05 */
+    static double x = 0, v = 0, th = 0, om = 0;
+    const double dt = 0.05;
+    double F = (nin > 0) ? in[0] : 0.0;
+    double acc = (F - 2.0 * v + 1.0 * 9.81 * th) / 10.0;
+    double aacc = -(acc + 9.81 * th + 0.5 * om) / 2.0;
+    x += dt * v; v += dt * acc;
+    th += dt * om; om += dt * aacc;
+    if (nout > 0) out[0] = x;
+    if (nout > 1) out[1] = th;)";
+
+const char* kFilterSource = R"(    /* first-order low-pass */
+    static double y = 0;
+    double u = (nin > 0) ? in[0] : 0.0;
+    y += 0.5 * (u - y);
+    if (nout > 0) out[0] = y;)";
+
+const char* kControlSource = R"(    /* PD position control + swing damping, setpoint 1.0 */
+    static double prev_e = 0;
+    const double dt = 0.05;
+    double pos = (nin > 0) ? in[0] : 0.0;
+    double ang = (nin > 1) ? in[1] : 0.0;
+    double e = 1.0 - pos;
+    double F = 12.0 * e + 5.0 * (e - prev_e) / dt - 10.0 * ang;
+    prev_e = e;
+    if (nout > 0) out[0] = F;)";
+
+}  // namespace
+
+uml::Model didactic_model() {
+    uml::ModelBuilder b("didactic");
+    b.cls("Calc").op("calc").in("a").result("r");
+    b.cls("Dec").op("dec").in("x").result("r");
+    b.thread("T1");
+    b.thread("T2");
+    b.thread("T3");
+    b.passive("Calc1", "Calc");
+    b.passive("Dec1", "Dec");
+    b.platform();
+    b.iodevice("IODevice");
+
+    auto t1 = b.seq("T1_behaviour");
+    t1.message("T1", "Calc1", "calc").arg("a").result("r1");
+    t1.message("T1", "Dec1", "dec").arg("x").result("r2");
+    t1.message("T1", "Platform", "mult").arg("r1").arg("r2").result("r3");
+    t1.message("T1", "T2", "SetValue").arg("r3").data(8);
+    t1.message("T1", "T3", "GetValue").result("v").data(4);
+
+    auto t2 = b.seq("T2_behaviour");
+    t2.message("T2", "Platform", "mult").arg("r3").arg("2.0").result("w");
+    t2.message("T2", "IODevice", "setOut").arg("w");
+
+    auto t3 = b.seq("T3_behaviour");
+    t3.message("T3", "IODevice", "getValue").result("s");
+    t3.message("T3", "Platform", "gain").arg("s").result("v");
+
+    b.cpu("CPU1");
+    b.cpu("CPU2");
+    b.bus("bus", {"CPU1", "CPU2"});
+    b.deploy("T1", "CPU1").deploy("T2", "CPU1").deploy("T3", "CPU2");
+    return b.take();
+}
+
+uml::Model crane_model() {
+    uml::ModelBuilder b("crane");
+    {
+        auto plant = b.cls("Plant").op("plant");
+        plant.in("F");
+        plant.out("xc");
+        plant.out("alpha");
+        plant.body(kPlantSource);
+    }
+    {
+        auto filter = b.cls("Filter").op("filter");
+        filter.in("u");
+        filter.result("y");
+        filter.body(kFilterSource);
+    }
+    {
+        auto control = b.cls("Control").op("control");
+        control.in("pos");
+        control.in("ang");
+        control.result("F");
+        control.body(kControlSource);
+    }
+
+    b.thread("T1");  // plant thread
+    b.thread("T2");  // filter/monitor thread
+    b.thread("T3");  // controller thread
+    b.passive("ThePlant", "Plant");
+    b.passive("PosFilter", "Filter");
+    b.passive("Controller", "Control");
+    b.iodevice("Display");
+
+    // T1: actuate the plant with the controller's force, publish sensors.
+    auto t1 = b.seq("T1_behaviour");
+    t1.message("T1", "ThePlant", "plant").arg("F").arg("xc").arg("alpha");
+    t1.message("T1", "T2", "SetPos").arg("xc").data(8);
+    t1.message("T1", "T3", "SetAngle").arg("alpha").data(8);
+
+    // T2: low-pass the position, forward it, drive the display.
+    auto t2 = b.seq("T2_behaviour");
+    t2.message("T2", "PosFilter", "filter").arg("xc").result("pos_f");
+    t2.message("T2", "T3", "SetPosF").arg("pos_f").data(8);
+    t2.message("T2", "Display", "setDisplay").arg("pos_f");
+
+    // T3: close the loop — this is the cyclic path §4.2.2 must break.
+    auto t3 = b.seq("T3_behaviour");
+    t3.message("T3", "Controller", "control").arg("pos_f").arg("alpha").result("F");
+    t3.message("T3", "T1", "SetForce").arg("F").data(8);
+
+    // §5.1: "The three threads were mapped to the same processor, which was
+    // defined through a deployment diagram."
+    b.cpu("CPU1");
+    b.deploy("T1", "CPU1").deploy("T2", "CPU1").deploy("T3", "CPU1");
+    return b.take();
+}
+
+void register_crane_sfunctions(sim::SFunctionRegistry& registry, double dt,
+                               double setpoint) {
+    registry.register_function(
+        "plant",
+        [dt](std::span<const double> in, std::span<double> out, double,
+             std::vector<double>& state) {
+            double& x = state[0];
+            double& v = state[1];
+            double& th = state[2];
+            double& om = state[3];
+            double F = in.empty() ? 0.0 : in[0];
+            double acc =
+                (F - kCartDamping * v + kLoadMass * kGravity * th) / kCartMass;
+            double aacc = -(acc + kGravity * th + kSwingDamping * om) / kCable;
+            x += dt * v;
+            v += dt * acc;
+            th += dt * om;
+            om += dt * aacc;
+            if (!out.empty()) out[0] = x;
+            if (out.size() > 1) out[1] = th;
+        },
+        4);
+    registry.register_function(
+        "filter",
+        [](std::span<const double> in, std::span<double> out, double,
+           std::vector<double>& state) {
+            double u = in.empty() ? 0.0 : in[0];
+            state[0] += 0.5 * (u - state[0]);
+            if (!out.empty()) out[0] = state[0];
+        },
+        1);
+    registry.register_function(
+        "control",
+        [dt, setpoint](std::span<const double> in, std::span<double> out, double,
+                       std::vector<double>& state) {
+            double pos = in.empty() ? 0.0 : in[0];
+            double ang = in.size() > 1 ? in[1] : 0.0;
+            double e = setpoint - pos;
+            double F = kKp * e + kKd * (e - state[0]) / dt - kKa * ang;
+            state[0] = e;
+            if (!out.empty()) out[0] = F;
+        },
+        1);
+}
+
+uml::Model synthetic_model() {
+    uml::ModelBuilder b("synthetic");
+    b.platform();
+
+    // Twelve threads A..M (no K), as in Fig. 6/7.
+    const char* names[] = {"A", "B", "C", "D", "E", "F",
+                           "G", "H", "I", "J", "L", "M"};
+    for (const char* n : names) b.thread(n);
+
+    // Traffic matrix of the Fig. 7(a) task graph: (from, to, cost).
+    struct EdgeSpec {
+        const char* from;
+        const char* to;
+        double cost;
+    };
+    const EdgeSpec edges[] = {
+        {"A", "B", 10}, {"B", "C", 11}, {"C", "D", 10}, {"D", "F", 12},
+        {"F", "J", 10}, {"A", "E", 2},  {"E", "I", 8},  {"I", "J", 3},
+        {"B", "G", 3},  {"G", "M", 9},  {"M", "J", 2},  {"C", "H", 2},
+        {"H", "L", 7},  {"L", "J", 1},
+    };
+
+    // One interaction describing the whole application (Fig. 6 is "a block
+    // of interactions of this sequence diagram").
+    auto sd = b.seq("synthetic_interactions");
+    for (const char* n : names) {
+        std::string name(n);
+        std::string var = "v" + name;
+        // Gather this thread's inputs (variables of its predecessors).
+        std::vector<std::string> inputs;
+        for (const EdgeSpec& e : edges)
+            if (name == e.to) inputs.push_back(std::string("v") + e.from);
+        // Compute the thread's own value: an S-function over its inputs
+        // (source threads take a literal seed).
+        auto msg = sd.message(name, "Platform", "work");
+        if (inputs.empty()) msg.arg("1.0");
+        for (const std::string& in : inputs) msg.arg(in);
+        msg.result(var);
+        // Publish to every successor with the Fig. 7(a) edge cost.
+        for (const EdgeSpec& e : edges)
+            if (name == e.from)
+                sd.message(name, e.to, "Set" + var).arg(var).data(e.cost);
+    }
+    // No deployment diagram: §4.2.3 makes it unnecessary.
+    return b.take();
+}
+
+void register_synthetic_sfunctions(sim::SFunctionRegistry& registry) {
+    registry.register_function(
+        "work", [](std::span<const double> in, std::span<double> out, double,
+                   std::vector<double>&) {
+            double sum = 0.0;
+            for (double v : in) sum += v;
+            if (!out.empty()) out[0] = sum + 1.0;
+        });
+}
+
+uml::StateMachine elevator_state_machine() {
+    uml::StateMachine sm("Elevator");
+    uml::State& idle = sm.add_state("Idle");
+    idle.set_entry_action("motor_off();");
+    uml::State& doors = sm.add_state("DoorsOpen");
+    doors.set_entry_action("open_door();");
+    doors.set_exit_action("close_door();");
+    uml::State& moving = sm.add_state("Moving");
+    moving.set_entry_action("motor_on();");
+    moving.set_exit_action("motor_off();");
+    uml::State& up = moving.add_substate("MovingUp");
+    up.set_entry_action("dir_up();");
+    uml::State& down = moving.add_substate("MovingDown");
+    down.set_entry_action("dir_down();");
+    moving.set_initial_substate(up);
+    sm.set_initial_state(idle);
+
+    sm.add_transition(idle, up).set_trigger("call_up");
+    sm.add_transition(idle, down).set_trigger("call_down");
+    {
+        uml::Transition& t = sm.add_transition(moving, doors);
+        t.set_trigger("arrived");
+        t.set_effect("announce_floor();");
+    }
+    {
+        uml::Transition& t = sm.add_transition(doors, idle);
+        t.set_trigger("door_timeout");
+        t.set_guard("no_pending_calls");
+    }
+    {
+        uml::Transition& t = sm.add_transition(doors, up);
+        t.set_trigger("door_timeout");
+        t.set_guard("pending_call_above");
+    }
+    return sm;
+}
+
+uml::Model random_application(std::uint64_t seed, std::size_t threads,
+                              std::size_t layers) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> cost(1.0, 16.0);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    uml::ModelBuilder b("app" + std::to_string(seed));
+    b.platform();
+    layers = std::max<std::size_t>(1, layers);
+    std::vector<std::vector<std::string>> layer_names(layers);
+    for (std::size_t t = 0; t < threads; ++t) {
+        std::string name = "W" + std::to_string(t);
+        b.thread(name);
+        layer_names[t % layers].push_back(name);
+    }
+    // Edges only between adjacent layers, at least one per producer, so
+    // the thread graph is a DAG and every value has a consumer.
+    std::vector<std::pair<std::string, std::string>> edges;
+    for (std::size_t l = 0; l + 1 < layers; ++l) {
+        for (const std::string& from : layer_names[l]) {
+            bool any = false;
+            for (const std::string& to : layer_names[l + 1]) {
+                if (coin(rng) < 0.5) {
+                    edges.emplace_back(from, to);
+                    any = true;
+                }
+            }
+            if (!any && !layer_names[l + 1].empty())
+                edges.emplace_back(from, layer_names[l + 1].front());
+        }
+    }
+    auto sd = b.seq("interactions");
+    for (std::size_t l = 0; l < layers; ++l) {
+        for (const std::string& name : layer_names[l]) {
+            std::string var = "v" + name;
+            auto msg = sd.message(name, "Platform", "work");
+            bool has_input = false;
+            for (const auto& [from, to] : edges) {
+                if (to == name) {
+                    msg.arg("v" + from);
+                    has_input = true;
+                }
+            }
+            if (!has_input) msg.arg("1.0");
+            msg.result(var);
+            for (const auto& [from, to] : edges)
+                if (from == name)
+                    sd.message(name, to, "Set" + var).arg(var).data(cost(rng));
+        }
+    }
+    return b.take();
+}
+
+}  // namespace uhcg::cases

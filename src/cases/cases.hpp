@@ -1,0 +1,53 @@
+// cases.hpp — the reference UML models of the paper, ready to feed the
+// flow. Shared by the examples, the test suite and the benchmark harness
+// so every consumer exercises identical inputs.
+//
+//  * didactic_model()  — Fig. 3: 2 CPUs, 3 threads, a Dec S-function, a
+//    Platform Product, an <<IO>> device, inter- and intra-CPU channels;
+//  * crane_model()     — §5.1: the crane control system (Moser & Nebel,
+//    DATE'99) as 3 threads on one CPU whose closed control loop forces
+//    automatic temporal-barrier insertion;
+//  * synthetic_model() — §5.2: twelve communicating threads whose traffic
+//    matrix reproduces the Fig. 7(a) task graph, used to validate the
+//    automatic thread allocation;
+//  * crane_sfunctions()/synthetic_sfunctions() — native behaviours for the
+//    S-functions, registered with the execution engine (the "C code
+//    compiled and linked" of §4.1).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "uml/model.hpp"
+#include "uml/statemachine.hpp"
+
+namespace uhcg::cases {
+
+/// Fig. 3 didactic system (deployment diagram decides the mapping).
+uml::Model didactic_model();
+
+/// §5.1 crane control system: plant → filter → controller → plant loop,
+/// three threads deployed on a single CPU.
+uml::Model crane_model();
+/// Registers plant/filter/control behaviours (discretized crane physics).
+void register_crane_sfunctions(sim::SFunctionRegistry& registry,
+                               double dt = 0.05, double setpoint = 1.0);
+
+/// §5.2 synthetic example: twelve threads A..M (no K), traffic per the
+/// Fig. 7(a) edge costs. No deployment diagram — allocation is automatic.
+uml::Model synthetic_model();
+/// Registers the per-thread workload behaviours.
+void register_synthetic_sfunctions(sim::SFunctionRegistry& registry);
+
+/// Control-flow case for the FSM branch: an elevator controller state
+/// machine (with a composite "Moving" state).
+uml::StateMachine elevator_state_machine();
+
+/// Synthetic workload generator for sweeps: a random but convention-
+/// conforming application of `threads` worker threads arranged in
+/// `layers` ranks; every thread computes one value (S-function "work")
+/// from its inputs and Sets it to its successors. Deterministic per seed.
+uml::Model random_application(std::uint64_t seed, std::size_t threads,
+                              std::size_t layers);
+
+}  // namespace uhcg::cases

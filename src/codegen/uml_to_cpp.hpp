@@ -1,0 +1,29 @@
+// uml_to_cpp.hpp — the fallback branch of Fig. 1: "in case a Simulink
+// compiler is not available, the same UML model can be used to generate
+// multithreaded code for other languages". The paper names Java; we emit
+// modern C++ (std::thread + blocking queues), which exercises the same
+// mapping decisions: one worker per <<SASchedRes>> object, one queue per
+// inter-thread data channel, environment hooks for <<IO>> devices, plain
+// function calls for passive objects.
+#pragma once
+
+#include <string>
+
+#include "uml/model.hpp"
+
+namespace uhcg::codegen {
+
+struct CppProgram {
+    /// Single translation unit: self-contained, compiles with -std=c++17.
+    std::string source;
+    std::string file_name;  ///< suggested name, "<model>_threads.cpp"
+    std::size_t thread_count = 0;
+    std::size_t queue_count = 0;
+};
+
+/// Generates the program; `iterations` bounds each thread's main loop so
+/// the produced binary terminates (embedded loops are usually endless).
+CppProgram generate_cpp_threads(const uml::Model& model,
+                                std::size_t iterations = 100);
+
+}  // namespace uhcg::codegen

@@ -1,0 +1,90 @@
+#include "core/comm.hpp"
+
+namespace uhcg::core {
+
+std::vector<const Channel*> CommModel::incoming(
+    const uml::ObjectInstance& thread) const {
+    std::vector<const Channel*> out;
+    for (const Channel& c : channels_)
+        if (c.consumer == &thread) out.push_back(&c);
+    return out;
+}
+
+std::vector<const Channel*> CommModel::outgoing(
+    const uml::ObjectInstance& thread) const {
+    std::vector<const Channel*> out;
+    for (const Channel& c : channels_)
+        if (c.producer == &thread) out.push_back(&c);
+    return out;
+}
+
+bool CommModel::receives(const uml::ObjectInstance& thread,
+                         std::string_view v) const {
+    for (const Channel& c : channels_)
+        if (c.consumer == &thread && c.variable == v) return true;
+    return false;
+}
+
+bool CommModel::must_produce(const uml::ObjectInstance& thread,
+                             std::string_view v) const {
+    for (const Channel& c : channels_)
+        if (c.producer == &thread && c.variable == v) return true;
+    return false;
+}
+
+std::vector<const IoAccess*> CommModel::io_inputs(
+    const uml::ObjectInstance& thread) const {
+    std::vector<const IoAccess*> out;
+    for (const IoAccess& a : io_)
+        if (a.thread == &thread && a.is_input) out.push_back(&a);
+    return out;
+}
+
+std::vector<const IoAccess*> CommModel::io_outputs(
+    const uml::ObjectInstance& thread) const {
+    std::vector<const IoAccess*> out;
+    for (const IoAccess& a : io_)
+        if (a.thread == &thread && !a.is_input) out.push_back(&a);
+    return out;
+}
+
+double CommModel::traffic(const uml::ObjectInstance& from,
+                          const uml::ObjectInstance& to) const {
+    double sum = 0.0;
+    for (const Channel& c : channels_)
+        if (c.producer == &from && c.consumer == &to) sum += c.data_size;
+    return sum;
+}
+
+CommModel analyze_communication(const uml::Model& model) {
+    CommModel out;
+    for (const uml::SequenceDiagram* d : model.sequence_diagrams()) {
+        for (const uml::Message* m : d->messages()) {
+            const uml::ObjectInstance* sender = m->from()->represents();
+            const uml::ObjectInstance* receiver = m->to()->represents();
+            const std::string& op = m->operation_name();
+
+            if (sender->is_thread() && receiver->is_thread() && sender != receiver) {
+                if (op.rfind("Set", 0) == 0 && !m->arguments().empty()) {
+                    for (const uml::MessageArgument& a : m->arguments())
+                        out.add_channel(
+                            {sender, receiver, a.name, m->data_size()});
+                } else if (op.rfind("Get", 0) == 0 && !m->result_name().empty()) {
+                    // Caller receives: data flows receiver → sender.
+                    out.add_channel(
+                        {receiver, sender, m->result_name(), m->data_size()});
+                }
+            } else if (receiver->is_io_device() && sender->is_thread()) {
+                if (op.rfind("get", 0) == 0 && !m->result_name().empty()) {
+                    out.add_io({sender, receiver, m->result_name(), true});
+                } else if (op.rfind("set", 0) == 0 && !m->arguments().empty()) {
+                    for (const uml::MessageArgument& a : m->arguments())
+                        out.add_io({sender, receiver, a.name, false});
+                }
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace uhcg::core

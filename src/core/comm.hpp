@@ -1,0 +1,74 @@
+// comm.hpp — communication analysis over UML sequence diagrams.
+//
+// The §4.1 conventions make inter-thread and environment communication
+// syntactically recognizable:
+//  * `Set*` message thread A → thread B carrying argument v:
+//        A sends v to B            ⇒ data channel A --v--> B;
+//  * `Get*` message thread A → thread B binding result v:
+//        A receives v from B       ⇒ data channel B --v--> A;
+//  * `get*` on an <<IO>> object binding result v: environment input to the
+//    invoking thread;
+//  * `set*` on an <<IO>> object carrying argument v: environment output.
+//
+// The analysis produces the channel/IO tables every later stage consumes:
+// channel inference (§4.2.1), the task graph for thread allocation
+// (§4.2.3), and the Thread-SS port synthesis of the mapping itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "uml/model.hpp"
+
+namespace uhcg::core {
+
+/// One inter-thread data channel (producer's variable v flows to consumer).
+struct Channel {
+    const uml::ObjectInstance* producer = nullptr;
+    const uml::ObjectInstance* consumer = nullptr;
+    std::string variable;
+    double data_size = 1.0;
+};
+
+/// One environment access by a thread through an <<IO>> device.
+struct IoAccess {
+    const uml::ObjectInstance* thread = nullptr;
+    const uml::ObjectInstance* device = nullptr;
+    std::string variable;
+    bool is_input = false;  ///< true for get* (environment → thread)
+};
+
+/// Result of the analysis.
+class CommModel {
+public:
+    const std::vector<Channel>& channels() const { return channels_; }
+    const std::vector<IoAccess>& io_accesses() const { return io_; }
+
+    /// Channels consumed / produced by one thread.
+    std::vector<const Channel*> incoming(const uml::ObjectInstance& thread) const;
+    std::vector<const Channel*> outgoing(const uml::ObjectInstance& thread) const;
+    /// True when `thread` receives variable `v` over some channel.
+    bool receives(const uml::ObjectInstance& thread, std::string_view v) const;
+    /// True when some channel requires `thread` to produce `v`.
+    bool must_produce(const uml::ObjectInstance& thread, std::string_view v) const;
+    /// IO inputs (get*) of one thread.
+    std::vector<const IoAccess*> io_inputs(const uml::ObjectInstance& thread) const;
+    std::vector<const IoAccess*> io_outputs(const uml::ObjectInstance& thread) const;
+
+    /// Sum of data sizes between an ordered thread pair.
+    double traffic(const uml::ObjectInstance& from,
+                   const uml::ObjectInstance& to) const;
+
+    void add_channel(Channel c) { channels_.push_back(std::move(c)); }
+    void add_io(IoAccess a) { io_.push_back(std::move(a)); }
+
+private:
+    std::vector<Channel> channels_;
+    std::vector<IoAccess> io_;
+};
+
+/// Runs the analysis. Messages violating the conventions are skipped here;
+/// uml::check reports them as errors beforehand.
+CommModel analyze_communication(const uml::Model& model);
+
+}  // namespace uhcg::core

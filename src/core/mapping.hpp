@@ -1,0 +1,51 @@
+// mapping.hpp — the §4.1 model-to-model mapping, UML → Simulink CAAM,
+// expressed as rules on the uhcg::transform engine (Fig. 2, step 2).
+//
+// Matched rules (registration order = execution order):
+//   Model2Caam        — UML Model → CAAM Model + root System + one CPU-SS
+//                       per allocated processor (<<SAengine>> nodes or the
+//                       clusters of the automatic allocation);
+//   Thread2ThreadSS   — <<SASchedRes>> object → Thread-SS subsystem inside
+//                       its processor's CPU-SS;
+//   Interaction2Layer — sequence diagram → the thread layer: one block per
+//                       method call on a passive object (pre-defined block
+//                       for Platform methods, S-function otherwise),
+//                       parameter directions → block ports, message
+//                       arguments → data links, Set/Get and <<IO>> get/set
+//                       → Thread-SS boundary ports annotated for the
+//                       optimizer.
+//
+// The output is *generic* (conforms to simulink::caam_metamodel()) and not
+// yet synthesizable: boundary ports carry CommKind/Var annotations, and
+// channels, system ports and temporal barriers are materialized by the
+// optimization step (core/optimize.hpp, core/delays.hpp), mirroring the
+// paper's step 2 / step 3 split.
+#pragma once
+
+#include "core/allocation.hpp"
+#include "core/comm.hpp"
+#include "model/object.hpp"
+#include "transform/engine.hpp"
+#include "uml/model.hpp"
+
+namespace uhcg::core {
+
+/// Values of the "CommKind" annotation on Thread-SS boundary Inport and
+/// Outport blocks. The optimizer dispatches on them.
+inline constexpr const char* kCommKindChannel = "channel";  ///< inter-thread
+inline constexpr const char* kCommKindIo = "io";            ///< <<IO>> device
+inline constexpr const char* kCommKindSystem = "system";    ///< open input
+
+struct MappingOutput {
+    model::ObjectModel caam;      ///< generic CAAM (pre-optimization)
+    transform::RunStats stats;    ///< rule application counts
+    std::vector<std::string> warnings;
+};
+
+/// Runs the mapping rules. `model` must pass uml::check without errors;
+/// `comm` and `allocation` are the precomputed analysis results (every
+/// thread must be allocated).
+MappingOutput run_mapping(const uml::Model& model, const CommModel& comm,
+                          const Allocation& allocation);
+
+}  // namespace uhcg::core

@@ -1,0 +1,46 @@
+// optimize.hpp — step-3 optimizations on the typed CAAM (§4.2.1 channel
+// inference plus the port plumbing it implies).
+//
+// The mapping (step 2) leaves Thread-SS boundary ports annotated with
+// CommKind/Var. This pass materializes the communication structure:
+//
+//  * channel inference (§4.2.1): for every inter-thread data dependency,
+//    instantiate a communication block — intra-SS (SWFIFO) inside the
+//    shared CPU-SS when producer and consumer are co-located, inter-SS
+//    (GFIFO) at the architecture layer otherwise, growing CPU-SS boundary
+//    ports as needed;
+//  * environment plumbing: <<IO>> and open ("system") thread ports are
+//    propagated through the CPU-SS boundary up to numbered system Inport /
+//    Outport blocks (Fig. 3(c)'s In1/In2/Out1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/comm.hpp"
+#include "simulink/model.hpp"
+
+namespace uhcg::core {
+
+struct ChannelReport {
+    std::size_t intra_channels = 0;
+    std::size_t inter_channels = 0;
+    std::size_t system_inputs = 0;
+    std::size_t system_outputs = 0;
+    std::vector<std::string> warnings;
+};
+
+/// Runs channel inference + environment plumbing in place.
+ChannelReport infer_channels(simulink::Model& model, const CommModel& comm);
+
+/// Grows subsystem `sub` by one named input port wired inside to
+/// `inner_dst`; returns the new port index. Exposed for reuse/testing.
+int add_subsystem_input(simulink::Block& sub, const std::string& name,
+                        simulink::PortRef inner_dst);
+/// Grows subsystem `sub` by one named output port fed inside from
+/// `inner_src`; returns the new port index.
+int add_subsystem_output(simulink::Block& sub, const std::string& name,
+                         simulink::PortRef inner_src);
+
+}  // namespace uhcg::core

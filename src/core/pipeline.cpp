@@ -1,0 +1,57 @@
+#include "core/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "simulink/generic.hpp"
+#include "simulink/mdl.hpp"
+#include "uml/wellformed.hpp"
+
+namespace uhcg::core {
+
+simulink::Model map_to_caam(const uml::Model& model, const MapperOptions& options,
+                            MapperReport* report) {
+    MapperReport local;
+    MapperReport& r = report ? *report : local;
+
+    // Gate: the conventions of §4.1 must hold or the mapping mis-wires.
+    auto issues = uml::check(model);
+    for (const uml::Issue& i : issues)
+        if (i.severity == uml::Severity::Warning)
+            r.warnings.push_back("uml: [" + i.where + "] " + i.message);
+    if (options.enforce_wellformedness && !uml::only_warnings(issues))
+        throw std::runtime_error("UML model is ill-formed:\n" +
+                                 uml::format_issues(issues));
+
+    // Analyses feeding the mapping.
+    CommModel comm = analyze_communication(model);
+    r.allocation = options.auto_allocate
+                       ? auto_allocate(model, comm, options.max_processors)
+                       : allocation_from_deployment(model);
+
+    // Step 2: model-to-model transformation.
+    MappingOutput mapped = run_mapping(model, comm, r.allocation);
+    r.rule_stats = mapped.stats;
+    r.warnings.insert(r.warnings.end(), mapped.warnings.begin(),
+                      mapped.warnings.end());
+
+    // Lift the generic CAAM into the typed API for optimization.
+    simulink::Model caam = simulink::from_generic(mapped.caam);
+
+    // Step 3: optimizations.
+    if (options.infer_channels) {
+        r.channels = infer_channels(caam, comm);
+        r.warnings.insert(r.warnings.end(), r.channels.warnings.begin(),
+                          r.channels.warnings.end());
+    }
+    if (options.insert_delays) r.delays = insert_temporal_barriers(caam);
+
+    return caam;
+}
+
+std::string generate_mdl(const uml::Model& model, const MapperOptions& options,
+                         MapperReport* report) {
+    simulink::Model caam = map_to_caam(model, options, report);
+    return simulink::write_mdl(caam);  // step 4: model-to-text
+}
+
+}  // namespace uhcg::core

@@ -1,0 +1,65 @@
+// pipeline.hpp — the public entry point of the flow: Fig. 2, steps 2–4.
+//
+//   step 2  model-to-model transformation (core/mapping.hpp, rules on the
+//           transform engine, producing a generic CAAM);
+//   step 3  optimization: channel inference (§4.2.1), temporal-barrier
+//           insertion (§4.2.2), with thread allocation (§4.2.3) having run
+//           up front — it shapes the CPU-SS skeleton;
+//   step 4  model-to-text: .mdl generation (simulink/mdl.hpp).
+//
+// Step 1 (building the UML model) is the designer's: the uml::ModelBuilder
+// or an XMI file.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/comm.hpp"
+#include "core/delays.hpp"
+#include "core/mapping.hpp"
+#include "core/optimize.hpp"
+#include "simulink/model.hpp"
+#include "uml/model.hpp"
+
+namespace uhcg::core {
+
+struct MapperOptions {
+    /// §4.2.3: derive the allocation automatically by linear clustering
+    /// instead of reading the deployment diagram ("the use of this
+    /// algorithm makes the deployment diagram unnecessary").
+    bool auto_allocate = false;
+    /// Processor budget for auto allocation; 0 = let the algorithm decide.
+    std::size_t max_processors = 0;
+    /// §4.2.1: infer and instantiate communication channels.
+    bool infer_channels = true;
+    /// §4.2.2: detect cyclic paths and insert UnitDelay barriers.
+    bool insert_delays = true;
+    /// Reject models whose uml::check finds errors (warnings always pass).
+    bool enforce_wellformedness = true;
+};
+
+/// Everything the run produced besides the model itself.
+/// `allocation` references objects of the *input* UML model; keep that
+/// model alive for as long as the report's allocation is consulted.
+struct MapperReport {
+    transform::RunStats rule_stats;
+    Allocation allocation;
+    ChannelReport channels;
+    DelayReport delays;
+    std::vector<std::string> warnings;
+};
+
+/// Runs steps 2–3 and returns the synthesizable CAAM.
+/// Throws std::runtime_error on ill-formed input models.
+simulink::Model map_to_caam(const uml::Model& model,
+                            const MapperOptions& options = {},
+                            MapperReport* report = nullptr);
+
+/// Full front-to-back convenience: steps 2–4, returning the .mdl text.
+std::string generate_mdl(const uml::Model& model,
+                         const MapperOptions& options = {},
+                         MapperReport* report = nullptr);
+
+}  // namespace uhcg::core

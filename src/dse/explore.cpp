@@ -1,0 +1,155 @@
+#include "dse/explore.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "taskgraph/baselines.hpp"
+#include "taskgraph/dsc.hpp"
+#include "taskgraph/linear.hpp"
+
+namespace uhcg::dse {
+namespace {
+
+Candidate evaluate(const taskgraph::TaskGraph& graph, std::string strategy,
+                   taskgraph::Clustering clustering,
+                   const sim::MpsocParams& params) {
+    Candidate c{std::move(strategy),
+                static_cast<std::size_t>(clustering.cluster_count()),
+                std::move(clustering)};
+    sim::MpsocResult r = sim::simulate_mpsoc(graph, c.clustering, params);
+    c.makespan = r.makespan;
+    c.inter_traffic = r.inter_traffic;
+    c.bus_busy = r.bus_busy;
+    double busy = 0.0;
+    for (double b : r.cpu_busy) busy += b;
+    c.cpu_utilization =
+        r.makespan > 0.0
+            ? busy / (r.makespan * static_cast<double>(r.cpu_busy.size()))
+            : 0.0;
+    return c;
+}
+
+}  // namespace
+
+ExploreResult explore(const uml::Model& model, const core::CommModel& comm,
+                      const ExploreOptions& options) {
+    taskgraph::TaskGraph graph = core::build_task_graph(model, comm);
+    std::size_t n = graph.task_count();
+    std::size_t max_cpus = options.max_processors == 0
+                               ? n
+                               : std::min(options.max_processors, n);
+
+    ExploreResult result;
+    if (n == 0) return result;
+
+    // Unbounded linear clustering picks its own processor count — the
+    // §4.2.3 default — and anchors the sweep.
+    result.candidates.push_back(evaluate(
+        graph, "linear", taskgraph::linear_clustering(graph), options.cost_model));
+    result.candidates.push_back(
+        evaluate(graph, "dsc", taskgraph::dsc_clustering(graph),
+                 options.cost_model));
+
+    for (std::size_t k = 1; k <= max_cpus; ++k) {
+        taskgraph::LinearClusteringOptions lc;
+        lc.max_clusters = k;
+        result.candidates.push_back(evaluate(
+            graph, "linear/k", taskgraph::linear_clustering(graph, lc),
+            options.cost_model));
+        result.candidates.push_back(
+            evaluate(graph, "load-balance",
+                     taskgraph::load_balance_clustering(graph, k),
+                     options.cost_model));
+        result.candidates.push_back(
+            evaluate(graph, "round-robin",
+                     taskgraph::round_robin_clustering(graph, k),
+                     options.cost_model));
+        for (std::size_t s = 0; s < options.random_samples; ++s)
+            result.candidates.push_back(evaluate(
+                graph, "random",
+                taskgraph::random_clustering(graph, k, 77 + k * 31 + s),
+                options.cost_model));
+    }
+
+    // Pareto front over (processors ↓, makespan ↓).
+    for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+        const Candidate& a = result.candidates[i];
+        bool dominated = false;
+        for (const Candidate& b : result.candidates) {
+            if (&a == &b) continue;
+            bool no_worse = b.processors <= a.processors &&
+                            b.makespan <= a.makespan + 1e-9;
+            bool strictly_better =
+                b.processors < a.processors || b.makespan < a.makespan - 1e-9;
+            if (no_worse && strictly_better) {
+                dominated = true;
+                break;
+            }
+        }
+        result.candidates[i].pareto = !dominated;
+    }
+    // The front keeps one representative per processor count (ties are
+    // common — several strategies can produce the same clustering).
+    std::map<std::size_t, std::size_t> by_cpus;
+    for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+        const Candidate& c = result.candidates[i];
+        if (!c.pareto) continue;
+        auto [it, inserted] = by_cpus.emplace(c.processors, i);
+        if (!inserted && c.makespan < result.candidates[it->second].makespan)
+            it->second = i;
+    }
+    for (const auto& [cpus, index] : by_cpus) result.pareto_front.push_back(index);
+
+    // Recommendation: minimum makespan, ties broken toward fewer CPUs.
+    result.best = 0;
+    for (std::size_t i = 1; i < result.candidates.size(); ++i) {
+        const Candidate& cur = result.candidates[i];
+        const Candidate& best = result.candidates[result.best];
+        if (cur.makespan < best.makespan - 1e-9 ||
+            (std::abs(cur.makespan - best.makespan) <= 1e-9 &&
+             cur.processors < best.processors))
+            result.best = i;
+    }
+    return result;
+}
+
+core::Allocation to_allocation(const uml::Model& model,
+                               const Candidate& candidate) {
+    core::Allocation out;
+    for (std::size_t p = 0; p < candidate.processors; ++p)
+        out.add_processor("CPU" + std::to_string(p));
+    auto threads = model.threads();
+    if (threads.size() != candidate.clustering.task_count())
+        throw std::invalid_argument(
+            "candidate does not match the model's thread count");
+    for (std::size_t t = 0; t < threads.size(); ++t)
+        out.assign(*threads[t],
+                   static_cast<std::size_t>(candidate.clustering.cluster_of(t)));
+    return out;
+}
+
+core::Allocation best_allocation(const uml::Model& model,
+                                 const core::CommModel& comm,
+                                 const ExploreOptions& options) {
+    ExploreResult result = explore(model, comm, options);
+    if (result.candidates.empty())
+        throw std::runtime_error("nothing to explore: model has no threads");
+    return to_allocation(model, result.candidates[result.best]);
+}
+
+std::string format(const ExploreResult& result) {
+    std::ostringstream out;
+    out << "candidates=" << result.candidates.size() << "  pareto front:\n";
+    for (std::size_t i : result.pareto_front) {
+        const Candidate& c = result.candidates[i];
+        out << "  CPUs=" << c.processors << "  makespan=" << c.makespan
+            << "  inter=" << c.inter_traffic << "  util=" << c.cpu_utilization
+            << "  [" << c.strategy << "]"
+            << (i == result.best ? "  <= recommended" : "") << '\n';
+    }
+    return out.str();
+}
+
+}  // namespace uhcg::dse

@@ -1,0 +1,34 @@
+// codegen.hpp — FSM → C code generation (the "UML tool code generation"
+// branch of Fig. 1, BridgePoint style: enum-of-states, switch-based step
+// function, guards/actions spliced verbatim).
+#pragma once
+
+#include <string>
+
+#include "fsm/machine.hpp"
+
+namespace uhcg::fsm {
+
+struct CCodeOptions {
+    /// Prefix for all generated identifiers (defaults to the machine name,
+    /// sanitized).
+    std::string prefix;
+    /// Emit a trace printf on every transition.
+    bool trace = false;
+    /// Extra header #included by the generated .c — where the user
+    /// declares the functions/variables the guard and action strings
+    /// reference (BridgePoint's "bridge" header).
+    std::string context_include;
+};
+
+/// Generated artifact: a header and an implementation file.
+struct GeneratedC {
+    std::string header;
+    std::string source;
+    std::string header_name;  ///< suggested file name, e.g. "crane_fsm.h"
+    std::string source_name;
+};
+
+GeneratedC generate_c(const Machine& machine, const CCodeOptions& options = {});
+
+}  // namespace uhcg::fsm

@@ -1,0 +1,119 @@
+#include "fsm/from_uml.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace uhcg::fsm {
+namespace {
+
+bool is_leaf(const uml::State& s) { return !s.is_composite(); }
+
+/// Leaf states under `s` (s itself when simple), pre-order.
+void collect_leaves(const uml::State& s, std::vector<const uml::State*>& out) {
+    if (is_leaf(s)) {
+        out.push_back(&s);
+        return;
+    }
+    for (const auto& sub : s.substates()) collect_leaves(*sub, out);
+}
+
+/// Follows initial-substate chains down to a leaf; records the entry
+/// actions passed on the way (outermost first).
+const uml::State& drill_to_leaf(const uml::State& s, std::string& entry_chain) {
+    if (is_leaf(s)) return s;
+    const uml::State* init = s.initial_substate();
+    if (!init)
+        throw std::runtime_error("composite state '" + s.name() +
+                                 "' has no initial substate");
+    // Only composite way-stations contribute here; the final leaf's entry
+    // action runs via the flat machine's own entry_action.
+    if (!is_leaf(*init) && !init->entry_action().empty()) {
+        if (!entry_chain.empty()) entry_chain += ' ';
+        entry_chain += init->entry_action();
+    }
+    return drill_to_leaf(*init, entry_chain);
+}
+
+/// Exit actions of the composite ancestors of `leaf`, innermost first, up
+/// to (excluding) `ancestor`. The leaf's own exit action is excluded: the
+/// flat machine runs it through exit_action(source).
+std::string exit_chain(const uml::State& leaf, const uml::State* ancestor) {
+    std::string out;
+    for (const uml::State* s = leaf.parent(); s != nullptr && s != ancestor;
+         s = s->parent()) {
+        if (s->exit_action().empty()) continue;
+        if (!out.empty()) out += ' ';
+        out += s->exit_action();
+    }
+    return out;
+}
+
+}  // namespace
+
+Machine from_uml(const uml::StateMachine& source) {
+    Machine out(source.name());
+
+    // 1. One flat state per UML leaf state; composites contribute their
+    //    entry action to each leaf reached through them is handled at
+    //    transition level, so the leaf keeps its own actions here.
+    std::map<const uml::State*, StateId> state_map;
+    for (const uml::State* s : source.all_states()) {
+        if (!is_leaf(*s)) continue;
+        state_map[s] = out.add_state(s->name(), s->entry_action(), s->exit_action());
+    }
+    if (state_map.empty())
+        throw std::runtime_error("state machine '" + source.name() +
+                                 "' has no leaf states");
+
+    // 2. Initial state: drill through initial substates to a leaf.
+    if (!source.initial_state())
+        throw std::runtime_error("state machine '" + source.name() +
+                                 "' has no initial state");
+    std::string initial_entries;
+    const uml::State& initial_leaf =
+        drill_to_leaf(*source.initial_state(), initial_entries);
+    out.set_initial(state_map.at(&initial_leaf));
+
+    // 3. Transitions: replicate composite-source transitions to each leaf
+    //    substate; retarget composite-target transitions to the drilled
+    //    leaf; compose exit/entry chains into the action.
+    for (const uml::Transition* t : source.transitions()) {
+        std::vector<const uml::State*> sources;
+        collect_leaves(*t->source(), sources);
+
+        std::string entry_extra;
+        // Entering a composite target runs the composite's entry action
+        // before drilling down.
+        if (!is_leaf(*t->target()) && !t->target()->entry_action().empty())
+            entry_extra = t->target()->entry_action();
+        std::string drilled_entries = entry_extra;
+        const uml::State& target_leaf = drill_to_leaf(*t->target(), drilled_entries);
+
+        for (const uml::State* src_leaf : sources) {
+            FsmTransition ft;
+            ft.source = state_map.at(src_leaf);
+            ft.target = state_map.at(&target_leaf);
+            ft.event = t->trigger();
+            ft.guard = t->guard();
+            // Action order: exits (innermost-first, up to the transition's
+            // source scope), then the effect, then drilled entry actions.
+            std::string action;
+            std::string exits =
+                exit_chain(*src_leaf, t->source()->parent());
+            auto append = [&action](const std::string& piece) {
+                if (piece.empty()) return;
+                if (!action.empty()) action += ' ';
+                action += piece;
+            };
+            append(exits);
+            append(t->effect());
+            append(drilled_entries);
+            ft.action = std::move(action);
+            out.add_transition(std::move(ft));
+        }
+    }
+
+    return out;
+}
+
+}  // namespace uhcg::fsm

@@ -1,0 +1,25 @@
+// from_uml.hpp — the control-flow mapping of Fig. 2: UML state machine →
+// flat FSM model.
+//
+// Flattening rules:
+//  * simple states map 1:1;
+//  * a composite state dissolves into its (recursively flattened)
+//    substates; entering it means entering its initial substate, with
+//    entry actions of the composite chained before the substate's own;
+//  * a transition leaving a composite state is replicated onto every leaf
+//    substate (UML's "outer transitions apply in all substates"), with the
+//    exit chain composed innermost-first;
+//  * the machine's initial state follows the initial-substate chain down
+//    to a leaf.
+#pragma once
+
+#include "fsm/machine.hpp"
+#include "uml/statemachine.hpp"
+
+namespace uhcg::fsm {
+
+/// Flattens a UML state machine. Throws std::runtime_error when the model
+/// is not mappable (no initial state, composite without initial substate).
+Machine from_uml(const uml::StateMachine& machine);
+
+}  // namespace uhcg::fsm

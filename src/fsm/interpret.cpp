@@ -1,0 +1,66 @@
+#include "fsm/interpret.hpp"
+
+#include <stdexcept>
+
+namespace uhcg::fsm {
+
+Interpreter::Interpreter(const Machine& machine) : machine_(&machine) {
+    auto problems = machine.check();
+    if (!problems.empty())
+        throw std::runtime_error("cannot interpret ill-formed FSM: " +
+                                 problems.front());
+    reset();
+}
+
+void Interpreter::bind_guard(const std::string& guard, std::function<bool()> fn) {
+    guards_[guard] = std::move(fn);
+}
+
+void Interpreter::bind_action(const std::string& action, std::function<void()> fn) {
+    actions_[action] = std::move(fn);
+}
+
+void Interpreter::reset() {
+    current_ = machine_->initial();
+    log_.clear();
+    fired_ = 0;
+    if (!machine_->entry_action(current_).empty())
+        execute(machine_->entry_action(current_));
+}
+
+bool Interpreter::guard_holds(const std::string& guard) const {
+    if (guard.empty()) return true;
+    auto it = guards_.find(guard);
+    // Fail closed: an unimplemented guard never fires its transition.
+    return it != guards_.end() && it->second();
+}
+
+void Interpreter::execute(const std::string& action) {
+    if (action.empty()) return;
+    log_.push_back(action);
+    auto it = actions_.find(action);
+    if (it != actions_.end()) it->second();
+}
+
+bool Interpreter::step(const std::string& event) {
+    for (const FsmTransition* t : machine_->outgoing(current_)) {
+        if (t->event != event) continue;
+        if (!guard_holds(t->guard)) continue;
+        execute(machine_->exit_action(current_));
+        execute(t->action);
+        current_ = t->target;
+        execute(machine_->entry_action(current_));
+        ++fired_;
+        return true;
+    }
+    return false;
+}
+
+std::size_t Interpreter::run_to_completion() {
+    std::size_t count = 0;
+    // Bound by the state count: a completion cycle would otherwise spin.
+    while (count < machine_->state_count() && step()) ++count;
+    return count;
+}
+
+}  // namespace uhcg::fsm

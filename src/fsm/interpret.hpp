@@ -1,0 +1,58 @@
+// interpret.hpp — FSM interpreter: executes a Machine directly, binding
+// guard/action strings to host callbacks. Used by the tests (semantics
+// oracle for the generated C code) and by the fsm_elevator example.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fsm/machine.hpp"
+
+namespace uhcg::fsm {
+
+class Interpreter {
+public:
+    explicit Interpreter(const Machine& machine);
+
+    /// Binds the exact guard string to a predicate. Unbound non-empty
+    /// guards evaluate to false (fail-closed: an unimplemented guard never
+    /// silently fires).
+    void bind_guard(const std::string& guard, std::function<bool()> fn);
+    /// Binds the exact action string to a callback. Unbound actions are
+    /// recorded in the action log but otherwise no-ops.
+    void bind_action(const std::string& action, std::function<void()> fn);
+
+    /// Resets to the initial state (runs its entry action).
+    void reset();
+    StateId current() const { return current_; }
+    const std::string& current_name() const {
+        return machine_->state_name(current_);
+    }
+
+    /// Dispatches one event (empty = completion event). Returns true when a
+    /// transition fired; fires at most one transition (run-to-completion is
+    /// the caller's loop).
+    bool step(const std::string& event = {});
+    /// Steps completion transitions until none fires (bounded by the state
+    /// count to survive mis-modeled loops); returns fired count.
+    std::size_t run_to_completion();
+
+    /// Every action/entry/exit string executed so far, order of execution.
+    const std::vector<std::string>& action_log() const { return log_; }
+    std::size_t transitions_fired() const { return fired_; }
+
+private:
+    bool guard_holds(const std::string& guard) const;
+    void execute(const std::string& action);
+
+    const Machine* machine_;
+    StateId current_ = 0;
+    std::map<std::string, std::function<bool()>> guards_;
+    std::map<std::string, std::function<void()>> actions_;
+    std::vector<std::string> log_;
+    std::size_t fired_ = 0;
+};
+
+}  // namespace uhcg::fsm

@@ -1,0 +1,96 @@
+#include "fsm/machine.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <stdexcept>
+
+namespace uhcg::fsm {
+
+StateId Machine::add_state(std::string name, std::string entry_action,
+                           std::string exit_action) {
+    if (find_state(name))
+        throw std::invalid_argument("duplicate state '" + name + "' in machine " +
+                                    name_);
+    state_names_.push_back(std::move(name));
+    entries_.push_back(std::move(entry_action));
+    exits_.push_back(std::move(exit_action));
+    return state_names_.size() - 1;
+}
+
+std::optional<StateId> Machine::find_state(std::string_view name) const {
+    for (StateId s = 0; s < state_names_.size(); ++s)
+        if (state_names_[s] == name) return s;
+    return std::nullopt;
+}
+
+void Machine::set_initial(StateId s) {
+    if (s >= state_count()) throw std::out_of_range("initial state out of range");
+    initial_ = s;
+}
+
+StateId Machine::initial() const {
+    if (!initial_) throw std::logic_error("machine " + name_ + " has no initial state");
+    return *initial_;
+}
+
+void Machine::add_transition(FsmTransition t) {
+    if (t.source >= state_count() || t.target >= state_count())
+        throw std::out_of_range("transition endpoint out of range");
+    transitions_.push_back(std::move(t));
+}
+
+std::vector<const FsmTransition*> Machine::outgoing(StateId s) const {
+    std::vector<const FsmTransition*> out;
+    for (const auto& t : transitions_)
+        if (t.source == s) out.push_back(&t);
+    return out;
+}
+
+std::vector<std::string> Machine::events() const {
+    std::vector<std::string> out;
+    for (const auto& t : transitions_) {
+        if (t.event.empty()) continue;
+        if (std::find(out.begin(), out.end(), t.event) == out.end())
+            out.push_back(t.event);
+    }
+    return out;
+}
+
+std::vector<std::string> Machine::check() const {
+    std::vector<std::string> problems;
+    if (!initial_) problems.push_back("no initial state");
+
+    // Nondeterminism: same (source, event, guard) twice.
+    std::set<std::tuple<StateId, std::string, std::string>> seen;
+    for (const auto& t : transitions_) {
+        if (!seen.insert(std::make_tuple(t.source, t.event, t.guard)).second)
+            problems.push_back("nondeterministic transitions from '" +
+                               state_names_[t.source] + "' on event '" + t.event +
+                               "' guard '" + t.guard + "'");
+    }
+
+    // Reachability from the initial state.
+    if (initial_) {
+        std::vector<bool> reached(state_count(), false);
+        std::vector<StateId> stack{*initial_};
+        reached[*initial_] = true;
+        while (!stack.empty()) {
+            StateId s = stack.back();
+            stack.pop_back();
+            for (const auto& t : transitions_) {
+                if (t.source == s && !reached[t.target]) {
+                    reached[t.target] = true;
+                    stack.push_back(t.target);
+                }
+            }
+        }
+        for (StateId s = 0; s < state_count(); ++s)
+            if (!reached[s])
+                problems.push_back("state '" + state_names_[s] +
+                                   "' is unreachable from the initial state");
+    }
+    return problems;
+}
+
+}  // namespace uhcg::fsm

@@ -1,0 +1,68 @@
+// machine.hpp — flat finite-state-machine metamodel, the target language of
+// the control-flow branch (Fig. 2 maps UML to "FSM meta-model"; Fig. 1
+// feeds it to an FSM-based code generator in the BridgePoint style).
+//
+// Unlike uml::StateMachine, an fsm::Machine is flat: composite states have
+// been dissolved by the UML→FSM mapping (fsm/from_uml.hpp). Guards and
+// actions are opaque strings in the target language; the interpreter binds
+// them to callbacks, the code generator splices them verbatim.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uhcg::fsm {
+
+using StateId = std::size_t;
+
+struct FsmTransition {
+    StateId source = 0;
+    StateId target = 0;
+    std::string event;   ///< empty = completion transition
+    std::string guard;   ///< empty = unguarded
+    std::string action;  ///< effect code
+};
+
+class Machine {
+public:
+    explicit Machine(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+
+    StateId add_state(std::string name, std::string entry_action = {},
+                      std::string exit_action = {});
+    std::size_t state_count() const { return state_names_.size(); }
+    const std::string& state_name(StateId s) const { return state_names_.at(s); }
+    const std::string& entry_action(StateId s) const { return entries_.at(s); }
+    const std::string& exit_action(StateId s) const { return exits_.at(s); }
+    std::optional<StateId> find_state(std::string_view name) const;
+
+    void set_initial(StateId s);
+    StateId initial() const;
+    bool has_initial() const { return initial_.has_value(); }
+
+    void add_transition(FsmTransition t);
+    const std::vector<FsmTransition>& transitions() const { return transitions_; }
+    /// Transitions leaving `s`, declaration order (= firing priority).
+    std::vector<const FsmTransition*> outgoing(StateId s) const;
+
+    /// Distinct event names, first-use order.
+    std::vector<std::string> events() const;
+
+    /// Static checks: initial state set, endpoints in range, no duplicate
+    /// (state, event, guard) triple (nondeterminism), all states reachable
+    /// from the initial state. Returns problems; empty = well-formed.
+    std::vector<std::string> check() const;
+
+private:
+    std::string name_;
+    std::vector<std::string> state_names_;
+    std::vector<std::string> entries_;
+    std::vector<std::string> exits_;
+    std::vector<FsmTransition> transitions_;
+    std::optional<StateId> initial_;
+};
+
+}  // namespace uhcg::fsm

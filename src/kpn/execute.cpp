@@ -1,0 +1,166 @@
+#include "kpn/execute.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace uhcg::kpn {
+
+void KernelRegistry::register_kernel(std::string name, Kernel kernel,
+                                     std::size_t state_size) {
+    entries_[std::move(name)] = {std::move(kernel), state_size};
+}
+
+bool KernelRegistry::contains(const std::string& name) const {
+    return entries_.count(name) != 0;
+}
+
+const Kernel& KernelRegistry::kernel(const std::string& name) const {
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        throw std::runtime_error("no kernel registered for '" + name + "'");
+    return it->second.kernel;
+}
+
+std::size_t KernelRegistry::state_size(const std::string& name) const {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? 0 : it->second.state_size;
+}
+
+ReadBlockedError::ReadBlockedError(std::vector<std::string> blocked)
+    : std::runtime_error([&blocked] {
+          std::ostringstream msg;
+          msg << "KPN read-blocked — no process can fire; blocked:";
+          for (const auto& p : blocked) msg << ' ' << p;
+          msg << " (cyclic network without initial tokens?)";
+          return msg.str();
+      }()),
+      blocked_(std::move(blocked)) {}
+
+Executor::Executor(const Network& network, const KernelRegistry& registry)
+    : network_(&network), registry_(&registry) {
+    auto problems = network.check();
+    if (!problems.empty())
+        throw std::runtime_error("malformed KPN: " + problems.front());
+    for (const Process* p : network.processes())
+        if (!registry.contains(p->kernel()))
+            throw std::runtime_error("process '" + p->name() +
+                                     "' needs unregistered kernel '" +
+                                     p->kernel() + "'");
+}
+
+void Executor::set_input(const std::string& var,
+                         std::function<double(std::size_t)> signal) {
+    inputs_[var] = std::move(signal);
+}
+
+KpnResult Executor::run(std::size_t rounds) {
+    const auto processes = network_->processes();
+    const auto& channels = network_->channels();
+
+    // Channel queues, seeded with initial tokens (value 0.0).
+    std::vector<std::deque<double>> queues(channels.size());
+    for (std::size_t c = 0; c < channels.size(); ++c)
+        for (std::size_t t = 0; t < channels[c].initial_tokens; ++t)
+            queues[c].push_back(0.0);
+
+    // Per process: which channel feeds each input (-1 = network boundary)
+    // and which sinks each output fans out to (several channels and/or a
+    // network output may share one port).
+    std::map<const Process*, std::vector<int>> in_chan;
+    std::map<const Process*, std::vector<std::vector<int>>> out_chans;
+    std::map<const Process*, std::vector<bool>> out_is_network;
+    for (const Process* p : processes) {
+        in_chan[p].assign(p->input_count(), -1);
+        out_chans[p].assign(p->output_count(), {});
+        out_is_network[p].assign(p->output_count(), false);
+    }
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+        in_chan[channels[c].consumer][channels[c].consumer_port] =
+            static_cast<int>(c);
+        out_chans[channels[c].producer][channels[c].producer_port].push_back(
+            static_cast<int>(c));
+    }
+    for (const NetworkPort& p : network_->network_outputs())
+        out_is_network[p.process][p.port] = true;
+    // Network boundary queues keyed by (process, port).
+    std::map<std::pair<const Process*, std::size_t>, std::deque<double>> env_in;
+    for (const NetworkPort& p : network_->network_inputs())
+        env_in[{p.process, p.port}];
+
+    std::map<const Process*, std::vector<double>> state;
+    for (const Process* p : processes)
+        state[p].assign(registry_->state_size(p->kernel()), 0.0);
+
+    KpnResult result;
+    auto track_depth = [&] {
+        for (const auto& q : queues)
+            result.max_queue_depth = std::max(result.max_queue_depth, q.size());
+    };
+
+    for (std::size_t round = 0; round < rounds; ++round) {
+        // Environment delivers one token per network input.
+        for (const NetworkPort& p : network_->network_inputs()) {
+            auto it = inputs_.find(p.variable);
+            env_in[{p.process, p.port}].push_back(
+                it != inputs_.end() ? it->second(round) : 0.0);
+        }
+
+        std::vector<bool> fired(processes.size(), false);
+        std::size_t fired_count = 0;
+        while (fired_count < processes.size()) {
+            bool progress = false;
+            for (std::size_t i = 0; i < processes.size(); ++i) {
+                if (fired[i]) continue;
+                const Process* p = processes[i];
+                // Blocking-read semantics: fire only when every input has
+                // a token available.
+                bool ready = true;
+                for (std::size_t port = 0; port < p->input_count(); ++port) {
+                    int c = in_chan[p][port];
+                    bool has = c >= 0 ? !queues[static_cast<std::size_t>(c)].empty()
+                                      : !env_in[{p, port}].empty();
+                    if (!has) {
+                        ready = false;
+                        break;
+                    }
+                }
+                if (!ready) continue;
+
+                std::vector<double> ins(p->input_count());
+                for (std::size_t port = 0; port < p->input_count(); ++port) {
+                    int c = in_chan[p][port];
+                    auto& q = c >= 0 ? queues[static_cast<std::size_t>(c)]
+                                     : env_in[{p, port}];
+                    ins[port] = q.front();
+                    q.pop_front();
+                    if (c >= 0)
+                        ++result.channel_tokens[channels[static_cast<std::size_t>(c)]
+                                                    .variable];
+                }
+                std::vector<double> outs(p->output_count(), 0.0);
+                registry_->kernel(p->kernel())(ins, outs, state[p]);
+                for (std::size_t port = 0; port < p->output_count(); ++port) {
+                    for (int c : out_chans[p][port])
+                        queues[static_cast<std::size_t>(c)].push_back(outs[port]);
+                    if (out_is_network[p][port] || out_chans[p][port].empty())
+                        result.outputs[p->output_name(port)].push_back(outs[port]);
+                }
+                fired[i] = true;
+                ++fired_count;
+                ++result.firings;
+                progress = true;
+                track_depth();
+            }
+            if (!progress) {
+                std::vector<std::string> blocked;
+                for (std::size_t i = 0; i < processes.size(); ++i)
+                    if (!fired[i]) blocked.push_back(processes[i]->name());
+                throw ReadBlockedError(std::move(blocked));
+            }
+        }
+        ++result.rounds;
+    }
+    return result;
+}
+
+}  // namespace uhcg::kpn

@@ -1,0 +1,91 @@
+// execute.hpp — KPN execution with blocking-read (Kahn) semantics.
+//
+// Processes fire when every input channel holds at least one token; each
+// firing consumes one token per input and produces one per output
+// (homogeneous rates — the single-rate discipline the CAAM branch also
+// uses). Network inputs receive one token per round from bound signals.
+//
+// A cyclic network without initial tokens read-blocks at startup: the
+// executor detects the global standstill and reports the blocked
+// processes — the KPN mirror of sim::DeadlockError, demonstrating why the
+// mapping's initial-token insertion (↔ §4.2.2 temporal barriers) is
+// required.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "kpn/model.hpp"
+
+namespace uhcg::kpn {
+
+/// Behaviour of one process: consumes one token per input, produces one
+/// per output. `state` persists across firings.
+using Kernel = std::function<void(std::span<const double> inputs,
+                                  std::span<double> outputs,
+                                  std::vector<double>& state)>;
+
+class KernelRegistry {
+public:
+    void register_kernel(std::string name, Kernel kernel,
+                         std::size_t state_size = 0);
+    bool contains(const std::string& name) const;
+    const Kernel& kernel(const std::string& name) const;
+    std::size_t state_size(const std::string& name) const;
+
+private:
+    struct Entry {
+        Kernel kernel;
+        std::size_t state_size;
+    };
+    std::map<std::string, Entry> entries_;
+};
+
+/// Thrown when no process can fire and the round is incomplete.
+class ReadBlockedError : public std::runtime_error {
+public:
+    explicit ReadBlockedError(std::vector<std::string> blocked);
+    const std::vector<std::string>& blocked() const { return blocked_; }
+
+private:
+    std::vector<std::string> blocked_;
+};
+
+struct KpnResult {
+    std::size_t rounds = 0;
+    std::size_t firings = 0;
+    /// Network output variable → one value per produced token.
+    std::map<std::string, std::vector<double>> outputs;
+    /// Channel variable → tokens transported.
+    std::map<std::string, std::size_t> channel_tokens;
+    /// Largest queue depth observed on any channel (boundedness evidence).
+    std::size_t max_queue_depth = 0;
+};
+
+class Executor {
+public:
+    /// Validates the network and binds kernels. Throws std::runtime_error
+    /// on malformed networks or missing kernels.
+    Executor(const Network& network, const KernelRegistry& registry);
+
+    /// Binds a network input to a per-round signal (round index → value).
+    /// Unbound inputs feed 0.0.
+    void set_input(const std::string& var,
+                   std::function<double(std::size_t round)> signal);
+
+    /// Runs `rounds` rounds; in each, every process fires exactly once
+    /// (dataflow order). Throws ReadBlockedError on startup deadlock.
+    KpnResult run(std::size_t rounds);
+
+private:
+    const Network* network_;
+    const KernelRegistry* registry_;
+    std::map<std::string, std::function<double(std::size_t)>> inputs_;
+};
+
+}  // namespace uhcg::kpn

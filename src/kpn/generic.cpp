@@ -1,0 +1,150 @@
+#include "kpn/generic.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace uhcg::kpn {
+namespace {
+
+using model::AttrType;
+using model::Metamodel;
+using model::Object;
+using model::ObjectModel;
+
+Metamodel build_metamodel() {
+    Metamodel mm("KPN");
+
+    auto& n = mm.add_class("Network");
+    n.add_attribute({"name", AttrType::String, {}, std::nullopt});
+    n.add_reference({"processes", "Process", true, true, false});
+    n.add_reference({"channels", "Channel", true, true, false});
+    n.add_reference({"ports", "NetworkPort", true, true, false});
+
+    auto& p = mm.add_class("Process");
+    p.add_attribute({"name", AttrType::String, {}, std::nullopt});
+    p.add_attribute({"kernel", AttrType::String, {}, ""});
+    p.add_reference({"ports", "Port", true, true, false});
+
+    auto& port = mm.add_class("Port");
+    port.add_attribute({"index", AttrType::Int, {}, std::nullopt});
+    port.add_attribute({"isInput", AttrType::Bool, {}, std::nullopt});
+    port.add_attribute({"var", AttrType::String, {}, std::nullopt});
+
+    auto& c = mm.add_class("Channel");
+    c.add_attribute({"variable", AttrType::String, {}, std::nullopt});
+    c.add_attribute({"initialTokens", AttrType::Int, {}, "0"});
+    c.add_attribute({"producerPort", AttrType::Int, {}, std::nullopt});
+    c.add_attribute({"consumerPort", AttrType::Int, {}, std::nullopt});
+    c.add_reference({"producer", "Process", false, false, true});
+    c.add_reference({"consumer", "Process", false, false, true});
+
+    auto& np = mm.add_class("NetworkPort");
+    np.add_attribute({"var", AttrType::String, {}, std::nullopt});
+    np.add_attribute({"isInput", AttrType::Bool, {}, std::nullopt});
+    np.add_attribute({"port", AttrType::Int, {}, std::nullopt});
+    np.add_reference({"process", "Process", false, false, true});
+
+    return mm;
+}
+
+}  // namespace
+
+const Metamodel& kpn_metamodel() {
+    static const Metamodel mm = build_metamodel();
+    return mm;
+}
+
+ObjectModel to_generic(const Network& network) {
+    ObjectModel out(kpn_metamodel());
+    Object& gn = out.create("Network", "kpn." + network.name());
+    gn.set("name", network.name());
+    std::map<const Process*, Object*> pmap;
+    for (const Process* p : network.processes()) {
+        Object& gp = out.create("Process", "proc." + p->name());
+        gp.set("name", p->name());
+        gp.set("kernel", p->kernel());
+        for (std::size_t i = 0; i < p->input_count(); ++i) {
+            Object& gport = out.create("Port", gp.id() + ".in" + std::to_string(i));
+            gport.set("index", static_cast<std::int64_t>(i));
+            gport.set("isInput", true);
+            gport.set("var", p->input_name(i));
+            gp.add_ref("ports", gport);
+        }
+        for (std::size_t i = 0; i < p->output_count(); ++i) {
+            Object& gport = out.create("Port", gp.id() + ".out" + std::to_string(i));
+            gport.set("index", static_cast<std::int64_t>(i));
+            gport.set("isInput", false);
+            gport.set("var", p->output_name(i));
+            gp.add_ref("ports", gport);
+        }
+        gn.add_ref("processes", gp);
+        pmap[p] = &gp;
+    }
+    std::size_t index = 0;
+    for (const ChannelDecl& c : network.channels()) {
+        Object& gc = out.create("Channel", "chan." + std::to_string(index++));
+        gc.set("variable", c.variable);
+        gc.set("initialTokens", static_cast<std::int64_t>(c.initial_tokens));
+        gc.set("producerPort", static_cast<std::int64_t>(c.producer_port));
+        gc.set("consumerPort", static_cast<std::int64_t>(c.consumer_port));
+        gc.set_ref("producer", pmap.at(c.producer));
+        gc.set_ref("consumer", pmap.at(c.consumer));
+        gn.add_ref("channels", gc);
+    }
+    index = 0;
+    auto emit_port = [&](const NetworkPort& p) {
+        Object& gp = out.create("NetworkPort", "nport." + std::to_string(index++));
+        gp.set("var", p.variable);
+        gp.set("isInput", p.is_input);
+        gp.set("port", static_cast<std::int64_t>(p.port));
+        gp.set_ref("process", pmap.at(p.process));
+        gn.add_ref("ports", gp);
+    };
+    for (const NetworkPort& p : network.network_inputs()) emit_port(p);
+    for (const NetworkPort& p : network.network_outputs()) emit_port(p);
+    return out;
+}
+
+Network from_generic(const ObjectModel& generic) {
+    auto roots = generic.all_of("Network");
+    if (roots.size() != 1)
+        throw std::runtime_error("generic KPN must contain exactly one Network");
+    const Object& gn = *roots.front();
+    Network out(gn.get_string("name"));
+    std::map<const Object*, Process*> pmap;
+    for (const Object* gp : gn.refs("processes")) {
+        Process& p = out.add_process(gp->get_string("name"));
+        p.set_kernel(gp->get_string("kernel"));
+        // Ports are recorded with indices; replay in index order per side.
+        std::map<std::int64_t, std::string> ins, outs;
+        for (const Object* gport : gp->refs("ports")) {
+            if (gport->get_bool("isInput"))
+                ins[gport->get_int("index")] = gport->get_string("var");
+            else
+                outs[gport->get_int("index")] = gport->get_string("var");
+        }
+        for (auto& [i, var] : ins) p.add_input(var);
+        for (auto& [i, var] : outs) p.add_output(var);
+        pmap[gp] = &p;
+    }
+    for (const Object* gc : gn.refs("channels")) {
+        ChannelDecl& c = out.connect(
+            *pmap.at(gc->ref("producer")),
+            static_cast<std::size_t>(gc->get_int("producerPort")),
+            *pmap.at(gc->ref("consumer")),
+            static_cast<std::size_t>(gc->get_int("consumerPort")),
+            gc->get_string("variable"));
+        c.initial_tokens = static_cast<std::size_t>(gc->get_int("initialTokens"));
+    }
+    for (const Object* gp : gn.refs("ports")) {
+        Process& proc = *pmap.at(gp->ref("process"));
+        auto port = static_cast<std::size_t>(gp->get_int("port"));
+        if (gp->get_bool("isInput"))
+            out.add_network_input(proc, port, gp->get_string("var"));
+        else
+            out.add_network_output(proc, port, gp->get_string("var"));
+    }
+    return out;
+}
+
+}  // namespace uhcg::kpn

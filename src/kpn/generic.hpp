@@ -1,0 +1,20 @@
+// generic.hpp — the KPN meta-model registered with the reflective layer,
+// plus typed↔generic conversion. Fig. 2's transformation engine targets a
+// meta-model; registering KPN here is what makes the UML front-end
+// retargetable to it with ordinary mapping rules (kpn/from_uml.cpp).
+#pragma once
+
+#include "kpn/model.hpp"
+#include "model/metamodel.hpp"
+#include "model/object.hpp"
+
+namespace uhcg::kpn {
+
+/// The KPN metamodel, registered once.
+const model::Metamodel& kpn_metamodel();
+
+/// Deep copies between the typed API and generic object graphs.
+model::ObjectModel to_generic(const Network& network);
+Network from_generic(const model::ObjectModel& generic);
+
+}  // namespace uhcg::kpn

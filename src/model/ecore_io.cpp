@@ -1,0 +1,125 @@
+#include "model/ecore_io.hpp"
+
+#include <stdexcept>
+
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace uhcg::model {
+namespace {
+
+void write_object(xml::Element& parent, const Object& obj,
+                  const std::string& feature) {
+    xml::Element& elem = parent.add_child("object");
+    elem.set_attribute("class", obj.meta().name());
+    elem.set_attribute("id", obj.id());
+    if (!feature.empty()) elem.set_attribute("feature", feature);
+    for (const MetaAttribute* attr : obj.meta().all_attributes()) {
+        if (obj.has(attr->name))
+            elem.set_attribute(attr->name, value_to_string(obj.get(attr->name)));
+    }
+    for (const MetaReference* ref : obj.meta().all_references()) {
+        const auto& targets = obj.refs(ref->name);
+        if (targets.empty()) continue;
+        if (ref->containment) {
+            for (const Object* child : targets)
+                write_object(elem, *child, ref->name);
+        } else {
+            for (const Object* target : targets) {
+                xml::Element& r = elem.add_child("ref");
+                r.set_attribute("name", ref->name);
+                r.set_attribute("target", target->id());
+            }
+        }
+    }
+}
+
+struct PendingRef {
+    Object* source;
+    std::string feature;
+    std::string target_id;
+};
+
+Object& read_object(ObjectModel& model, const xml::Element& elem,
+                    std::vector<PendingRef>& pending) {
+    const std::string* class_name = elem.find_attribute("class");
+    const std::string* id = elem.find_attribute("id");
+    if (!class_name || !id)
+        throw std::runtime_error("object element missing class/id attribute");
+    Object& obj = model.create(*class_name, *id);
+    for (const auto& attr : elem.attributes()) {
+        if (attr.name == "class" || attr.name == "id" || attr.name == "feature")
+            continue;
+        const MetaAttribute* decl = obj.meta().find_attribute(attr.name);
+        if (!decl)
+            throw std::runtime_error("class " + *class_name +
+                                     " has no attribute '" + attr.name + "'");
+        obj.set(attr.name, value_from_string(decl->type, attr.value));
+    }
+    for (const xml::Element* child : elem.child_elements()) {
+        if (child->name() == "object") {
+            Object& nested = read_object(model, *child, pending);
+            std::string feature = child->attribute_or("feature", "");
+            if (feature.empty())
+                throw std::runtime_error("contained object '" + nested.id() +
+                                         "' lacks a feature attribute");
+            obj.add_ref(feature, nested);
+        } else if (child->name() == "ref") {
+            pending.push_back({&obj, child->attribute_or("name", ""),
+                               child->attribute_or("target", "")});
+        } else {
+            throw std::runtime_error("unexpected element <" + child->name() +
+                                     "> inside object");
+        }
+    }
+    return obj;
+}
+
+}  // namespace
+
+xml::Document to_xml(const ObjectModel& model) {
+    xml::Document doc("uhcg:model");
+    doc.root().set_attribute("metamodel", model.metamodel().name());
+    for (const Object* root : model.roots()) write_object(doc.root(), *root, "");
+    return doc;
+}
+
+std::string to_xml_string(const ObjectModel& model) {
+    return xml::write(to_xml(model));
+}
+
+ObjectModel from_xml(const Metamodel& meta, const xml::Document& doc) {
+    if (doc.root().name() != "uhcg:model")
+        throw std::runtime_error("not a uhcg model file (root is <" +
+                                 doc.root().name() + ">)");
+    std::string declared = doc.root().attribute_or("metamodel", "");
+    if (declared != meta.name())
+        throw std::runtime_error("model file conforms to metamodel '" + declared +
+                                 "', expected '" + meta.name() + "'");
+    ObjectModel model(meta);
+    std::vector<PendingRef> pending;
+    for (const xml::Element* child : doc.root().children_named("object"))
+        read_object(model, *child, pending);
+    for (const auto& p : pending) {
+        Object* target = model.find(p.target_id);
+        if (!target)
+            throw std::runtime_error("dangling reference " + p.feature + " -> " +
+                                     p.target_id);
+        p.source->add_ref(p.feature, *target);
+    }
+    return model;
+}
+
+ObjectModel from_xml_string(const Metamodel& meta, const std::string& text) {
+    return from_xml(meta, xml::parse(text));
+}
+
+void save_file(const ObjectModel& model, const std::string& path) {
+    xml::write_file(to_xml(model), path);
+}
+
+ObjectModel load_file(const Metamodel& meta, const std::string& path) {
+    return from_xml(meta, xml::parse_file(path));
+}
+
+}  // namespace uhcg::model

@@ -1,0 +1,38 @@
+// ecore_io.hpp — E-core-style XML serialization of ObjectModels.
+//
+// The paper's step 3 hands the intermediate Simulink CAAM around "using the
+// E-core format (XML-like)". We reproduce that interchange format:
+//
+//   <uhcg:model metamodel="SimulinkCAAM">
+//     <object class="Model" id="m1" name="top">
+//       <object class="CpuSubsystem" id="c1" feature="cpus" .../>
+//       <ref name="source" target="c1"/>
+//     </object>
+//   </uhcg:model>
+//
+// Attributes are serialized as XML attributes, containment as nested
+// <object> elements tagged with the owning feature, and cross references as
+// <ref> elements resolved by id in a second pass.
+#pragma once
+
+#include <string>
+
+#include "model/object.hpp"
+#include "xml/dom.hpp"
+
+namespace uhcg::model {
+
+/// Serializes `model` (every root object and its containment tree).
+xml::Document to_xml(const ObjectModel& model);
+std::string to_xml_string(const ObjectModel& model);
+
+/// Rebuilds an ObjectModel from a document produced by to_xml. The caller
+/// supplies the metamodel; mismatched class/feature names throw
+/// std::runtime_error.
+ObjectModel from_xml(const Metamodel& meta, const xml::Document& doc);
+ObjectModel from_xml_string(const Metamodel& meta, const std::string& text);
+
+void save_file(const ObjectModel& model, const std::string& path);
+ObjectModel load_file(const Metamodel& meta, const std::string& path);
+
+}  // namespace uhcg::model

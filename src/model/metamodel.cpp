@@ -1,0 +1,119 @@
+#include "model/metamodel.hpp"
+
+#include <set>
+
+namespace uhcg::model {
+
+std::string_view to_string(AttrType type) {
+    switch (type) {
+        case AttrType::String: return "string";
+        case AttrType::Int: return "int";
+        case AttrType::Real: return "real";
+        case AttrType::Bool: return "bool";
+        case AttrType::Enum: return "enum";
+    }
+    return "?";
+}
+
+const MetaClass* MetaClass::super() const {
+    if (super_name_.empty()) return nullptr;
+    return owner_->find_class(super_name_);
+}
+
+MetaAttribute& MetaClass::add_attribute(MetaAttribute attr) {
+    attrs_.push_back(std::move(attr));
+    return attrs_.back();
+}
+
+MetaReference& MetaClass::add_reference(MetaReference ref) {
+    refs_.push_back(std::move(ref));
+    return refs_.back();
+}
+
+const MetaAttribute* MetaClass::find_attribute(std::string_view name) const {
+    for (const auto& a : attrs_)
+        if (a.name == name) return &a;
+    if (const MetaClass* s = super()) return s->find_attribute(name);
+    return nullptr;
+}
+
+const MetaReference* MetaClass::find_reference(std::string_view name) const {
+    for (const auto& r : refs_)
+        if (r.name == name) return &r;
+    if (const MetaClass* s = super()) return s->find_reference(name);
+    return nullptr;
+}
+
+std::vector<const MetaAttribute*> MetaClass::all_attributes() const {
+    std::vector<const MetaAttribute*> out;
+    if (const MetaClass* s = super()) out = s->all_attributes();
+    for (const auto& a : attrs_) out.push_back(&a);
+    return out;
+}
+
+std::vector<const MetaReference*> MetaClass::all_references() const {
+    std::vector<const MetaReference*> out;
+    if (const MetaClass* s = super()) out = s->all_references();
+    for (const auto& r : refs_) out.push_back(&r);
+    return out;
+}
+
+bool MetaClass::conforms_to(const MetaClass& ancestor) const {
+    for (const MetaClass* c = this; c != nullptr; c = c->super())
+        if (c == &ancestor) return true;
+    return false;
+}
+
+MetaClass& Metamodel::add_class(std::string name) {
+    auto [it, inserted] =
+        classes_.emplace(name, std::make_unique<MetaClass>(name, this));
+    if (!inserted)
+        throw std::invalid_argument("duplicate metaclass: " + name);
+    order_.push_back(it->second.get());
+    return *it->second;
+}
+
+const MetaClass* Metamodel::find_class(std::string_view name) const {
+    auto it = classes_.find(name);
+    return it == classes_.end() ? nullptr : it->second.get();
+}
+
+MetaClass* Metamodel::find_class(std::string_view name) {
+    auto it = classes_.find(name);
+    return it == classes_.end() ? nullptr : it->second.get();
+}
+
+const MetaClass& Metamodel::get_class(std::string_view name) const {
+    if (const MetaClass* c = find_class(name)) return *c;
+    throw std::out_of_range("metamodel '" + name_ + "' has no class '" +
+                            std::string(name) + "'");
+}
+
+std::vector<const MetaClass*> Metamodel::classes() const { return order_; }
+
+std::vector<std::string> Metamodel::check() const {
+    std::vector<std::string> problems;
+    for (const MetaClass* c : order_) {
+        // Inheritance chain must resolve and be acyclic.
+        std::set<const MetaClass*> seen;
+        for (const MetaClass* s = c; s != nullptr; s = s->super()) {
+            if (!seen.insert(s).second) {
+                problems.push_back("inheritance cycle through class " + c->name());
+                break;
+            }
+        }
+        for (const auto& a : c->own_attributes()) {
+            if (a.type == AttrType::Enum && a.literals.empty())
+                problems.push_back("enum attribute " + c->name() + "." + a.name +
+                                   " has no literals");
+        }
+        for (const auto& r : c->own_references()) {
+            if (!find_class(r.target))
+                problems.push_back("reference " + c->name() + "." + r.name +
+                                   " targets unknown class " + r.target);
+        }
+    }
+    return problems;
+}
+
+}  // namespace uhcg::model

@@ -1,0 +1,141 @@
+// metamodel.hpp — a small EMF/E-core-like reflective model layer.
+//
+// The paper's prototype was "implemented in Java using the API provided by
+// the Eclipse EMF"; model-to-model transformation operates on *typed object
+// graphs conforming to a metamodel*, not on hand-written structs. This
+// layer reproduces that: a Metamodel declares classes with attributes
+// (string/int/double/bool/enum), containment references (ownership) and
+// cross references; Objects are instances whose slots are checked against
+// the metamodel at mutation time.
+//
+// Both the UML metamodel and the Simulink CAAM metamodel register
+// themselves here, which is what lets the generic transform engine and the
+// E-core XML serializer work on either side of the mapping.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uhcg::model {
+
+class MetaClass;
+class Metamodel;
+
+/// Primitive slot types supported by attributes.
+enum class AttrType { String, Int, Real, Bool, Enum };
+
+std::string_view to_string(AttrType type);
+
+/// Declaration of one attribute of a MetaClass.
+struct MetaAttribute {
+    std::string name;
+    AttrType type = AttrType::String;
+    /// For Enum attributes: the closed set of admissible literals.
+    std::vector<std::string> literals;
+    /// Serialized default; empty optional means "required, no default".
+    std::optional<std::string> default_value;
+};
+
+/// Declaration of one reference of a MetaClass.
+struct MetaReference {
+    std::string name;
+    /// Target class name (resolved against the owning metamodel).
+    std::string target;
+    /// Containment references own their targets (tree edges); non-containment
+    /// references are cross links serialized by id.
+    bool containment = false;
+    /// Upper bound: false = at most one target, true = ordered collection.
+    bool many = false;
+    /// Lower bound of 1 makes validation flag absent targets.
+    bool required = false;
+};
+
+/// A class in the metamodel: named, optionally abstract, single inheritance.
+class MetaClass {
+public:
+    friend class Metamodel;
+    MetaClass(std::string name, const Metamodel* owner)
+        : name_(std::move(name)), owner_(owner) {}
+
+    const std::string& name() const { return name_; }
+    bool is_abstract() const { return abstract_; }
+    void set_abstract(bool value) { abstract_ = value; }
+
+    /// Sets the superclass by name (resolved lazily; must exist by the time
+    /// the metamodel is frozen).
+    void set_super(std::string name) { super_name_ = std::move(name); }
+    const MetaClass* super() const;
+
+    MetaAttribute& add_attribute(MetaAttribute attr);
+    MetaReference& add_reference(MetaReference ref);
+
+    /// Lookup including inherited features; nullptr when absent.
+    const MetaAttribute* find_attribute(std::string_view name) const;
+    const MetaReference* find_reference(std::string_view name) const;
+
+    /// Own (non-inherited) features, declaration order.
+    const std::vector<MetaAttribute>& own_attributes() const { return attrs_; }
+    const std::vector<MetaReference>& own_references() const { return refs_; }
+
+    /// All features including inherited, supers first.
+    std::vector<const MetaAttribute*> all_attributes() const;
+    std::vector<const MetaReference*> all_references() const;
+
+    /// True if this class is `ancestor` or transitively inherits from it.
+    bool conforms_to(const MetaClass& ancestor) const;
+
+private:
+    std::string name_;
+    const Metamodel* owner_;
+    bool abstract_ = false;
+    std::string super_name_;
+    std::vector<MetaAttribute> attrs_;
+    std::vector<MetaReference> refs_;
+};
+
+/// A metamodel: a named package of MetaClasses.
+class Metamodel {
+public:
+    explicit Metamodel(std::string name) : name_(std::move(name)) {}
+    Metamodel(const Metamodel&) = delete;
+    Metamodel& operator=(const Metamodel&) = delete;
+    Metamodel(Metamodel&& other) noexcept { *this = std::move(other); }
+    Metamodel& operator=(Metamodel&& other) noexcept {
+        name_ = std::move(other.name_);
+        classes_ = std::move(other.classes_);
+        order_ = std::move(other.order_);
+        for (auto& [_, cls] : classes_) cls->owner_ = this;  // re-anchor
+        return *this;
+    }
+
+    const std::string& name() const { return name_; }
+
+    MetaClass& add_class(std::string name);
+    /// nullptr when absent.
+    const MetaClass* find_class(std::string_view name) const;
+    MetaClass* find_class(std::string_view name);
+    /// Throws std::out_of_range when absent.
+    const MetaClass& get_class(std::string_view name) const;
+
+    std::vector<const MetaClass*> classes() const;
+
+    /// Checks internal consistency (supers resolve, reference targets exist,
+    /// enum attributes have literals, no inheritance cycles). Returns the
+    /// list of problems; empty means well-formed.
+    std::vector<std::string> check() const;
+
+private:
+    std::string name_;
+    // map keeps pointers stable and lookup cheap; declaration order is kept
+    // separately for deterministic iteration.
+    std::map<std::string, std::unique_ptr<MetaClass>, std::less<>> classes_;
+    std::vector<const MetaClass*> order_;
+};
+
+}  // namespace uhcg::model

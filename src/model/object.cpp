@@ -1,0 +1,251 @@
+#include "model/object.hpp"
+
+#include <algorithm>
+
+namespace uhcg::model {
+namespace {
+
+const std::vector<Object*> kNoRefs;
+
+bool type_matches(AttrType type, const Value& value) {
+    switch (type) {
+        case AttrType::String:
+        case AttrType::Enum:
+            return std::holds_alternative<std::string>(value);
+        case AttrType::Int: return std::holds_alternative<std::int64_t>(value);
+        case AttrType::Real:
+            // Accept ints for real slots; widen silently.
+            return std::holds_alternative<double>(value) ||
+                   std::holds_alternative<std::int64_t>(value);
+        case AttrType::Bool: return std::holds_alternative<bool>(value);
+    }
+    return false;
+}
+
+}  // namespace
+
+std::string value_to_string(const Value& value) {
+    return std::visit(
+        [](const auto& v) -> std::string {
+            using T = std::decay_t<decltype(v)>;
+            if constexpr (std::is_same_v<T, std::string>) {
+                return v;
+            } else if constexpr (std::is_same_v<T, bool>) {
+                return v ? "true" : "false";
+            } else {
+                return std::to_string(v);
+            }
+        },
+        value);
+}
+
+Value value_from_string(AttrType type, const std::string& text) {
+    try {
+        switch (type) {
+            case AttrType::String:
+            case AttrType::Enum:
+                return text;
+            case AttrType::Int: return static_cast<std::int64_t>(std::stoll(text));
+            case AttrType::Real: return std::stod(text);
+            case AttrType::Bool:
+                if (text == "true" || text == "1") return true;
+                if (text == "false" || text == "0") return false;
+                throw std::invalid_argument("not a bool");
+        }
+    } catch (const std::exception&) {
+        throw std::invalid_argument("cannot parse '" + text + "' as " +
+                                    std::string(to_string(type)));
+    }
+    throw std::invalid_argument("unknown attribute type");
+}
+
+bool Object::is_a(std::string_view class_name) const {
+    const MetaClass* ancestor = owner_->metamodel().find_class(class_name);
+    return ancestor != nullptr && meta_->conforms_to(*ancestor);
+}
+
+void Object::set(std::string_view name, Value value) {
+    const MetaAttribute* decl = meta_->find_attribute(name);
+    if (!decl)
+        throw std::invalid_argument("class " + meta_->name() +
+                                    " has no attribute '" + std::string(name) + "'");
+    if (!type_matches(decl->type, value))
+        throw std::invalid_argument("type mismatch setting " + meta_->name() + "." +
+                                    std::string(name));
+    if (decl->type == AttrType::Real && std::holds_alternative<std::int64_t>(value))
+        value = static_cast<double>(std::get<std::int64_t>(value));
+    if (decl->type == AttrType::Enum) {
+        const std::string& literal = std::get<std::string>(value);
+        if (std::find(decl->literals.begin(), decl->literals.end(), literal) ==
+            decl->literals.end())
+            throw std::invalid_argument("'" + literal + "' is not a literal of enum " +
+                                        meta_->name() + "." + std::string(name));
+    }
+    attrs_.insert_or_assign(std::string(name), std::move(value));
+}
+
+bool Object::has(std::string_view name) const {
+    return attrs_.find(name) != attrs_.end();
+}
+
+Value Object::get(std::string_view name) const {
+    if (auto it = attrs_.find(name); it != attrs_.end()) return it->second;
+    const MetaAttribute* decl = meta_->find_attribute(name);
+    if (!decl)
+        throw std::out_of_range("class " + meta_->name() + " has no attribute '" +
+                                std::string(name) + "'");
+    if (decl->default_value)
+        return value_from_string(decl->type, *decl->default_value);
+    throw std::out_of_range("attribute " + meta_->name() + "." + std::string(name) +
+                            " of object '" + id_ + "' is unset and has no default");
+}
+
+std::string Object::get_string(std::string_view name) const {
+    return std::get<std::string>(get(name));
+}
+std::int64_t Object::get_int(std::string_view name) const {
+    return std::get<std::int64_t>(get(name));
+}
+double Object::get_real(std::string_view name) const {
+    Value v = get(name);
+    if (std::holds_alternative<std::int64_t>(v))
+        return static_cast<double>(std::get<std::int64_t>(v));
+    return std::get<double>(v);
+}
+bool Object::get_bool(std::string_view name) const {
+    return std::get<bool>(get(name));
+}
+
+const MetaReference& Object::checked_reference(std::string_view name) const {
+    const MetaReference* decl = meta_->find_reference(name);
+    if (!decl)
+        throw std::invalid_argument("class " + meta_->name() + " has no reference '" +
+                                    std::string(name) + "'");
+    return *decl;
+}
+
+void Object::add_ref(std::string_view name, Object& target) {
+    const MetaReference& decl = checked_reference(name);
+    const MetaClass* target_class = owner_->metamodel().find_class(decl.target);
+    if (target_class && !target.meta().conforms_to(*target_class))
+        throw std::invalid_argument("object of class " + target.meta().name() +
+                                    " cannot be referenced by " + meta_->name() + "." +
+                                    decl.name + " (expects " + decl.target + ")");
+    auto& slot = refs_[std::string(name)];
+    if (!decl.many && !slot.empty())
+        throw std::invalid_argument("reference " + meta_->name() + "." + decl.name +
+                                    " is single-valued and already set");
+    if (decl.containment) {
+        if (target.parent_ != nullptr)
+            throw std::invalid_argument("object '" + target.id() +
+                                        "' is already contained elsewhere");
+        target.parent_ = this;
+        target.containing_feature_ = decl.name;
+    }
+    slot.push_back(&target);
+}
+
+void Object::set_ref(std::string_view name, Object* target) {
+    clear_ref(name);
+    if (target != nullptr) add_ref(name, *target);
+}
+
+void Object::clear_ref(std::string_view name) {
+    const MetaReference& decl = checked_reference(name);
+    auto it = refs_.find(name);
+    if (it == refs_.end()) return;
+    if (decl.containment) {
+        for (Object* child : it->second) {
+            child->parent_ = nullptr;
+            child->containing_feature_.clear();
+        }
+    }
+    refs_.erase(it);
+}
+
+bool Object::remove_ref(std::string_view name, Object& target) {
+    const MetaReference& decl = checked_reference(name);
+    auto it = refs_.find(name);
+    if (it == refs_.end()) return false;
+    auto pos = std::find(it->second.begin(), it->second.end(), &target);
+    if (pos == it->second.end()) return false;
+    if (decl.containment) {
+        target.parent_ = nullptr;
+        target.containing_feature_.clear();
+    }
+    it->second.erase(pos);
+    return true;
+}
+
+const std::vector<Object*>& Object::refs(std::string_view name) const {
+    checked_reference(name);  // diagnose typos even on unset slots
+    auto it = refs_.find(name);
+    return it == refs_.end() ? kNoRefs : it->second;
+}
+
+Object* Object::ref(std::string_view name) const {
+    const auto& slot = refs(name);
+    return slot.empty() ? nullptr : slot.front();
+}
+
+std::vector<Object*> Object::contained() const {
+    std::vector<Object*> out;
+    for (const MetaReference* decl : meta_->all_references()) {
+        if (!decl->containment) continue;
+        auto it = refs_.find(decl->name);
+        if (it == refs_.end()) continue;
+        out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+    return out;
+}
+
+Object& ObjectModel::create(std::string_view class_name, std::string id) {
+    const MetaClass& meta = meta_->get_class(class_name);
+    if (meta.is_abstract())
+        throw std::invalid_argument("cannot instantiate abstract class " +
+                                    meta.name());
+    if (id.empty()) {
+        do {
+            id = "_" + std::to_string(next_id_++);
+        } while (by_id_.count(id) != 0);
+    } else if (by_id_.count(id) != 0) {
+        throw std::invalid_argument("duplicate object id: " + id);
+    }
+    objects_.push_back(std::make_unique<Object>(meta, id, this));
+    Object& obj = *objects_.back();
+    by_id_.emplace(obj.id(), &obj);
+    return obj;
+}
+
+Object* ObjectModel::find(std::string_view id) {
+    auto it = by_id_.find(id);
+    return it == by_id_.end() ? nullptr : it->second;
+}
+
+const Object* ObjectModel::find(std::string_view id) const {
+    auto it = by_id_.find(id);
+    return it == by_id_.end() ? nullptr : it->second;
+}
+
+std::vector<Object*> ObjectModel::roots() const {
+    std::vector<Object*> out;
+    for (const auto& obj : objects_)
+        if (obj->parent() == nullptr) out.push_back(obj.get());
+    return out;
+}
+
+std::vector<Object*> ObjectModel::objects() const {
+    std::vector<Object*> out;
+    out.reserve(objects_.size());
+    for (const auto& obj : objects_) out.push_back(obj.get());
+    return out;
+}
+
+std::vector<Object*> ObjectModel::all_of(std::string_view class_name) const {
+    std::vector<Object*> out;
+    for (const auto& obj : objects_)
+        if (obj->is_a(class_name)) out.push_back(obj.get());
+    return out;
+}
+
+}  // namespace uhcg::model

@@ -1,0 +1,140 @@
+// object.hpp — typed object instances conforming to a Metamodel.
+//
+// Objects live in an ObjectModel, which owns every instance (stable
+// addresses, arena-style). Containment is recorded as parent/child links on
+// top of that central ownership, so moving an object between containers
+// never invalidates pointers — the property the transformation engine's
+// trace links depend on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "model/metamodel.hpp"
+
+namespace uhcg::model {
+
+/// Slot value for attributes. Enum literals are carried as strings and
+/// validated against the declaring MetaAttribute.
+using Value = std::variant<std::string, std::int64_t, double, bool>;
+
+std::string value_to_string(const Value& value);
+/// Parses `text` according to `type`; throws std::invalid_argument on
+/// malformed input.
+Value value_from_string(AttrType type, const std::string& text);
+
+class ObjectModel;
+
+/// One instance of a MetaClass.
+class Object {
+public:
+    Object(const MetaClass& meta, std::string id, ObjectModel* owner)
+        : meta_(&meta), id_(std::move(id)), owner_(owner) {}
+    Object(const Object&) = delete;
+    Object& operator=(const Object&) = delete;
+
+    const MetaClass& meta() const { return *meta_; }
+    const std::string& id() const { return id_; }
+    bool is_a(std::string_view class_name) const;
+
+    // --- attributes -------------------------------------------------------
+    /// Sets an attribute slot; throws std::invalid_argument if the class has
+    /// no such attribute or the value's type does not match the declaration.
+    void set(std::string_view name, Value value);
+    void set(std::string_view name, const char* value) {
+        set(name, Value(std::string(value)));
+    }
+    /// True when the slot was explicitly set (defaults do not count).
+    bool has(std::string_view name) const;
+    /// Returns the slot value, falling back to the declared default; throws
+    /// std::out_of_range when the slot is unset and has no default.
+    Value get(std::string_view name) const;
+    std::string get_string(std::string_view name) const;
+    std::int64_t get_int(std::string_view name) const;
+    double get_real(std::string_view name) const;
+    bool get_bool(std::string_view name) const;
+
+    // --- references -------------------------------------------------------
+    /// Appends to a many-reference / sets a single reference. Containment
+    /// references also reparent the target (which must be parentless for
+    /// add; set_ref releases any previous child first).
+    void add_ref(std::string_view name, Object& target);
+    void set_ref(std::string_view name, Object* target);
+    void clear_ref(std::string_view name);
+    bool remove_ref(std::string_view name, Object& target);
+    /// Targets of the reference, declaration order. Empty when unset.
+    const std::vector<Object*>& refs(std::string_view name) const;
+    /// Single-reference convenience: first target or nullptr.
+    Object* ref(std::string_view name) const;
+
+    /// Containing object (via some containment reference) or nullptr.
+    Object* parent() const { return parent_; }
+    /// Name of the containment reference in parent holding this object.
+    const std::string& containing_feature() const { return containing_feature_; }
+
+    /// All objects directly contained by this one (all containment refs,
+    /// declaration order of the references).
+    std::vector<Object*> contained() const;
+
+private:
+    friend class ObjectModel;
+
+    const MetaReference& checked_reference(std::string_view name) const;
+
+    const MetaClass* meta_;
+    std::string id_;
+    ObjectModel* owner_;
+    Object* parent_ = nullptr;
+    std::string containing_feature_;
+    std::map<std::string, Value, std::less<>> attrs_;
+    std::map<std::string, std::vector<Object*>, std::less<>> refs_;
+};
+
+/// Owns all Objects of one model instance and indexes them by id.
+class ObjectModel {
+public:
+    explicit ObjectModel(const Metamodel& meta) : meta_(&meta) {}
+    ObjectModel(const ObjectModel&) = delete;
+    ObjectModel& operator=(const ObjectModel&) = delete;
+    ObjectModel(ObjectModel&& other) noexcept { *this = std::move(other); }
+    ObjectModel& operator=(ObjectModel&& other) noexcept {
+        meta_ = other.meta_;
+        objects_ = std::move(other.objects_);
+        by_id_ = std::move(other.by_id_);
+        next_id_ = other.next_id_;
+        for (auto& obj : objects_) obj->owner_ = this;  // re-anchor back pointers
+        return *this;
+    }
+
+    const Metamodel& metamodel() const { return *meta_; }
+
+    /// Creates an instance of `class_name` (must exist and be concrete).
+    /// A fresh id is generated when `id` is empty.
+    Object& create(std::string_view class_name, std::string id = {});
+
+    /// nullptr when absent.
+    Object* find(std::string_view id);
+    const Object* find(std::string_view id) const;
+
+    /// Objects with no parent, creation order.
+    std::vector<Object*> roots() const;
+    /// Every object, creation order.
+    std::vector<Object*> objects() const;
+    /// All objects whose class conforms to `class_name`, creation order.
+    std::vector<Object*> all_of(std::string_view class_name) const;
+
+    std::size_t size() const { return objects_.size(); }
+
+private:
+    const Metamodel* meta_;
+    std::vector<std::unique_ptr<Object>> objects_;
+    std::map<std::string, Object*, std::less<>> by_id_;
+    std::uint64_t next_id_ = 1;
+};
+
+}  // namespace uhcg::model

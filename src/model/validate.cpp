@@ -1,0 +1,51 @@
+#include "model/validate.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace uhcg::model {
+
+std::vector<Diagnostic> validate(const ObjectModel& model) {
+    std::vector<Diagnostic> out;
+    for (const Object* obj : model.objects()) {
+        const MetaClass& meta = obj->meta();
+        for (const MetaAttribute* attr : meta.all_attributes()) {
+            if (!obj->has(attr->name) && !attr->default_value)
+                out.push_back({obj->id(), "required attribute '" + attr->name +
+                                              "' of " + meta.name() + " is unset"});
+        }
+        for (const MetaReference* ref : meta.all_references()) {
+            const auto& targets = obj->refs(ref->name);
+            if (ref->required && targets.empty())
+                out.push_back({obj->id(), "required reference '" + ref->name +
+                                              "' of " + meta.name() + " is empty"});
+            if (!ref->many && targets.size() > 1)
+                out.push_back({obj->id(), "single-valued reference '" + ref->name +
+                                              "' holds " +
+                                              std::to_string(targets.size()) +
+                                              " targets"});
+        }
+        // Containment must be acyclic: walk to the root, detecting loops.
+        std::set<const Object*> seen;
+        for (const Object* p = obj; p != nullptr; p = p->parent()) {
+            if (!seen.insert(p).second) {
+                out.push_back({obj->id(), "containment cycle detected"});
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+void validate_or_throw(const ObjectModel& model) {
+    auto diagnostics = validate(model);
+    if (diagnostics.empty()) return;
+    std::ostringstream msg;
+    msg << "model does not conform to metamodel '" << model.metamodel().name()
+        << "' (" << diagnostics.size() << " problem(s)):";
+    for (const auto& d : diagnostics)
+        msg << "\n  [" << d.object_id << "] " << d.message;
+    throw std::runtime_error(msg.str());
+}
+
+}  // namespace uhcg::model

@@ -1,0 +1,28 @@
+// validate.hpp — conformance checking of an ObjectModel against its
+// metamodel. The transformation pipeline validates the intermediate
+// Simulink CAAM model (Fig. 2, step 3) before mdl generation; a model that
+// fails validation is rejected instead of producing a broken .mdl file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/object.hpp"
+
+namespace uhcg::model {
+
+struct Diagnostic {
+    /// Id of the offending object (empty for model-level problems).
+    std::string object_id;
+    std::string message;
+};
+
+/// Checks every object: required attributes present (or defaulted), enum
+/// values legal, required references populated, single-valued references
+/// not over-filled, containment forest acyclic. Returns all problems found.
+std::vector<Diagnostic> validate(const ObjectModel& model);
+
+/// Throws std::runtime_error listing every diagnostic if validation fails.
+void validate_or_throw(const ObjectModel& model);
+
+}  // namespace uhcg::model

@@ -1,0 +1,110 @@
+// engine.hpp — fixed-step discrete-time execution of a simulink::Model.
+//
+// This is the stand-in for MathWorks Simulink's solver: it makes the
+// generated CAAM *executable*, which is what lets the test-suite and the
+// crane experiment demonstrate §4.2.2 — a cyclic dataflow model without
+// temporal barriers cannot be scheduled (DeadlockError names the cycle),
+// while the same model after insert_temporal_barriers runs.
+//
+// Semantics:
+//  * the hierarchy is flattened: subsystem boundaries are resolved through
+//    their Inport/Outport marker blocks, so only functional blocks are
+//    scheduled;
+//  * each step evaluates blocks in a static topological order of the
+//    combinational dependency graph; UnitDelay blocks publish their state
+//    *before* the sweep and latch their input *after* it — they are the
+//    temporal barriers;
+//  * communication channels are pass-through within a step (a FIFO write
+//    and read in the same iteration), matching the SWFIFO/GFIFO blocks of
+//    the MPSoC flow — which is exactly why they do not break cycles;
+//  * S-functions dispatch through a registry keyed by the block's
+//    FunctionName parameter, with per-instance state (the C-coded
+//    behaviours of §4.1, bound natively).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simulink/model.hpp"
+
+namespace uhcg::sim {
+
+/// Behaviour of one S-function instance. `state` persists across steps
+/// (sized by `state_size` at registration).
+using SFunction = std::function<void(std::span<const double> inputs,
+                                     std::span<double> outputs, double t,
+                                     std::vector<double>& state)>;
+
+/// Registry of S-function behaviours, keyed by FunctionName.
+class SFunctionRegistry {
+public:
+    void register_function(std::string name, SFunction fn,
+                           std::size_t state_size = 0);
+    bool contains(const std::string& name) const;
+    const SFunction& function(const std::string& name) const;
+    std::size_t state_size(const std::string& name) const;
+
+private:
+    struct Entry {
+        SFunction fn;
+        std::size_t state_size;
+    };
+    std::map<std::string, Entry> entries_;
+};
+
+/// Thrown when the model contains a combinational cycle: the scheduler
+/// cannot order the blocks and a dataflow implementation would deadlock.
+class DeadlockError : public std::runtime_error {
+public:
+    explicit DeadlockError(std::vector<std::string> cycle);
+    /// Names of blocks on the unschedulable cycle.
+    const std::vector<std::string>& cycle() const { return cycle_; }
+
+private:
+    std::vector<std::string> cycle_;
+};
+
+/// External input: value as a function of simulation time.
+using InputSignal = std::function<double(double t)>;
+
+struct SimResult {
+    std::vector<double> time;
+    /// Root Outport name → recorded values (one per step).
+    std::map<std::string, std::vector<double>> outputs;
+    /// Scope block full-path name → recorded values.
+    std::map<std::string, std::vector<double>> scopes;
+    std::size_t steps = 0;
+    /// Total values pushed through CommChannel blocks, by protocol.
+    std::map<std::string, std::size_t> channel_traffic;
+};
+
+class Simulator {
+public:
+    /// Builds the schedule; throws DeadlockError on combinational cycles
+    /// and std::runtime_error on unresolvable structure (undriven inputs,
+    /// unregistered S-functions).
+    Simulator(const simulink::Model& model, const SFunctionRegistry& registry);
+
+    /// Binds the root Inport block named `name` (its Var parameter or block
+    /// name) to a signal. Unbound inputs read 0.0.
+    void set_input(const std::string& name, InputSignal signal);
+
+    /// Runs `steps` fixed-size steps (model.fixed_step each).
+    SimResult run(std::size_t steps);
+    /// Runs until model.stop_time.
+    SimResult run();
+
+    /// Static schedule (block full paths, evaluation order) — for tests.
+    std::vector<std::string> schedule() const;
+
+private:
+    struct Net;  // internal flattened representation
+    std::shared_ptr<Net> net_;
+    std::map<std::string, InputSignal> inputs_;
+};
+
+}  // namespace uhcg::sim

@@ -1,0 +1,53 @@
+// mpsoc.hpp — MPSoC cost simulator.
+//
+// The paper feeds the generated CAAM into the Simulink-based MPSoC design
+// flow (Huang et al., DAC'07), whose hardware we do not have. This module
+// substitutes the flow's *observable* behaviour for our experiments: given
+// a task graph and a thread-to-CPU mapping, it simulates execution on a
+// bus-based MPSoC where intra-CPU communication uses cheap SWFIFOs and
+// inter-CPU communication crosses a single shared bus using GFIFOs —
+// reproducing the cost asymmetry §4.2.3's allocation optimizes ("the cost
+// for intra-CPU communication is lower than the cost for communication
+// between different CPUs").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "taskgraph/clustering.hpp"
+#include "taskgraph/graph.hpp"
+
+namespace uhcg::sim {
+
+struct MpsocParams {
+    /// Cycles per unit of task weight.
+    double cycles_per_work = 100.0;
+    /// Cycles per unit of data over an intra-CPU SWFIFO.
+    double swfifo_cost_per_byte = 1.0;
+    /// Cycles per unit of data over the shared bus (GFIFO).
+    double gfifo_cost_per_byte = 10.0;
+    /// Fixed per-transfer setup cost on the bus.
+    double bus_setup = 20.0;
+    /// true = inter-CPU transfers serialize on one shared bus (contention);
+    /// false = ideal point-to-point links.
+    bool shared_bus = true;
+};
+
+struct MpsocResult {
+    double makespan = 0.0;           ///< cycles until the last task finishes
+    double bus_busy = 0.0;           ///< cycles the shared bus was occupied
+    double inter_traffic = 0.0;      ///< data units crossing CPUs
+    double intra_traffic = 0.0;      ///< data units staying on-CPU
+    std::vector<double> cpu_busy;    ///< per-CPU compute cycles
+    std::size_t bus_transfers = 0;   ///< number of inter-CPU messages
+};
+
+/// Simulates one execution of `graph` mapped by `clustering` (one CPU per
+/// cluster). Tasks run non-preemptively in topological order on their CPU;
+/// each edge becomes a FIFO transfer that must complete before the
+/// consumer starts.
+MpsocResult simulate_mpsoc(const taskgraph::TaskGraph& graph,
+                           const taskgraph::Clustering& clustering,
+                           const MpsocParams& params = {});
+
+}  // namespace uhcg::sim

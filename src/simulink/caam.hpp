@@ -1,0 +1,56 @@
+// caam.hpp — CAAM-level queries and structural validation.
+//
+// The CAAM architecture layer (Fig. 3(c)): the root system holds CPU-SS
+// subsystems and inter-CPU channels; each CPU-SS holds Thread-SS
+// subsystems and intra-CPU channels; each Thread-SS holds the thread layer
+// of functional blocks. These helpers navigate and check that shape.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simulink/model.hpp"
+
+namespace uhcg::simulink {
+
+/// CPU subsystems of the top-level architecture layer, model order.
+std::vector<Block*> cpu_subsystems(Model& model);
+std::vector<const Block*> cpu_subsystems(const Model& model);
+
+/// Thread subsystems nested in one CPU-SS.
+std::vector<Block*> thread_subsystems(Block& cpu);
+std::vector<const Block*> thread_subsystems(const Block& cpu);
+
+/// All communication channel blocks in the model, grouped by role.
+std::vector<const Block*> inter_cpu_channels(const Model& model);
+std::vector<const Block*> intra_cpu_channels(const Model& model);
+
+/// Total counts used by the experiment harness.
+struct CaamStats {
+    std::size_t cpus = 0;
+    std::size_t threads = 0;
+    std::size_t inter_channels = 0;
+    std::size_t intra_channels = 0;
+    std::size_t sfunctions = 0;
+    std::size_t predefined_blocks = 0;  // Product/Sum/Gain/... in thread layers
+    std::size_t unit_delays = 0;
+    std::size_t system_inports = 0;   // environment inputs at model root
+    std::size_t system_outports = 0;  // environment outputs at model root
+    std::size_t total_blocks = 0;
+    std::size_t total_lines = 0;
+};
+
+CaamStats caam_stats(const Model& model);
+
+/// Structural rules:
+///  C1 CPU-SS blocks appear only at the root; Thread-SS only inside CPU-SS;
+///  C2 inter-CPU channels live at the root and carry Protocol=GFIFO;
+///  C3 intra-CPU channels live inside a CPU-SS and carry Protocol=SWFIFO;
+///  C4 every SubSystem's Inport/Outport children match its declared ports;
+///  C5 every block input port is driven by exactly one line (no dangling
+///     inputs in a synthesizable model);
+///  C6 channels have exactly 1 input and 1 output.
+/// Returns human-readable problem descriptions; empty = valid CAAM.
+std::vector<std::string> validate_caam(const Model& model);
+
+}  // namespace uhcg::simulink

@@ -1,0 +1,22 @@
+// dot.hpp — Graphviz export of Simulink/CAAM models: the block diagram a
+// Simulink GUI would draw (Fig. 3(c)/5/8), as nested cluster subgraphs.
+// `dot -Tpng` renders the architecture layer with CPU-SS and Thread-SS
+// boxes, channels, and signal lines labeled by variable.
+#pragma once
+
+#include <string>
+
+#include "simulink/model.hpp"
+
+namespace uhcg::simulink {
+
+struct DotOptions {
+    /// Label lines with their signal names.
+    bool show_signal_names = true;
+    /// Include block type in node labels ("calc\n[S-Function]").
+    bool show_block_types = true;
+};
+
+std::string to_dot(const Model& model, const DotOptions& options = {});
+
+}  // namespace uhcg::simulink

@@ -1,0 +1,25 @@
+// generic.hpp — bridge between the typed simulink::Model API and the
+// reflective model layer. This is the "Simulink meta-model" of Fig. 2: the
+// model-to-model transformation produces generic objects conforming to
+// this metamodel, which are then lifted into the typed API for the
+// optimization and mdl-generation steps (and can be round-tripped through
+// the E-core XML interchange of model/ecore_io.hpp).
+#pragma once
+
+#include "model/metamodel.hpp"
+#include "model/object.hpp"
+#include "simulink/model.hpp"
+
+namespace uhcg::simulink {
+
+/// The Simulink CAAM metamodel, registered once.
+const model::Metamodel& caam_metamodel();
+
+/// Deep-copies a typed model into the generic representation.
+model::ObjectModel to_generic(const Model& model);
+
+/// Rebuilds a typed model; throws std::runtime_error on non-conformant
+/// graphs (unknown block types, dangling line endpoints, ...).
+Model from_generic(const model::ObjectModel& generic);
+
+}  // namespace uhcg::simulink

@@ -1,0 +1,33 @@
+#include "simulink/library.hpp"
+
+namespace uhcg::simulink {
+
+const std::vector<LibraryEntry>& block_library() {
+    // The paper's example uses "mult" → Product; the rest of the table
+    // covers the arithmetic/delay blocks a CAAM thread layer is built from.
+    static const std::vector<LibraryEntry> table = {
+        {"mult", BlockType::Product, 2, 1},
+        {"product", BlockType::Product, 2, 1},
+        {"add", BlockType::Sum, 2, 1},
+        {"sum", BlockType::Sum, 2, 1},
+        {"sub", BlockType::Sum, 2, 1},  // Sum with "+-" Inputs parameter
+        {"gain", BlockType::Gain, 1, 1},
+        {"delay", BlockType::UnitDelay, 1, 1},
+        {"unitdelay", BlockType::UnitDelay, 1, 1},
+        {"constant", BlockType::Constant, 0, 1},
+        {"scope", BlockType::Scope, 1, 0},
+    };
+    return table;
+}
+
+std::optional<LibraryEntry> lookup_platform_method(std::string_view method) {
+    for (const LibraryEntry& e : block_library())
+        if (e.method == method) return e;
+    return std::nullopt;
+}
+
+bool is_predefined(std::string_view method) {
+    return lookup_platform_method(method).has_value();
+}
+
+}  // namespace uhcg::simulink

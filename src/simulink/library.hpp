@@ -1,0 +1,40 @@
+// library.hpp — the Simulink block library facade.
+//
+// §4.1: "To use pre-defined blocks, the designer needs to indicate its
+// usage by the invocation of a method from the special object Platform,
+// which represents the Simulink library. When the method name does not
+// match the pre-defined component names, a user-defined Simulink block
+// called S-function is instantiated."
+//
+// This table is that name-matching: Platform method name → pre-defined
+// block type, plus the default shape and semantic notes the execution
+// engine (uhcg::sim) uses.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simulink/model.hpp"
+
+namespace uhcg::simulink {
+
+struct LibraryEntry {
+    std::string method;  ///< Platform method name used in the UML model
+    BlockType type;      ///< pre-defined block instantiated
+    int inputs;          ///< default input port count
+    int outputs;         ///< default output port count
+};
+
+/// The full library table, stable order.
+const std::vector<LibraryEntry>& block_library();
+
+/// Looks up a Platform method name ("mult", "add", "gain", ...). Empty
+/// optional means: not a pre-defined block, instantiate an S-function.
+std::optional<LibraryEntry> lookup_platform_method(std::string_view method);
+
+/// True when `method` names a pre-defined block.
+bool is_predefined(std::string_view method);
+
+}  // namespace uhcg::simulink

@@ -1,0 +1,38 @@
+// mdl.hpp — model-to-text generation of Simulink .mdl files (Fig. 2, step
+// 4) and the inverse parser used for round-trip testing and for importing
+// hand-built CAAMs.
+//
+// The emitted dialect is the classic pre-SLX textual format:
+//
+//   Model {
+//     Name "crane"
+//     System {
+//       Name "crane"
+//       Block { BlockType SubSystem  Name "CPU1"  Ports [1, 1]  System {...} }
+//       Line  { SrcBlock "calc"  SrcPort 1  DstBlock "mult"  DstPort 1 }
+//       Line  { SrcBlock "x"  SrcPort 1
+//               Branch { DstBlock "a"  DstPort 1 }
+//               Branch { DstBlock "b"  DstPort 1 } }
+//     }
+//   }
+//
+// CAAM roles ride along as an annotation parameter (Tag "CPU-SS") so that
+// parsing a generated file reconstructs the architecture layer exactly.
+#pragma once
+
+#include <string>
+
+#include "simulink/model.hpp"
+
+namespace uhcg::simulink {
+
+/// Serializes the model to mdl text.
+std::string write_mdl(const Model& model);
+void save_mdl(const Model& model, const std::string& path);
+
+/// Parses mdl text back into a Model. Throws std::runtime_error (with line
+/// information) on malformed input.
+Model parse_mdl(const std::string& text);
+Model load_mdl(const std::string& path);
+
+}  // namespace uhcg::simulink

@@ -1,0 +1,242 @@
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "simulink/mdl.hpp"
+
+namespace uhcg::simulink {
+namespace {
+
+// The mdl dialect is line-oriented: each line is either `Key values...`,
+// `Key {` (opening a nested section) or `}`. Parsing happens in two
+// stages: lines → generic section tree → Model.
+
+struct Section {
+    std::string name;
+    std::size_t line = 0;  // 1-based source line of the opening brace
+    // key → value token list (strings unquoted, arrays split into items)
+    std::vector<std::pair<std::string, std::vector<std::string>>> entries;
+    std::vector<Section> children;
+
+    const std::vector<std::string>* find(const std::string& key) const {
+        for (const auto& [k, v] : entries)
+            if (k == key) return &v;
+        return nullptr;
+    }
+    std::string get_string(const std::string& key, std::size_t src_line) const {
+        const auto* v = find(key);
+        if (!v || v->empty())
+            throw std::runtime_error("mdl line " + std::to_string(src_line) +
+                                     ": section '" + name + "' missing '" + key +
+                                     "'");
+        return v->front();
+    }
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+    throw std::runtime_error("mdl line " + std::to_string(line) + ": " + message);
+}
+
+/// Splits one line into tokens: bare words, "quoted strings" (unescaped),
+/// and bracketed arrays whose items become individual tokens.
+std::vector<std::string> tokenize(const std::string& line, std::size_t line_no) {
+    std::vector<std::string> tokens;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        char c = line[i];
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+            ++i;
+        } else if (c == '"') {
+            std::string tok;
+            ++i;
+            while (i < line.size() && line[i] != '"') {
+                if (line[i] == '\\' && i + 1 < line.size()) {
+                    ++i;
+                    // Inverse of the writer's escaping; \n restores a newline.
+                    tok += (line[i] == 'n') ? '\n' : line[i];
+                    ++i;
+                    continue;
+                }
+                tok += line[i++];
+            }
+            if (i >= line.size()) fail(line_no, "unterminated string");
+            ++i;
+            tokens.push_back(std::move(tok));
+        } else if (c == '[' || c == ']') {
+            ++i;  // arrays flatten into their items
+        } else {
+            std::string tok;
+            while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i])) &&
+                   line[i] != ',' && line[i] != '[' && line[i] != ']' &&
+                   line[i] != '"')
+                tok += line[i++];
+            tokens.push_back(std::move(tok));
+        }
+    }
+    return tokens;
+}
+
+Section parse_sections(const std::string& text) {
+    Section root;
+    root.name = "(file)";
+    std::vector<Section*> stack{&root};
+    std::istringstream in(text);
+    std::string raw;
+    std::size_t line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        // Strip comments (# to end of line, outside strings is enough for
+        // this dialect) and whitespace.
+        bool in_string = false;
+        std::string line;
+        for (char c : raw) {
+            if (c == '"') in_string = !in_string;
+            if (c == '#' && !in_string) break;
+            line += c;
+        }
+        std::size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos) continue;
+        std::size_t last = line.find_last_not_of(" \t\r");
+        line = line.substr(first, last - first + 1);
+
+        if (line == "}") {
+            if (stack.size() == 1) fail(line_no, "unmatched '}'");
+            stack.pop_back();
+            continue;
+        }
+        if (line.back() == '{') {
+            std::string name = line.substr(0, line.size() - 1);
+            std::size_t end = name.find_last_not_of(" \t");
+            name = name.substr(0, end + 1);
+            if (name.empty()) fail(line_no, "section without a name");
+            stack.back()->children.push_back({});
+            Section& child = stack.back()->children.back();
+            child.name = name;
+            child.line = line_no;
+            stack.push_back(&child);
+            continue;
+        }
+        std::vector<std::string> tokens = tokenize(line, line_no);
+        if (tokens.empty()) continue;
+        std::string key = tokens.front();
+        tokens.erase(tokens.begin());
+        stack.back()->entries.emplace_back(std::move(key), std::move(tokens));
+    }
+    if (stack.size() != 1) fail(line_no, "unterminated section '" +
+                                             stack.back()->name + "'");
+    return root;
+}
+
+// Keys consumed structurally; everything else becomes a block parameter.
+bool is_structural_key(const std::string& key) {
+    return key == "BlockType" || key == "Name" || key == "Ports" ||
+           key == "Tag" || key == "InPortName" || key == "OutPortName";
+}
+
+void build_system(System& system, const Section& section);
+
+void build_block(System& system, const Section& section) {
+    std::string type_name = section.get_string("BlockType", section.line);
+    auto type = block_type_from_string(type_name);
+    if (!type) fail(section.line, "unknown BlockType '" + type_name + "'");
+    std::string name = section.get_string("Name", section.line);
+    Block& block = system.add_block(name, *type);
+
+    if (const auto* ports = section.find("Ports")) {
+        if (ports->size() != 2) fail(section.line, "Ports must have two items");
+        block.set_ports(std::stoi((*ports)[0]), std::stoi((*ports)[1]));
+    }
+    if (const auto* tag = section.find("Tag")) {
+        auto role = caam_role_from_string(tag->front());
+        if (!role) fail(section.line, "unknown Tag '" + tag->front() + "'");
+        block.set_role(*role);
+    }
+    for (const auto& [key, values] : section.entries) {
+        if (is_structural_key(key)) continue;
+        if (values.size() != 1)
+            fail(section.line, "parameter '" + key + "' must have one value");
+        block.set_parameter(key, values.front());
+    }
+    for (const auto& [key, values] : section.entries) {
+        if (key == "InPortName") {
+            if (values.size() != 2) fail(section.line, "InPortName needs [n] name");
+            block.set_input_name(std::stoi(values[0]), values[1]);
+        } else if (key == "OutPortName") {
+            if (values.size() != 2) fail(section.line, "OutPortName needs [n] name");
+            block.set_output_name(std::stoi(values[0]), values[1]);
+        }
+    }
+    if (block.is_subsystem()) {
+        for (const Section& child : section.children)
+            if (child.name == "System") build_system(*block.system(), child);
+    }
+}
+
+PortRef resolve_port(System& system, const Section& section,
+                     const std::string& block_key, const std::string& port_key) {
+    std::string block_name = section.get_string(block_key, section.line);
+    Block* block = system.find_block(block_name);
+    if (!block)
+        fail(section.line, "line references unknown block '" + block_name + "'");
+    int port = std::stoi(section.get_string(port_key, section.line));
+    return {block, port};
+}
+
+void build_line(System& system, const Section& section) {
+    PortRef src = resolve_port(system, section, "SrcBlock", "SrcPort");
+    std::string name;
+    if (const auto* n = section.find("Name")) name = n->front();
+    bool any_dst = false;
+    if (section.find("DstBlock")) {
+        system.add_line(src, resolve_port(system, section, "DstBlock", "DstPort"),
+                        name);
+        any_dst = true;
+    }
+    for (const Section& branch : section.children) {
+        if (branch.name != "Branch") continue;
+        system.add_line(src, resolve_port(system, branch, "DstBlock", "DstPort"),
+                        name);
+        any_dst = true;
+    }
+    if (!any_dst) fail(section.line, "Line has no destination");
+}
+
+void build_system(System& system, const Section& section) {
+    // Blocks first so that lines can resolve endpoints.
+    for (const Section& child : section.children)
+        if (child.name == "Block") build_block(system, child);
+    for (const Section& child : section.children)
+        if (child.name == "Line") build_line(system, child);
+}
+
+}  // namespace
+
+Model parse_mdl(const std::string& text) {
+    Section file = parse_sections(text);
+    const Section* model_section = nullptr;
+    for (const Section& child : file.children)
+        if (child.name == "Model") model_section = &child;
+    if (!model_section) throw std::runtime_error("mdl file has no Model section");
+
+    Model model(model_section->get_string("Name", model_section->line));
+    if (const auto* s = model_section->find("Solver")) model.solver = s->front();
+    if (const auto* s = model_section->find("StopTime"))
+        model.stop_time = std::stod(s->front());
+    if (const auto* s = model_section->find("FixedStep"))
+        model.fixed_step = std::stod(s->front());
+
+    for (const Section& child : model_section->children)
+        if (child.name == "System") build_system(model.root(), child);
+    return model;
+}
+
+Model load_mdl(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open mdl file: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse_mdl(buf.str());
+}
+
+}  // namespace uhcg::simulink

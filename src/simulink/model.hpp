@@ -1,0 +1,230 @@
+// model.hpp — Simulink model representation, including the CAAM (Combined
+// Architecture Algorithm Model) extensions of the Simulink-based MPSoC
+// design flow the paper targets (Huang et al., DAC'07).
+//
+// A Model owns a tree of Systems; each System contains Blocks and Lines.
+// SubSystem blocks own a nested System. CAAM adds *roles* to subsystems
+// (CPU-SS, Thread-SS) and communication-channel blocks parameterized by a
+// protocol (SWFIFO for intra-CPU, GFIFO for inter-CPU) — exactly the
+// vocabulary of the paper's Fig. 3(c).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uhcg::simulink {
+
+class System;
+class Model;
+
+/// Block types used by generated CAAMs. `SFunction` covers user-defined
+/// behaviour (C code compiled and linked, §4.1); `CommChannel` is the CAAM
+/// communication block whose `Protocol` parameter selects SWFIFO/GFIFO.
+enum class BlockType {
+    SubSystem,
+    Inport,
+    Outport,
+    SFunction,
+    Product,
+    Sum,
+    Gain,
+    UnitDelay,
+    Constant,
+    Scope,
+    CommChannel,
+};
+
+std::string_view to_string(BlockType type);
+std::optional<BlockType> block_type_from_string(std::string_view name);
+
+/// CAAM structural role of a subsystem or channel block.
+enum class CaamRole {
+    None,
+    CpuSubsystem,     ///< CPU-SS: one per processor
+    ThreadSubsystem,  ///< Thread-SS: one per thread, nested in a CPU-SS
+    InterCpuChannel,  ///< inter-SS communication (GFIFO)
+    IntraCpuChannel,  ///< intra-SS communication (SWFIFO)
+};
+
+std::string_view to_string(CaamRole role);
+std::optional<CaamRole> caam_role_from_string(std::string_view name);
+
+/// Communication protocols the flow instantiates (§4.2.1).
+inline constexpr const char* kProtocolSwFifo = "SWFIFO";
+inline constexpr const char* kProtocolGFifo = "GFIFO";
+
+class Block;
+
+/// A port reference: block + 1-based port number (Simulink convention).
+struct PortRef {
+    Block* block = nullptr;
+    int port = 1;
+
+    friend bool operator==(const PortRef&, const PortRef&) = default;
+};
+
+/// One block inside a System.
+class Block {
+public:
+    friend class System;
+
+    Block(std::string name, BlockType type, System* parent);
+    ~Block();
+    Block(const Block&) = delete;
+    Block& operator=(const Block&) = delete;
+
+    const std::string& name() const { return name_; }
+    void rename(std::string name);
+    BlockType type() const { return type_; }
+    System* parent() const { return parent_; }
+
+    CaamRole role() const { return role_; }
+    void set_role(CaamRole role) { role_ = role; }
+
+    /// Free-form Simulink block parameters ("Gain", "Value", "Protocol",
+    /// "FunctionName", "SampleTime", ...), serialized into the mdl file.
+    void set_parameter(std::string_view key, std::string_view value);
+    const std::string* find_parameter(std::string_view key) const;
+    std::string parameter_or(std::string_view key, std::string fallback) const;
+    const std::map<std::string, std::string, std::less<>>& parameters() const {
+        return params_;
+    }
+
+    /// Port counts. Inport/Outport blocks have fixed (0,1)/(1,0) shapes;
+    /// other blocks are sized by the mapping.
+    int input_count() const { return inputs_; }
+    int output_count() const { return outputs_; }
+    void set_ports(int inputs, int outputs);
+
+    /// Names attached to ports (used for generated Inport/Outport labels
+    /// and for S-function argument names). 1-based lookup; empty when the
+    /// port is unnamed.
+    void set_input_name(int port, std::string name);
+    void set_output_name(int port, std::string name);
+    std::string input_name(int port) const;
+    std::string output_name(int port) const;
+    /// 1-based index of the input/output with this name, or 0.
+    int input_named(std::string_view name) const;
+    int output_named(std::string_view name) const;
+
+    /// Nested system; non-null exactly for SubSystem blocks.
+    System* system() { return system_.get(); }
+    const System* system() const { return system_.get(); }
+
+    bool is_subsystem() const { return type_ == BlockType::SubSystem; }
+    bool is_channel() const { return type_ == BlockType::CommChannel; }
+
+private:
+    std::string name_;
+    BlockType type_;
+    System* parent_;
+    CaamRole role_ = CaamRole::None;
+    int inputs_ = 0;
+    int outputs_ = 0;
+    std::map<std::string, std::string, std::less<>> params_;
+    std::map<int, std::string> input_names_;
+    std::map<int, std::string> output_names_;
+    std::unique_ptr<System> system_;
+};
+
+/// A signal line from one source port to one or more destination ports
+/// (Simulink branches).
+class Line {
+public:
+    Line(PortRef src, std::string name) : src_(src), name_(std::move(name)) {}
+
+    const PortRef& source() const { return src_; }
+    const std::vector<PortRef>& destinations() const { return dsts_; }
+    void add_destination(PortRef dst) { dsts_.push_back(dst); }
+    bool remove_destination(const PortRef& dst);
+
+    /// Signal name (the UML argument name that produced the link).
+    const std::string& name() const { return name_; }
+    void set_name(std::string name) { name_ = std::move(name); }
+
+private:
+    PortRef src_;
+    std::vector<PortRef> dsts_;
+    std::string name_;
+};
+
+/// A container of blocks and lines: the model root or a subsystem body.
+class System {
+public:
+    friend class Model;
+    System(std::string name, Block* owner_block, Model* model)
+        : name_(std::move(name)), owner_(owner_block), model_(model) {}
+    System(const System&) = delete;
+    System& operator=(const System&) = delete;
+
+    const std::string& name() const { return name_; }
+    /// SubSystem block owning this system; nullptr for the model root.
+    Block* owner_block() const { return owner_; }
+    Model* model() const { return model_; }
+
+    Block& add_block(std::string name, BlockType type);
+    /// Convenience: adds a SubSystem block (its nested System is created).
+    Block& add_subsystem(std::string name, CaamRole role = CaamRole::None);
+    Block* find_block(std::string_view name);
+    const Block* find_block(std::string_view name) const;
+    std::vector<Block*> blocks();
+    std::vector<const Block*> blocks() const;
+    std::vector<Block*> blocks_of(BlockType type);
+    std::vector<Block*> blocks_with_role(CaamRole role);
+    /// Removes a block and every line endpoint touching it. Invalidates
+    /// pointers to that block.
+    void remove_block(Block& block);
+
+    Line& add_line(PortRef src, PortRef dst, std::string name = {});
+    /// Line driven by this source port, or nullptr.
+    Line* line_from(const PortRef& src);
+    const Line* line_from(const PortRef& src) const;
+    /// Line feeding this destination port, or nullptr.
+    Line* line_into(const PortRef& dst);
+    const Line* line_into(const PortRef& dst) const;
+    std::vector<Line*> lines();
+    std::vector<const Line*> lines() const;
+    void remove_line(Line& line);
+
+    /// Deep counts over this system and all nested subsystems.
+    std::size_t total_blocks() const;
+    std::size_t total_lines() const;
+
+private:
+    std::string name_;
+    Block* owner_;
+    Model* model_;
+    std::vector<std::unique_ptr<Block>> blocks_;
+    std::vector<std::unique_ptr<Line>> lines_;
+};
+
+/// A Simulink model: solver settings + the root system.
+class Model {
+public:
+    explicit Model(std::string name);
+    Model(const Model&) = delete;
+    Model& operator=(const Model&) = delete;
+    Model(Model&& other) noexcept { *this = std::move(other); }
+    Model& operator=(Model&& other) noexcept;
+
+    const std::string& name() const { return name_; }
+    System& root() { return *root_; }
+    const System& root() const { return *root_; }
+
+    /// Fixed-step discrete solver settings serialized into the mdl.
+    double stop_time = 10.0;
+    double fixed_step = 1.0;
+    std::string solver = "FixedStepDiscrete";
+
+private:
+    void reanchor(System& system);
+
+    std::string name_;
+    std::unique_ptr<System> root_;
+};
+
+}  // namespace uhcg::simulink

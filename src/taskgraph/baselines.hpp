@@ -1,0 +1,27 @@
+// baselines.hpp — naive allocation strategies the benches compare linear
+// clustering against (bench_clustering, bench_ablation_alloc). These stand
+// in for "the designer decides the mapping by himself" without insight.
+#pragma once
+
+#include <cstdint>
+
+#include "taskgraph/clustering.hpp"
+#include "taskgraph/graph.hpp"
+
+namespace uhcg::taskgraph {
+
+/// Task i → cluster i mod k.
+Clustering round_robin_clustering(const TaskGraph& graph, std::size_t k);
+
+/// Uniform random assignment over k clusters (deterministic per seed).
+Clustering random_clustering(const TaskGraph& graph, std::size_t k,
+                             std::uint64_t seed);
+
+/// Everything on one processor (no parallelism, zero inter-CPU traffic).
+Clustering single_cluster(const TaskGraph& graph);
+
+/// Greedy load balancing: heaviest task first onto the least-loaded of k
+/// clusters; ignores communication entirely.
+Clustering load_balance_clustering(const TaskGraph& graph, std::size_t k);
+
+}  // namespace uhcg::taskgraph

@@ -1,0 +1,59 @@
+#include "taskgraph/dot.hpp"
+
+#include <sstream>
+
+namespace uhcg::taskgraph {
+namespace {
+
+std::string node_label(const TaskGraph& graph, TaskIndex t,
+                       const DotOptions& options) {
+    std::ostringstream out;
+    out << graph.name(t);
+    if (options.show_weights) out << " (w=" << graph.weight(t) << ")";
+    return out.str();
+}
+
+void emit_edges(std::ostringstream& out, const TaskGraph& graph,
+                const DotOptions& options) {
+    for (const Edge& e : graph.edges()) {
+        out << "  \"" << graph.name(e.from) << "\" -> \"" << graph.name(e.to)
+            << "\"";
+        if (options.show_costs) out << " [label=\"" << e.cost << "\"]";
+        out << ";\n";
+    }
+}
+
+}  // namespace
+
+std::string to_dot(const TaskGraph& graph, const DotOptions& options) {
+    std::ostringstream out;
+    out << "digraph \"" << options.name << "\" {\n"
+        << "  rankdir=TB;\n  node [shape=circle];\n";
+    for (TaskIndex t = 0; t < graph.task_count(); ++t)
+        out << "  \"" << graph.name(t) << "\" [label=\""
+            << node_label(graph, t, options) << "\"];\n";
+    emit_edges(out, graph, options);
+    out << "}\n";
+    return out.str();
+}
+
+std::string to_dot(const TaskGraph& graph, const Clustering& clustering,
+                   const DotOptions& options) {
+    std::ostringstream out;
+    out << "digraph \"" << options.name << "\" {\n"
+        << "  rankdir=TB;\n  node [shape=circle];\n";
+    auto groups = clustering.groups();
+    for (std::size_t c = 0; c < groups.size(); ++c) {
+        out << "  subgraph cluster_cpu" << c << " {\n"
+            << "    label=\"CPU" << c << "\";\n    style=rounded;\n";
+        for (TaskIndex t : groups[c])
+            out << "    \"" << graph.name(t) << "\" [label=\""
+                << node_label(graph, t, options) << "\"];\n";
+        out << "  }\n";
+    }
+    emit_edges(out, graph, options);
+    out << "}\n";
+    return out.str();
+}
+
+}  // namespace uhcg::taskgraph

@@ -1,0 +1,33 @@
+// dot.hpp — Graphviz export of task graphs and clusterings.
+//
+// The paper presents its allocation results as figures (Fig. 7(a)/(b));
+// these exporters regenerate those figures from live data: `dot -Tpng`
+// on the output reproduces the task graph, with clusters drawn as
+// subgraphs when a Clustering is supplied.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "taskgraph/clustering.hpp"
+#include "taskgraph/graph.hpp"
+
+namespace uhcg::taskgraph {
+
+struct DotOptions {
+    /// Graph name in the emitted `digraph <name> { ... }`.
+    std::string name = "taskgraph";
+    /// Show node weights as labels ("A (w=2)").
+    bool show_weights = false;
+    /// Show edge costs as labels.
+    bool show_costs = true;
+};
+
+/// Plain task graph (Fig. 7(a)).
+std::string to_dot(const TaskGraph& graph, const DotOptions& options = {});
+
+/// Task graph with clusters as Graphviz subgraph boxes (Fig. 7(b)).
+std::string to_dot(const TaskGraph& graph, const Clustering& clustering,
+                   const DotOptions& options = {});
+
+}  // namespace uhcg::taskgraph

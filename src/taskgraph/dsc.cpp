@@ -1,0 +1,76 @@
+#include "taskgraph/dsc.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace uhcg::taskgraph {
+
+Clustering dsc_clustering(const TaskGraph& graph) {
+    const std::size_t n = graph.task_count();
+    std::vector<int> cluster(n);
+    for (std::size_t t = 0; t < n; ++t) cluster[t] = static_cast<int>(t);
+
+    const auto blevel = graph.bottom_levels();
+    std::vector<double> finish(n, 0.0);
+    std::vector<double> cluster_free(n, 0.0);
+    std::vector<bool> examined(n, false);
+    std::vector<std::size_t> unexamined_preds(n, 0);
+    for (std::size_t t = 0; t < n; ++t)
+        unexamined_preds[t] = graph.in_edges(t).size();
+
+    auto start_time = [&](TaskIndex t, int own_cluster) {
+        double start = cluster_free[own_cluster];
+        for (std::size_t e : graph.in_edges(t)) {
+            const Edge& edge = graph.edge(e);
+            double arrival = finish[edge.from] +
+                             (cluster[edge.from] == own_cluster ? 0.0 : edge.cost);
+            start = std::max(start, arrival);
+        }
+        return start;
+    };
+
+    for (std::size_t step = 0; step < n; ++step) {
+        // Highest-priority free node; priority = tlevel + blevel, where the
+        // current tlevel is the start time under the evolving clustering.
+        TaskIndex best_task = 0;
+        double best_priority = -std::numeric_limits<double>::infinity();
+        bool found = false;
+        for (TaskIndex t = 0; t < n; ++t) {
+            if (examined[t] || unexamined_preds[t] != 0) continue;
+            double priority = start_time(t, cluster[t]) + blevel[t];
+            if (priority > best_priority + 1e-12) {
+                best_priority = priority;
+                best_task = t;
+                found = true;
+            }
+        }
+        if (!found) break;  // cycle guard; topological graphs never hit this
+        TaskIndex t = best_task;
+
+        // Dominant predecessor: the one whose message arrives last.
+        double base_start = start_time(t, cluster[t]);
+        int merge_cluster = -1;
+        double best_start = base_start;
+        for (std::size_t e : graph.in_edges(t)) {
+            const Edge& edge = graph.edge(e);
+            int c = cluster[edge.from];
+            if (c == cluster[t]) continue;
+            double candidate = start_time(t, c);
+            if (candidate < best_start - 1e-12) {
+                best_start = candidate;
+                merge_cluster = c;
+            }
+        }
+        if (merge_cluster >= 0) cluster[t] = merge_cluster;
+
+        double start = start_time(t, cluster[t]);
+        finish[t] = start + graph.weight(t);
+        cluster_free[cluster[t]] = finish[t];
+        examined[t] = true;
+        for (std::size_t e : graph.out_edges(t)) --unexamined_preds[graph.edge(e).to];
+    }
+
+    return Clustering::from_assignment(std::move(cluster));
+}
+
+}  // namespace uhcg::taskgraph

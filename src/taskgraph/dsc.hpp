@@ -1,0 +1,19 @@
+// dsc.hpp — Dominant Sequence Clustering (Yang & Gerasoulis), simplified.
+//
+// Included as the stronger comparison point for the ablation benches: the
+// paper chose *linear* clustering; DSC is the classic alternative that may
+// merge independent tasks into one cluster when that shortens the dominant
+// sequence. This implementation is the standard greedy variant: examine
+// nodes in descending (tlevel + blevel) priority among free nodes and
+// merge a node into its dominant predecessor's cluster when doing so does
+// not increase its start time.
+#pragma once
+
+#include "taskgraph/clustering.hpp"
+#include "taskgraph/graph.hpp"
+
+namespace uhcg::taskgraph {
+
+Clustering dsc_clustering(const TaskGraph& graph);
+
+}  // namespace uhcg::taskgraph

@@ -1,0 +1,105 @@
+#include "taskgraph/generate.hpp"
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace uhcg::taskgraph {
+
+TaskGraph random_layered_dag(const RandomDagOptions& options) {
+    TaskGraph g;
+    std::mt19937_64 rng(options.seed);
+    std::uniform_real_distribution<double> weight_dist(options.min_weight,
+                                                       options.max_weight);
+    std::uniform_real_distribution<double> cost_dist(options.min_cost,
+                                                     options.max_cost);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+    std::size_t layers = std::max<std::size_t>(1, options.layers);
+    std::vector<std::vector<TaskIndex>> layer_tasks(layers);
+    for (std::size_t t = 0; t < options.tasks; ++t) {
+        TaskIndex id = g.add_task("T" + std::to_string(t), weight_dist(rng));
+        layer_tasks[t % layers].push_back(id);
+    }
+    for (std::size_t layer = 0; layer + 1 < layers; ++layer) {
+        for (TaskIndex from : layer_tasks[layer]) {
+            bool connected = false;
+            for (TaskIndex to : layer_tasks[layer + 1]) {
+                if (coin(rng) < options.edge_probability) {
+                    g.add_edge(from, to, cost_dist(rng));
+                    connected = true;
+                }
+            }
+            // Orphan fallback: every non-final-layer task feeds someone.
+            if (!connected && !layer_tasks[layer + 1].empty())
+                g.add_edge(from, layer_tasks[layer + 1].front(), cost_dist(rng));
+        }
+    }
+    return g;
+}
+
+TaskGraph fork_join_graph(std::size_t width, std::size_t depth, double node_weight,
+                          double edge_cost) {
+    TaskGraph g;
+    TaskIndex source = g.add_task("src", node_weight);
+    TaskIndex sink = g.add_task("sink", node_weight);
+    for (std::size_t c = 0; c < width; ++c) {
+        TaskIndex prev = source;
+        for (std::size_t d = 0; d < depth; ++d) {
+            TaskIndex t = g.add_task(
+                "c" + std::to_string(c) + "_" + std::to_string(d), node_weight);
+            g.add_edge(prev, t, edge_cost);
+            prev = t;
+        }
+        g.add_edge(prev, sink, edge_cost);
+    }
+    return g;
+}
+
+TaskGraph chain_graph(std::size_t length, double node_weight, double edge_cost) {
+    TaskGraph g;
+    TaskIndex prev = 0;
+    for (std::size_t i = 0; i < length; ++i) {
+        TaskIndex t = g.add_task("n" + std::to_string(i), node_weight);
+        if (i > 0) g.add_edge(prev, t, edge_cost);
+        prev = t;
+    }
+    return g;
+}
+
+TaskGraph paper_synthetic_graph() {
+    TaskGraph g;
+    // Thread names follow Fig. 7(a): twelve threads A..M (no K).
+    TaskIndex a = g.add_task("A");
+    TaskIndex b = g.add_task("B");
+    TaskIndex c = g.add_task("C");
+    TaskIndex d = g.add_task("D");
+    TaskIndex e = g.add_task("E");
+    TaskIndex f = g.add_task("F");
+    TaskIndex gg = g.add_task("G");
+    TaskIndex h = g.add_task("H");
+    TaskIndex i = g.add_task("I");
+    TaskIndex j = g.add_task("J");
+    TaskIndex l = g.add_task("L");
+    TaskIndex m = g.add_task("M");
+
+    // Heavy critical path A-B-C-D-F-J ...
+    g.add_edge(a, b, 10);
+    g.add_edge(b, c, 11);
+    g.add_edge(c, d, 10);
+    g.add_edge(d, f, 12);
+    g.add_edge(f, j, 10);
+    // ... and three lighter side chains re-joining at J.
+    g.add_edge(a, e, 2);
+    g.add_edge(e, i, 8);
+    g.add_edge(i, j, 3);
+    g.add_edge(b, gg, 3);
+    g.add_edge(gg, m, 9);
+    g.add_edge(m, j, 2);
+    g.add_edge(c, h, 2);
+    g.add_edge(h, l, 7);
+    g.add_edge(l, j, 1);
+    return g;
+}
+
+}  // namespace uhcg::taskgraph

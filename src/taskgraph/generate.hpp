@@ -1,0 +1,39 @@
+// generate.hpp — synthetic task-graph workload generators for the
+// benchmark sweeps (the paper's synthetic example scaled up).
+#pragma once
+
+#include <cstdint>
+
+#include "taskgraph/graph.hpp"
+
+namespace uhcg::taskgraph {
+
+struct RandomDagOptions {
+    std::size_t tasks = 12;
+    std::size_t layers = 4;        ///< tasks are spread over this many ranks
+    double edge_probability = 0.4; ///< per candidate pair in adjacent layers
+    double min_weight = 1.0;
+    double max_weight = 4.0;
+    double min_cost = 1.0;
+    double max_cost = 12.0;
+    std::uint64_t seed = 1;
+};
+
+/// Layered random DAG: edges only go from layer i to layer i+1 (plus a
+/// fallback edge per orphan so the graph is connected enough to cluster).
+TaskGraph random_layered_dag(const RandomDagOptions& options);
+
+/// A fork-join graph: source → `width` parallel chains of `depth` → sink.
+/// The classic shape where linear clustering shines (it keeps each chain
+/// on one processor).
+TaskGraph fork_join_graph(std::size_t width, std::size_t depth, double node_weight,
+                          double edge_cost);
+
+/// A single chain of `length` tasks — degenerate case, one cluster.
+TaskGraph chain_graph(std::size_t length, double node_weight, double edge_cost);
+
+/// The paper's synthetic 12-thread task graph (Fig. 7(a)): critical path
+/// A-B-C-D-F-J plus the side chains E-I, G-M, H-L feeding back into J.
+TaskGraph paper_synthetic_graph();
+
+}  // namespace uhcg::taskgraph

@@ -1,0 +1,87 @@
+#include "taskgraph/linear.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace uhcg::taskgraph {
+namespace {
+
+/// Longest node+edge path restricted to unmarked nodes. Returns the path
+/// (possibly a single node) with maximal length; empty when all marked.
+std::vector<TaskIndex> restricted_critical_path(const TaskGraph& graph,
+                                                const std::vector<bool>& marked) {
+    const std::size_t n = graph.task_count();
+    // Longest path ending at t using only unmarked nodes.
+    std::vector<double> best(n, -1.0);
+    std::vector<std::ptrdiff_t> pred(n, -1);
+    auto order = graph.topological_order();
+    for (TaskIndex t : order) {
+        if (marked[t]) continue;
+        best[t] = std::max(best[t], graph.weight(t));
+        for (std::size_t e : graph.out_edges(t)) {
+            const Edge& edge = graph.edge(e);
+            if (marked[edge.to]) continue;
+            double candidate = best[t] + edge.cost + graph.weight(edge.to);
+            if (candidate > best[edge.to]) {
+                best[edge.to] = candidate;
+                pred[edge.to] = static_cast<std::ptrdiff_t>(t);
+            }
+        }
+    }
+    // Pick the maximal endpoint; break ties toward the smallest index so
+    // the algorithm is deterministic.
+    std::ptrdiff_t end = -1;
+    double best_len = -1.0;
+    for (TaskIndex t = 0; t < n; ++t) {
+        if (marked[t]) continue;
+        if (best[t] > best_len + 1e-12) {
+            best_len = best[t];
+            end = static_cast<std::ptrdiff_t>(t);
+        }
+    }
+    std::vector<TaskIndex> path;
+    for (std::ptrdiff_t t = end; t >= 0; t = pred[t])
+        path.push_back(static_cast<TaskIndex>(t));
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+}  // namespace
+
+Clustering linear_clustering(const TaskGraph& graph,
+                             const LinearClusteringOptions& options) {
+    const std::size_t n = graph.task_count();
+    std::vector<bool> marked(n, false);
+    std::vector<int> assignment(n, -1);
+    std::vector<double> cluster_weight;  // total node weight per cluster
+    int next_cluster = 0;
+
+    for (;;) {
+        std::vector<TaskIndex> path = restricted_critical_path(graph, marked);
+        if (path.empty()) break;
+        double path_weight = 0.0;
+        for (TaskIndex t : path) path_weight += graph.weight(t);
+
+        int cluster;
+        if (options.max_clusters != 0 &&
+            static_cast<std::size_t>(next_cluster) >= options.max_clusters) {
+            // Processor budget exhausted: fold this path into the lightest
+            // existing cluster instead of opening a new one.
+            cluster = 0;
+            for (int c = 1; c < next_cluster; ++c)
+                if (cluster_weight[c] < cluster_weight[cluster]) cluster = c;
+            cluster_weight[cluster] += path_weight;
+        } else {
+            cluster = next_cluster++;
+            cluster_weight.push_back(path_weight);
+        }
+        for (TaskIndex t : path) {
+            assignment[t] = cluster;
+            marked[t] = true;
+        }
+    }
+
+    return Clustering::from_assignment(std::move(assignment));
+}
+
+}  // namespace uhcg::taskgraph

@@ -1,0 +1,32 @@
+// linear.hpp — Linear Clustering (Gerasoulis & Yang, IEEE TPDS 4(6), 1993),
+// the thread-allocation algorithm of §4.2.3.
+//
+// The algorithm repeatedly finds the critical path of the still-unclustered
+// subgraph, merges every node on that path into one cluster, and removes
+// those nodes from further consideration. Properties the paper relies on:
+//  * all threads on the system critical path land on the same processor
+//    ("this algorithm allocates all threads that are in the system critical
+//    path to the same processor");
+//  * parallel (independent) tasks are separated into different clusters;
+//  * threads with heavy mutual data dependencies group together, cutting
+//    inter-processor traffic.
+#pragma once
+
+#include "taskgraph/clustering.hpp"
+#include "taskgraph/graph.hpp"
+
+namespace uhcg::taskgraph {
+
+struct LinearClusteringOptions {
+    /// Upper bound on clusters (processors). 0 = unlimited: one cluster per
+    /// critical-path iteration. When bounded, the lightest remaining
+    /// critical paths are folded into the cluster with the least total
+    /// weight, keeping the heaviest paths isolated.
+    std::size_t max_clusters = 0;
+};
+
+/// Runs linear clustering; the result is deterministic for a given graph.
+Clustering linear_clustering(const TaskGraph& graph,
+                             const LinearClusteringOptions& options = {});
+
+}  // namespace uhcg::taskgraph

@@ -1,0 +1,140 @@
+// engine.hpp — rule-based model-to-model transformation engine.
+//
+// The paper prescribes QVT/ATL-class technology for the mapping ("In order
+// to be flexible, technologies for model transformation, such as smartQVT
+// and ATL, should be used"). This engine reproduces the execution model
+// those tools share:
+//
+//  * *matched rules*: (source metaclass, guard) → imperative body creating
+//    target elements; applied to every matching source object, in rule
+//    registration order;
+//  * *trace links*: every rule application records source→target links;
+//    later rules resolve references through the trace (ATL's implicit
+//    resolveTemp), which is how cross-references in the target model are
+//    wired without ordering headaches;
+//  * *lazy rules*: invoked explicitly from rule bodies for on-demand
+//    element creation (one target per distinct source+rule, memoized).
+//
+// The engine is metamodel-agnostic: the UML→CAAM mapping in uhcg::core and
+// the retargeting examples (UML→FSM) are both expressed on it.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/object.hpp"
+
+namespace uhcg::transform {
+
+/// Trace model: records which target objects each rule derived from each
+/// source object.
+class Trace {
+public:
+    void record(const model::Object& source, const std::string& rule,
+                model::Object& target);
+
+    /// Targets created from `source` by `rule` (creation order).
+    std::vector<model::Object*> targets(const model::Object& source,
+                                        const std::string& rule) const;
+    /// First target created from `source` by any rule, or nullptr.
+    model::Object* resolve(const model::Object& source) const;
+    /// First target created from `source` by `rule`, or nullptr.
+    model::Object* resolve(const model::Object& source,
+                           const std::string& rule) const;
+
+    std::size_t link_count() const { return links_.size(); }
+
+private:
+    struct Link {
+        const model::Object* source;
+        std::string rule;
+        model::Object* target;
+    };
+    std::vector<Link> links_;
+    // (source, rule) → link indices, for O(log n) resolution.
+    std::map<std::pair<const model::Object*, std::string>, std::vector<std::size_t>>
+        by_source_rule_;
+    std::map<const model::Object*, std::size_t> first_by_source_;
+};
+
+class Engine;
+
+/// Execution context handed to rule bodies.
+class Context {
+public:
+    Context(Engine& engine, const model::ObjectModel& source,
+            model::ObjectModel& target, Trace& trace)
+        : engine_(&engine), source_(&source), target_(&target), trace_(&trace) {}
+
+    const model::ObjectModel& source() const { return *source_; }
+    model::ObjectModel& target() { return *target_; }
+    Trace& trace() { return *trace_; }
+
+    /// Creates a target object and records the trace link for `rule`.
+    model::Object& create(const model::Object& source, const std::string& rule,
+                          std::string_view target_class, std::string id = {});
+
+    /// Invokes a lazy rule on `source`; returns the (memoized) target.
+    model::Object& call_lazy(const std::string& rule, const model::Object& source);
+
+private:
+    Engine* engine_;
+    const model::ObjectModel* source_;
+    model::ObjectModel* target_;
+    Trace* trace_;
+};
+
+/// A matched rule.
+struct Rule {
+    std::string name;
+    /// Source metaclass filter; instances conforming to it are matched.
+    std::string source_class;
+    /// Optional guard; nullptr = always applies.
+    std::function<bool(const model::Object&)> guard;
+    /// Imperative body. Must create its targets through Context::create so
+    /// trace links exist for downstream rules.
+    std::function<void(Context&, const model::Object&)> body;
+};
+
+/// A lazy rule: creates exactly one target object per source, on demand.
+struct LazyRule {
+    std::string name;
+    std::string target_class;
+    /// Body initializing the freshly created target.
+    std::function<void(Context&, const model::Object&, model::Object&)> body;
+};
+
+/// Per-run statistics (rule → number of applications).
+struct RunStats {
+    std::map<std::string, std::size_t> applications;
+    std::size_t source_objects = 0;
+    std::size_t target_objects = 0;
+    std::size_t trace_links = 0;
+};
+
+class Engine {
+public:
+    explicit Engine(const model::Metamodel& target_metamodel)
+        : target_mm_(&target_metamodel) {}
+
+    Engine& add_rule(Rule rule);
+    Engine& add_lazy_rule(LazyRule rule);
+
+    /// Runs all matched rules (registration order; per rule, source objects
+    /// in creation order) and returns the target model. The trace out-param
+    /// is optional; pass one to inspect/extend the mapping afterwards.
+    model::ObjectModel run(const model::ObjectModel& source,
+                           Trace* trace_out = nullptr,
+                           RunStats* stats_out = nullptr);
+
+private:
+    friend class Context;
+
+    const model::Metamodel* target_mm_;
+    std::vector<Rule> rules_;
+    std::vector<LazyRule> lazy_rules_;
+};
+
+}  // namespace uhcg::transform

@@ -1,0 +1,85 @@
+#include "uml/activity.hpp"
+
+#include <stdexcept>
+
+namespace uhcg::uml {
+
+CallAction& CallAction::pin_in(std::string var) {
+    inputs_.push_back(std::move(var));
+    return *this;
+}
+
+CallAction& CallAction::pin_out(std::string var) {
+    output_ = std::move(var);
+    return *this;
+}
+
+CallAction& CallAction::data(double bytes) {
+    data_size_ = bytes;
+    return *this;
+}
+
+CallAction& Activity::add_call(std::string operation, ObjectInstance& target) {
+    actions_.push_back(
+        std::make_unique<CallAction>(std::move(operation), &target));
+    return *actions_.back();
+}
+
+std::vector<const CallAction*> Activity::actions() const {
+    std::vector<const CallAction*> out;
+    for (const auto& a : actions_) out.push_back(a.get());
+    return out;
+}
+
+std::vector<CallAction*> Activity::actions() {
+    std::vector<CallAction*> out;
+    for (const auto& a : actions_) out.push_back(a.get());
+    return out;
+}
+
+Activity& ActivityRegistry::add(std::string name, ObjectInstance& performer) {
+    if (!performer.is_thread())
+        throw std::invalid_argument("activity performer '" + performer.name() +
+                                    "' must be a <<SASchedRes>> thread");
+    activities_.push_back(
+        std::make_unique<Activity>(std::move(name), &performer));
+    return *activities_.back();
+}
+
+std::vector<const Activity*> ActivityRegistry::activities() const {
+    std::vector<const Activity*> out;
+    for (const auto& a : activities_) out.push_back(a.get());
+    return out;
+}
+
+std::vector<Activity*> ActivityRegistry::activities() {
+    std::vector<Activity*> out;
+    for (const auto& a : activities_) out.push_back(a.get());
+    return out;
+}
+
+std::size_t lower_activities(Model& model, const ActivityRegistry& registry) {
+    std::size_t count = 0;
+    for (const Activity* activity : registry.activities()) {
+        ObjectInstance* performer = activity->performer();
+        if (!model.find_object(performer->name()))
+            throw std::invalid_argument("activity '" + activity->name() +
+                                        "' performer is not in the model");
+        SequenceDiagram& sd =
+            model.add_sequence_diagram(activity->name() + "_seq");
+        Lifeline& self = sd.add_lifeline(*performer);
+        for (const CallAction* action : activity->actions()) {
+            ObjectInstance* target = action->target();
+            Lifeline* to = sd.find_lifeline(*target);
+            if (!to) to = &sd.add_lifeline(*target);
+            Message& m = sd.add_message(self, *to, action->operation());
+            for (const std::string& var : action->inputs()) m.add_argument(var);
+            if (!action->output().empty()) m.set_result_name(action->output());
+            m.set_data_size(action->data_size());
+        }
+        ++count;
+    }
+    return count;
+}
+
+}  // namespace uhcg::uml

@@ -1,0 +1,92 @@
+// activity.hpp — UML activity diagrams as an alternative thread-behaviour
+// notation.
+//
+// §6 (future work): "other behavior diagrams could also be used by a
+// designer, since UML provides them. Thus, we plan to extend this mapping
+// to support other UML diagrams, such as activity diagrams." This module
+// adds the activity subset that is equivalent to the supported sequence
+// diagrams: one activity per thread, call-operation actions with input
+// pins (argument names) and output pins (result bindings), object flows
+// implied by pin-name matching — then lowers activities to ordinary
+// interactions so the whole existing flow (§4.1 mapping, §4.2
+// optimizations, KPN retargeting) consumes them unchanged.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "uml/model.hpp"
+
+namespace uhcg::uml {
+
+/// A call-operation action: the performer invokes `operation` on `target`.
+class CallAction {
+public:
+    CallAction(std::string operation, ObjectInstance* target)
+        : operation_(std::move(operation)), target_(target) {}
+
+    const std::string& operation() const { return operation_; }
+    ObjectInstance* target() const { return target_; }
+
+    /// Input pins: value names consumed (→ message arguments).
+    CallAction& pin_in(std::string var);
+    const std::vector<std::string>& inputs() const { return inputs_; }
+
+    /// Output pin: name bound to the call's result (→ message result).
+    CallAction& pin_out(std::string var);
+    const std::string& output() const { return output_; }
+
+    /// Transferred bytes for inter-thread calls (task-graph edge weight).
+    CallAction& data(double bytes);
+    double data_size() const { return data_size_; }
+
+private:
+    std::string operation_;
+    ObjectInstance* target_;
+    std::vector<std::string> inputs_;
+    std::string output_;
+    double data_size_ = 1.0;
+};
+
+/// An activity describing one thread's behaviour: actions in control-flow
+/// order (the activity's action sequence along its control edges).
+class Activity {
+public:
+    Activity(std::string name, ObjectInstance* performer)
+        : name_(std::move(name)), performer_(performer) {}
+
+    const std::string& name() const { return name_; }
+    /// The <<SASchedRes>> object whose behaviour this activity describes.
+    ObjectInstance* performer() const { return performer_; }
+
+    CallAction& add_call(std::string operation, ObjectInstance& target);
+    std::vector<const CallAction*> actions() const;
+    std::vector<CallAction*> actions();
+
+private:
+    std::string name_;
+    ObjectInstance* performer_;
+    std::vector<std::unique_ptr<CallAction>> actions_;
+};
+
+/// Container mix-in: activities owned by a Model (kept separate from
+/// model.hpp to avoid growing its interface; the registry lives here).
+class ActivityRegistry {
+public:
+    Activity& add(std::string name, ObjectInstance& performer);
+    std::vector<const Activity*> activities() const;
+    std::vector<Activity*> activities();
+    bool empty() const { return activities_.empty(); }
+
+private:
+    std::vector<std::unique_ptr<Activity>> activities_;
+};
+
+/// Lowers every activity in `registry` into an equivalent sequence diagram
+/// added to `model` (named "<activity>_seq"): each call action becomes a
+/// message from the performer's lifeline with the pins as arguments/
+/// result. Returns the number of diagrams synthesized.
+std::size_t lower_activities(Model& model, const ActivityRegistry& registry);
+
+}  // namespace uhcg::uml

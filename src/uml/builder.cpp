@@ -1,0 +1,83 @@
+#include "uml/builder.hpp"
+
+#include <stdexcept>
+
+namespace uhcg::uml {
+
+Lifeline& SequenceBuilder::lifeline_for(const std::string& object_name) {
+    ObjectInstance* obj = model_->find_object(object_name);
+    if (!obj)
+        throw std::invalid_argument("sequence diagram '" + diagram_->name() +
+                                    "' references unknown object '" + object_name +
+                                    "'");
+    if (Lifeline* existing = diagram_->find_lifeline(*obj)) return *existing;
+    return diagram_->add_lifeline(*obj);
+}
+
+MessageBuilder SequenceBuilder::message(const std::string& from,
+                                        const std::string& to,
+                                        std::string operation) {
+    Lifeline& f = lifeline_for(from);
+    Lifeline& t = lifeline_for(to);
+    return MessageBuilder(diagram_->add_message(f, t, std::move(operation)));
+}
+
+ObjectInstance& ModelBuilder::thread(const std::string& name,
+                                     const std::string& classifier) {
+    Class* cls = nullptr;
+    if (!classifier.empty()) {
+        cls = model_.find_class(classifier);
+        if (!cls)
+            throw std::invalid_argument("unknown classifier '" + classifier + "'");
+    }
+    ObjectInstance& obj = model_.add_object(name, cls);
+    obj.add_stereotype(Stereotype::SASchedRes);
+    return obj;
+}
+
+ObjectInstance& ModelBuilder::passive(const std::string& name,
+                                      const std::string& classifier) {
+    Class* cls = model_.find_class(classifier);
+    if (!cls) throw std::invalid_argument("unknown classifier '" + classifier + "'");
+    return model_.add_object(name, cls);
+}
+
+ObjectInstance& ModelBuilder::platform() {
+    if (ObjectInstance* existing = model_.find_object("Platform")) return *existing;
+    return model_.add_object("Platform", nullptr);
+}
+
+ObjectInstance& ModelBuilder::iodevice(const std::string& name) {
+    ObjectInstance& obj = model_.add_object(name, nullptr);
+    obj.add_stereotype(Stereotype::IO);
+    return obj;
+}
+
+NodeInstance& ModelBuilder::cpu(const std::string& name) {
+    NodeInstance& node = model_.deployment().add_node(name);
+    node.add_stereotype(Stereotype::SAengine);
+    return node;
+}
+
+Bus& ModelBuilder::bus(const std::string& name,
+                       const std::vector<std::string>& node_names) {
+    Bus& b = model_.deployment().add_bus(name);
+    for (const auto& n : node_names) {
+        NodeInstance* node = model_.deployment().find_node(n);
+        if (!node) throw std::invalid_argument("unknown node '" + n + "'");
+        b.connect(*node);
+    }
+    return b;
+}
+
+ModelBuilder& ModelBuilder::deploy(const std::string& thread_name,
+                                   const std::string& node_name) {
+    ObjectInstance* obj = model_.find_object(thread_name);
+    NodeInstance* node = model_.deployment().find_node(node_name);
+    if (!obj) throw std::invalid_argument("unknown object '" + thread_name + "'");
+    if (!node) throw std::invalid_argument("unknown node '" + node_name + "'");
+    model_.deployment().deploy(*obj, *node);
+    return *this;
+}
+
+}  // namespace uhcg::uml

@@ -1,0 +1,155 @@
+// builder.hpp — fluent construction API for uml::Model.
+//
+// The paper's step 1 ("UML model construction ... made by the designer" in
+// MagicDraw) corresponds here to either loading XMI or building the model
+// programmatically. The builder makes the programmatic path concise enough
+// for tests, examples and benchmark workload generators:
+//
+//   ModelBuilder b("didactic");
+//   b.cls("Dec").op("dec").in("x").result("r");
+//   b.thread("T1");
+//   b.passive("Dec1", "Dec");
+//   b.platform();
+//   auto& sd = b.seq("T1_behaviour");
+//   sd.message("T1", "Dec1", "dec").arg("x2").result("r2").data(8);
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "uml/model.hpp"
+
+namespace uhcg::uml {
+
+class ModelBuilder;
+
+/// Fluent wrapper around one Operation.
+class OperationBuilder {
+public:
+    explicit OperationBuilder(Operation& op) : op_(&op) {}
+
+    OperationBuilder& in(std::string name, std::string type = "double") {
+        op_->add_parameter({std::move(name), std::move(type), ParameterDirection::In});
+        return *this;
+    }
+    OperationBuilder& out(std::string name, std::string type = "double") {
+        op_->add_parameter({std::move(name), std::move(type), ParameterDirection::Out});
+        return *this;
+    }
+    OperationBuilder& result(std::string name = "return", std::string type = "double") {
+        op_->add_parameter(
+            {std::move(name), std::move(type), ParameterDirection::Return});
+        return *this;
+    }
+    OperationBuilder& body(std::string code) {
+        op_->set_body(std::move(code));
+        return *this;
+    }
+    Operation& done() { return *op_; }
+
+private:
+    Operation* op_;
+};
+
+/// Fluent wrapper around one Class.
+class ClassBuilder {
+public:
+    explicit ClassBuilder(Class& cls) : cls_(&cls) {}
+
+    ClassBuilder& active(bool value = true) {
+        cls_->set_active(value);
+        return *this;
+    }
+    OperationBuilder op(std::string name) {
+        return OperationBuilder(cls_->add_operation(std::move(name)));
+    }
+    Class& done() { return *cls_; }
+
+private:
+    Class* cls_;
+};
+
+/// Fluent wrapper around one sequence-diagram Message.
+class MessageBuilder {
+public:
+    explicit MessageBuilder(Message& msg) : msg_(&msg) {}
+
+    MessageBuilder& arg(std::string name) {
+        msg_->add_argument(std::move(name));
+        return *this;
+    }
+    MessageBuilder& result(std::string name) {
+        msg_->set_result_name(std::move(name));
+        return *this;
+    }
+    /// Transferred bytes — becomes the task-graph edge weight.
+    MessageBuilder& data(double bytes) {
+        msg_->set_data_size(bytes);
+        return *this;
+    }
+    Message& done() { return *msg_; }
+
+private:
+    Message* msg_;
+};
+
+/// Fluent wrapper around one SequenceDiagram. Lifelines are created lazily
+/// the first time an object participates in a message.
+class SequenceBuilder {
+public:
+    SequenceBuilder(SequenceDiagram& diagram, Model& model)
+        : diagram_(&diagram), model_(&model) {}
+
+    /// Adds a message `from.op(...)` → `to`; both endpoints are object
+    /// names, resolved (and their lifelines created) on demand.
+    MessageBuilder message(const std::string& from, const std::string& to,
+                           std::string operation);
+
+    SequenceDiagram& done() { return *diagram_; }
+
+private:
+    Lifeline& lifeline_for(const std::string& object_name);
+
+    SequenceDiagram* diagram_;
+    Model* model_;
+};
+
+/// Top-level fluent builder owning the model under construction.
+class ModelBuilder {
+public:
+    explicit ModelBuilder(std::string name) : model_(std::move(name)) {}
+
+    ClassBuilder cls(std::string name) {
+        return ClassBuilder(model_.add_class(std::move(name)));
+    }
+
+    /// Adds a <<SASchedRes>> object (a thread). When `classifier` is given
+    /// it must already exist.
+    ObjectInstance& thread(const std::string& name, const std::string& classifier = {});
+    /// Adds a passive object of an existing class.
+    ObjectInstance& passive(const std::string& name, const std::string& classifier);
+    /// Adds (once) the special Platform object representing the Simulink
+    /// block library.
+    ObjectInstance& platform();
+    /// Adds an <<IO>> device object.
+    ObjectInstance& iodevice(const std::string& name);
+
+    SequenceBuilder seq(std::string name) {
+        return SequenceBuilder(model_.add_sequence_diagram(std::move(name)), model_);
+    }
+
+    /// Adds an <<SAengine>> processor node to the deployment diagram.
+    NodeInstance& cpu(const std::string& name);
+    /// Connects nodes with a bus.
+    Bus& bus(const std::string& name, const std::vector<std::string>& node_names);
+    /// Allocates a thread object onto a node (both by name; must exist).
+    ModelBuilder& deploy(const std::string& thread_name, const std::string& node_name);
+
+    Model& model() { return model_; }
+    Model take() { return std::move(model_); }
+
+private:
+    Model model_;
+};
+
+}  // namespace uhcg::uml

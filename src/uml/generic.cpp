@@ -1,0 +1,267 @@
+#include "uml/generic.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace uhcg::uml {
+namespace {
+
+using model::AttrType;
+using model::Metamodel;
+using model::Object;
+using model::ObjectModel;
+
+Metamodel build_metamodel() {
+    Metamodel mm("UML");
+
+    auto& m = mm.add_class("Model");
+    m.add_attribute({"name", AttrType::String, {}, std::nullopt});
+    m.add_reference({"classes", "Class", true, true, false});
+    m.add_reference({"objects", "ObjectInstance", true, true, false});
+    m.add_reference({"interactions", "Interaction", true, true, false});
+    m.add_reference({"nodes", "Node", true, true, false});
+    m.add_reference({"buses", "Bus", true, true, false});
+    m.add_reference({"deployments", "Deployment", true, true, false});
+
+    auto& c = mm.add_class("Class");
+    c.add_attribute({"name", AttrType::String, {}, std::nullopt});
+    c.add_attribute({"isActive", AttrType::Bool, {}, "false"});
+    c.add_reference({"operations", "Operation", true, true, false});
+
+    auto& op = mm.add_class("Operation");
+    op.add_attribute({"name", AttrType::String, {}, std::nullopt});
+    op.add_attribute({"body", AttrType::String, {}, ""});
+    op.add_reference({"parameters", "Parameter", true, true, false});
+
+    auto& p = mm.add_class("Parameter");
+    p.add_attribute({"name", AttrType::String, {}, std::nullopt});
+    p.add_attribute({"type", AttrType::String, {}, "double"});
+    p.add_attribute(
+        {"direction", AttrType::Enum, {"in", "out", "inout", "return"}, "in"});
+
+    auto& o = mm.add_class("ObjectInstance");
+    o.add_attribute({"name", AttrType::String, {}, std::nullopt});
+    o.add_attribute({"isThread", AttrType::Bool, {}, "false"});
+    o.add_attribute({"isIO", AttrType::Bool, {}, "false"});
+    o.add_reference({"classifier", "Class", false, false, false});
+
+    auto& ia = mm.add_class("Interaction");
+    ia.add_attribute({"name", AttrType::String, {}, std::nullopt});
+    ia.add_reference({"lifelines", "Lifeline", true, true, false});
+    ia.add_reference({"messages", "Message", true, true, false});
+
+    auto& ll = mm.add_class("Lifeline");
+    ll.add_reference({"represents", "ObjectInstance", false, false, true});
+
+    auto& msg = mm.add_class("Message");
+    msg.add_attribute({"operation", AttrType::String, {}, std::nullopt});
+    msg.add_attribute({"result", AttrType::String, {}, ""});
+    msg.add_attribute({"dataSize", AttrType::Real, {}, "1"});
+    msg.add_reference({"from", "Lifeline", false, false, true});
+    msg.add_reference({"to", "Lifeline", false, false, true});
+    msg.add_reference({"arguments", "Argument", true, true, false});
+
+    auto& arg = mm.add_class("Argument");
+    arg.add_attribute({"name", AttrType::String, {}, std::nullopt});
+
+    auto& n = mm.add_class("Node");
+    n.add_attribute({"name", AttrType::String, {}, std::nullopt});
+    n.add_attribute({"isProcessor", AttrType::Bool, {}, "false"});
+
+    auto& b = mm.add_class("Bus");
+    b.add_attribute({"name", AttrType::String, {}, std::nullopt});
+    b.add_reference({"nodes", "Node", false, true, false});
+
+    auto& d = mm.add_class("Deployment");
+    d.add_reference({"artifact", "ObjectInstance", false, false, true});
+    d.add_reference({"node", "Node", false, false, true});
+
+    return mm;
+}
+
+}  // namespace
+
+const Metamodel& uml_metamodel() {
+    static const Metamodel mm = build_metamodel();
+    return mm;
+}
+
+ObjectModel to_generic(const Model& typed) {
+    ObjectModel out(uml_metamodel());
+    Object& root = out.create("Model", "model." + typed.name());
+    root.set("name", typed.name());
+
+    std::map<const Class*, Object*> class_map;
+    std::map<const ObjectInstance*, Object*> object_map;
+    std::map<const NodeInstance*, Object*> node_map;
+
+    for (const Class* c : typed.classes()) {
+        Object& gc = out.create("Class", "class." + c->name());
+        gc.set("name", c->name());
+        gc.set("isActive", c->is_active());
+        root.add_ref("classes", gc);
+        class_map[c] = &gc;
+        for (const Operation* op : c->operations()) {
+            Object& gop = out.create("Operation", "op." + c->name() + "." + op->name());
+            gop.set("name", op->name());
+            gop.set("body", op->body());
+            gc.add_ref("operations", gop);
+            std::size_t index = 0;
+            for (const Parameter& p : op->parameters()) {
+                Object& gp = out.create("Parameter", gop.id() + ".p" +
+                                                         std::to_string(index++));
+                gp.set("name", p.name);
+                gp.set("type", p.type);
+                gp.set("direction", std::string(to_string(p.direction)));
+                gop.add_ref("parameters", gp);
+            }
+        }
+    }
+
+    for (const ObjectInstance* o : typed.objects()) {
+        Object& go = out.create("ObjectInstance", "obj." + o->name());
+        go.set("name", o->name());
+        go.set("isThread", o->is_thread());
+        go.set("isIO", o->is_io_device());
+        if (o->classifier()) go.set_ref("classifier", class_map.at(o->classifier()));
+        root.add_ref("objects", go);
+        object_map[o] = &go;
+    }
+
+    for (const SequenceDiagram* d : typed.sequence_diagrams()) {
+        Object& gd = out.create("Interaction", "ia." + d->name());
+        gd.set("name", d->name());
+        root.add_ref("interactions", gd);
+        std::map<const Lifeline*, Object*> lifeline_map;
+        for (const auto& l : d->lifelines()) {
+            Object& gl = out.create(
+                "Lifeline", "ll." + d->name() + "." + l->represents()->name());
+            gl.set_ref("represents", object_map.at(l->represents()));
+            gd.add_ref("lifelines", gl);
+            lifeline_map[l.get()] = &gl;
+        }
+        std::size_t index = 0;
+        for (const Message* m : d->messages()) {
+            Object& gm =
+                out.create("Message", "msg." + d->name() + "." + std::to_string(index));
+            gm.set("operation", m->operation_name());
+            gm.set("result", m->result_name());
+            gm.set("dataSize", m->data_size());
+            gm.set_ref("from", lifeline_map.at(m->from()));
+            gm.set_ref("to", lifeline_map.at(m->to()));
+            std::size_t arg_index = 0;
+            for (const MessageArgument& a : m->arguments()) {
+                Object& ga = out.create("Argument", gm.id() + ".a" +
+                                                        std::to_string(arg_index++));
+                ga.set("name", a.name);
+                gm.add_ref("arguments", ga);
+            }
+            gd.add_ref("messages", gm);
+            ++index;
+        }
+    }
+
+    if (const DeploymentDiagram* dd = typed.deployment_or_null()) {
+        for (const NodeInstance* n : dd->nodes()) {
+            Object& gn = out.create("Node", "node." + n->name());
+            gn.set("name", n->name());
+            gn.set("isProcessor", n->is_processor());
+            root.add_ref("nodes", gn);
+            node_map[n] = &gn;
+        }
+        for (const auto& bus : dd->buses()) {
+            Object& gb = out.create("Bus", "bus." + bus->name());
+            gb.set("name", bus->name());
+            for (const NodeInstance* n : bus->nodes())
+                gb.add_ref("nodes", *node_map.at(n));
+            root.add_ref("buses", gb);
+        }
+        std::size_t index = 0;
+        for (const Deployment& dep : dd->deployments()) {
+            Object& gd = out.create("Deployment", "dep." + std::to_string(index++));
+            gd.set_ref("artifact", object_map.at(dep.artifact));
+            gd.set_ref("node", node_map.at(dep.node));
+            root.add_ref("deployments", gd);
+        }
+    }
+
+    return out;
+}
+
+Model from_generic(const ObjectModel& generic) {
+    const auto roots = generic.all_of("Model");
+    if (roots.size() != 1)
+        throw std::runtime_error("generic UML model must contain exactly one Model");
+    const Object& root = *roots.front();
+
+    Model out(root.get_string("name"));
+    std::map<const Object*, Class*> class_map;
+    std::map<const Object*, ObjectInstance*> object_map;
+    std::map<const Object*, NodeInstance*> node_map;
+    std::map<const Object*, Lifeline*> lifeline_map;
+
+    for (const Object* gc : root.refs("classes")) {
+        Class& c = out.add_class(gc->get_string("name"));
+        c.set_active(gc->get_bool("isActive"));
+        class_map[gc] = &c;
+        for (const Object* gop : gc->refs("operations")) {
+            Operation& op = c.add_operation(gop->get_string("name"));
+            op.set_body(gop->get_string("body"));
+            for (const Object* gp : gop->refs("parameters")) {
+                Parameter p;
+                p.name = gp->get_string("name");
+                p.type = gp->get_string("type");
+                p.direction = *direction_from_string(gp->get_string("direction"));
+                op.add_parameter(std::move(p));
+            }
+        }
+    }
+
+    for (const Object* go : root.refs("objects")) {
+        Class* classifier = nullptr;
+        if (const Object* gc = go->ref("classifier")) classifier = class_map.at(gc);
+        ObjectInstance& o = out.add_object(go->get_string("name"), classifier);
+        if (go->get_bool("isThread")) o.add_stereotype(Stereotype::SASchedRes);
+        if (go->get_bool("isIO")) o.add_stereotype(Stereotype::IO);
+        object_map[go] = &o;
+    }
+
+    for (const Object* gd : root.refs("interactions")) {
+        SequenceDiagram& d = out.add_sequence_diagram(gd->get_string("name"));
+        for (const Object* gl : gd->refs("lifelines")) {
+            const Object* rep = gl->ref("represents");
+            if (!rep) throw std::runtime_error("lifeline without represents");
+            lifeline_map[gl] = &d.add_lifeline(*object_map.at(rep));
+        }
+        for (const Object* gm : gd->refs("messages")) {
+            Lifeline* from = lifeline_map.at(gm->ref("from"));
+            Lifeline* to = lifeline_map.at(gm->ref("to"));
+            Message& m = d.add_message(*from, *to, gm->get_string("operation"));
+            m.set_result_name(gm->get_string("result"));
+            m.set_data_size(gm->get_real("dataSize"));
+            for (const Object* ga : gm->refs("arguments"))
+                m.add_argument(ga->get_string("name"));
+        }
+    }
+
+    if (!root.refs("nodes").empty() || !root.refs("deployments").empty()) {
+        DeploymentDiagram& dd = out.deployment();
+        for (const Object* gn : root.refs("nodes")) {
+            NodeInstance& n = dd.add_node(gn->get_string("name"));
+            if (gn->get_bool("isProcessor")) n.add_stereotype(Stereotype::SAengine);
+            node_map[gn] = &n;
+        }
+        for (const Object* gb : root.refs("buses")) {
+            Bus& b = dd.add_bus(gb->get_string("name"));
+            for (const Object* gn : gb->refs("nodes")) b.connect(*node_map.at(gn));
+        }
+        for (const Object* gd : root.refs("deployments")) {
+            dd.deploy(*object_map.at(gd->ref("artifact")),
+                      *node_map.at(gd->ref("node")));
+        }
+    }
+
+    return out;
+}
+
+}  // namespace uhcg::uml

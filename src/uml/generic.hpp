@@ -1,0 +1,31 @@
+// generic.hpp — bridge between the typed uml::Model API and the reflective
+// model::ObjectModel layer.
+//
+// The paper's transformation is a model-to-model mapping executed by a
+// QVT/ATL-class engine over metamodel-conformant object graphs. This file
+// registers the UML metamodel with the reflective layer and converts typed
+// models to/from generic ones, so uhcg::transform rules can traverse UML
+// the way the Java/EMF prototype did.
+//
+// State machines are deliberately not part of the generic projection: the
+// FSM branch maps them directly (uhcg::fsm), as Fig. 1 routes control-flow
+// models to a separate generator.
+#pragma once
+
+#include "model/metamodel.hpp"
+#include "model/object.hpp"
+#include "uml/model.hpp"
+
+namespace uhcg::uml {
+
+/// The UML metamodel (subset used by the flow), registered once.
+const model::Metamodel& uml_metamodel();
+
+/// Projects a typed model into a generic one (deep copy).
+model::ObjectModel to_generic(const Model& model);
+
+/// Rebuilds a typed model from a generic one. Throws std::runtime_error on
+/// graphs that do not conform to uml_metamodel().
+Model from_generic(const model::ObjectModel& generic);
+
+}  // namespace uhcg::uml

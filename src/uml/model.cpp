@@ -1,0 +1,339 @@
+#include "uml/model.hpp"
+
+#include <algorithm>
+
+namespace uhcg::uml {
+
+std::string_view to_string(Stereotype s) {
+    switch (s) {
+        case Stereotype::SASchedRes: return "SASchedRes";
+        case Stereotype::SAengine: return "SAengine";
+        case Stereotype::IO: return "IO";
+    }
+    return "?";
+}
+
+std::optional<Stereotype> stereotype_from_string(std::string_view name) {
+    if (name == "SASchedRes") return Stereotype::SASchedRes;
+    if (name == "SAengine") return Stereotype::SAengine;
+    if (name == "IO") return Stereotype::IO;
+    return std::nullopt;
+}
+
+std::string_view to_string(ParameterDirection d) {
+    switch (d) {
+        case ParameterDirection::In: return "in";
+        case ParameterDirection::Out: return "out";
+        case ParameterDirection::InOut: return "inout";
+        case ParameterDirection::Return: return "return";
+    }
+    return "?";
+}
+
+std::optional<ParameterDirection> direction_from_string(std::string_view name) {
+    if (name == "in") return ParameterDirection::In;
+    if (name == "out") return ParameterDirection::Out;
+    if (name == "inout") return ParameterDirection::InOut;
+    if (name == "return") return ParameterDirection::Return;
+    return std::nullopt;
+}
+
+// --- Operation --------------------------------------------------------------
+
+Parameter& Operation::add_parameter(Parameter p) {
+    params_.push_back(std::move(p));
+    return params_.back();
+}
+
+std::vector<const Parameter*> Operation::inputs() const {
+    std::vector<const Parameter*> out;
+    for (const auto& p : params_)
+        if (p.direction == ParameterDirection::In ||
+            p.direction == ParameterDirection::InOut)
+            out.push_back(&p);
+    return out;
+}
+
+std::vector<const Parameter*> Operation::outputs() const {
+    std::vector<const Parameter*> out;
+    for (const auto& p : params_)
+        if (p.direction == ParameterDirection::Out ||
+            p.direction == ParameterDirection::InOut ||
+            p.direction == ParameterDirection::Return)
+            out.push_back(&p);
+    return out;
+}
+
+bool Operation::has_return() const {
+    return std::any_of(params_.begin(), params_.end(), [](const Parameter& p) {
+        return p.direction == ParameterDirection::Return;
+    });
+}
+
+// --- Class ------------------------------------------------------------------
+
+Operation& Class::add_operation(std::string name) {
+    operations_.push_back(std::make_unique<Operation>(std::move(name), this));
+    return *operations_.back();
+}
+
+Operation* Class::find_operation(std::string_view name) {
+    for (const auto& op : operations_)
+        if (op->name() == name) return op.get();
+    return nullptr;
+}
+
+const Operation* Class::find_operation(std::string_view name) const {
+    for (const auto& op : operations_)
+        if (op->name() == name) return op.get();
+    return nullptr;
+}
+
+std::vector<const Operation*> Class::operations() const {
+    std::vector<const Operation*> out;
+    for (const auto& op : operations_) out.push_back(op.get());
+    return out;
+}
+
+std::vector<Operation*> Class::operations() {
+    std::vector<Operation*> out;
+    for (const auto& op : operations_) out.push_back(op.get());
+    return out;
+}
+
+// --- ObjectInstance / NodeInstance -------------------------------------------
+
+void ObjectInstance::add_stereotype(Stereotype s) {
+    if (!has_stereotype(s)) stereotypes_.push_back(s);
+}
+
+bool ObjectInstance::has_stereotype(Stereotype s) const {
+    return std::find(stereotypes_.begin(), stereotypes_.end(), s) !=
+           stereotypes_.end();
+}
+
+void NodeInstance::add_stereotype(Stereotype s) {
+    if (!has_stereotype(s)) stereotypes_.push_back(s);
+}
+
+bool NodeInstance::has_stereotype(Stereotype s) const {
+    return std::find(stereotypes_.begin(), stereotypes_.end(), s) !=
+           stereotypes_.end();
+}
+
+// --- SequenceDiagram ----------------------------------------------------------
+
+Lifeline& SequenceDiagram::add_lifeline(ObjectInstance& object) {
+    lifelines_.push_back(std::make_unique<Lifeline>(&object));
+    return *lifelines_.back();
+}
+
+Lifeline* SequenceDiagram::find_lifeline(const ObjectInstance& object) {
+    for (const auto& l : lifelines_)
+        if (l->represents() == &object) return l.get();
+    return nullptr;
+}
+
+Message& SequenceDiagram::add_message(Lifeline& from, Lifeline& to,
+                                      std::string operation) {
+    messages_.push_back(std::make_unique<Message>(&from, &to, std::move(operation)));
+    Message& msg = *messages_.back();
+    // Resolve the operation against the receiver's classifier when possible.
+    if (ObjectInstance* receiver = to.represents()) {
+        if (Class* cls = receiver->classifier())
+            msg.set_operation(cls->find_operation(msg.operation_name()));
+    }
+    return msg;
+}
+
+std::vector<const Message*> SequenceDiagram::messages() const {
+    std::vector<const Message*> out;
+    for (const auto& m : messages_) out.push_back(m.get());
+    return out;
+}
+
+std::vector<Message*> SequenceDiagram::messages() {
+    std::vector<Message*> out;
+    for (const auto& m : messages_) out.push_back(m.get());
+    return out;
+}
+
+// --- Deployment ----------------------------------------------------------------
+
+void Bus::connect(NodeInstance& node) {
+    if (std::find(nodes_.begin(), nodes_.end(), &node) == nodes_.end())
+        nodes_.push_back(&node);
+}
+
+bool Bus::connects(const NodeInstance& a, const NodeInstance& b) const {
+    bool has_a = std::find(nodes_.begin(), nodes_.end(), &a) != nodes_.end();
+    bool has_b = std::find(nodes_.begin(), nodes_.end(), &b) != nodes_.end();
+    return has_a && has_b;
+}
+
+NodeInstance& DeploymentDiagram::add_node(std::string name) {
+    nodes_.push_back(std::make_unique<NodeInstance>(std::move(name), owner_));
+    return *nodes_.back();
+}
+
+NodeInstance* DeploymentDiagram::find_node(std::string_view name) {
+    for (const auto& n : nodes_)
+        if (n->name() == name) return n.get();
+    return nullptr;
+}
+
+std::vector<const NodeInstance*> DeploymentDiagram::nodes() const {
+    std::vector<const NodeInstance*> out;
+    for (const auto& n : nodes_) out.push_back(n.get());
+    return out;
+}
+
+std::vector<NodeInstance*> DeploymentDiagram::nodes() {
+    std::vector<NodeInstance*> out;
+    for (const auto& n : nodes_) out.push_back(n.get());
+    return out;
+}
+
+Bus& DeploymentDiagram::add_bus(std::string name) {
+    buses_.push_back(std::make_unique<Bus>(std::move(name), owner_));
+    return *buses_.back();
+}
+
+void DeploymentDiagram::deploy(ObjectInstance& thread, NodeInstance& node) {
+    deployments_.push_back({&thread, &node});
+}
+
+NodeInstance* DeploymentDiagram::node_of(const ObjectInstance& thread) const {
+    for (const auto& d : deployments_)
+        if (d.artifact == &thread) return d.node;
+    return nullptr;
+}
+
+std::vector<ObjectInstance*> DeploymentDiagram::threads_on(
+    const NodeInstance& node) const {
+    std::vector<ObjectInstance*> out;
+    for (const auto& d : deployments_)
+        if (d.node == &node) out.push_back(d.artifact);
+    return out;
+}
+
+// --- Model -----------------------------------------------------------------
+
+Model& Model::operator=(Model&& other) noexcept {
+    name_ = std::move(other.name_);
+    classes_ = std::move(other.classes_);
+    objects_ = std::move(other.objects_);
+    diagrams_ = std::move(other.diagrams_);
+    machines_ = std::move(other.machines_);
+    deployment_ = std::move(other.deployment_);
+    for (auto& c : classes_) c->owner_ = this;
+    for (auto& o : objects_) o->owner_ = this;
+    for (auto& d : diagrams_) d->owner_ = this;
+    if (deployment_) {
+        deployment_->owner_ = this;
+        for (auto& n : deployment_->nodes_) n->owner_ = this;
+        for (auto& b : deployment_->buses_) b->owner_ = this;
+    }
+    return *this;
+}
+
+Class& Model::add_class(std::string name) {
+    classes_.push_back(std::make_unique<Class>(std::move(name), this));
+    return *classes_.back();
+}
+
+Class* Model::find_class(std::string_view name) {
+    for (const auto& c : classes_)
+        if (c->name() == name) return c.get();
+    return nullptr;
+}
+
+const Class* Model::find_class(std::string_view name) const {
+    for (const auto& c : classes_)
+        if (c->name() == name) return c.get();
+    return nullptr;
+}
+
+std::vector<const Class*> Model::classes() const {
+    std::vector<const Class*> out;
+    for (const auto& c : classes_) out.push_back(c.get());
+    return out;
+}
+
+ObjectInstance& Model::add_object(std::string name, Class* classifier) {
+    objects_.push_back(
+        std::make_unique<ObjectInstance>(std::move(name), classifier, this));
+    return *objects_.back();
+}
+
+ObjectInstance* Model::find_object(std::string_view name) {
+    for (const auto& o : objects_)
+        if (o->name() == name) return o.get();
+    return nullptr;
+}
+
+const ObjectInstance* Model::find_object(std::string_view name) const {
+    for (const auto& o : objects_)
+        if (o->name() == name) return o.get();
+    return nullptr;
+}
+
+std::vector<const ObjectInstance*> Model::objects() const {
+    std::vector<const ObjectInstance*> out;
+    for (const auto& o : objects_) out.push_back(o.get());
+    return out;
+}
+
+std::vector<ObjectInstance*> Model::objects() {
+    std::vector<ObjectInstance*> out;
+    for (const auto& o : objects_) out.push_back(o.get());
+    return out;
+}
+
+std::vector<ObjectInstance*> Model::threads() const {
+    std::vector<ObjectInstance*> out;
+    for (const auto& o : objects_)
+        if (o->is_thread()) out.push_back(o.get());
+    return out;
+}
+
+SequenceDiagram& Model::add_sequence_diagram(std::string name) {
+    diagrams_.push_back(std::make_unique<SequenceDiagram>(std::move(name), this));
+    return *diagrams_.back();
+}
+
+std::vector<const SequenceDiagram*> Model::sequence_diagrams() const {
+    std::vector<const SequenceDiagram*> out;
+    for (const auto& d : diagrams_) out.push_back(d.get());
+    return out;
+}
+
+std::vector<SequenceDiagram*> Model::sequence_diagrams() {
+    std::vector<SequenceDiagram*> out;
+    for (const auto& d : diagrams_) out.push_back(d.get());
+    return out;
+}
+
+StateMachine& Model::add_state_machine(std::string name) {
+    machines_.push_back(std::make_unique<StateMachine>(std::move(name)));
+    return *machines_.back();
+}
+
+StateMachine* Model::find_state_machine(std::string_view name) {
+    for (const auto& m : machines_)
+        if (m->name() == name) return m.get();
+    return nullptr;
+}
+
+std::vector<const StateMachine*> Model::state_machines() const {
+    std::vector<const StateMachine*> out;
+    for (const auto& m : machines_) out.push_back(m.get());
+    return out;
+}
+
+DeploymentDiagram& Model::deployment() {
+    if (!deployment_) deployment_ = std::make_unique<DeploymentDiagram>(this);
+    return *deployment_;
+}
+
+}  // namespace uhcg::uml

@@ -1,0 +1,372 @@
+// model.hpp — typed UML metamodel covering exactly the diagram subset the
+// DATE'08 flow consumes:
+//
+//  * class diagrams   — classes with operations and directed parameters;
+//  * object instances — active objects (threads), passive objects, the
+//                       special `Platform` library object and `<<IO>>`
+//                       devices, annotated with UML-SPT stereotypes;
+//  * sequence diagrams — lifelines and ordered messages, the source of
+//                       thread behaviour and of task-graph edge weights;
+//  * deployment diagrams — `<<SAengine>>` nodes (processors), buses, and
+//                       thread-to-node allocations;
+//  * state machines   — for the control-flow (FSM) generation branch.
+//
+// Ownership: the Model owns every element via unique_ptr; all cross
+// references are raw non-owning pointers that stay valid for the model's
+// lifetime (elements are never destroyed individually or relocated).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "uml/statemachine.hpp"
+
+namespace uhcg::uml {
+
+class Model;
+class Class;
+class ObjectInstance;
+class NodeInstance;
+
+/// UML-SPT / custom stereotypes understood by the mapping (§4.1).
+enum class Stereotype {
+    SASchedRes,  ///< schedulable resource — marks an object as a thread
+    SAengine,    ///< execution engine — marks a node as a processor
+    IO,          ///< custom stereotype — marks an object as an I/O device
+};
+
+std::string_view to_string(Stereotype s);
+std::optional<Stereotype> stereotype_from_string(std::string_view name);
+
+enum class ParameterDirection { In, Out, InOut, Return };
+
+std::string_view to_string(ParameterDirection d);
+std::optional<ParameterDirection> direction_from_string(std::string_view name);
+
+/// A formal parameter of an Operation.
+struct Parameter {
+    std::string name;
+    std::string type = "double";  // UML type name; dataflow values default to double
+    ParameterDirection direction = ParameterDirection::In;
+};
+
+/// An operation owned by a Class.
+class Operation {
+public:
+    friend class Model;
+    Operation(std::string name, Class* owner)
+        : name_(std::move(name)), owner_(owner) {}
+
+    const std::string& name() const { return name_; }
+    Class* owner() const { return owner_; }
+
+    Parameter& add_parameter(Parameter p);
+    const std::vector<Parameter>& parameters() const { return params_; }
+
+    /// Parameters with direction In/InOut, declaration order.
+    std::vector<const Parameter*> inputs() const;
+    /// Parameters with direction Out/InOut/Return, declaration order.
+    std::vector<const Parameter*> outputs() const;
+    bool has_return() const;
+
+    /// Naming conventions of §4.1: Set*/Get* prefixes mark inter-thread
+    /// send/receive; get*/set* on an <<IO>> object mark environment reads
+    /// and writes. Case-sensitive, matching the paper's examples.
+    bool is_send() const { return name_.rfind("Set", 0) == 0; }
+    bool is_receive() const { return name_.rfind("Get", 0) == 0; }
+    bool is_io_read() const { return name_.rfind("get", 0) == 0; }
+    bool is_io_write() const { return name_.rfind("set", 0) == 0; }
+
+    /// Optional C source implementing the behaviour; compiled into an
+    /// S-Function when the operation maps to a user-defined block.
+    const std::string& body() const { return body_; }
+    void set_body(std::string code) { body_ = std::move(code); }
+
+private:
+    std::string name_;
+    Class* owner_;
+    std::vector<Parameter> params_;
+    std::string body_;
+};
+
+/// A UML class (classifier).
+class Class {
+public:
+    friend class Model;
+    Class(std::string name, Model* owner)
+        : name_(std::move(name)), owner_(owner) {}
+
+    const std::string& name() const { return name_; }
+    Model* model() const { return owner_; }
+
+    /// Active classes have their own thread of control (UML semantics);
+    /// instances of active classes are the mapping's thread candidates.
+    bool is_active() const { return active_; }
+    void set_active(bool value) { active_ = value; }
+
+    Operation& add_operation(std::string name);
+    Operation* find_operation(std::string_view name);
+    const Operation* find_operation(std::string_view name) const;
+    std::vector<const Operation*> operations() const;
+    std::vector<Operation*> operations();
+
+private:
+    std::string name_;
+    Model* owner_;
+    bool active_ = false;
+    std::vector<std::unique_ptr<Operation>> operations_;
+};
+
+/// An object (InstanceSpecification) participating in sequence diagrams.
+class ObjectInstance {
+public:
+    friend class Model;
+    ObjectInstance(std::string name, Class* classifier, Model* owner)
+        : name_(std::move(name)), classifier_(classifier), owner_(owner) {}
+
+    const std::string& name() const { return name_; }
+    /// May be nullptr for the special Platform object whose "operations"
+    /// are resolved against the Simulink block library instead.
+    Class* classifier() const { return classifier_; }
+    Model* model() const { return owner_; }
+
+    void add_stereotype(Stereotype s);
+    bool has_stereotype(Stereotype s) const;
+    const std::vector<Stereotype>& stereotypes() const { return stereotypes_; }
+
+    /// A thread in the mapping sense: marked <<SASchedRes>>.
+    bool is_thread() const { return has_stereotype(Stereotype::SASchedRes); }
+    bool is_io_device() const { return has_stereotype(Stereotype::IO); }
+    /// The Simulink block library facade (§4.1: "the special object
+    /// Platform, which represents the Simulink library").
+    bool is_platform() const { return name_ == "Platform"; }
+
+private:
+    std::string name_;
+    Class* classifier_;
+    Model* owner_;
+    std::vector<Stereotype> stereotypes_;
+};
+
+// ---------------------------------------------------------------------------
+// Sequence diagrams
+// ---------------------------------------------------------------------------
+
+/// A lifeline covering one object in an interaction.
+class Lifeline {
+public:
+    Lifeline(ObjectInstance* represents) : represents_(represents) {}
+    ObjectInstance* represents() const { return represents_; }
+
+private:
+    ObjectInstance* represents_;
+};
+
+/// An actual argument of a message: a named data token. Names are how the
+/// mapping discovers dataflow (§4.1: "message arguments [map] to
+/// connection (data links) between different subsystems/blocks").
+struct MessageArgument {
+    std::string name;
+};
+
+/// One message of a sequence diagram.
+class Message {
+public:
+    Message(Lifeline* from, Lifeline* to, std::string operation_name)
+        : from_(from), to_(to), operation_name_(std::move(operation_name)) {}
+
+    Lifeline* from() const { return from_; }
+    Lifeline* to() const { return to_; }
+    const std::string& operation_name() const { return operation_name_; }
+
+    /// Resolved operation on the receiver's classifier; nullptr for
+    /// Platform-library calls or unresolved names.
+    const Operation* operation() const { return operation_; }
+    void set_operation(const Operation* op) { operation_ = op; }
+
+    void add_argument(std::string name) { args_.push_back({std::move(name)}); }
+    const std::vector<MessageArgument>& arguments() const { return args_; }
+
+    /// Name given to the return value (empty when the call returns nothing
+    /// or the value is unused).
+    const std::string& result_name() const { return result_name_; }
+    void set_result_name(std::string name) { result_name_ = std::move(name); }
+
+    /// Bytes transferred by this message; the task-graph edge weight source
+    /// (§4.2.3: edge cost "determined by the amount of transferred data").
+    double data_size() const { return data_size_; }
+    void set_data_size(double bytes) { data_size_ = bytes; }
+
+private:
+    Lifeline* from_;
+    Lifeline* to_;
+    std::string operation_name_;
+    const Operation* operation_ = nullptr;
+    std::vector<MessageArgument> args_;
+    std::string result_name_;
+    double data_size_ = 1.0;
+};
+
+/// An interaction: ordered messages over a set of lifelines. One sequence
+/// diagram per thread describes that thread's behaviour (§5.1).
+class SequenceDiagram {
+public:
+    friend class Model;
+    SequenceDiagram(std::string name, Model* owner)
+        : name_(std::move(name)), owner_(owner) {}
+
+    const std::string& name() const { return name_; }
+    Model* model() const { return owner_; }
+
+    Lifeline& add_lifeline(ObjectInstance& object);
+    Lifeline* find_lifeline(const ObjectInstance& object);
+    const std::vector<std::unique_ptr<Lifeline>>& lifelines() const {
+        return lifelines_;
+    }
+
+    Message& add_message(Lifeline& from, Lifeline& to, std::string operation);
+    std::vector<const Message*> messages() const;
+    std::vector<Message*> messages();
+
+private:
+    std::string name_;
+    Model* owner_;
+    std::vector<std::unique_ptr<Lifeline>> lifelines_;
+    std::vector<std::unique_ptr<Message>> messages_;
+};
+
+// ---------------------------------------------------------------------------
+// Deployment diagrams
+// ---------------------------------------------------------------------------
+
+/// A deployment node; <<SAengine>> marks it as a processor.
+class NodeInstance {
+public:
+    friend class Model;
+    NodeInstance(std::string name, Model* owner)
+        : name_(std::move(name)), owner_(owner) {}
+
+    const std::string& name() const { return name_; }
+    Model* model() const { return owner_; }
+
+    void add_stereotype(Stereotype s);
+    bool has_stereotype(Stereotype s) const;
+    const std::vector<Stereotype>& stereotypes() const { return stereotypes_; }
+    bool is_processor() const { return has_stereotype(Stereotype::SAengine); }
+
+private:
+    std::string name_;
+    Model* owner_;
+    std::vector<Stereotype> stereotypes_;
+};
+
+/// A communication path (bus) connecting nodes.
+class Bus {
+public:
+    friend class Model;
+    Bus(std::string name, Model* owner) : name_(std::move(name)), owner_(owner) {}
+
+    const std::string& name() const { return name_; }
+    void connect(NodeInstance& node);
+    const std::vector<NodeInstance*>& nodes() const { return nodes_; }
+    bool connects(const NodeInstance& a, const NodeInstance& b) const;
+
+private:
+    std::string name_;
+    Model* owner_;
+    std::vector<NodeInstance*> nodes_;
+};
+
+/// Allocation of one thread object onto one node.
+struct Deployment {
+    ObjectInstance* artifact = nullptr;
+    NodeInstance* node = nullptr;
+};
+
+/// The deployment diagram: nodes, buses, allocations. Optional — when
+/// absent, the automatic thread-allocation optimization (§4.2.3) decides
+/// the mapping instead.
+class DeploymentDiagram {
+public:
+    friend class Model;
+    explicit DeploymentDiagram(Model* owner) : owner_(owner) {}
+
+    NodeInstance& add_node(std::string name);
+    NodeInstance* find_node(std::string_view name);
+    std::vector<const NodeInstance*> nodes() const;
+    std::vector<NodeInstance*> nodes();
+
+    Bus& add_bus(std::string name);
+    const std::vector<std::unique_ptr<Bus>>& buses() const { return buses_; }
+
+    void deploy(ObjectInstance& thread, NodeInstance& node);
+    const std::vector<Deployment>& deployments() const { return deployments_; }
+    /// Node hosting `thread`, or nullptr when unallocated.
+    NodeInstance* node_of(const ObjectInstance& thread) const;
+    /// Threads allocated on `node`, deployment order.
+    std::vector<ObjectInstance*> threads_on(const NodeInstance& node) const;
+
+private:
+    Model* owner_;
+    std::vector<std::unique_ptr<NodeInstance>> nodes_;
+    std::vector<std::unique_ptr<Bus>> buses_;
+    std::vector<Deployment> deployments_;
+};
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+/// The root of a UML model.
+class Model {
+public:
+    explicit Model(std::string name) : name_(std::move(name)) {}
+    Model(const Model&) = delete;
+    Model& operator=(const Model&) = delete;
+    /// Moves re-anchor every element's back pointer to the new address, so
+    /// a Model can safely be returned by value from factories and readers.
+    Model(Model&& other) noexcept { *this = std::move(other); }
+    Model& operator=(Model&& other) noexcept;
+
+    const std::string& name() const { return name_; }
+
+    Class& add_class(std::string name);
+    Class* find_class(std::string_view name);
+    const Class* find_class(std::string_view name) const;
+    std::vector<const Class*> classes() const;
+
+    ObjectInstance& add_object(std::string name, Class* classifier = nullptr);
+    ObjectInstance* find_object(std::string_view name);
+    const ObjectInstance* find_object(std::string_view name) const;
+    std::vector<const ObjectInstance*> objects() const;
+    std::vector<ObjectInstance*> objects();
+    /// All <<SASchedRes>> objects, declaration order.
+    std::vector<ObjectInstance*> threads() const;
+
+    SequenceDiagram& add_sequence_diagram(std::string name);
+    std::vector<const SequenceDiagram*> sequence_diagrams() const;
+    std::vector<SequenceDiagram*> sequence_diagrams();
+
+    StateMachine& add_state_machine(std::string name);
+    StateMachine* find_state_machine(std::string_view name);
+    std::vector<const StateMachine*> state_machines() const;
+
+    /// Creates (on first call) and returns the deployment diagram.
+    DeploymentDiagram& deployment();
+    /// nullptr when the model has no deployment diagram.
+    const DeploymentDiagram* deployment_or_null() const { return deployment_.get(); }
+    DeploymentDiagram* deployment_or_null() { return deployment_.get(); }
+
+private:
+    std::string name_;
+    std::vector<std::unique_ptr<Class>> classes_;
+    std::vector<std::unique_ptr<ObjectInstance>> objects_;
+    std::vector<std::unique_ptr<SequenceDiagram>> diagrams_;
+    std::vector<std::unique_ptr<StateMachine>> machines_;
+    std::unique_ptr<DeploymentDiagram> deployment_;
+};
+
+}  // namespace uhcg::uml

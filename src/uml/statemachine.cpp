@@ -1,0 +1,84 @@
+#include "uml/statemachine.hpp"
+
+#include <algorithm>
+
+namespace uhcg::uml {
+
+State& State::add_substate(std::string name) {
+    children_.push_back(std::make_unique<State>(std::move(name), machine_, this));
+    return *children_.back();
+}
+
+State& StateMachine::add_state(std::string name) {
+    states_.push_back(std::make_unique<State>(std::move(name), this, nullptr));
+    return *states_.back();
+}
+
+namespace {
+const State* find_in(const std::vector<std::unique_ptr<State>>& states,
+                     std::string_view name) {
+    for (const auto& s : states) {
+        if (s->name() == name) return s.get();
+        if (const State* nested = find_in(s->substates(), name)) return nested;
+    }
+    return nullptr;
+}
+
+void collect(const std::vector<std::unique_ptr<State>>& states,
+             std::vector<const State*>& out) {
+    for (const auto& s : states) {
+        out.push_back(s.get());
+        collect(s->substates(), out);
+    }
+}
+}  // namespace
+
+State* StateMachine::find_state(std::string_view name) {
+    return const_cast<State*>(find_in(states_, name));
+}
+
+const State* StateMachine::find_state(std::string_view name) const {
+    return find_in(states_, name);
+}
+
+std::vector<const State*> StateMachine::states() const {
+    std::vector<const State*> out;
+    for (const auto& s : states_) out.push_back(s.get());
+    return out;
+}
+
+std::vector<const State*> StateMachine::all_states() const {
+    std::vector<const State*> out;
+    collect(states_, out);
+    return out;
+}
+
+Transition& StateMachine::add_transition(State& source, State& target) {
+    transitions_.push_back(std::make_unique<Transition>(&source, &target));
+    return *transitions_.back();
+}
+
+std::vector<const Transition*> StateMachine::transitions() const {
+    std::vector<const Transition*> out;
+    for (const auto& t : transitions_) out.push_back(t.get());
+    return out;
+}
+
+std::vector<const Transition*> StateMachine::outgoing(const State& state) const {
+    std::vector<const Transition*> out;
+    for (const auto& t : transitions_)
+        if (t->source() == &state) out.push_back(t.get());
+    return out;
+}
+
+std::vector<std::string> StateMachine::events() const {
+    std::vector<std::string> out;
+    for (const auto& t : transitions_) {
+        if (t->trigger().empty()) continue;
+        if (std::find(out.begin(), out.end(), t->trigger()) == out.end())
+            out.push_back(t->trigger());
+    }
+    return out;
+}
+
+}  // namespace uhcg::uml

@@ -1,0 +1,119 @@
+// statemachine.hpp — UML state machines, the source model of the
+// control-flow generation branch in Fig. 1 ("UML tool code generation"
+// from "state diagrams or FSM-like models").
+//
+// The subset covered is what BridgePoint-class generators consume: flat or
+// hierarchically-composed states, completion/initial transitions, event
+// triggers, guard expressions, entry/exit/effect actions.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uhcg::uml {
+
+class StateMachine;
+class State;
+
+/// A transition between two states of the same machine.
+class Transition {
+public:
+    Transition(State* source, State* target) : source_(source), target_(target) {}
+
+    State* source() const { return source_; }
+    State* target() const { return target_; }
+
+    /// Event name triggering the transition; empty = completion transition.
+    const std::string& trigger() const { return trigger_; }
+    void set_trigger(std::string event) { trigger_ = std::move(event); }
+
+    /// Boolean guard expression in the target language (verbatim).
+    const std::string& guard() const { return guard_; }
+    void set_guard(std::string expr) { guard_ = std::move(expr); }
+
+    /// Effect action code executed when the transition fires.
+    const std::string& effect() const { return effect_; }
+    void set_effect(std::string code) { effect_ = std::move(code); }
+
+private:
+    State* source_;
+    State* target_;
+    std::string trigger_;
+    std::string guard_;
+    std::string effect_;
+};
+
+/// A state; may be composite (owning a nested region of substates).
+class State {
+public:
+    State(std::string name, StateMachine* machine, State* parent)
+        : name_(std::move(name)), machine_(machine), parent_(parent) {}
+
+    const std::string& name() const { return name_; }
+    StateMachine* machine() const { return machine_; }
+    State* parent() const { return parent_; }
+    bool is_composite() const { return !children_.empty(); }
+
+    const std::string& entry_action() const { return entry_; }
+    void set_entry_action(std::string code) { entry_ = std::move(code); }
+    const std::string& exit_action() const { return exit_; }
+    void set_exit_action(std::string code) { exit_ = std::move(code); }
+
+    State& add_substate(std::string name);
+    const std::vector<std::unique_ptr<State>>& substates() const {
+        return children_;
+    }
+    /// Initial substate of this composite region (nullptr when simple).
+    State* initial_substate() const { return initial_; }
+    void set_initial_substate(State& s) { initial_ = &s; }
+
+private:
+    std::string name_;
+    StateMachine* machine_;
+    State* parent_;
+    std::string entry_;
+    std::string exit_;
+    std::vector<std::unique_ptr<State>> children_;
+    State* initial_ = nullptr;
+};
+
+/// A UML state machine (one region at top level).
+class StateMachine {
+public:
+    explicit StateMachine(std::string name) : name_(std::move(name)) {}
+    StateMachine(const StateMachine&) = delete;
+    StateMachine& operator=(const StateMachine&) = delete;
+    StateMachine(StateMachine&&) = default;
+    StateMachine& operator=(StateMachine&&) = default;
+
+    const std::string& name() const { return name_; }
+
+    State& add_state(std::string name);
+    State* find_state(std::string_view name);
+    const State* find_state(std::string_view name) const;
+    /// Top-level states, declaration order.
+    std::vector<const State*> states() const;
+    /// All states including substates, pre-order.
+    std::vector<const State*> all_states() const;
+
+    State* initial_state() const { return initial_; }
+    void set_initial_state(State& s) { initial_ = &s; }
+
+    Transition& add_transition(State& source, State& target);
+    std::vector<const Transition*> transitions() const;
+    /// Transitions leaving `state`, declaration order.
+    std::vector<const Transition*> outgoing(const State& state) const;
+
+    /// Distinct trigger event names, first-use order.
+    std::vector<std::string> events() const;
+
+private:
+    std::string name_;
+    std::vector<std::unique_ptr<State>> states_;
+    std::vector<std::unique_ptr<Transition>> transitions_;
+    State* initial_ = nullptr;
+};
+
+}  // namespace uhcg::uml

@@ -1,0 +1,172 @@
+#include "uml/wellformed.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace uhcg::uml {
+namespace {
+
+void check_message(const SequenceDiagram& d, const Message& m,
+                   std::vector<Issue>& out) {
+    const ObjectInstance* sender = m.from()->represents();
+    const ObjectInstance* receiver = m.to()->represents();
+    std::string where = d.name() + "/" + m.operation_name();
+    const std::string& op = m.operation_name();
+
+    bool set_prefix = op.rfind("Set", 0) == 0;
+    bool get_prefix = op.rfind("Get", 0) == 0;
+    bool io_get = op.rfind("get", 0) == 0;
+    bool io_set = op.rfind("set", 0) == 0;
+
+    if (sender->is_thread() && receiver->is_thread() && sender != receiver) {
+        // E1: inter-thread traffic needs the Set/Get convention.
+        if (!set_prefix && !get_prefix)
+            out.push_back({Severity::Error, where,
+                           "inter-thread message must use the Set/Get prefix "
+                           "convention (got '" + op + "')"});
+        // E2: data must be derivable.
+        if (get_prefix && m.result_name().empty())
+            out.push_back({Severity::Error, where,
+                           "Get message must bind a result name"});
+        if (set_prefix && m.arguments().empty())
+            out.push_back({Severity::Error, where,
+                           "Set message must carry at least one argument"});
+    }
+
+    if (receiver->is_io_device()) {
+        // E3: environment access convention.
+        if (!io_get && !io_set)
+            out.push_back({Severity::Error, where,
+                           "message to <<IO>> device must use get*/set* prefix"});
+        if (io_get && m.result_name().empty())
+            out.push_back({Severity::Error, where,
+                           "get* on <<IO>> device must bind a result name"});
+        if (io_set && m.arguments().empty())
+            out.push_back({Severity::Error, where,
+                           "set* on <<IO>> device must carry an argument"});
+    }
+
+    // E6 / W3: passive-object calls.
+    if (!receiver->is_thread() && !receiver->is_io_device() &&
+        !receiver->is_platform()) {
+        const Class* cls = receiver->classifier();
+        if (cls) {
+            const Operation* decl = cls->find_operation(op);
+            if (!decl) {
+                out.push_back({Severity::Error, where,
+                               "receiver class '" + cls->name() +
+                                   "' has no operation '" + op + "'"});
+            } else if (decl->outputs().empty()) {
+                out.push_back({Severity::Warning, where,
+                               "operation '" + op +
+                                   "' has no out/return parameter; the block "
+                                   "will produce no dataflow"});
+            }
+        }
+    }
+}
+
+}  // namespace
+
+std::vector<Issue> check(const Model& model) {
+    std::vector<Issue> out;
+
+    for (const SequenceDiagram* d : model.sequence_diagrams())
+        for (const Message* m : d->messages()) check_message(*d, *m, out);
+
+    // E7: one producer per (consumer, variable) across all diagrams.
+    std::map<std::pair<const ObjectInstance*, std::string>,
+             const ObjectInstance*>
+        producer_of;
+    auto check_link = [&](const ObjectInstance* producer,
+                          const ObjectInstance* consumer,
+                          const std::string& var, const std::string& where) {
+        auto [it, inserted] = producer_of.emplace(
+            std::make_pair(consumer, var), producer);
+        if (!inserted && it->second != producer)
+            out.push_back({Severity::Error, where,
+                           "thread '" + consumer->name() + "' receives '" +
+                               var + "' from both '" + it->second->name() +
+                               "' and '" + producer->name() + "'"});
+    };
+    for (const SequenceDiagram* d : model.sequence_diagrams()) {
+        for (const Message* m : d->messages()) {
+            const ObjectInstance* sender = m->from()->represents();
+            const ObjectInstance* receiver = m->to()->represents();
+            if (!sender->is_thread() || !receiver->is_thread() ||
+                sender == receiver)
+                continue;
+            std::string where = d->name() + "/" + m->operation_name();
+            if (m->operation_name().rfind("Set", 0) == 0) {
+                for (const MessageArgument& a : m->arguments())
+                    check_link(sender, receiver, a.name, where);
+            } else if (m->operation_name().rfind("Get", 0) == 0 &&
+                       !m->result_name().empty()) {
+                check_link(receiver, sender, m->result_name(), where);
+            }
+        }
+    }
+
+    // Deployment rules.
+    if (const DeploymentDiagram* dd = model.deployment_or_null()) {
+        std::set<const ObjectInstance*> deployed;
+        for (const Deployment& dep : dd->deployments()) {
+            std::string where = "deployment/" + dep.artifact->name();
+            if (!dep.artifact->is_thread())
+                out.push_back({Severity::Error, where,
+                               "deployed artifact is not <<SASchedRes>>"});
+            if (!dep.node->is_processor())
+                out.push_back({Severity::Error, where,
+                               "deployment target '" + dep.node->name() +
+                                   "' is not <<SAengine>>"});
+            if (!deployed.insert(dep.artifact).second)
+                out.push_back({Severity::Error, where,
+                               "thread deployed more than once"});
+        }
+        bool has_processor = false;
+        for (const NodeInstance* n : dd->nodes())
+            if (n->is_processor()) has_processor = true;
+        if (has_processor && dd->deployments().empty())
+            out.push_back({Severity::Warning, "deployment",
+                           "deployment diagram declares processors but "
+                           "allocates no threads"});
+    }
+
+    // W1: dead threads.
+    for (const ObjectInstance* obj : model.objects()) {
+        if (!obj->is_thread()) continue;
+        bool referenced = false;
+        for (const SequenceDiagram* d : model.sequence_diagrams()) {
+            for (const auto& l : d->lifelines()) {
+                if (l->represents() == obj) {
+                    referenced = true;
+                    break;
+                }
+            }
+            if (referenced) break;
+        }
+        if (!referenced)
+            out.push_back({Severity::Warning, obj->name(),
+                           "thread never appears in any sequence diagram"});
+    }
+
+    return out;
+}
+
+bool only_warnings(const std::vector<Issue>& issues) {
+    for (const auto& i : issues)
+        if (i.severity == Severity::Error) return false;
+    return true;
+}
+
+std::string format_issues(const std::vector<Issue>& issues) {
+    std::ostringstream out;
+    for (const auto& i : issues) {
+        out << (i.severity == Severity::Error ? "error" : "warning") << " ["
+            << i.where << "]: " << i.message << '\n';
+    }
+    return out.str();
+}
+
+}  // namespace uhcg::uml

@@ -1,0 +1,47 @@
+// wellformed.hpp — mapping-specific well-formedness checks on UML models.
+//
+// §4.1 imposes modeling conventions the designer must follow ("the designer
+// is asked to use a default prefix in the method name, Set or Get, ...").
+// This checker surfaces violations before the transformation runs, turning
+// silent mis-mappings into actionable diagnostics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "uml/model.hpp"
+
+namespace uhcg::uml {
+
+enum class Severity { Error, Warning };
+
+struct Issue {
+    Severity severity;
+    /// Where the problem lives (diagram/object/operation name).
+    std::string where;
+    std::string message;
+};
+
+/// Rules enforced:
+///  E1  inter-thread messages must use the Set/Get prefix convention;
+///  E2  a Get message must bind a result name, a Set message must carry at
+///      least one argument (otherwise no data link can be inferred);
+///  E3  messages to <<IO>> devices must use get*/set* prefixes;
+///  E4  deployed artifacts must be <<SASchedRes>> threads and deployment
+///      targets must be <<SAengine>> processors;
+///  E5  a thread may be deployed at most once;
+///  E6  message receivers with a classifier must resolve the operation;
+///  E7  a thread must not receive the same variable from two different
+///      producers (the inferred channels would contend for one port);
+///  W1  threads never referenced by any sequence diagram (dead threads);
+///  W2  a deployment diagram with processors but no deployed threads;
+///  W3  passive-object calls whose operation has no outputs (no dataflow).
+std::vector<Issue> check(const Model& model);
+
+/// True when `issues` contains no Severity::Error entries.
+bool only_warnings(const std::vector<Issue>& issues);
+
+/// Renders issues as a human-readable report.
+std::string format_issues(const std::vector<Issue>& issues);
+
+}  // namespace uhcg::uml

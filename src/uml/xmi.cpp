@@ -1,0 +1,482 @@
+#include "uml/xmi.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace uhcg::uml {
+namespace {
+
+constexpr const char* kXmiNs = "http://schema.omg.org/spec/XMI/2.1";
+constexpr const char* kUmlNs = "http://www.eclipse.org/uml2/2.1.0/UML";
+constexpr const char* kSptNs = "http://www.omg.org/profiles/SPT";
+constexpr const char* kUhcgNs = "http://uhcg.org/profiles/uhcg";
+
+// --- deterministic ids ------------------------------------------------------
+
+std::string class_id(const Class& c) { return "class." + c.name(); }
+std::string op_id(const Operation& op) {
+    return "op." + op.owner()->name() + "." + op.name();
+}
+std::string object_id(const ObjectInstance& o) { return "obj." + o.name(); }
+std::string node_id(const NodeInstance& n) { return "node." + n.name(); }
+std::string interaction_id(const SequenceDiagram& d) { return "ia." + d.name(); }
+std::string lifeline_id(const SequenceDiagram& d, const Lifeline& l) {
+    return "ll." + d.name() + "." + l.represents()->name();
+}
+std::string sm_id(const StateMachine& m) { return "sm." + m.name(); }
+std::string state_id(const StateMachine& m, const State& s) {
+    return "state." + m.name() + "." + s.name();
+}
+
+// --- writer -----------------------------------------------------------------
+
+void write_class(xml::Element& parent, const Class& c) {
+    xml::Element& e = parent.add_child("packagedElement");
+    e.set_attribute("xmi:type", "uml:Class");
+    e.set_attribute("xmi:id", class_id(c));
+    e.set_attribute("name", c.name());
+    e.set_attribute("isActive", c.is_active() ? "true" : "false");
+    for (const Operation* op : c.operations()) {
+        xml::Element& oe = e.add_child("ownedOperation");
+        oe.set_attribute("xmi:id", op_id(*op));
+        oe.set_attribute("name", op->name());
+        for (const Parameter& p : op->parameters()) {
+            xml::Element& pe = oe.add_child("ownedParameter");
+            pe.set_attribute("name", p.name);
+            pe.set_attribute("type", p.type);
+            pe.set_attribute("direction", std::string(to_string(p.direction)));
+        }
+        if (!op->body().empty()) {
+            xml::Element& be = oe.add_child("ownedComment");
+            be.set_attribute("annotatedElement", op_id(*op));
+            be.add_text(op->body());
+        }
+    }
+}
+
+void write_object(xml::Element& parent, const ObjectInstance& o) {
+    xml::Element& e = parent.add_child("packagedElement");
+    e.set_attribute("xmi:type", "uml:InstanceSpecification");
+    e.set_attribute("xmi:id", object_id(o));
+    e.set_attribute("name", o.name());
+    if (o.classifier()) e.set_attribute("classifier", class_id(*o.classifier()));
+}
+
+void write_interaction(xml::Element& parent, const SequenceDiagram& d) {
+    xml::Element& e = parent.add_child("packagedElement");
+    e.set_attribute("xmi:type", "uml:Interaction");
+    e.set_attribute("xmi:id", interaction_id(d));
+    e.set_attribute("name", d.name());
+    for (const auto& l : d.lifelines()) {
+        xml::Element& le = e.add_child("lifeline");
+        le.set_attribute("xmi:id", lifeline_id(d, *l));
+        le.set_attribute("represents", object_id(*l->represents()));
+    }
+    std::size_t index = 0;
+    for (const Message* m : d.messages()) {
+        xml::Element& me = e.add_child("message");
+        me.set_attribute("xmi:id", "msg." + d.name() + "." + std::to_string(index++));
+        me.set_attribute("name", m->operation_name());
+        me.set_attribute("sendLifeline", lifeline_id(d, *m->from()));
+        me.set_attribute("receiveLifeline", lifeline_id(d, *m->to()));
+        if (!m->result_name().empty())
+            me.set_attribute("result", m->result_name());
+        me.set_attribute("dataSize", std::to_string(m->data_size()));
+        for (const MessageArgument& a : m->arguments()) {
+            xml::Element& ae = me.add_child("argument");
+            ae.set_attribute("name", a.name);
+        }
+    }
+}
+
+void write_deployment(xml::Element& parent, const DeploymentDiagram& dd) {
+    for (const NodeInstance* n : dd.nodes()) {
+        xml::Element& e = parent.add_child("packagedElement");
+        e.set_attribute("xmi:type", "uml:Node");
+        e.set_attribute("xmi:id", node_id(*n));
+        e.set_attribute("name", n->name());
+    }
+    for (const auto& bus : dd.buses()) {
+        xml::Element& e = parent.add_child("packagedElement");
+        e.set_attribute("xmi:type", "uml:CommunicationPath");
+        e.set_attribute("xmi:id", "bus." + bus->name());
+        e.set_attribute("name", bus->name());
+        for (const NodeInstance* n : bus->nodes()) {
+            xml::Element& ee = e.add_child("end");
+            ee.set_attribute("node", node_id(*n));
+        }
+    }
+    std::size_t index = 0;
+    for (const Deployment& dep : dd.deployments()) {
+        xml::Element& e = parent.add_child("packagedElement");
+        e.set_attribute("xmi:type", "uml:Deployment");
+        e.set_attribute("xmi:id", "dep." + std::to_string(index++));
+        e.set_attribute("deployedArtifact", object_id(*dep.artifact));
+        e.set_attribute("location", node_id(*dep.node));
+    }
+}
+
+void write_state(xml::Element& parent, const StateMachine& m, const State& s) {
+    xml::Element& e = parent.add_child("subvertex");
+    e.set_attribute("xmi:type", "uml:State");
+    e.set_attribute("xmi:id", state_id(m, s));
+    e.set_attribute("name", s.name());
+    if (!s.entry_action().empty()) e.set_attribute("entry", s.entry_action());
+    if (!s.exit_action().empty()) e.set_attribute("exit", s.exit_action());
+    if (s.initial_substate())
+        e.set_attribute("initial", state_id(m, *s.initial_substate()));
+    for (const auto& sub : s.substates()) write_state(e, m, *sub);
+}
+
+void write_state_machine(xml::Element& parent, const StateMachine& m) {
+    xml::Element& e = parent.add_child("packagedElement");
+    e.set_attribute("xmi:type", "uml:StateMachine");
+    e.set_attribute("xmi:id", sm_id(m));
+    e.set_attribute("name", m.name());
+    if (m.initial_state())
+        e.set_attribute("initial", state_id(m, *m.initial_state()));
+    for (const State* s : m.states()) write_state(e, m, *s);
+    std::size_t index = 0;
+    for (const Transition* t : m.transitions()) {
+        xml::Element& te = e.add_child("transition");
+        te.set_attribute("xmi:id", "tr." + m.name() + "." + std::to_string(index++));
+        te.set_attribute("source", state_id(m, *t->source()));
+        te.set_attribute("target", state_id(m, *t->target()));
+        if (!t->trigger().empty()) te.set_attribute("trigger", t->trigger());
+        if (!t->guard().empty()) te.set_attribute("guard", t->guard());
+        if (!t->effect().empty()) te.set_attribute("effect", t->effect());
+    }
+}
+
+// --- reader helpers -----------------------------------------------------------
+
+const std::string& required_attr(const xml::Element& e, std::string_view name) {
+    const std::string* v = e.find_attribute(name);
+    if (!v)
+        throw std::runtime_error("XMI element <" + e.name() +
+                                 "> missing required attribute '" +
+                                 std::string(name) + "'");
+    return *v;
+}
+
+}  // namespace
+
+namespace {
+
+void write_activity(xml::Element& parent, const Activity& activity) {
+    xml::Element& e = parent.add_child("packagedElement");
+    e.set_attribute("xmi:type", "uml:Activity");
+    e.set_attribute("xmi:id", "act." + activity.name());
+    e.set_attribute("name", activity.name());
+    e.set_attribute("performer", object_id(*activity.performer()));
+    std::size_t index = 0;
+    for (const CallAction* action : activity.actions()) {
+        xml::Element& n = e.add_child("node");
+        n.set_attribute("xmi:type", "uml:CallOperationAction");
+        n.set_attribute("xmi:id",
+                        "act." + activity.name() + ".n" + std::to_string(index++));
+        n.set_attribute("operation", action->operation());
+        n.set_attribute("target", object_id(*action->target()));
+        n.set_attribute("dataSize", std::to_string(action->data_size()));
+        for (const std::string& var : action->inputs()) {
+            xml::Element& pin = n.add_child("pin");
+            pin.set_attribute("direction", "in");
+            pin.set_attribute("name", var);
+        }
+        if (!action->output().empty()) {
+            xml::Element& pin = n.add_child("pin");
+            pin.set_attribute("direction", "out");
+            pin.set_attribute("name", action->output());
+        }
+    }
+}
+
+}  // namespace
+
+xml::Document write_xmi(const Model& model, const ActivityRegistry& activities) {
+    xml::Document doc = write_xmi(model);
+    xml::Element* m = doc.root().first_child("uml:Model");
+    for (const Activity* a : activities.activities()) write_activity(*m, *a);
+    return doc;
+}
+
+std::string to_xmi_string(const Model& model, const ActivityRegistry& activities) {
+    return xml::write(write_xmi(model, activities));
+}
+
+XmiBundle read_xmi_bundle(const xml::Document& doc) {
+    XmiBundle bundle{read_xmi(doc), {}};
+    const xml::Element* me = doc.root().first_child("uml:Model");
+    for (const xml::Element* e : me->children_named("packagedElement")) {
+        if (e->attribute_or("xmi:type", "") != "uml:Activity") continue;
+        std::string performer_id = required_attr(*e, "performer");
+        // Ids are deterministic ("obj.<name>"); resolve by stripping.
+        if (performer_id.rfind("obj.", 0) != 0)
+            throw std::runtime_error("malformed activity performer id: " +
+                                     performer_id);
+        ObjectInstance* performer =
+            bundle.model.find_object(performer_id.substr(4));
+        if (!performer)
+            throw std::runtime_error("activity performer not found: " +
+                                     performer_id);
+        Activity& activity =
+            bundle.activities.add(required_attr(*e, "name"), *performer);
+        for (const xml::Element* n : e->children_named("node")) {
+            std::string target_id = required_attr(*n, "target");
+            if (target_id.rfind("obj.", 0) != 0)
+                throw std::runtime_error("malformed action target id: " +
+                                         target_id);
+            ObjectInstance* target = bundle.model.find_object(target_id.substr(4));
+            if (!target)
+                throw std::runtime_error("action target not found: " + target_id);
+            CallAction& action =
+                activity.add_call(required_attr(*n, "operation"), *target);
+            action.data(std::stod(n->attribute_or("dataSize", "1")));
+            for (const xml::Element* pin : n->children_named("pin")) {
+                if (pin->attribute_or("direction", "in") == "in")
+                    action.pin_in(required_attr(*pin, "name"));
+                else
+                    action.pin_out(required_attr(*pin, "name"));
+            }
+        }
+    }
+    return bundle;
+}
+
+XmiBundle from_xmi_string_bundle(const std::string& text) {
+    return read_xmi_bundle(xml::parse(text));
+}
+
+xml::Document write_xmi(const Model& model) {
+    xml::Document doc("xmi:XMI");
+    xml::Element& root = doc.root();
+    root.set_attribute("xmi:version", "2.1");
+    root.set_attribute("xmlns:xmi", kXmiNs);
+    root.set_attribute("xmlns:uml", kUmlNs);
+    root.set_attribute("xmlns:SPT", kSptNs);
+    root.set_attribute("xmlns:uhcg", kUhcgNs);
+
+    xml::Element& m = root.add_child("uml:Model");
+    m.set_attribute("xmi:id", "model." + model.name());
+    m.set_attribute("name", model.name());
+
+    for (const Class* c : model.classes()) write_class(m, *c);
+    for (const ObjectInstance* o : model.objects()) write_object(m, *o);
+    for (const SequenceDiagram* d : model.sequence_diagrams())
+        write_interaction(m, *d);
+    if (const DeploymentDiagram* dd = model.deployment_or_null())
+        write_deployment(m, *dd);
+    for (const StateMachine* sm : model.state_machines())
+        write_state_machine(m, *sm);
+
+    // Profile applications: one element per stereotype application, keyed
+    // by the base element id, in the Eclipse "stereotype block" style.
+    std::size_t index = 0;
+    for (const ObjectInstance* o : model.objects()) {
+        for (Stereotype s : o->stereotypes()) {
+            std::string ns = (s == Stereotype::IO) ? "uhcg:" : "SPT:";
+            xml::Element& e = root.add_child(ns + std::string(to_string(s)));
+            e.set_attribute("xmi:id", "stereo." + std::to_string(index++));
+            e.set_attribute("base_InstanceSpecification", object_id(*o));
+        }
+    }
+    if (const DeploymentDiagram* dd = model.deployment_or_null()) {
+        for (const NodeInstance* n : dd->nodes()) {
+            for (Stereotype s : n->stereotypes()) {
+                std::string ns = (s == Stereotype::IO) ? "uhcg:" : "SPT:";
+                xml::Element& e = root.add_child(ns + std::string(to_string(s)));
+                e.set_attribute("xmi:id", "stereo." + std::to_string(index++));
+                e.set_attribute("base_Node", node_id(*n));
+            }
+        }
+    }
+    return doc;
+}
+
+std::string to_xmi_string(const Model& model) { return xml::write(write_xmi(model)); }
+
+void save_xmi(const Model& model, const std::string& path) {
+    xml::write_file(write_xmi(model), path);
+}
+
+Model read_xmi(const xml::Document& doc) {
+    const xml::Element& root = doc.root();
+    if (root.name() != "xmi:XMI")
+        throw std::runtime_error("not an XMI document (root is <" + root.name() +
+                                 ">)");
+    const xml::Element* me = root.first_child("uml:Model");
+    if (!me) throw std::runtime_error("XMI document has no uml:Model");
+
+    Model model(me->attribute_or("name", "unnamed"));
+    std::map<std::string, Class*> classes_by_id;
+    std::map<std::string, ObjectInstance*> objects_by_id;
+    std::map<std::string, NodeInstance*> nodes_by_id;
+
+    auto type_of = [](const xml::Element& e) { return e.attribute_or("xmi:type", ""); };
+
+    // Pass 1: classes (operations resolve nothing external).
+    for (const xml::Element* e : me->children_named("packagedElement")) {
+        if (type_of(*e) != "uml:Class") continue;
+        Class& c = model.add_class(required_attr(*e, "name"));
+        c.set_active(e->attribute_or("isActive", "false") == "true");
+        classes_by_id[required_attr(*e, "xmi:id")] = &c;
+        for (const xml::Element* oe : e->children_named("ownedOperation")) {
+            Operation& op = c.add_operation(required_attr(*oe, "name"));
+            for (const xml::Element* pe : oe->children_named("ownedParameter")) {
+                Parameter p;
+                p.name = required_attr(*pe, "name");
+                p.type = pe->attribute_or("type", "double");
+                auto dir = direction_from_string(pe->attribute_or("direction", "in"));
+                if (!dir)
+                    throw std::runtime_error("bad parameter direction on " +
+                                             op.name() + "." + p.name);
+                p.direction = *dir;
+                op.add_parameter(std::move(p));
+            }
+            if (const xml::Element* be = oe->first_child("ownedComment"))
+                op.set_body(be->text_content());
+        }
+    }
+
+    // Pass 2: instances and nodes.
+    for (const xml::Element* e : me->children_named("packagedElement")) {
+        std::string type = type_of(*e);
+        if (type == "uml:InstanceSpecification") {
+            Class* classifier = nullptr;
+            if (const std::string* cid = e->find_attribute("classifier")) {
+                auto it = classes_by_id.find(*cid);
+                if (it == classes_by_id.end())
+                    throw std::runtime_error("dangling classifier reference: " + *cid);
+                classifier = it->second;
+            }
+            ObjectInstance& o = model.add_object(required_attr(*e, "name"), classifier);
+            objects_by_id[required_attr(*e, "xmi:id")] = &o;
+        } else if (type == "uml:Node") {
+            NodeInstance& n = model.deployment().add_node(required_attr(*e, "name"));
+            nodes_by_id[required_attr(*e, "xmi:id")] = &n;
+        }
+    }
+
+    // Pass 3: everything that cross-references instances/nodes.
+    for (const xml::Element* e : me->children_named("packagedElement")) {
+        std::string type = type_of(*e);
+        if (type == "uml:CommunicationPath") {
+            Bus& bus = model.deployment().add_bus(required_attr(*e, "name"));
+            for (const xml::Element* ee : e->children_named("end")) {
+                auto it = nodes_by_id.find(required_attr(*ee, "node"));
+                if (it == nodes_by_id.end())
+                    throw std::runtime_error("bus end references unknown node");
+                bus.connect(*it->second);
+            }
+        } else if (type == "uml:Deployment") {
+            auto ai = objects_by_id.find(required_attr(*e, "deployedArtifact"));
+            auto ni = nodes_by_id.find(required_attr(*e, "location"));
+            if (ai == objects_by_id.end() || ni == nodes_by_id.end())
+                throw std::runtime_error("deployment references unknown element");
+            model.deployment().deploy(*ai->second, *ni->second);
+        } else if (type == "uml:Interaction") {
+            SequenceDiagram& d = model.add_sequence_diagram(required_attr(*e, "name"));
+            std::map<std::string, Lifeline*> lifelines_by_id;
+            for (const xml::Element* le : e->children_named("lifeline")) {
+                auto oi = objects_by_id.find(required_attr(*le, "represents"));
+                if (oi == objects_by_id.end())
+                    throw std::runtime_error("lifeline represents unknown object");
+                lifelines_by_id[required_attr(*le, "xmi:id")] =
+                    &d.add_lifeline(*oi->second);
+            }
+            for (const xml::Element* msg : e->children_named("message")) {
+                auto fi = lifelines_by_id.find(required_attr(*msg, "sendLifeline"));
+                auto ti = lifelines_by_id.find(required_attr(*msg, "receiveLifeline"));
+                if (fi == lifelines_by_id.end() || ti == lifelines_by_id.end())
+                    throw std::runtime_error("message references unknown lifeline");
+                Message& m = d.add_message(*fi->second, *ti->second,
+                                           required_attr(*msg, "name"));
+                if (const std::string* r = msg->find_attribute("result"))
+                    m.set_result_name(*r);
+                if (const std::string* ds = msg->find_attribute("dataSize"))
+                    m.set_data_size(std::stod(*ds));
+                for (const xml::Element* ae : msg->children_named("argument"))
+                    m.add_argument(required_attr(*ae, "name"));
+            }
+        } else if (type == "uml:StateMachine") {
+            StateMachine& sm = model.add_state_machine(required_attr(*e, "name"));
+            // Recursively read states, deferring `initial` resolution until
+            // all states exist.
+            std::vector<std::pair<State*, std::string>> pending_initial;
+            std::string machine_initial = e->attribute_or("initial", "");
+            std::map<std::string, State*> states_by_id;
+            auto read_states = [&](const xml::Element& parent_elem, State* parent,
+                                   auto&& self) -> void {
+                for (const xml::Element* se : parent_elem.children_named("subvertex")) {
+                    State& s = parent ? parent->add_substate(required_attr(*se, "name"))
+                                      : sm.add_state(required_attr(*se, "name"));
+                    states_by_id[required_attr(*se, "xmi:id")] = &s;
+                    s.set_entry_action(se->attribute_or("entry", ""));
+                    s.set_exit_action(se->attribute_or("exit", ""));
+                    if (const std::string* init = se->find_attribute("initial"))
+                        pending_initial.emplace_back(&s, *init);
+                    self(*se, &s, self);
+                }
+            };
+            read_states(*e, nullptr, read_states);
+            for (auto& [state, init_id] : pending_initial) {
+                auto it = states_by_id.find(init_id);
+                if (it == states_by_id.end())
+                    throw std::runtime_error("unknown initial substate id: " + init_id);
+                state->set_initial_substate(*it->second);
+            }
+            if (!machine_initial.empty()) {
+                auto it = states_by_id.find(machine_initial);
+                if (it == states_by_id.end())
+                    throw std::runtime_error("unknown initial state id: " +
+                                             machine_initial);
+                sm.set_initial_state(*it->second);
+            }
+            for (const xml::Element* te : e->children_named("transition")) {
+                auto si = states_by_id.find(required_attr(*te, "source"));
+                auto ti = states_by_id.find(required_attr(*te, "target"));
+                if (si == states_by_id.end() || ti == states_by_id.end())
+                    throw std::runtime_error("transition references unknown state");
+                Transition& t = sm.add_transition(*si->second, *ti->second);
+                t.set_trigger(te->attribute_or("trigger", ""));
+                t.set_guard(te->attribute_or("guard", ""));
+                t.set_effect(te->attribute_or("effect", ""));
+            }
+        }
+    }
+
+    // Pass 4: stereotype applications (siblings of uml:Model).
+    for (const xml::Element* e : root.child_elements()) {
+        std::string name = e->name();
+        std::size_t colon = name.find(':');
+        if (colon == std::string::npos) continue;
+        std::string prefix = name.substr(0, colon);
+        if (prefix != "SPT" && prefix != "uhcg") continue;
+        auto stereo = stereotype_from_string(name.substr(colon + 1));
+        if (!stereo)
+            throw std::runtime_error("unknown stereotype application <" + name + ">");
+        if (const std::string* base = e->find_attribute("base_InstanceSpecification")) {
+            auto it = objects_by_id.find(*base);
+            if (it == objects_by_id.end())
+                throw std::runtime_error("stereotype applied to unknown object: " +
+                                         *base);
+            it->second->add_stereotype(*stereo);
+        } else if (const std::string* nb = e->find_attribute("base_Node")) {
+            auto it = nodes_by_id.find(*nb);
+            if (it == nodes_by_id.end())
+                throw std::runtime_error("stereotype applied to unknown node: " + *nb);
+            it->second->add_stereotype(*stereo);
+        }
+    }
+
+    return model;
+}
+
+Model from_xmi_string(const std::string& text) { return read_xmi(xml::parse(text)); }
+
+Model load_xmi(const std::string& path) { return read_xmi(xml::parse_file(path)); }
+
+}  // namespace uhcg::uml

@@ -1,0 +1,57 @@
+// xmi.hpp — XMI 2.x interchange for uml::Model.
+//
+// MagicDraw and the EMF/UML2 tools the paper's prototype ingested exchange
+// models as XMI. We emit/consume an Eclipse-UML2-style dialect:
+//
+//   <xmi:XMI xmi:version="2.1" ...>
+//     <uml:Model name="...">
+//       <packagedElement xmi:type="uml:Class" .../>
+//       <packagedElement xmi:type="uml:InstanceSpecification" .../>
+//       <packagedElement xmi:type="uml:Interaction" .../>
+//       <packagedElement xmi:type="uml:Node" .../>
+//       <packagedElement xmi:type="uml:Deployment" .../>
+//       <packagedElement xmi:type="uml:StateMachine" .../>
+//     </uml:Model>
+//     <SPT:SASchedRes base_InstanceSpecification="..."/>   (profile block)
+//     <SPT:SAengine base_Node="..."/>
+//     <uhcg:IO base_InstanceSpecification="..."/>
+//   </xmi:XMI>
+//
+// Element ids are deterministic functions of element names so that
+// serialization is stable and diffs are meaningful.
+#pragma once
+
+#include <string>
+
+#include "uml/activity.hpp"
+#include "uml/model.hpp"
+#include "xml/dom.hpp"
+
+namespace uhcg::uml {
+
+/// Serializes the model (including stereotype applications).
+xml::Document write_xmi(const Model& model);
+std::string to_xmi_string(const Model& model);
+void save_xmi(const Model& model, const std::string& path);
+
+/// Overloads carrying activity diagrams (uml:Activity packagedElements
+/// with CallOperationAction nodes and pins).
+xml::Document write_xmi(const Model& model, const ActivityRegistry& activities);
+std::string to_xmi_string(const Model& model, const ActivityRegistry& activities);
+
+/// A model plus the activities read with it.
+struct XmiBundle {
+    Model model;
+    ActivityRegistry activities;
+};
+/// Like read_xmi, additionally reconstructing uml:Activity elements.
+XmiBundle read_xmi_bundle(const xml::Document& doc);
+XmiBundle from_xmi_string_bundle(const std::string& text);
+
+/// Rebuilds a model from an XMI document; throws std::runtime_error on
+/// structurally invalid input (unknown xmi:type, dangling idrefs, ...).
+Model read_xmi(const xml::Document& doc);
+Model from_xmi_string(const std::string& text);
+Model load_xmi(const std::string& path);
+
+}  // namespace uhcg::uml

@@ -1,0 +1,132 @@
+#include "xml/dom.hpp"
+
+#include <algorithm>
+
+namespace uhcg::xml {
+
+Node::Node(std::unique_ptr<Element> elem)
+    : kind_(NodeKind::Element), elem_(std::move(elem)) {}
+
+Node::Node(NodeKind kind, std::string text)
+    : kind_(kind), text_(std::move(text)) {}
+
+Node::~Node() = default;
+Node::Node(Node&&) noexcept = default;
+Node& Node::operator=(Node&&) noexcept = default;
+
+const std::string* Element::find_attribute(std::string_view name) const {
+    for (const auto& a : attrs_) {
+        if (a.name == name) return &a.value;
+    }
+    return nullptr;
+}
+
+std::string Element::attribute_or(std::string_view name, std::string fallback) const {
+    if (const std::string* v = find_attribute(name)) return *v;
+    return fallback;
+}
+
+Element& Element::set_attribute(std::string_view name, std::string_view value) {
+    for (auto& a : attrs_) {
+        if (a.name == name) {
+            a.value = std::string(value);
+            return *this;
+        }
+    }
+    attrs_.push_back(Attribute{std::string(name), std::string(value)});
+    return *this;
+}
+
+bool Element::remove_attribute(std::string_view name) {
+    auto it = std::find_if(attrs_.begin(), attrs_.end(),
+                           [&](const Attribute& a) { return a.name == name; });
+    if (it == attrs_.end()) return false;
+    attrs_.erase(it);
+    return true;
+}
+
+Element& Element::add_child(std::string name) {
+    children_.emplace_back(std::make_unique<Element>(std::move(name)));
+    return children_.back().element();
+}
+
+Element& Element::add_child(std::unique_ptr<Element> elem) {
+    children_.emplace_back(std::move(elem));
+    return children_.back().element();
+}
+
+void Element::add_text(std::string text) {
+    children_.emplace_back(NodeKind::Text, std::move(text));
+}
+
+void Element::add_comment(std::string text) {
+    children_.emplace_back(NodeKind::Comment, std::move(text));
+}
+
+Element* Element::first_child(std::string_view name) {
+    for (auto& n : children_) {
+        if (n.kind() == NodeKind::Element && n.element().name() == name)
+            return &n.element();
+    }
+    return nullptr;
+}
+
+const Element* Element::first_child(std::string_view name) const {
+    for (const auto& n : children_) {
+        if (n.kind() == NodeKind::Element && n.element().name() == name)
+            return &n.element();
+    }
+    return nullptr;
+}
+
+std::vector<Element*> Element::child_elements() {
+    std::vector<Element*> out;
+    for (auto& n : children_) {
+        if (n.kind() == NodeKind::Element) out.push_back(&n.element());
+    }
+    return out;
+}
+
+std::vector<const Element*> Element::child_elements() const {
+    std::vector<const Element*> out;
+    for (const auto& n : children_) {
+        if (n.kind() == NodeKind::Element) out.push_back(&n.element());
+    }
+    return out;
+}
+
+std::vector<Element*> Element::children_named(std::string_view name) {
+    std::vector<Element*> out;
+    for (auto& n : children_) {
+        if (n.kind() == NodeKind::Element && n.element().name() == name)
+            out.push_back(&n.element());
+    }
+    return out;
+}
+
+std::vector<const Element*> Element::children_named(std::string_view name) const {
+    std::vector<const Element*> out;
+    for (const auto& n : children_) {
+        if (n.kind() == NodeKind::Element && n.element().name() == name)
+            out.push_back(&n.element());
+    }
+    return out;
+}
+
+std::string Element::text_content() const {
+    std::string out;
+    for (const auto& n : children_) {
+        if (n.kind() == NodeKind::Text) out += n.text();
+    }
+    return out;
+}
+
+std::size_t Element::subtree_size() const {
+    std::size_t count = 1;
+    for (const auto& n : children_) {
+        if (n.kind() == NodeKind::Element) count += n.element().subtree_size();
+    }
+    return count;
+}
+
+}  // namespace uhcg::xml

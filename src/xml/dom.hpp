@@ -1,0 +1,124 @@
+// dom.hpp — minimal XML document object model used by every serializer in
+// uml-hcg (XMI, E-core model files, Simulink mdl-as-XML debug dumps).
+//
+// The DOM is deliberately small: elements, attributes, text and comment
+// nodes. Elements own their children via unique_ptr, so a Document is a
+// proper tree with single ownership; raw Element* handles returned by the
+// navigation helpers stay valid for the lifetime of the document because
+// nodes are never relocated after creation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace uhcg::xml {
+
+class Element;
+
+/// One attribute on an element. XML attribute order is preserved because
+/// tools like EMF emit semantically ordered attributes and round-tripping
+/// should be byte-stable.
+struct Attribute {
+    std::string name;
+    std::string value;
+};
+
+/// Discriminates the child-node payloads an Element may carry.
+enum class NodeKind { Element, Text, Comment };
+
+/// A child node: either a nested element or a chunk of character data.
+class Node {
+public:
+    explicit Node(std::unique_ptr<Element> elem);
+    Node(NodeKind kind, std::string text);
+    ~Node();
+    Node(Node&&) noexcept;
+    Node& operator=(Node&&) noexcept;
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    NodeKind kind() const { return kind_; }
+    /// Valid only when kind() == Element.
+    Element& element() { return *elem_; }
+    const Element& element() const { return *elem_; }
+    /// Valid only when kind() is Text or Comment.
+    const std::string& text() const { return text_; }
+    std::string& text() { return text_; }
+
+private:
+    NodeKind kind_;
+    std::unique_ptr<Element> elem_;  // set iff kind_ == Element
+    std::string text_;               // set otherwise
+};
+
+/// An XML element: tag name, ordered attributes, ordered children.
+class Element {
+public:
+    explicit Element(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+    void set_name(std::string n) { name_ = std::move(n); }
+
+    // --- attributes -------------------------------------------------------
+    const std::vector<Attribute>& attributes() const { return attrs_; }
+    /// Returns nullptr if absent.
+    const std::string* find_attribute(std::string_view name) const;
+    /// Returns the attribute value or `fallback` when absent.
+    std::string attribute_or(std::string_view name, std::string fallback) const;
+    bool has_attribute(std::string_view name) const { return find_attribute(name) != nullptr; }
+    /// Sets (replacing any existing value) and returns *this for chaining.
+    Element& set_attribute(std::string_view name, std::string_view value);
+    bool remove_attribute(std::string_view name);
+
+    // --- children ---------------------------------------------------------
+    const std::vector<Node>& children() const { return children_; }
+    std::vector<Node>& children() { return children_; }
+    /// Appends a child element and returns a stable reference to it.
+    Element& add_child(std::string name);
+    /// Appends an already-built subtree.
+    Element& add_child(std::unique_ptr<Element> elem);
+    void add_text(std::string text);
+    void add_comment(std::string text);
+
+    /// First child element with the given tag, or nullptr.
+    Element* first_child(std::string_view name);
+    const Element* first_child(std::string_view name) const;
+    /// All child elements (optionally restricted to one tag name).
+    std::vector<Element*> child_elements();
+    std::vector<const Element*> child_elements() const;
+    std::vector<Element*> children_named(std::string_view name);
+    std::vector<const Element*> children_named(std::string_view name) const;
+    /// Concatenated text content of direct text children.
+    std::string text_content() const;
+    /// Total number of element nodes in this subtree, including this one.
+    std::size_t subtree_size() const;
+
+private:
+    std::string name_;
+    std::vector<Attribute> attrs_;
+    std::vector<Node> children_;
+};
+
+/// A parsed or programmatically built XML document.
+class Document {
+public:
+    Document() : root_(std::make_unique<Element>("root")) {}
+    explicit Document(std::string root_name)
+        : root_(std::make_unique<Element>(std::move(root_name))) {}
+
+    Element& root() { return *root_; }
+    const Element& root() const { return *root_; }
+    void set_root(std::unique_ptr<Element> root) { root_ = std::move(root); }
+
+    /// XML declaration fields (serialized as <?xml version=... ?>).
+    std::string version = "1.0";
+    std::string encoding = "UTF-8";
+
+private:
+    std::unique_ptr<Element> root_;
+};
+
+}  // namespace uhcg::xml

@@ -1,0 +1,38 @@
+// parser.hpp — recursive-descent XML parser producing a dom::Document.
+//
+// Supports the subset of XML that XMI 2.x and E-core files use:
+// elements, attributes (single or double quoted), character data with
+// entity references, CDATA sections, comments, processing instructions
+// (skipped), and an optional XML declaration. DTDs are not supported;
+// encountering one raises ParseError, which is the honest behaviour for a
+// model-interchange tool (XMI never ships DTDs).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "xml/dom.hpp"
+
+namespace uhcg::xml {
+
+/// Thrown on malformed input. Carries 1-based line/column of the offence.
+class ParseError : public std::runtime_error {
+public:
+    ParseError(std::string message, std::size_t line, std::size_t column);
+    std::size_t line() const { return line_; }
+    std::size_t column() const { return column_; }
+
+private:
+    std::size_t line_;
+    std::size_t column_;
+};
+
+/// Parses a complete XML document from memory.
+Document parse(std::string_view input);
+
+/// Parses the file at `path`. Throws std::runtime_error if unreadable and
+/// ParseError if malformed.
+Document parse_file(const std::string& path);
+
+}  // namespace uhcg::xml

@@ -1,0 +1,134 @@
+#include "xml/path.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+namespace uhcg::xml {
+namespace {
+
+struct Step {
+    std::string name;                      // tag or "*"
+    std::optional<std::string> attr_name;  // [@k='v'] predicate
+    std::string attr_value;
+    std::optional<std::size_t> position;   // [n] predicate, 1-based
+};
+
+std::vector<Step> parse_path(std::string_view path, bool& descendant) {
+    descendant = false;
+    if (path.substr(0, 2) == "//") {
+        descendant = true;
+        path.remove_prefix(2);
+    }
+    std::vector<Step> steps;
+    std::size_t start = 0;
+    while (start <= path.size()) {
+        std::size_t end = path.find('/', start);
+        std::string_view part = path.substr(
+            start, end == std::string_view::npos ? std::string_view::npos : end - start);
+        if (part.empty())
+            throw std::invalid_argument("empty step in path: " + std::string(path));
+        Step step;
+        std::size_t bracket = part.find('[');
+        if (bracket == std::string_view::npos) {
+            step.name = std::string(part);
+        } else {
+            step.name = std::string(part.substr(0, bracket));
+            std::string_view pred = part.substr(bracket + 1);
+            if (pred.empty() || pred.back() != ']')
+                throw std::invalid_argument("malformed predicate in path step: " +
+                                            std::string(part));
+            pred.remove_suffix(1);
+            if (!pred.empty() && pred[0] == '@') {
+                std::size_t eq = pred.find('=');
+                if (eq == std::string_view::npos)
+                    throw std::invalid_argument("malformed attribute predicate: " +
+                                                std::string(part));
+                step.attr_name = std::string(pred.substr(1, eq - 1));
+                std::string_view value = pred.substr(eq + 1);
+                if (value.size() < 2 || (value.front() != '\'' && value.front() != '"') ||
+                    value.back() != value.front())
+                    throw std::invalid_argument("predicate value must be quoted: " +
+                                                std::string(part));
+                step.attr_value = std::string(value.substr(1, value.size() - 2));
+            } else {
+                step.position = std::stoul(std::string(pred));
+                if (*step.position == 0)
+                    throw std::invalid_argument("positions are 1-based: " +
+                                                std::string(part));
+            }
+        }
+        steps.push_back(std::move(step));
+        if (end == std::string_view::npos) break;
+        start = end + 1;
+    }
+    return steps;
+}
+
+bool step_matches(const Step& step, const Element& elem) {
+    if (step.name != "*" && elem.name() != step.name) return false;
+    if (step.attr_name) {
+        const std::string* v = elem.find_attribute(*step.attr_name);
+        if (!v || *v != step.attr_value) return false;
+    }
+    return true;
+}
+
+void collect_descendants(const Element& elem, const Step& step,
+                         std::vector<const Element*>& out) {
+    if (step_matches(step, elem)) out.push_back(&elem);
+    for (const auto* child : elem.child_elements())
+        collect_descendants(*child, step, out);
+}
+
+std::vector<const Element*> apply_step(const std::vector<const Element*>& context,
+                                       const Step& step, bool descendant) {
+    std::vector<const Element*> out;
+    for (const Element* e : context) {
+        if (descendant) {
+            collect_descendants(*e, step, out);
+        } else {
+            std::vector<const Element*> matched;
+            for (const auto* child : e->child_elements())
+                if (step_matches(step, *child)) matched.push_back(child);
+            if (step.position) {
+                if (*step.position <= matched.size())
+                    out.push_back(matched[*step.position - 1]);
+            } else {
+                out.insert(out.end(), matched.begin(), matched.end());
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<const Element*> select(const Element& root, std::string_view path) {
+    bool descendant = false;
+    std::vector<Step> steps = parse_path(path, descendant);
+    std::vector<const Element*> context{&root};
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        context = apply_step(context, steps[i], descendant && i == 0);
+        if (context.empty()) break;
+    }
+    return context;
+}
+
+std::vector<Element*> select(Element& root, std::string_view path) {
+    std::vector<Element*> out;
+    for (const Element* e : select(static_cast<const Element&>(root), path))
+        out.push_back(const_cast<Element*>(e));  // root is non-const, so safe
+    return out;
+}
+
+const Element* select_first(const Element& root, std::string_view path) {
+    auto matches = select(root, path);
+    return matches.empty() ? nullptr : matches.front();
+}
+
+Element* select_first(Element& root, std::string_view path) {
+    auto matches = select(root, path);
+    return matches.empty() ? nullptr : matches.front();
+}
+
+}  // namespace uhcg::xml

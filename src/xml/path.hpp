@@ -1,0 +1,31 @@
+// path.hpp — XPath-lite selection over the DOM.
+//
+// Supports exactly the axis/step forms model readers need:
+//   "a/b/c"            child steps
+//   "a/*/c"            wildcard step
+//   "//name"           descendant-or-self search (leading only)
+//   "a/b[@id='x']"     attribute-equality predicate
+//   "a/b[2]"           1-based positional predicate (after filtering)
+// Steps are applied left to right; the result preserves document order
+// and contains no duplicates.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/dom.hpp"
+
+namespace uhcg::xml {
+
+/// All elements matching `path` relative to `root` (root is the context
+/// node; the first step matches root's children unless the path starts
+/// with "//").
+std::vector<const Element*> select(const Element& root, std::string_view path);
+std::vector<Element*> select(Element& root, std::string_view path);
+
+/// First match or nullptr.
+const Element* select_first(const Element& root, std::string_view path);
+Element* select_first(Element& root, std::string_view path);
+
+}  // namespace uhcg::xml

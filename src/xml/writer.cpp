@@ -1,0 +1,122 @@
+#include "xml/writer.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace uhcg::xml {
+namespace {
+
+void write_indent(std::ostream& out, int indent, int depth) {
+    if (indent <= 0) return;
+    for (int i = 0; i < indent * depth; ++i) out.put(' ');
+}
+
+void write_element(std::ostream& out, const Element& elem,
+                   const WriteOptions& options, int depth) {
+    write_indent(out, options.indent, depth);
+    out << '<' << elem.name();
+    for (const auto& a : elem.attributes())
+        out << ' ' << a.name << "=\"" << escape_attribute(a.value) << '"';
+
+    if (elem.children().empty() && options.self_close_empty) {
+        out << "/>";
+        if (options.indent > 0) out << '\n';
+        return;
+    }
+    out << '>';
+
+    // Elements whose only children are text are written inline so that
+    // <name>value</name> round-trips without gaining whitespace.
+    bool inline_content = true;
+    for (const auto& n : elem.children()) {
+        if (n.kind() != NodeKind::Text) {
+            inline_content = false;
+            break;
+        }
+    }
+
+    if (inline_content) {
+        for (const auto& n : elem.children()) out << escape_text(n.text());
+    } else {
+        if (options.indent > 0) out << '\n';
+        for (const auto& n : elem.children()) {
+            switch (n.kind()) {
+                case NodeKind::Element:
+                    write_element(out, n.element(), options, depth + 1);
+                    break;
+                case NodeKind::Text:
+                    write_indent(out, options.indent, depth + 1);
+                    out << escape_text(n.text());
+                    if (options.indent > 0) out << '\n';
+                    break;
+                case NodeKind::Comment:
+                    write_indent(out, options.indent, depth + 1);
+                    out << "<!--" << n.text() << "-->";
+                    if (options.indent > 0) out << '\n';
+                    break;
+            }
+        }
+        write_indent(out, options.indent, depth);
+    }
+    out << "</" << elem.name() << '>';
+    if (options.indent > 0) out << '\n';
+}
+
+}  // namespace
+
+std::string escape_text(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            case '&': out += "&amp;"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string escape_attribute(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            case '&': out += "&amp;"; break;
+            case '"': out += "&quot;"; break;
+            case '\n': out += "&#10;"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string write(const Document& doc, const WriteOptions& options) {
+    std::ostringstream out;
+    if (options.declaration) {
+        out << "<?xml version=\"" << doc.version << "\" encoding=\""
+            << doc.encoding << "\"?>";
+        if (options.indent > 0) out << '\n';
+    }
+    write_element(out, doc.root(), options, 0);
+    return out.str();
+}
+
+std::string write(const Element& elem, const WriteOptions& options) {
+    std::ostringstream out;
+    write_element(out, elem, options, 0);
+    return out.str();
+}
+
+void write_file(const Document& doc, const std::string& path,
+                const WriteOptions& options) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+    out << write(doc, options);
+    if (!out) throw std::runtime_error("failed writing XML file: " + path);
+}
+
+}  // namespace uhcg::xml

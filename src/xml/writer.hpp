@@ -1,0 +1,35 @@
+// writer.hpp — serializes a dom::Document back to XML text.
+//
+// The writer is deterministic (attribute and child order preserved) so
+// generated model files diff cleanly between runs — a property the tests
+// rely on for round-trip checks.
+#pragma once
+
+#include <string>
+
+#include "xml/dom.hpp"
+
+namespace uhcg::xml {
+
+struct WriteOptions {
+    /// Spaces per nesting level; 0 writes everything on one line.
+    int indent = 2;
+    /// Emit the <?xml ...?> declaration.
+    bool declaration = true;
+    /// Collapse childless elements to <name/>.
+    bool self_close_empty = true;
+};
+
+/// Escapes the five XML special characters for use in character data.
+std::string escape_text(std::string_view text);
+/// Escapes for use inside a double-quoted attribute value.
+std::string escape_attribute(std::string_view text);
+
+std::string write(const Document& doc, const WriteOptions& options = {});
+std::string write(const Element& elem, const WriteOptions& options = {});
+
+/// Writes to a file; throws std::runtime_error on I/O failure.
+void write_file(const Document& doc, const std::string& path,
+                const WriteOptions& options = {});
+
+}  // namespace uhcg::xml

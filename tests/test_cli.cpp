@@ -1,0 +1,146 @@
+// End-to-end tests of the uhcg command-line driver: the shipped-tool
+// surface (XMI in, artifacts out). Locates the binary relative to the
+// test's working directory (ctest runs in build/tests) and skips if it
+// was not built.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cases/cases.hpp"
+#include "simulink/mdl.hpp"
+#include "uml/xmi.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace uhcg;
+
+fs::path cli_path() {
+    for (const char* candidate :
+         {"../tools/uhcg", "./tools/uhcg", "build/tools/uhcg"}) {
+        fs::path p = fs::absolute(candidate);
+        if (fs::exists(p)) return p;
+    }
+    return {};
+}
+
+class CliTest : public ::testing::Test {
+protected:
+    fs::path cli;
+    fs::path dir;
+
+    void SetUp() override {
+        cli = cli_path();
+        if (cli.empty()) GTEST_SKIP() << "uhcg binary not found";
+        dir = fs::path(testing::TempDir()) / "uhcg_cli";
+        fs::remove_all(dir);
+        fs::create_directories(dir);
+        uml::save_xmi(cases::crane_model(), (dir / "crane.xmi").string());
+        uml::save_xmi(cases::synthetic_model(), (dir / "synthetic.xmi").string());
+    }
+
+    /// Runs the CLI; returns exit status, captures stdout+stderr.
+    int run(const std::string& args, std::string* output = nullptr) {
+        fs::path log = dir / "cli.log";
+        std::string cmd = "cd '" + dir.string() + "' && '" + cli.string() +
+                          "' " + args + " > cli.log 2>&1";
+        int status = std::system(cmd.c_str());
+        if (output) {
+            std::ifstream in(log);
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            *output = buf.str();
+        }
+        return status;
+    }
+};
+
+TEST_F(CliTest, CheckReportsWellFormed) {
+    std::string out;
+    EXPECT_EQ(run("check crane.xmi", &out), 0);
+    EXPECT_NE(out.find("well-formed"), std::string::npos);
+}
+
+TEST_F(CliTest, MapWritesValidMdl) {
+    std::string out;
+    ASSERT_EQ(run("map crane.xmi -o crane.mdl --report", &out), 0);
+    EXPECT_NE(out.find("temporal barriers: 1"), std::string::npos);
+    simulink::Model caam = simulink::load_mdl((dir / "crane.mdl").string());
+    EXPECT_EQ(caam.name(), "crane");
+    EXPECT_GT(caam.root().total_blocks(), 0u);
+}
+
+TEST_F(CliTest, MapDumpsIntermediateEcore) {
+    ASSERT_EQ(run("map crane.xmi -o crane.mdl --dump-ecore step2.xml"), 0);
+    std::ifstream in(dir / "step2.xml");
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("uhcg:model"), std::string::npos);
+    EXPECT_NE(text.find("SimulinkCAAM"), std::string::npos);
+}
+
+TEST_F(CliTest, CodegenEmitsProgramDirectory) {
+    ASSERT_EQ(run("codegen synthetic.xmi --auto-allocate -o syn_c"), 0);
+    EXPECT_TRUE(fs::exists(dir / "syn_c" / "main.c"));
+    EXPECT_TRUE(fs::exists(dir / "syn_c" / "uhcg_rt.h"));
+    int cpu_files = 0;
+    for (const auto& entry : fs::directory_iterator(dir / "syn_c"))
+        if (entry.path().filename().string().rfind("cpu_", 0) == 0) ++cpu_files;
+    EXPECT_EQ(cpu_files, 4);
+}
+
+TEST_F(CliTest, ThreadsEmitsCpp) {
+    ASSERT_EQ(run("threads crane.xmi -o crane_threads.cpp --iterations 5"), 0);
+    std::ifstream in(dir / "crane_threads.cpp");
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("k < 5"), std::string::npos);
+    EXPECT_NE(text.find("run_T1"), std::string::npos);
+}
+
+TEST_F(CliTest, KpnPrintsChannels) {
+    std::string out;
+    EXPECT_EQ(run("kpn crane.xmi", &out), 0);
+    EXPECT_NE(out.find("3 processes"), std::string::npos);
+    EXPECT_NE(out.find("[seeded]"), std::string::npos);
+}
+
+TEST_F(CliTest, ExplorePrintsParetoFront) {
+    std::string out;
+    EXPECT_EQ(run("explore synthetic.xmi", &out), 0);
+    EXPECT_NE(out.find("pareto front"), std::string::npos);
+    EXPECT_NE(out.find("recommended"), std::string::npos);
+}
+
+TEST_F(CliTest, BadInputsFailGracefully) {
+    std::string out;
+    EXPECT_NE(run("map missing.xmi", &out), 0);
+    EXPECT_NE(out.find("error:"), std::string::npos);
+    EXPECT_NE(run("frobnicate crane.xmi", &out), 0);
+    EXPECT_NE(run("map", &out), 0);  // missing input
+}
+
+TEST_F(CliTest, AutoAllocateMatchesFig7) {
+    std::string out;
+    ASSERT_EQ(run("map synthetic.xmi --auto-allocate -o syn.mdl --report", &out),
+              0);
+    EXPECT_NE(out.find("CPU0: A B C D F J"), std::string::npos);
+    EXPECT_NE(out.find("CPU1: E I"), std::string::npos);
+}
+
+TEST_F(CliTest, DotWritesBothGraphs) {
+    ASSERT_EQ(run("dot synthetic.xmi --auto-allocate -o syn"), 0);
+    std::ifstream tg(dir / "syn_taskgraph.dot");
+    std::string tg_text((std::istreambuf_iterator<char>(tg)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(tg_text.find("subgraph cluster_cpu0"), std::string::npos);
+    std::ifstream caam(dir / "syn_caam.dot");
+    std::string caam_text((std::istreambuf_iterator<char>(caam)),
+                          std::istreambuf_iterator<char>());
+    EXPECT_NE(caam_text.find("CPU-SS"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Tests for the design-space-exploration module (§6 future work:
+// estimation-driven choice of the mapping solution).
+#include <gtest/gtest.h>
+
+#include "cases/cases.hpp"
+#include "core/pipeline.hpp"
+#include "dse/explore.hpp"
+#include "simulink/caam.hpp"
+
+namespace {
+
+using namespace uhcg;
+using namespace uhcg::dse;
+
+class SyntheticDse : public ::testing::Test {
+protected:
+    uml::Model syn = cases::synthetic_model();
+    core::CommModel comm = core::analyze_communication(syn);
+    ExploreResult result = explore(syn, comm);
+};
+
+TEST_F(SyntheticDse, EvaluatesManyCandidates) {
+    // linear + dsc + per-k (linear/k, load-balance, round-robin, 3 random).
+    EXPECT_GE(result.candidates.size(), 2u + 12u * 6u);
+    for (const Candidate& c : result.candidates) {
+        EXPECT_GE(c.processors, 1u);
+        EXPECT_LE(c.processors, 12u);
+        EXPECT_GT(c.makespan, 0.0);
+        EXPECT_GE(c.cpu_utilization, 0.0);
+        EXPECT_LE(c.cpu_utilization, 1.0 + 1e-9);
+    }
+}
+
+TEST_F(SyntheticDse, ParetoFrontIsMonotone) {
+    ASSERT_FALSE(result.pareto_front.empty());
+    // Along the front, more processors must strictly improve makespan.
+    for (std::size_t i = 1; i < result.pareto_front.size(); ++i) {
+        const Candidate& prev = result.candidates[result.pareto_front[i - 1]];
+        const Candidate& cur = result.candidates[result.pareto_front[i]];
+        EXPECT_GT(cur.processors, prev.processors);
+        EXPECT_LT(cur.makespan, prev.makespan);
+    }
+    // Front members are flagged.
+    for (std::size_t i : result.pareto_front)
+        EXPECT_TRUE(result.candidates[i].pareto);
+}
+
+TEST_F(SyntheticDse, BestIsUndominatedAndMinMakespan) {
+    const Candidate& best = result.candidates[result.best];
+    for (const Candidate& c : result.candidates)
+        EXPECT_GE(c.makespan, best.makespan - 1e-9);
+    EXPECT_TRUE(best.pareto);
+}
+
+TEST_F(SyntheticDse, RecommendationBeatsSingleCpu) {
+    double single = 0.0;
+    for (const Candidate& c : result.candidates)
+        if (c.processors == 1) single = std::max(single, c.makespan);
+    EXPECT_LT(result.candidates[result.best].makespan, single);
+}
+
+TEST_F(SyntheticDse, AllocationFeedsTheMapper) {
+    core::Allocation alloc = to_allocation(syn, result.candidates[result.best]);
+    EXPECT_EQ(alloc.processor_count(),
+              result.candidates[result.best].processors);
+    for (const uml::ObjectInstance* t : syn.threads())
+        EXPECT_TRUE(alloc.is_assigned(*t));
+    // And the full flow accepts it: run the mapping with this allocation.
+    core::MappingOutput mapped =
+        core::run_mapping(syn, comm, alloc);
+    EXPECT_TRUE(mapped.warnings.empty());
+}
+
+TEST_F(SyntheticDse, BestAllocationConvenience) {
+    core::Allocation alloc = best_allocation(syn, comm);
+    EXPECT_GE(alloc.processor_count(), 1u);
+    EXPECT_LE(alloc.processor_count(), 12u);
+}
+
+TEST_F(SyntheticDse, FormatMentionsRecommendation) {
+    std::string text = format(result);
+    EXPECT_NE(text.find("recommended"), std::string::npos);
+    EXPECT_NE(text.find("pareto front"), std::string::npos);
+}
+
+TEST(Dse, ProcessorBudgetRespected) {
+    uml::Model syn = cases::synthetic_model();
+    core::CommModel comm = core::analyze_communication(syn);
+    ExploreOptions options;
+    options.max_processors = 3;
+    ExploreResult result = explore(syn, comm, options);
+    for (const Candidate& c : result.candidates) {
+        if (c.strategy == "linear" || c.strategy == "dsc")
+            continue;  // the unbounded anchors may exceed the budget
+        EXPECT_LE(c.processors, 3u);
+    }
+}
+
+TEST(Dse, CostModelShiftsTheFront) {
+    uml::Model syn = cases::synthetic_model();
+    core::CommModel comm = core::analyze_communication(syn);
+    ExploreOptions cheap_comm;
+    cheap_comm.cost_model.gfifo_cost_per_byte = 0.1;
+    cheap_comm.cost_model.bus_setup = 0.0;
+    ExploreOptions dear_comm;
+    dear_comm.cost_model.gfifo_cost_per_byte = 100.0;
+    ExploreResult cheap = explore(syn, comm, cheap_comm);
+    ExploreResult dear = explore(syn, comm, dear_comm);
+    std::size_t cpus_cheap = cheap.candidates[cheap.best].processors;
+    std::size_t cpus_dear = dear.candidates[dear.best].processors;
+    // Expensive communication pushes the recommendation toward fewer CPUs.
+    EXPECT_LE(cpus_dear, cpus_cheap);
+}
+
+TEST(Dse, EmptyModelYieldsEmptyResult) {
+    uml::Model empty("empty");
+    core::CommModel comm = core::analyze_communication(empty);
+    ExploreResult result = explore(empty, comm);
+    EXPECT_TRUE(result.candidates.empty());
+    EXPECT_THROW(best_allocation(empty, comm), std::runtime_error);
+}
+
+TEST(Dse, MismatchedCandidateRejected) {
+    uml::Model syn = cases::synthetic_model();
+    Candidate wrong;
+    wrong.processors = 1;
+    wrong.clustering = taskgraph::Clustering(3);  // 3 ≠ 12 threads
+    EXPECT_THROW(to_allocation(syn, wrong), std::invalid_argument);
+}
+
+TEST(Dse, RandomApplicationsExploreCleanly) {
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        uml::Model app = cases::random_application(seed, 12, 3);
+        core::CommModel comm = core::analyze_communication(app);
+        ExploreOptions options;
+        options.random_samples = 1;
+        ExploreResult result = explore(app, comm, options);
+        ASSERT_FALSE(result.candidates.empty());
+        EXPECT_FALSE(result.pareto_front.empty());
+        const Candidate& best = result.candidates[result.best];
+        EXPECT_TRUE(best.pareto);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,286 @@
+// Tests for the FSM branch: flat machines, UML flattening, interpreter and
+// C code generation.
+#include <gtest/gtest.h>
+
+#include "cases/cases.hpp"
+#include "fsm/codegen.hpp"
+#include "fsm/from_uml.hpp"
+#include "fsm/interpret.hpp"
+#include "fsm/machine.hpp"
+
+namespace {
+
+using namespace uhcg;
+using namespace uhcg::fsm;
+
+Machine traffic_light() {
+    Machine m("light");
+    StateId red = m.add_state("Red", "red_on();", "red_off();");
+    StateId green = m.add_state("Green", "green_on();", "green_off();");
+    StateId yellow = m.add_state("Yellow");
+    m.set_initial(red);
+    m.add_transition({red, green, "go", "", "log_go();"});
+    m.add_transition({green, yellow, "caution", "", ""});
+    m.add_transition({yellow, red, "stop", "", ""});
+    return m;
+}
+
+TEST(FsmMachine, StructureAndLookup) {
+    Machine m = traffic_light();
+    EXPECT_EQ(m.state_count(), 3u);
+    EXPECT_EQ(m.state_name(0), "Red");
+    EXPECT_EQ(m.find_state("Green"), StateId{1});
+    EXPECT_FALSE(m.find_state("Blue").has_value());
+    EXPECT_EQ(m.outgoing(0).size(), 1u);
+    EXPECT_EQ(m.events(),
+              (std::vector<std::string>{"go", "caution", "stop"}));
+    EXPECT_TRUE(m.check().empty());
+}
+
+TEST(FsmMachine, DuplicateStateRejected) {
+    Machine m("m");
+    m.add_state("A");
+    EXPECT_THROW(m.add_state("A"), std::invalid_argument);
+}
+
+TEST(FsmMachine, CheckFindsMissingInitial) {
+    Machine m("m");
+    m.add_state("A");
+    auto problems = m.check();
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("initial"), std::string::npos);
+    EXPECT_THROW(m.initial(), std::logic_error);
+}
+
+TEST(FsmMachine, CheckFindsNondeterminism) {
+    Machine m("m");
+    StateId a = m.add_state("A");
+    StateId b = m.add_state("B");
+    m.set_initial(a);
+    m.add_transition({a, b, "e", "g", ""});
+    m.add_transition({a, b, "e", "g", "other();"});  // same (src,event,guard)
+    bool found = false;
+    for (const auto& p : m.check())
+        if (p.find("nondeterministic") != std::string::npos) found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(FsmMachine, CheckFindsUnreachableStates) {
+    Machine m("m");
+    StateId a = m.add_state("A");
+    m.add_state("Island");
+    m.set_initial(a);
+    bool found = false;
+    for (const auto& p : m.check())
+        if (p.find("unreachable") != std::string::npos) found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(FsmMachine, TransitionEndpointValidation) {
+    Machine m("m");
+    m.add_state("A");
+    EXPECT_THROW(m.add_transition({0, 9, "", "", ""}), std::out_of_range);
+    EXPECT_THROW(m.set_initial(5), std::out_of_range);
+}
+
+// --- UML flattening -----------------------------------------------------------------
+
+TEST(FromUml, ElevatorFlattensComposites) {
+    uml::StateMachine elevator = cases::elevator_state_machine();
+    Machine m = from_uml(elevator);
+    // Leaves only: Idle, DoorsOpen, MovingUp, MovingDown.
+    EXPECT_EQ(m.state_count(), 4u);
+    EXPECT_FALSE(m.find_state("Moving").has_value());  // dissolved
+    EXPECT_TRUE(m.find_state("MovingUp").has_value());
+    EXPECT_TRUE(m.check().empty());
+    // The composite's "arrived" transition is replicated onto both leaves.
+    int arrived = 0;
+    for (const auto& t : m.transitions())
+        if (t.event == "arrived") ++arrived;
+    EXPECT_EQ(arrived, 2);
+}
+
+TEST(FromUml, CompositeExitChainsIntoAction) {
+    uml::StateMachine elevator = cases::elevator_state_machine();
+    Machine m = from_uml(elevator);
+    // Leaving Moving via "arrived" must run the composite's exit action.
+    bool found = false;
+    for (const auto& t : m.transitions()) {
+        if (t.event != "arrived") continue;
+        EXPECT_NE(t.action.find("motor_off();"), std::string::npos);
+        EXPECT_NE(t.action.find("announce_floor();"), std::string::npos);
+        found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(FromUml, InitialDrillsToLeaf) {
+    uml::StateMachine sm("M");
+    uml::State& outer = sm.add_state("Outer");
+    outer.set_entry_action("outer_entry();");
+    uml::State& inner = outer.add_substate("Inner");
+    outer.set_initial_substate(inner);
+    sm.set_initial_state(outer);
+    Machine m = from_uml(sm);
+    EXPECT_EQ(m.state_name(m.initial()), "Inner");
+}
+
+TEST(FromUml, TransitionIntoCompositeAddsEntryChain) {
+    uml::StateMachine sm("M");
+    uml::State& a = sm.add_state("A");
+    uml::State& comp = sm.add_state("Comp");
+    comp.set_entry_action("comp_entry();");
+    uml::State& leaf = comp.add_substate("Leaf");
+    comp.set_initial_substate(leaf);
+    sm.set_initial_state(a);
+    sm.add_transition(a, comp).set_trigger("go");
+    Machine m = from_uml(sm);
+    ASSERT_EQ(m.transitions().size(), 1u);
+    const FsmTransition& t = m.transitions()[0];
+    EXPECT_EQ(m.state_name(t.target), "Leaf");
+    EXPECT_NE(t.action.find("comp_entry();"), std::string::npos);
+}
+
+TEST(FromUml, MissingInitialSubstateThrows) {
+    uml::StateMachine sm("M");
+    uml::State& comp = sm.add_state("Comp");
+    comp.add_substate("Leaf");  // no initial substate set
+    sm.set_initial_state(comp);
+    EXPECT_THROW(from_uml(sm), std::runtime_error);
+}
+
+TEST(FromUml, MissingInitialStateThrows) {
+    uml::StateMachine sm("M");
+    sm.add_state("A");
+    EXPECT_THROW(from_uml(sm), std::runtime_error);
+}
+
+// --- interpreter --------------------------------------------------------------------
+
+TEST(Interpreter, WalksTrafficLight) {
+    Machine m = traffic_light();
+    Interpreter interp(m);
+    EXPECT_EQ(interp.current_name(), "Red");
+    EXPECT_TRUE(interp.step("go"));
+    EXPECT_EQ(interp.current_name(), "Green");
+    EXPECT_FALSE(interp.step("go"));  // no such transition from Green
+    EXPECT_TRUE(interp.step("caution"));
+    EXPECT_TRUE(interp.step("stop"));
+    EXPECT_EQ(interp.current_name(), "Red");
+    EXPECT_EQ(interp.transitions_fired(), 3u);
+}
+
+TEST(Interpreter, ActionOrderIsExitEffectEntry) {
+    Machine m = traffic_light();
+    Interpreter interp(m);
+    interp.step("go");
+    // reset ran Red's entry; then exit(Red), effect, entry(Green).
+    ASSERT_EQ(interp.action_log().size(), 4u);
+    EXPECT_EQ(interp.action_log()[0], "red_on();");
+    EXPECT_EQ(interp.action_log()[1], "red_off();");
+    EXPECT_EQ(interp.action_log()[2], "log_go();");
+    EXPECT_EQ(interp.action_log()[3], "green_on();");
+}
+
+TEST(Interpreter, GuardsFailClosed) {
+    Machine m("m");
+    StateId a = m.add_state("A");
+    StateId b = m.add_state("B");
+    m.set_initial(a);
+    m.add_transition({a, b, "e", "mystery", ""});
+    Interpreter interp(m);
+    EXPECT_FALSE(interp.step("e"));  // unbound guard never fires
+    bool open = false;
+    interp.bind_guard("mystery", [&] { return open; });
+    EXPECT_FALSE(interp.step("e"));
+    open = true;
+    EXPECT_TRUE(interp.step("e"));
+}
+
+TEST(Interpreter, BoundActionsRun) {
+    Machine m = traffic_light();
+    Interpreter interp(m);
+    int calls = 0;
+    interp.bind_action("log_go();", [&] { ++calls; });
+    interp.step("go");
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Interpreter, RunToCompletionIsBounded) {
+    Machine m("spin");
+    StateId a = m.add_state("A");
+    StateId b = m.add_state("B");
+    m.set_initial(a);
+    // Completion cycle A → B → A: must not loop forever.
+    m.add_transition({a, b, "", "", ""});
+    m.add_transition({b, a, "", "", ""});
+    Interpreter interp(m);
+    EXPECT_LE(interp.run_to_completion(), m.state_count());
+}
+
+TEST(Interpreter, RejectsIllFormedMachine) {
+    Machine m("m");
+    m.add_state("A");  // no initial
+    EXPECT_THROW(Interpreter{m}, std::runtime_error);
+}
+
+TEST(Interpreter, ResetRestoresInitialState) {
+    Machine m = traffic_light();
+    Interpreter interp(m);
+    interp.step("go");
+    interp.reset();
+    EXPECT_EQ(interp.current_name(), "Red");
+    EXPECT_EQ(interp.transitions_fired(), 0u);
+}
+
+// --- code generation -----------------------------------------------------------------
+
+TEST(FsmCodegen, EmitsEnumsAndStepFunction) {
+    GeneratedC code = generate_c(traffic_light());
+    EXPECT_EQ(code.header_name, "light_fsm.h");
+    EXPECT_NE(code.header.find("light_STATE_Red"), std::string::npos);
+    EXPECT_NE(code.header.find("light_EV_go"), std::string::npos);
+    EXPECT_NE(code.header.find("int light_step("), std::string::npos);
+    EXPECT_NE(code.source.find("case light_STATE_Red:"), std::string::npos);
+    EXPECT_NE(code.source.find("fsm->state = light_STATE_Green;"),
+              std::string::npos);
+    // Entry/exit/effects spliced in order.
+    EXPECT_NE(code.source.find("red_off(); /* exit */"), std::string::npos);
+    EXPECT_NE(code.source.find("log_go(); /* effect */"), std::string::npos);
+    EXPECT_NE(code.source.find("green_on(); /* entry */"), std::string::npos);
+}
+
+TEST(FsmCodegen, GuardsBecomeConditions) {
+    Machine m("g");
+    StateId a = m.add_state("A");
+    StateId b = m.add_state("B");
+    m.set_initial(a);
+    m.add_transition({a, b, "e", "ctx->ready", ""});
+    GeneratedC code = generate_c(m);
+    EXPECT_NE(code.source.find("event == g_EV_e && (ctx->ready)"),
+              std::string::npos);
+}
+
+TEST(FsmCodegen, SanitizesAwkwardNames) {
+    Machine m("my-machine");
+    StateId a = m.add_state("wait 1");
+    m.set_initial(a);
+    GeneratedC code = generate_c(m);
+    EXPECT_NE(code.header.find("my_machine_STATE_wait_1"), std::string::npos);
+}
+
+TEST(FsmCodegen, RefusesIllFormedMachines) {
+    Machine m("m");
+    m.add_state("A");  // no initial state
+    EXPECT_THROW(generate_c(m), std::runtime_error);
+}
+
+TEST(FsmCodegen, TraceOptionAddsPrintf) {
+    GeneratedC with = generate_c(traffic_light(),
+                                {.prefix = "", .trace = true, .context_include = ""});
+    GeneratedC without = generate_c(traffic_light());
+    EXPECT_NE(with.source.find("printf"), std::string::npos);
+    EXPECT_EQ(without.source.find("printf"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,248 @@
+// Unit tests for the reflective model layer: metamodel declarations, typed
+// objects, conformance validation and E-core XML interchange.
+#include <gtest/gtest.h>
+
+#include "model/ecore_io.hpp"
+#include "model/metamodel.hpp"
+#include "model/object.hpp"
+#include "model/validate.hpp"
+
+namespace {
+
+using namespace uhcg::model;
+
+Metamodel tiny_metamodel() {
+    Metamodel mm("Tiny");
+    auto& node = mm.add_class("Node");
+    node.add_attribute({"name", AttrType::String, {}, std::nullopt});
+    node.add_attribute({"weight", AttrType::Real, {}, "1"});
+    node.add_attribute({"kind", AttrType::Enum, {"a", "b"}, "a"});
+    node.add_reference({"children", "Node", true, true, false});
+    node.add_reference({"next", "Node", false, false, false});
+    auto& special = mm.add_class("Special");
+    special.set_super("Node");
+    special.add_attribute({"extra", AttrType::Int, {}, "0"});
+    return mm;
+}
+
+TEST(Metamodel, ClassLookup) {
+    Metamodel mm = tiny_metamodel();
+    EXPECT_NE(mm.find_class("Node"), nullptr);
+    EXPECT_EQ(mm.find_class("Missing"), nullptr);
+    EXPECT_THROW(mm.get_class("Missing"), std::out_of_range);
+    EXPECT_EQ(mm.classes().size(), 2u);
+}
+
+TEST(Metamodel, DuplicateClassThrows) {
+    Metamodel mm("M");
+    mm.add_class("X");
+    EXPECT_THROW(mm.add_class("X"), std::invalid_argument);
+}
+
+TEST(Metamodel, InheritanceResolvesFeatures) {
+    Metamodel mm = tiny_metamodel();
+    const MetaClass& special = mm.get_class("Special");
+    EXPECT_NE(special.find_attribute("name"), nullptr);   // inherited
+    EXPECT_NE(special.find_attribute("extra"), nullptr);  // own
+    EXPECT_NE(special.find_reference("children"), nullptr);
+    EXPECT_TRUE(special.conforms_to(mm.get_class("Node")));
+    EXPECT_FALSE(mm.get_class("Node").conforms_to(special));
+}
+
+TEST(Metamodel, AllFeaturesSupersFirst) {
+    Metamodel mm = tiny_metamodel();
+    auto attrs = mm.get_class("Special").all_attributes();
+    ASSERT_EQ(attrs.size(), 4u);
+    EXPECT_EQ(attrs.front()->name, "name");
+    EXPECT_EQ(attrs.back()->name, "extra");
+}
+
+TEST(Metamodel, CheckFindsProblems) {
+    Metamodel mm("Bad");
+    auto& a = mm.add_class("A");
+    a.add_attribute({"e", AttrType::Enum, {}, std::nullopt});  // no literals
+    a.add_reference({"r", "Nowhere", false, false, false});    // bad target
+    auto& b = mm.add_class("B");
+    b.set_super("B");  // self cycle
+    auto problems = mm.check();
+    EXPECT_EQ(problems.size(), 3u);
+}
+
+TEST(Metamodel, CheckPassesOnGoodModel) {
+    EXPECT_TRUE(tiny_metamodel().check().empty());
+}
+
+// --- objects -------------------------------------------------------------------
+
+class ObjectTest : public ::testing::Test {
+protected:
+    Metamodel mm = tiny_metamodel();
+    ObjectModel m{mm};
+};
+
+TEST_F(ObjectTest, CreateAndFind) {
+    Object& o = m.create("Node", "n1");
+    EXPECT_EQ(m.find("n1"), &o);
+    EXPECT_EQ(m.find("n2"), nullptr);
+    EXPECT_THROW(m.create("Node", "n1"), std::invalid_argument);
+    EXPECT_THROW(m.create("Missing"), std::out_of_range);
+}
+
+TEST_F(ObjectTest, GeneratedIdsAreUnique) {
+    Object& a = m.create("Node");
+    Object& b = m.create("Node");
+    EXPECT_NE(a.id(), b.id());
+}
+
+TEST_F(ObjectTest, AttributeTypeChecking) {
+    Object& o = m.create("Node");
+    o.set("name", std::string("x"));
+    EXPECT_THROW(o.set("name", true), std::invalid_argument);
+    EXPECT_THROW(o.set("nosuch", std::string("v")), std::invalid_argument);
+    o.set("weight", std::int64_t{3});  // int widens to real
+    EXPECT_DOUBLE_EQ(o.get_real("weight"), 3.0);
+}
+
+TEST_F(ObjectTest, EnumLiteralsValidated) {
+    Object& o = m.create("Node");
+    o.set("kind", std::string("b"));
+    EXPECT_THROW(o.set("kind", std::string("zzz")), std::invalid_argument);
+    EXPECT_EQ(o.get_string("kind"), "b");
+}
+
+TEST_F(ObjectTest, DefaultsAndMissing) {
+    Object& o = m.create("Node");
+    EXPECT_DOUBLE_EQ(o.get_real("weight"), 1.0);  // declared default
+    EXPECT_FALSE(o.has("weight"));
+    EXPECT_THROW(o.get("name"), std::out_of_range);  // required, unset
+}
+
+TEST_F(ObjectTest, ContainmentReparenting) {
+    Object& parent = m.create("Node", "p");
+    Object& child = m.create("Node", "c");
+    parent.add_ref("children", child);
+    EXPECT_EQ(child.parent(), &parent);
+    EXPECT_EQ(child.containing_feature(), "children");
+    // Already contained elsewhere: rejected.
+    Object& other = m.create("Node", "o");
+    EXPECT_THROW(other.add_ref("children", child), std::invalid_argument);
+    parent.remove_ref("children", child);
+    EXPECT_EQ(child.parent(), nullptr);
+}
+
+TEST_F(ObjectTest, SingleReferenceRules) {
+    Object& a = m.create("Node", "a");
+    Object& b = m.create("Node", "b");
+    Object& c = m.create("Node", "c");
+    a.set_ref("next", &b);
+    EXPECT_EQ(a.ref("next"), &b);
+    EXPECT_THROW(a.add_ref("next", c), std::invalid_argument);  // single-valued
+    a.set_ref("next", &c);  // replace
+    EXPECT_EQ(a.ref("next"), &c);
+    a.set_ref("next", nullptr);
+    EXPECT_EQ(a.ref("next"), nullptr);
+}
+
+TEST_F(ObjectTest, TypeConformanceOnReferences) {
+    Object& a = m.create("Node", "a");
+    Object& s = m.create("Special", "s");
+    a.add_ref("children", s);  // Special conforms to Node
+    EXPECT_EQ(s.parent(), &a);
+}
+
+TEST_F(ObjectTest, RootsAndAllOf) {
+    Object& a = m.create("Node", "a");
+    Object& b = m.create("Special", "b");
+    a.add_ref("children", b);
+    EXPECT_EQ(m.roots().size(), 1u);
+    EXPECT_EQ(m.all_of("Node").size(), 2u);    // conformance included
+    EXPECT_EQ(m.all_of("Special").size(), 1u);
+    EXPECT_TRUE(b.is_a("Node"));
+}
+
+TEST_F(ObjectTest, MoveReanchorsOwnership) {
+    Object& a = m.create("Node", "a");
+    a.set("name", std::string("x"));
+    ObjectModel moved = std::move(m);
+    // The moved-to model can keep creating and validating objects.
+    Object& b = moved.create("Node", "b");
+    b.set("name", std::string("y"));
+    EXPECT_TRUE(moved.find("a")->is_a("Node"));
+}
+
+// --- validation -----------------------------------------------------------------
+
+TEST_F(ObjectTest, ValidationReportsMissingRequired) {
+    m.create("Node", "n");  // name unset (required, no default)
+    auto diagnostics = validate(m);
+    ASSERT_EQ(diagnostics.size(), 1u);
+    EXPECT_EQ(diagnostics[0].object_id, "n");
+    EXPECT_THROW(validate_or_throw(m), std::runtime_error);
+}
+
+TEST_F(ObjectTest, ValidationPassesOnCompleteObjects) {
+    Object& n = m.create("Node", "n");
+    n.set("name", std::string("ok"));
+    EXPECT_TRUE(validate(m).empty());
+    EXPECT_NO_THROW(validate_or_throw(m));
+}
+
+// --- E-core I/O -----------------------------------------------------------------
+
+TEST_F(ObjectTest, EcoreRoundTrip) {
+    Object& root = m.create("Node", "root");
+    root.set("name", std::string("r"));
+    root.set("kind", std::string("b"));
+    Object& child = m.create("Special", "ch");
+    child.set("name", std::string("c"));
+    child.set("extra", std::int64_t{7});
+    root.add_ref("children", child);
+    root.set_ref("next", &child);  // cross reference
+
+    std::string text = to_xml_string(m);
+    ObjectModel back = from_xml_string(mm, text);
+
+    ASSERT_EQ(back.size(), 2u);
+    const Object* r = back.find("root");
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->get_string("kind"), "b");
+    ASSERT_EQ(r->refs("children").size(), 1u);
+    const Object* c = r->refs("children")[0];
+    EXPECT_EQ(c->meta().name(), "Special");
+    EXPECT_EQ(c->get_int("extra"), 7);
+    EXPECT_EQ(c->parent(), r);
+    EXPECT_EQ(r->ref("next"), c);
+}
+
+TEST_F(ObjectTest, EcoreRejectsWrongMetamodel) {
+    Metamodel other("Other");
+    std::string text = to_xml_string(m);
+    EXPECT_THROW(from_xml_string(other, text), std::runtime_error);
+}
+
+TEST_F(ObjectTest, EcoreRejectsDanglingRef) {
+    const char* text = R"(<?xml version="1.0" encoding="UTF-8"?>
+<uhcg:model metamodel="Tiny">
+  <object class="Node" id="n" name="x"><ref name="next" target="ghost"/></object>
+</uhcg:model>)";
+    EXPECT_THROW(from_xml_string(mm, text), std::runtime_error);
+}
+
+TEST_F(ObjectTest, EcoreRejectsUnknownAttribute) {
+    const char* text = R"(<?xml version="1.0" encoding="UTF-8"?>
+<uhcg:model metamodel="Tiny">
+  <object class="Node" id="n" name="x" bogus="1"/>
+</uhcg:model>)";
+    EXPECT_THROW(from_xml_string(mm, text), std::runtime_error);
+}
+
+TEST(ValueConversion, RoundTrips) {
+    EXPECT_EQ(value_to_string(Value(std::int64_t{42})), "42");
+    EXPECT_EQ(value_to_string(Value(true)), "true");
+    EXPECT_EQ(std::get<std::int64_t>(value_from_string(AttrType::Int, "-5")), -5);
+    EXPECT_EQ(std::get<bool>(value_from_string(AttrType::Bool, "false")), false);
+    EXPECT_THROW(value_from_string(AttrType::Int, "abc"), std::invalid_argument);
+    EXPECT_THROW(value_from_string(AttrType::Bool, "maybe"), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,279 @@
+// Tests for the execution engine (block semantics, scheduling, hierarchy
+// flattening, deadlock detection) and the MPSoC cost simulator.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/mpsoc.hpp"
+#include "taskgraph/baselines.hpp"
+#include "taskgraph/generate.hpp"
+#include "taskgraph/linear.hpp"
+
+namespace {
+
+using namespace uhcg;
+using namespace uhcg::sim;
+using simulink::Block;
+using simulink::BlockType;
+
+simulink::Model flat_model() {
+    simulink::Model m("flat");
+    m.fixed_step = 1.0;
+    Block& in = m.root().add_block("u", BlockType::Inport);
+    in.set_parameter("Port", "1");
+    Block& gain = m.root().add_block("g", BlockType::Gain);
+    gain.set_parameter("Gain", "3");
+    Block& out = m.root().add_block("y", BlockType::Outport);
+    out.set_parameter("Port", "1");
+    m.root().add_line({&in, 1}, {&gain, 1});
+    m.root().add_line({&gain, 1}, {&out, 1});
+    return m;
+}
+
+TEST(Simulator, GainScalesInput) {
+    simulink::Model m = flat_model();
+    SFunctionRegistry reg;
+    Simulator sim(m, reg);
+    sim.set_input("u", [](double t) { return t + 1.0; });
+    SimResult r = sim.run(3);
+    ASSERT_EQ(r.outputs.at("y").size(), 3u);
+    EXPECT_DOUBLE_EQ(r.outputs.at("y")[0], 3.0);
+    EXPECT_DOUBLE_EQ(r.outputs.at("y")[2], 9.0);
+}
+
+TEST(Simulator, UnboundInputsReadZero) {
+    simulink::Model m = flat_model();
+    SFunctionRegistry reg;
+    Simulator sim(m, reg);
+    SimResult r = sim.run(2);
+    EXPECT_DOUBLE_EQ(r.outputs.at("y")[1], 0.0);
+}
+
+TEST(Simulator, SumSignsAndProduct) {
+    simulink::Model m("arith");
+    Block& a = m.root().add_block("a", BlockType::Constant);
+    a.set_parameter("Value", "10");
+    Block& b = m.root().add_block("b", BlockType::Constant);
+    b.set_parameter("Value", "4");
+    Block& sub = m.root().add_block("sub", BlockType::Sum);
+    sub.set_parameter("Inputs", "+-");
+    Block& prod = m.root().add_block("prod", BlockType::Product);
+    Block& out = m.root().add_block("y", BlockType::Outport);
+    out.set_parameter("Port", "1");
+    m.root().add_line({&a, 1}, {&sub, 1});
+    m.root().add_line({&b, 1}, {&sub, 2});
+    m.root().add_line({&sub, 1}, {&prod, 1});
+    m.root().add_line({&b, 1}, {&prod, 2});
+    m.root().add_line({&prod, 1}, {&out, 1});
+    SFunctionRegistry reg;
+    Simulator sim(m, reg);
+    SimResult r = sim.run(1);
+    EXPECT_DOUBLE_EQ(r.outputs.at("y")[0], (10.0 - 4.0) * 4.0);
+}
+
+TEST(Simulator, UnitDelayShiftsByOneStep) {
+    simulink::Model m("z");
+    Block& in = m.root().add_block("u", BlockType::Inport);
+    in.set_parameter("Port", "1");
+    Block& z = m.root().add_block("z", BlockType::UnitDelay);
+    z.set_parameter("InitialCondition", "7");
+    Block& out = m.root().add_block("y", BlockType::Outport);
+    out.set_parameter("Port", "1");
+    m.root().add_line({&in, 1}, {&z, 1});
+    m.root().add_line({&z, 1}, {&out, 1});
+    SFunctionRegistry reg;
+    Simulator sim(m, reg);
+    sim.set_input("u", [](double t) { return t * 10.0; });
+    SimResult r = sim.run(3);
+    EXPECT_DOUBLE_EQ(r.outputs.at("y")[0], 7.0);   // initial condition
+    EXPECT_DOUBLE_EQ(r.outputs.at("y")[1], 0.0);   // u(0)
+    EXPECT_DOUBLE_EQ(r.outputs.at("y")[2], 10.0);  // u(1)
+}
+
+TEST(Simulator, AccumulatorLoopThroughDelay) {
+    // y[k+1] = y[k] + 1 — a legal cycle because the delay breaks it.
+    simulink::Model m("acc");
+    Block& one = m.root().add_block("one", BlockType::Constant);
+    one.set_parameter("Value", "1");
+    Block& sum = m.root().add_block("sum", BlockType::Sum);
+    Block& z = m.root().add_block("z", BlockType::UnitDelay);
+    Block& out = m.root().add_block("y", BlockType::Outport);
+    out.set_parameter("Port", "1");
+    m.root().add_line({&one, 1}, {&sum, 1});
+    m.root().add_line({&z, 1}, {&sum, 2});
+    m.root().add_line({&sum, 1}, {&z, 1});
+    m.root().add_line({&sum, 1}, {&out, 1});
+    SFunctionRegistry reg;
+    Simulator sim(m, reg);
+    SimResult r = sim.run(5);
+    EXPECT_DOUBLE_EQ(r.outputs.at("y")[4], 5.0);
+}
+
+TEST(Simulator, SFunctionStateAndDispatch) {
+    simulink::Model m("sf");
+    Block& f = m.root().add_block("counter", BlockType::SFunction);
+    f.set_ports(0, 1);
+    f.set_parameter("FunctionName", "count");
+    Block& out = m.root().add_block("y", BlockType::Outport);
+    out.set_parameter("Port", "1");
+    m.root().add_line({&f, 1}, {&out, 1});
+    SFunctionRegistry reg;
+    reg.register_function(
+        "count",
+        [](std::span<const double>, std::span<double> out, double,
+           std::vector<double>& state) { out[0] = ++state[0]; },
+        1);
+    Simulator sim(m, reg);
+    SimResult r = sim.run(4);
+    EXPECT_DOUBLE_EQ(r.outputs.at("y")[3], 4.0);
+}
+
+TEST(Simulator, UnregisteredSFunctionThrows) {
+    simulink::Model m("sf");
+    Block& f = m.root().add_block("mystery", BlockType::SFunction);
+    f.set_ports(0, 1);
+    SFunctionRegistry reg;
+    EXPECT_THROW(Simulator(m, reg), std::runtime_error);
+}
+
+TEST(Simulator, HierarchyIsFlattened) {
+    simulink::Model m("h");
+    Block& in = m.root().add_block("u", BlockType::Inport);
+    in.set_parameter("Port", "1");
+    Block& sub = m.root().add_subsystem("S");
+    sub.set_ports(1, 1);
+    Block& i = sub.system()->add_block("i", BlockType::Inport);
+    i.set_parameter("Port", "1");
+    Block& g = sub.system()->add_block("g", BlockType::Gain);
+    g.set_parameter("Gain", "5");
+    Block& o = sub.system()->add_block("o", BlockType::Outport);
+    o.set_parameter("Port", "1");
+    sub.system()->add_line({&i, 1}, {&g, 1});
+    sub.system()->add_line({&g, 1}, {&o, 1});
+    Block& out = m.root().add_block("y", BlockType::Outport);
+    out.set_parameter("Port", "1");
+    m.root().add_line({&in, 1}, {&sub, 1});
+    m.root().add_line({&sub, 1}, {&out, 1});
+    SFunctionRegistry reg;
+    Simulator sim(m, reg);
+    sim.set_input("u", [](double) { return 2.0; });
+    SimResult r = sim.run(1);
+    EXPECT_DOUBLE_EQ(r.outputs.at("y")[0], 10.0);
+    // Schedule contains only atomic blocks (markers dissolved).
+    for (const std::string& path : sim.schedule())
+        EXPECT_EQ(path.find("S/i"), std::string::npos) << path;
+}
+
+TEST(Simulator, DeadlockErrorNamesCycle) {
+    simulink::Model m("dead");
+    Block& g1 = m.root().add_block("g1", BlockType::Gain);
+    Block& g2 = m.root().add_block("g2", BlockType::Gain);
+    m.root().add_line({&g1, 1}, {&g2, 1});
+    m.root().add_line({&g2, 1}, {&g1, 1});
+    SFunctionRegistry reg;
+    try {
+        Simulator sim(m, reg);
+        FAIL() << "expected DeadlockError";
+    } catch (const DeadlockError& e) {
+        EXPECT_EQ(e.cycle().size(), 2u);
+        EXPECT_NE(std::string(e.what()).find("g1"), std::string::npos);
+    }
+}
+
+TEST(Simulator, ChannelTrafficCountedByProtocol) {
+    simulink::Model m("chan");
+    Block& c = m.root().add_block("c", BlockType::Constant);
+    Block& chan = m.root().add_block("ch", BlockType::CommChannel);
+    chan.set_parameter("Protocol", "GFIFO");
+    Block& out = m.root().add_block("y", BlockType::Outport);
+    out.set_parameter("Port", "1");
+    m.root().add_line({&c, 1}, {&chan, 1});
+    m.root().add_line({&chan, 1}, {&out, 1});
+    SFunctionRegistry reg;
+    Simulator sim(m, reg);
+    SimResult r = sim.run(6);
+    EXPECT_EQ(r.channel_traffic.at("GFIFO"), 6u);
+}
+
+TEST(Simulator, ScopesRecordFullPaths) {
+    simulink::Model m("sc");
+    Block& c = m.root().add_block("c", BlockType::Constant);
+    c.set_parameter("Value", "2");
+    Block& scope = m.root().add_block("watch", BlockType::Scope);
+    m.root().add_line({&c, 1}, {&scope, 1});
+    SFunctionRegistry reg;
+    Simulator sim(m, reg);
+    SimResult r = sim.run(2);
+    ASSERT_EQ(r.scopes.at("watch").size(), 2u);
+    EXPECT_DOUBLE_EQ(r.scopes.at("watch")[1], 2.0);
+}
+
+TEST(Simulator, RunUsesStopTimeAndFixedStep) {
+    simulink::Model m = flat_model();
+    m.stop_time = 5.0;
+    m.fixed_step = 0.5;
+    SFunctionRegistry reg;
+    Simulator sim(m, reg);
+    SimResult r = sim.run();
+    EXPECT_EQ(r.steps, 10u);
+    EXPECT_DOUBLE_EQ(r.time[1], 0.5);
+}
+
+// --- MPSoC cost simulator ------------------------------------------------------------
+
+TEST(Mpsoc, SingleCpuHasNoBusTraffic) {
+    taskgraph::TaskGraph g = taskgraph::paper_synthetic_graph();
+    MpsocResult r =
+        simulate_mpsoc(g, taskgraph::single_cluster(g), MpsocParams{});
+    EXPECT_EQ(r.bus_transfers, 0u);
+    EXPECT_DOUBLE_EQ(r.inter_traffic, 0.0);
+    // All work serializes on one CPU; SWFIFO latency can only stretch it.
+    EXPECT_GE(r.makespan, g.total_weight() * 100.0);
+    EXPECT_LE(r.makespan, g.total_weight() * 100.0 + g.total_edge_cost());
+}
+
+TEST(Mpsoc, InterTrafficMatchesClusteringMetric) {
+    taskgraph::TaskGraph g = taskgraph::paper_synthetic_graph();
+    taskgraph::Clustering c = taskgraph::linear_clustering(g);
+    MpsocResult r = simulate_mpsoc(g, c);
+    EXPECT_DOUBLE_EQ(r.inter_traffic, taskgraph::inter_cluster_cost(g, c));
+    EXPECT_DOUBLE_EQ(r.intra_traffic, taskgraph::intra_cluster_cost(g, c));
+}
+
+TEST(Mpsoc, SharedBusSerializesTransfers) {
+    taskgraph::TaskGraph g = taskgraph::fork_join_graph(4, 1, 1.0, 10.0);
+    taskgraph::Clustering c = taskgraph::round_robin_clustering(g, 4);
+    MpsocParams contended;
+    MpsocParams ideal;
+    ideal.shared_bus = false;
+    double with_bus = simulate_mpsoc(g, c, contended).makespan;
+    double without = simulate_mpsoc(g, c, ideal).makespan;
+    EXPECT_GT(with_bus, without);
+}
+
+TEST(Mpsoc, GFifoCostAsymmetryFavoursColocation) {
+    // Same graph, same cluster count: clustering the heavy chain together
+    // must beat splitting it, because GFIFO costs dominate.
+    taskgraph::TaskGraph g = taskgraph::chain_graph(6, 1.0, 20.0);
+    taskgraph::Clustering together = taskgraph::single_cluster(g);
+    taskgraph::Clustering split = taskgraph::round_robin_clustering(g, 2);
+    EXPECT_LT(simulate_mpsoc(g, together).makespan,
+              simulate_mpsoc(g, split).makespan);
+}
+
+TEST(Mpsoc, CpuBusyAccountsAllWork) {
+    taskgraph::TaskGraph g = taskgraph::paper_synthetic_graph();
+    taskgraph::Clustering c = taskgraph::linear_clustering(g);
+    MpsocParams params;
+    MpsocResult r = simulate_mpsoc(g, c, params);
+    double total_busy = 0.0;
+    for (double b : r.cpu_busy) total_busy += b;
+    EXPECT_DOUBLE_EQ(total_busy, g.total_weight() * params.cycles_per_work);
+}
+
+TEST(Mpsoc, MismatchedClusteringRejected) {
+    taskgraph::TaskGraph g = taskgraph::chain_graph(3, 1.0, 1.0);
+    taskgraph::Clustering wrong(5);
+    EXPECT_THROW(simulate_mpsoc(g, wrong), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,404 @@
+// Tests for task graphs, clustering metrics, linear clustering (§4.2.3),
+// DSC and baseline allocators — including property-style parameterized
+// sweeps over random DAGs.
+#include <gtest/gtest.h>
+
+#include "taskgraph/baselines.hpp"
+#include "taskgraph/clustering.hpp"
+#include "taskgraph/dot.hpp"
+#include "taskgraph/dsc.hpp"
+#include "taskgraph/generate.hpp"
+#include "taskgraph/graph.hpp"
+#include "taskgraph/linear.hpp"
+
+namespace {
+
+using namespace uhcg::taskgraph;
+
+TEST(TaskGraph, BasicConstruction) {
+    TaskGraph g;
+    TaskIndex a = g.add_task("a", 2.0);
+    TaskIndex b = g.add_task("b");
+    g.add_edge(a, b, 5.0);
+    EXPECT_EQ(g.task_count(), 2u);
+    EXPECT_EQ(g.edge_count(), 1u);
+    EXPECT_DOUBLE_EQ(g.weight(a), 2.0);
+    EXPECT_DOUBLE_EQ(g.edge_cost(a, b), 5.0);
+    EXPECT_DOUBLE_EQ(g.edge_cost(b, a), 0.0);
+    EXPECT_EQ(g.find("b"), b);
+    EXPECT_FALSE(g.find("zzz").has_value());
+}
+
+TEST(TaskGraph, ParallelEdgesMerge) {
+    TaskGraph g;
+    TaskIndex a = g.add_task("a");
+    TaskIndex b = g.add_task("b");
+    g.add_edge(a, b, 3.0);
+    g.add_edge(a, b, 4.0);
+    EXPECT_EQ(g.edge_count(), 1u);
+    EXPECT_DOUBLE_EQ(g.edge_cost(a, b), 7.0);
+}
+
+TEST(TaskGraph, SelfEdgeRejected) {
+    TaskGraph g;
+    TaskIndex a = g.add_task("a");
+    EXPECT_THROW(g.add_edge(a, a, 1.0), std::invalid_argument);
+    EXPECT_THROW(g.add_edge(a, 99, 1.0), std::out_of_range);
+}
+
+TEST(TaskGraph, TopologicalOrderAndCycles) {
+    TaskGraph g;
+    TaskIndex a = g.add_task("a");
+    TaskIndex b = g.add_task("b");
+    TaskIndex c = g.add_task("c");
+    g.add_edge(a, b, 1.0);
+    g.add_edge(b, c, 1.0);
+    EXPECT_TRUE(g.is_acyclic());
+    auto order = g.topological_order();
+    EXPECT_EQ(order, (std::vector<TaskIndex>{a, b, c}));
+    g.add_edge(c, a, 1.0);
+    EXPECT_FALSE(g.is_acyclic());
+    EXPECT_THROW(g.topological_order(), std::logic_error);
+}
+
+TEST(TaskGraph, LevelsAndCriticalPath) {
+    // Diamond: a → {b heavy, c light} → d.
+    TaskGraph g;
+    TaskIndex a = g.add_task("a", 1);
+    TaskIndex b = g.add_task("b", 5);
+    TaskIndex c = g.add_task("c", 1);
+    TaskIndex d = g.add_task("d", 1);
+    g.add_edge(a, b, 2);
+    g.add_edge(a, c, 2);
+    g.add_edge(b, d, 3);
+    g.add_edge(c, d, 3);
+    auto tl = g.top_levels();
+    EXPECT_DOUBLE_EQ(tl[a], 0.0);
+    EXPECT_DOUBLE_EQ(tl[b], 3.0);                       // a(1) + edge(2)
+    EXPECT_DOUBLE_EQ(tl[d], 3.0 + 5.0 + 3.0);           // via b
+    EXPECT_DOUBLE_EQ(g.critical_path_length(), 12.0);   // a,2,b,3,d + weights
+    auto cp = g.critical_path();
+    EXPECT_EQ(cp, (std::vector<TaskIndex>{a, b, d}));
+    EXPECT_DOUBLE_EQ(g.total_weight(), 8.0);
+    EXPECT_DOUBLE_EQ(g.total_edge_cost(), 10.0);
+}
+
+TEST(Clustering, MergeAndGroups) {
+    Clustering c(4);
+    EXPECT_EQ(c.cluster_count(), 4);
+    c.merge(0, 2);
+    EXPECT_TRUE(c.same_cluster(0, 2));
+    EXPECT_EQ(c.cluster_count(), 3);
+    auto groups = c.groups();
+    EXPECT_EQ(groups.size(), 3u);
+    EXPECT_EQ(groups[0], (std::vector<TaskIndex>{0, 2}));
+}
+
+TEST(Clustering, FromAssignmentNormalizes) {
+    Clustering c = Clustering::from_assignment({7, 3, 7, 9});
+    EXPECT_EQ(c.cluster_count(), 3);
+    EXPECT_EQ(c.cluster_of(0), 0);
+    EXPECT_EQ(c.cluster_of(1), 1);
+    EXPECT_EQ(c.cluster_of(2), 0);
+    EXPECT_EQ(c.cluster_of(3), 2);
+}
+
+TEST(Clustering, CostMetricsPartitionTotal) {
+    TaskGraph g = paper_synthetic_graph();
+    Clustering c = linear_clustering(g);
+    EXPECT_DOUBLE_EQ(inter_cluster_cost(g, c) + intra_cluster_cost(g, c),
+                     g.total_edge_cost());
+}
+
+TEST(Clustering, MakespanSingleClusterIsSequential) {
+    TaskGraph g = paper_synthetic_graph();
+    Clustering c = single_cluster(g);
+    EXPECT_DOUBLE_EQ(scheduled_makespan(g, c), g.total_weight());
+}
+
+TEST(Clustering, IsLinearDetectsParallelCohabitation) {
+    TaskGraph g = fork_join_graph(2, 1, 1.0, 1.0);  // src, sink, 2 chain nodes
+    // Putting both (independent) chain nodes together is non-linear.
+    Clustering bad = Clustering::from_assignment({0, 1, 2, 2});
+    EXPECT_FALSE(is_linear(g, bad));
+    Clustering good(4);
+    EXPECT_TRUE(is_linear(g, good));
+}
+
+TEST(Clustering, FormatNamesClusters) {
+    TaskGraph g;
+    g.add_task("x");
+    g.add_task("y");
+    Clustering c = Clustering::from_assignment({0, 0});
+    EXPECT_EQ(format(g, c), "CPU0 { x y }");
+}
+
+// --- the paper's result (Fig. 7) -------------------------------------------------
+
+TEST(LinearClustering, ReproducesFig7Grouping) {
+    TaskGraph g = paper_synthetic_graph();
+    Clustering c = linear_clustering(g);
+    ASSERT_EQ(c.cluster_count(), 4);
+    auto cluster_named = [&](const char* name) {
+        return c.cluster_of(*g.find(name));
+    };
+    // CPU0 = the critical path A-B-C-D-F-J.
+    EXPECT_EQ(cluster_named("A"), 0);
+    EXPECT_EQ(cluster_named("B"), 0);
+    EXPECT_EQ(cluster_named("C"), 0);
+    EXPECT_EQ(cluster_named("D"), 0);
+    EXPECT_EQ(cluster_named("F"), 0);
+    EXPECT_EQ(cluster_named("J"), 0);
+    // The side chains pair up exactly as Fig. 7(b).
+    EXPECT_EQ(cluster_named("E"), cluster_named("I"));
+    EXPECT_EQ(cluster_named("G"), cluster_named("M"));
+    EXPECT_EQ(cluster_named("H"), cluster_named("L"));
+    EXPECT_NE(cluster_named("E"), cluster_named("G"));
+    EXPECT_NE(cluster_named("G"), cluster_named("H"));
+}
+
+TEST(LinearClustering, CriticalPathStaysTogether) {
+    TaskGraph g = paper_synthetic_graph();
+    Clustering c = linear_clustering(g);
+    auto cp = g.critical_path();
+    for (std::size_t i = 1; i < cp.size(); ++i)
+        EXPECT_TRUE(c.same_cluster(cp[0], cp[i]))
+            << "critical-path task " << g.name(cp[i]) << " split off";
+}
+
+TEST(LinearClustering, ChainCollapsesToOneCluster) {
+    TaskGraph g = chain_graph(10, 1.0, 2.0);
+    Clustering c = linear_clustering(g);
+    EXPECT_EQ(c.cluster_count(), 1);
+    EXPECT_DOUBLE_EQ(inter_cluster_cost(g, c), 0.0);
+}
+
+TEST(LinearClustering, ForkJoinSeparatesChains) {
+    TaskGraph g = fork_join_graph(4, 3, 1.0, 5.0);
+    Clustering c = linear_clustering(g);
+    // One cluster carries src + one chain + sink; each remaining chain is
+    // its own cluster.
+    EXPECT_EQ(c.cluster_count(), 4);
+    EXPECT_TRUE(is_linear(g, c));
+}
+
+TEST(LinearClustering, MaxClustersFoldsExtraPaths) {
+    TaskGraph g = fork_join_graph(6, 2, 1.0, 1.0);
+    LinearClusteringOptions options;
+    options.max_clusters = 3;
+    Clustering c = linear_clustering(g, options);
+    EXPECT_LE(c.cluster_count(), 3);
+    // Every task is still assigned.
+    for (TaskIndex t = 0; t < g.task_count(); ++t)
+        EXPECT_GE(c.cluster_of(t), 0);
+}
+
+TEST(LinearClustering, EmptyAndSingletonGraphs) {
+    TaskGraph empty;
+    EXPECT_EQ(linear_clustering(empty).cluster_count(), 0);
+    TaskGraph one;
+    one.add_task("only");
+    Clustering c = linear_clustering(one);
+    EXPECT_EQ(c.cluster_count(), 1);
+}
+
+TEST(LinearClustering, IsolatedTasksGetOwnClusters) {
+    TaskGraph g;
+    g.add_task("a");
+    g.add_task("b");
+    g.add_task("c");
+    Clustering c = linear_clustering(g);
+    EXPECT_EQ(c.cluster_count(), 3);
+}
+
+// --- DSC and baselines ------------------------------------------------------------
+
+TEST(Dsc, NeverWorseThanDiscreteOnChains) {
+    TaskGraph g = chain_graph(8, 1.0, 4.0);
+    Clustering dsc = dsc_clustering(g);
+    Clustering discrete(g.task_count());
+    EXPECT_LE(scheduled_makespan(g, dsc), scheduled_makespan(g, discrete));
+    EXPECT_EQ(dsc.cluster_count(), 1);  // a chain zips into one cluster
+}
+
+TEST(Dsc, HandlesPaperGraph) {
+    TaskGraph g = paper_synthetic_graph();
+    Clustering c = dsc_clustering(g);
+    EXPECT_GE(c.cluster_count(), 1);
+    EXPECT_LE(scheduled_makespan(g, c),
+              scheduled_makespan(g, Clustering(g.task_count())));
+}
+
+TEST(Baselines, RoundRobinShape) {
+    TaskGraph g = paper_synthetic_graph();
+    Clustering c = round_robin_clustering(g, 4);
+    EXPECT_EQ(c.cluster_count(), 4);
+    EXPECT_EQ(c.cluster_of(0), c.cluster_of(4));
+    EXPECT_THROW(round_robin_clustering(g, 0), std::invalid_argument);
+}
+
+TEST(Baselines, RandomIsDeterministicPerSeed) {
+    TaskGraph g = paper_synthetic_graph();
+    Clustering a = random_clustering(g, 4, 42);
+    Clustering b = random_clustering(g, 4, 42);
+    for (TaskIndex t = 0; t < g.task_count(); ++t)
+        EXPECT_EQ(a.cluster_of(t), b.cluster_of(t));
+}
+
+TEST(Baselines, LoadBalanceBalancesWeight) {
+    TaskGraph g;
+    for (int i = 0; i < 8; ++i) g.add_task("t" + std::to_string(i), 1.0 + i);
+    Clustering c = load_balance_clustering(g, 2);
+    double load[2] = {0, 0};
+    for (TaskIndex t = 0; t < g.task_count(); ++t)
+        load[c.cluster_of(t)] += g.weight(t);
+    EXPECT_NEAR(load[0], load[1], 2.0);
+}
+
+// --- generators --------------------------------------------------------------------
+
+TEST(Generators, RandomLayeredDagIsAcyclicAndSized) {
+    RandomDagOptions options;
+    options.tasks = 40;
+    options.layers = 5;
+    TaskGraph g = random_layered_dag(options);
+    EXPECT_EQ(g.task_count(), 40u);
+    EXPECT_TRUE(g.is_acyclic());
+    EXPECT_GT(g.edge_count(), 0u);
+}
+
+TEST(Generators, DeterministicPerSeed) {
+    RandomDagOptions options;
+    options.seed = 99;
+    TaskGraph a = random_layered_dag(options);
+    TaskGraph b = random_layered_dag(options);
+    EXPECT_EQ(a.edge_count(), b.edge_count());
+    EXPECT_DOUBLE_EQ(a.total_edge_cost(), b.total_edge_cost());
+}
+
+// --- property sweep over random DAGs -------------------------------------------------
+
+class LinearClusteringProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LinearClusteringProperty, InvariantsHoldOnRandomDags) {
+    RandomDagOptions options;
+    options.tasks = 30;
+    options.layers = 6;
+    options.seed = GetParam();
+    TaskGraph g = random_layered_dag(options);
+    Clustering c = linear_clustering(g);
+
+    // P1: complete assignment to a dense range.
+    for (TaskIndex t = 0; t < g.task_count(); ++t) {
+        EXPECT_GE(c.cluster_of(t), 0);
+        EXPECT_LT(c.cluster_of(t), c.cluster_count());
+    }
+    // P2: linearity — no two independent tasks share a cluster.
+    EXPECT_TRUE(is_linear(g, c));
+    // P3: the critical path lands in one cluster.
+    auto cp = g.critical_path();
+    for (std::size_t i = 1; i < cp.size(); ++i)
+        EXPECT_TRUE(c.same_cluster(cp[0], cp[i]));
+    // P4: determinism.
+    Clustering again = linear_clustering(g);
+    for (TaskIndex t = 0; t < g.task_count(); ++t)
+        EXPECT_EQ(c.cluster_of(t), again.cluster_of(t));
+    // P5: cost metrics partition the traffic.
+    EXPECT_NEAR(inter_cluster_cost(g, c) + intra_cluster_cost(g, c),
+                g.total_edge_cost(), 1e-9);
+}
+
+TEST_P(LinearClusteringProperty, BeatsRandomOnInterClusterTraffic) {
+    RandomDagOptions options;
+    options.tasks = 30;
+    options.layers = 6;
+    options.seed = GetParam();
+    TaskGraph g = random_layered_dag(options);
+    Clustering lc = linear_clustering(g);
+    auto k = static_cast<std::size_t>(lc.cluster_count());
+    // Average several random allocations with the same processor count:
+    // linear clustering must cut traffic versus the random mean.
+    double random_mean = 0.0;
+    const int samples = 5;
+    for (int s = 0; s < samples; ++s)
+        random_mean +=
+            inter_cluster_cost(g, random_clustering(g, k, options.seed + s));
+    random_mean /= samples;
+    EXPECT_LE(inter_cluster_cost(g, lc), random_mean);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinearClusteringProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+class MakespanProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MakespanProperty, MakespanBounds) {
+    RandomDagOptions options;
+    options.tasks = 24;
+    options.layers = 4;
+    options.seed = GetParam();
+    TaskGraph g = random_layered_dag(options);
+    for (const Clustering& c :
+         {linear_clustering(g), dsc_clustering(g), single_cluster(g),
+          round_robin_clustering(g, 4)}) {
+        double ms = scheduled_makespan(g, c);
+        // Makespan can never beat the pure critical path of node weights
+        // and never exceeds sequential execution plus full communication.
+        double node_cp = 0.0;
+        {
+            // critical path ignoring communication
+            auto order = g.topological_order();
+            std::vector<double> finish(g.task_count(), 0.0);
+            for (TaskIndex t : order) {
+                double start = 0.0;
+                for (std::size_t e : g.in_edges(t))
+                    start = std::max(start, finish[g.edge(e).from]);
+                finish[t] = start + g.weight(t);
+                node_cp = std::max(node_cp, finish[t]);
+            }
+        }
+        EXPECT_GE(ms, node_cp - 1e-9);
+        EXPECT_LE(ms, g.total_weight() + g.total_edge_cost() + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MakespanProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// --- DOT export ----------------------------------------------------------------------
+
+TEST(Dot, PlainGraphEmitsNodesAndEdges) {
+    TaskGraph g = paper_synthetic_graph();
+    std::string dot = to_dot(g);
+    EXPECT_NE(dot.find("digraph \"taskgraph\""), std::string::npos);
+    EXPECT_NE(dot.find("\"A\" -> \"B\""), std::string::npos);
+    EXPECT_NE(dot.find("[label=\"11\"]"), std::string::npos);  // B->C cost
+    // One node statement per task plus one edge per dependency.
+    std::size_t arrows = 0;
+    for (std::size_t pos = dot.find("->"); pos != std::string::npos;
+         pos = dot.find("->", pos + 2))
+        ++arrows;
+    EXPECT_EQ(arrows, g.edge_count());
+}
+
+TEST(Dot, ClusteredGraphDrawsSubgraphs) {
+    TaskGraph g = paper_synthetic_graph();
+    Clustering c = linear_clustering(g);
+    std::string dot = to_dot(g, c);
+    EXPECT_NE(dot.find("subgraph cluster_cpu0"), std::string::npos);
+    EXPECT_NE(dot.find("subgraph cluster_cpu3"), std::string::npos);
+    EXPECT_EQ(dot.find("subgraph cluster_cpu4"), std::string::npos);
+    EXPECT_NE(dot.find("label=\"CPU0\""), std::string::npos);
+}
+
+TEST(Dot, WeightOptionShowsWeights) {
+    TaskGraph g;
+    g.add_task("only", 2.5);
+    DotOptions options;
+    options.show_weights = true;
+    options.show_costs = false;
+    std::string dot = to_dot(g, options);
+    EXPECT_NE(dot.find("(w=2.5)"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,213 @@
+// Tests for the model-to-model transformation engine (rules, guards,
+// trace links, lazy rules) and the model-to-text helpers.
+#include <gtest/gtest.h>
+
+#include "model/metamodel.hpp"
+#include "transform/engine.hpp"
+#include "transform/text.hpp"
+
+namespace {
+
+using namespace uhcg;
+using namespace uhcg::transform;
+using model::AttrType;
+using model::Metamodel;
+using model::Object;
+using model::ObjectModel;
+
+/// Source metamodel: a tiny "library" of books with author references.
+const Metamodel& source_mm() {
+    static const Metamodel mm = [] {
+        Metamodel m("Library");
+        auto& book = m.add_class("Book");
+        book.add_attribute({"title", AttrType::String, {}, std::nullopt});
+        book.add_attribute({"pages", AttrType::Int, {}, "0"});
+        book.add_reference({"author", "Author", false, false, false});
+        auto& author = m.add_class("Author");
+        author.add_attribute({"name", AttrType::String, {}, std::nullopt});
+        return m;
+    }();
+    return mm;
+}
+
+/// Target metamodel: catalogue entries.
+const Metamodel& target_mm() {
+    static const Metamodel mm = [] {
+        Metamodel m("Catalogue");
+        auto& entry = m.add_class("Entry");
+        entry.add_attribute({"label", AttrType::String, {}, std::nullopt});
+        entry.add_reference({"creator", "Person", false, false, false});
+        auto& person = m.add_class("Person");
+        person.add_attribute({"name", AttrType::String, {}, std::nullopt});
+        return m;
+    }();
+    return mm;
+}
+
+ObjectModel library_with(int books) {
+    ObjectModel m(source_mm());
+    Object& author = m.create("Author", "a1");
+    author.set("name", std::string("Knuth"));
+    for (int i = 0; i < books; ++i) {
+        Object& b = m.create("Book", "b" + std::to_string(i));
+        b.set("title", std::string("vol") + std::to_string(i));
+        b.set("pages", std::int64_t{100 * (i + 1)});
+        b.set_ref("author", &author);
+    }
+    return m;
+}
+
+TEST(TransformEngine, MatchedRuleAppliesPerInstance) {
+    Engine engine(target_mm());
+    engine.add_rule({"Book2Entry", "Book", nullptr,
+                     [](Context& ctx, const Object& src) {
+                         Object& e = ctx.create(src, "Book2Entry", "Entry");
+                         e.set("label", src.get_string("title"));
+                     }});
+    RunStats stats;
+    ObjectModel source = library_with(3);
+    ObjectModel target = engine.run(source, nullptr, &stats);
+    EXPECT_EQ(target.all_of("Entry").size(), 3u);
+    EXPECT_EQ(stats.applications.at("Book2Entry"), 3u);
+    EXPECT_EQ(stats.trace_links, 3u);
+    EXPECT_EQ(stats.source_objects, 4u);
+}
+
+TEST(TransformEngine, GuardsFilterMatches) {
+    Engine engine(target_mm());
+    engine.add_rule({"FatBooks", "Book",
+                     [](const Object& o) { return o.get_int("pages") > 150; },
+                     [](Context& ctx, const Object& src) {
+                         ctx.create(src, "FatBooks", "Entry")
+                             .set("label", src.get_string("title"));
+                     }});
+    ObjectModel source = library_with(3);  // pages 100, 200, 300
+    ObjectModel target = engine.run(source);
+    EXPECT_EQ(target.all_of("Entry").size(), 2u);
+}
+
+TEST(TransformEngine, TraceResolvesAcrossRules) {
+    Engine engine(target_mm());
+    // Rule order matters: authors first, then books link to their targets.
+    engine.add_rule({"Author2Person", "Author", nullptr,
+                     [](Context& ctx, const Object& src) {
+                         ctx.create(src, "Author2Person", "Person")
+                             .set("name", src.get_string("name"));
+                     }});
+    engine.add_rule({"Book2Entry", "Book", nullptr,
+                     [](Context& ctx, const Object& src) {
+                         Object& e = ctx.create(src, "Book2Entry", "Entry");
+                         e.set("label", src.get_string("title"));
+                         if (const Object* author = src.ref("author"))
+                             e.set_ref("creator", ctx.trace().resolve(*author));
+                     }});
+    Trace trace;
+    ObjectModel source = library_with(2);
+    ObjectModel target = engine.run(source, &trace);
+    auto entries = target.all_of("Entry");
+    ASSERT_EQ(entries.size(), 2u);
+    const Object* person = entries[0]->ref("creator");
+    ASSERT_NE(person, nullptr);
+    EXPECT_EQ(person->get_string("name"), "Knuth");
+    EXPECT_EQ(entries[1]->ref("creator"), person);  // shared target
+    // Trace lookups by rule name.
+    const Object* author = source.find("a1");
+    EXPECT_EQ(trace.targets(*author, "Author2Person").size(), 1u);
+    EXPECT_EQ(trace.resolve(*author, "NoSuchRule"), nullptr);
+}
+
+TEST(TransformEngine, LazyRulesMemoize) {
+    Engine engine(target_mm());
+    int lazy_calls = 0;
+    engine.add_lazy_rule({"Author2PersonLazy", "Person",
+                          [&lazy_calls](Context&, const Object& src,
+                                        Object& target) {
+                              ++lazy_calls;
+                              target.set("name", src.get_string("name"));
+                          }});
+    engine.add_rule({"Book2Entry", "Book", nullptr,
+                     [](Context& ctx, const Object& src) {
+                         Object& e = ctx.create(src, "Book2Entry", "Entry");
+                         e.set("label", src.get_string("title"));
+                         if (const Object* author = src.ref("author"))
+                             e.set_ref("creator",
+                                       &ctx.call_lazy("Author2PersonLazy", *author));
+                     }});
+    ObjectModel source = library_with(3);
+    ObjectModel target = engine.run(source);
+    EXPECT_EQ(lazy_calls, 1);  // one author, memoized
+    EXPECT_EQ(target.all_of("Person").size(), 1u);
+}
+
+TEST(TransformEngine, UnknownLazyRuleThrows) {
+    Engine engine(target_mm());
+    engine.add_rule({"R", "Book", nullptr, [](Context& ctx, const Object& src) {
+                         ctx.call_lazy("ghost", src);
+                     }});
+    ObjectModel source = library_with(1);
+    EXPECT_THROW(engine.run(source), std::invalid_argument);
+}
+
+TEST(TransformEngine, RejectsAnonymousRules) {
+    Engine engine(target_mm());
+    EXPECT_THROW(engine.add_rule({"", "Book", nullptr,
+                                  [](Context&, const Object&) {}}),
+                 std::invalid_argument);
+    EXPECT_THROW(engine.add_rule({"r", "Book", nullptr, nullptr}),
+                 std::invalid_argument);
+}
+
+TEST(TransformEngine, RuleOrderIsRegistrationOrder) {
+    Engine engine(target_mm());
+    std::vector<std::string> fired;
+    engine.add_rule({"second", "Author", nullptr,
+                     [&](Context&, const Object&) { fired.push_back("second"); }});
+    engine.add_rule({"first", "Book", nullptr,
+                     [&](Context&, const Object&) { fired.push_back("first"); }});
+    ObjectModel source = library_with(1);
+    engine.run(source);
+    // Registration order, not metaclass order.
+    ASSERT_EQ(fired.size(), 2u);
+    EXPECT_EQ(fired[0], "second");
+    EXPECT_EQ(fired[1], "first");
+}
+
+// --- text helpers -----------------------------------------------------------------
+
+TEST(CodeWriter, IndentationTracksOpenClose) {
+    CodeWriter w;
+    w.open("if (x) {");
+    w.line("y();");
+    w.close();
+    EXPECT_EQ(w.str(), "if (x) {\n    y();\n}\n");
+}
+
+TEST(CodeWriter, BlankLinesCarryNoIndent) {
+    CodeWriter w(2);
+    w.open("a {");
+    w.blank();
+    w.close();
+    EXPECT_EQ(w.str(), "a {\n\n}\n");
+}
+
+TEST(CodeWriter, DedentBelowZeroThrows) {
+    CodeWriter w;
+    EXPECT_THROW(w.dedent(), std::logic_error);
+}
+
+TEST(TemplateExpansion, SubstitutesAndValidates) {
+    std::map<std::string, std::string> values{{"name", "crane"}, {"n", "3"}};
+    EXPECT_EQ(expand_template("model ${name} has ${n} threads", values),
+              "model crane has 3 threads");
+    EXPECT_THROW(expand_template("${missing}", values), std::invalid_argument);
+    EXPECT_THROW(expand_template("${unterminated", values), std::invalid_argument);
+}
+
+TEST(SanitizeIdentifier, ProducesValidC) {
+    EXPECT_EQ(sanitize_identifier("CPU-1"), "CPU_1");
+    EXPECT_EQ(sanitize_identifier("9lives"), "_9lives");
+    EXPECT_EQ(sanitize_identifier(""), "_");
+    EXPECT_EQ(sanitize_identifier("ok_name3"), "ok_name3");
+}
+
+}  // namespace

@@ -1,0 +1,194 @@
+// Tests for XMI interchange: serialization structure, parsing, round trips
+// and error handling.
+#include <gtest/gtest.h>
+
+#include "cases/cases.hpp"
+#include "uml/builder.hpp"
+#include "uml/xmi.hpp"
+#include "xml/parser.hpp"
+#include "xml/path.hpp"
+
+namespace {
+
+using namespace uhcg;
+using namespace uhcg::uml;
+
+Model sample_model() {
+    ModelBuilder b("sample");
+    b.cls("Calc").active().op("calc").in("a", "int").result("r").body("out[0]=in[0];");
+    b.thread("T1");
+    b.thread("T2");
+    b.passive("C1", "Calc");
+    b.iodevice("Dev");
+    auto sd = b.seq("sd");
+    sd.message("T1", "C1", "calc").arg("x").result("r1").data(8);
+    sd.message("T1", "T2", "SetR").arg("r1").data(4);
+    sd.message("T2", "Dev", "setOut").arg("r1");
+    b.cpu("CPU1");
+    b.cpu("CPU2");
+    b.bus("bus", {"CPU1", "CPU2"});
+    b.deploy("T1", "CPU1").deploy("T2", "CPU2");
+    return b.take();
+}
+
+TEST(Xmi, DocumentStructure) {
+    xml::Document doc = write_xmi(sample_model());
+    EXPECT_EQ(doc.root().name(), "xmi:XMI");
+    EXPECT_EQ(doc.root().attribute_or("xmi:version", ""), "2.1");
+    const xml::Element* model = doc.root().first_child("uml:Model");
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->attribute_or("name", ""), "sample");
+    // One packagedElement per class/instance/interaction/node/bus/deployment.
+    EXPECT_EQ(xml::select(*model, "packagedElement[@xmi:type='uml:Class']").size(),
+              1u);
+    EXPECT_EQ(xml::select(*model,
+                          "packagedElement[@xmi:type='uml:InstanceSpecification']")
+                  .size(),
+              4u);
+    EXPECT_EQ(
+        xml::select(*model, "packagedElement[@xmi:type='uml:Node']").size(), 2u);
+    EXPECT_EQ(
+        xml::select(*model, "packagedElement[@xmi:type='uml:Deployment']").size(),
+        2u);
+}
+
+TEST(Xmi, StereotypeApplicationsEmitted) {
+    xml::Document doc = write_xmi(sample_model());
+    EXPECT_EQ(doc.root().children_named("SPT:SASchedRes").size(), 2u);
+    EXPECT_EQ(doc.root().children_named("SPT:SAengine").size(), 2u);
+    EXPECT_EQ(doc.root().children_named("uhcg:IO").size(), 1u);
+}
+
+TEST(Xmi, RoundTripPreservesEverything) {
+    Model original = sample_model();
+    Model copy = from_xmi_string(to_xmi_string(original));
+
+    EXPECT_EQ(copy.name(), "sample");
+    const Class* calc = copy.find_class("Calc");
+    ASSERT_NE(calc, nullptr);
+    EXPECT_TRUE(calc->is_active());
+    const Operation* op = calc->find_operation("calc");
+    ASSERT_NE(op, nullptr);
+    ASSERT_EQ(op->parameters().size(), 2u);
+    EXPECT_EQ(op->parameters()[0].type, "int");
+    EXPECT_EQ(op->parameters()[1].direction, ParameterDirection::Return);
+    EXPECT_EQ(op->body(), "out[0]=in[0];");
+
+    EXPECT_TRUE(copy.find_object("T1")->is_thread());
+    EXPECT_TRUE(copy.find_object("Dev")->is_io_device());
+    EXPECT_EQ(copy.find_object("C1")->classifier(), calc);
+
+    ASSERT_EQ(copy.sequence_diagrams().size(), 1u);
+    auto msgs = copy.sequence_diagrams()[0]->messages();
+    ASSERT_EQ(msgs.size(), 3u);
+    EXPECT_EQ(msgs[0]->operation_name(), "calc");
+    EXPECT_EQ(msgs[0]->result_name(), "r1");
+    EXPECT_DOUBLE_EQ(msgs[0]->data_size(), 8.0);
+    EXPECT_EQ(msgs[0]->arguments()[0].name, "x");
+    // Message operations re-resolve on read.
+    EXPECT_EQ(msgs[0]->operation(), op);
+
+    const DeploymentDiagram* dd = copy.deployment_or_null();
+    ASSERT_NE(dd, nullptr);
+    EXPECT_EQ(dd->nodes().size(), 2u);
+    EXPECT_TRUE(dd->nodes()[0]->is_processor());
+    EXPECT_EQ(dd->deployments().size(), 2u);
+    EXPECT_EQ(dd->node_of(*copy.find_object("T1"))->name(), "CPU1");
+    ASSERT_EQ(dd->buses().size(), 1u);
+    EXPECT_TRUE(dd->buses()[0]->connects(*dd->nodes()[0], *dd->nodes()[1]));
+}
+
+TEST(Xmi, StateMachineRoundTrip) {
+    Model m("sm_model");
+    StateMachine& sm = m.add_state_machine("M");
+    State& a = sm.add_state("A");
+    a.set_entry_action("ea();");
+    State& b = sm.add_state("B");
+    State& b1 = b.add_substate("B1");
+    b1.set_exit_action("xb1();");
+    b.set_initial_substate(b1);
+    sm.set_initial_state(a);
+    Transition& t = sm.add_transition(a, b1);
+    t.set_trigger("go");
+    t.set_guard("x > 0");
+    t.set_effect("fire();");
+
+    Model copy = from_xmi_string(to_xmi_string(m));
+    const StateMachine* csm = copy.state_machines()[0];
+    ASSERT_NE(csm, nullptr);
+    EXPECT_EQ(csm->all_states().size(), 3u);
+    const State* cb1 = csm->find_state("B1");
+    ASSERT_NE(cb1, nullptr);
+    EXPECT_EQ(cb1->exit_action(), "xb1();");
+    EXPECT_EQ(cb1->parent()->name(), "B");
+    EXPECT_EQ(csm->initial_state()->name(), "A");
+    EXPECT_EQ(csm->find_state("B")->initial_substate(), cb1);
+    ASSERT_EQ(csm->transitions().size(), 1u);
+    EXPECT_EQ(csm->transitions()[0]->guard(), "x > 0");
+    EXPECT_EQ(csm->transitions()[0]->effect(), "fire();");
+}
+
+TEST(Xmi, CaseStudyModelsRoundTrip) {
+    Model models[] = {cases::didactic_model(), cases::crane_model(),
+                      cases::synthetic_model()};
+    for (Model& model : models) {
+        Model copy = from_xmi_string(to_xmi_string(model));
+        EXPECT_EQ(copy.threads().size(), model.threads().size());
+        EXPECT_EQ(copy.sequence_diagrams().size(),
+                  model.sequence_diagrams().size());
+        // Second trip must be byte-stable (deterministic ids).
+        EXPECT_EQ(to_xmi_string(copy), to_xmi_string(model));
+    }
+}
+
+TEST(Xmi, RejectsNonXmiDocument) {
+    EXPECT_THROW(from_xmi_string("<uml:Model name='x'/>"), std::runtime_error);
+    EXPECT_THROW(from_xmi_string("<xmi:XMI/>"), std::runtime_error);
+}
+
+TEST(Xmi, RejectsDanglingReferences) {
+    const char* text = R"(<?xml version="1.0"?>
+<xmi:XMI xmi:version="2.1">
+  <uml:Model xmi:id="m" name="m">
+    <packagedElement xmi:type="uml:InstanceSpecification" xmi:id="o" name="o"
+                     classifier="class.Ghost"/>
+  </uml:Model>
+</xmi:XMI>)";
+    EXPECT_THROW(from_xmi_string(text), std::runtime_error);
+}
+
+TEST(Xmi, RejectsUnknownStereotype) {
+    const char* text = R"(<?xml version="1.0"?>
+<xmi:XMI xmi:version="2.1">
+  <uml:Model xmi:id="m" name="m">
+    <packagedElement xmi:type="uml:InstanceSpecification" xmi:id="obj.o" name="o"/>
+  </uml:Model>
+  <SPT:Bogus xmi:id="s" base_InstanceSpecification="obj.o"/>
+</xmi:XMI>)";
+    EXPECT_THROW(from_xmi_string(text), std::runtime_error);
+}
+
+TEST(Xmi, RejectsBadDirection) {
+    const char* text = R"(<?xml version="1.0"?>
+<xmi:XMI xmi:version="2.1">
+  <uml:Model xmi:id="m" name="m">
+    <packagedElement xmi:type="uml:Class" xmi:id="c" name="C" isActive="false">
+      <ownedOperation xmi:id="op" name="f">
+        <ownedParameter name="x" direction="sideways"/>
+      </ownedOperation>
+    </packagedElement>
+  </uml:Model>
+</xmi:XMI>)";
+    EXPECT_THROW(from_xmi_string(text), std::runtime_error);
+}
+
+TEST(Xmi, FileRoundTrip) {
+    Model m = sample_model();
+    std::string path = testing::TempDir() + "/uhcg_sample.xmi";
+    save_xmi(m, path);
+    Model loaded = load_xmi(path);
+    EXPECT_EQ(loaded.name(), "sample");
+    EXPECT_EQ(loaded.threads().size(), 2u);
+}
+
+}  // namespace

@@ -1,0 +1,238 @@
+// Unit tests for the XML substrate: DOM, parser, writer, path selection.
+#include <gtest/gtest.h>
+
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"
+#include "xml/path.hpp"
+#include "xml/writer.hpp"
+
+namespace {
+
+using namespace uhcg::xml;
+
+// --- DOM ---------------------------------------------------------------------
+
+TEST(XmlDom, AttributesSetAndGet) {
+    Element e("node");
+    e.set_attribute("name", "x");
+    ASSERT_NE(e.find_attribute("name"), nullptr);
+    EXPECT_EQ(*e.find_attribute("name"), "x");
+    EXPECT_EQ(e.find_attribute("missing"), nullptr);
+    EXPECT_EQ(e.attribute_or("missing", "d"), "d");
+}
+
+TEST(XmlDom, AttributeOverwriteKeepsOrder) {
+    Element e("node");
+    e.set_attribute("a", "1").set_attribute("b", "2").set_attribute("a", "3");
+    ASSERT_EQ(e.attributes().size(), 2u);
+    EXPECT_EQ(e.attributes()[0].name, "a");
+    EXPECT_EQ(e.attributes()[0].value, "3");
+}
+
+TEST(XmlDom, RemoveAttribute) {
+    Element e("node");
+    e.set_attribute("a", "1");
+    EXPECT_TRUE(e.remove_attribute("a"));
+    EXPECT_FALSE(e.remove_attribute("a"));
+    EXPECT_FALSE(e.has_attribute("a"));
+}
+
+TEST(XmlDom, ChildNavigation) {
+    Element e("root");
+    e.add_child("a");
+    e.add_child("b");
+    e.add_child("a").set_attribute("id", "2");
+    EXPECT_EQ(e.child_elements().size(), 3u);
+    EXPECT_EQ(e.children_named("a").size(), 2u);
+    ASSERT_NE(e.first_child("b"), nullptr);
+    EXPECT_EQ(e.first_child("zzz"), nullptr);
+}
+
+TEST(XmlDom, TextContentConcatenates) {
+    Element e("p");
+    e.add_text("hello ");
+    e.add_comment("ignored");
+    e.add_text("world");
+    EXPECT_EQ(e.text_content(), "hello world");
+}
+
+TEST(XmlDom, SubtreeSizeCountsElements) {
+    Element e("root");
+    Element& a = e.add_child("a");
+    a.add_child("b");
+    e.add_child("c");
+    EXPECT_EQ(e.subtree_size(), 4u);
+}
+
+// --- parser -------------------------------------------------------------------
+
+TEST(XmlParser, MinimalDocument) {
+    Document doc = parse("<root/>");
+    EXPECT_EQ(doc.root().name(), "root");
+    EXPECT_TRUE(doc.root().children().empty());
+}
+
+TEST(XmlParser, DeclarationFields) {
+    Document doc = parse("<?xml version=\"1.1\" encoding=\"latin-1\"?><r/>");
+    EXPECT_EQ(doc.version, "1.1");
+    EXPECT_EQ(doc.encoding, "latin-1");
+}
+
+TEST(XmlParser, NestedElementsAndAttributes) {
+    Document doc = parse(R"(<a x="1"><b y='2'><c/></b></a>)");
+    const Element& a = doc.root();
+    EXPECT_EQ(a.attribute_or("x", ""), "1");
+    const Element* b = a.first_child("b");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->attribute_or("y", ""), "2");
+    EXPECT_NE(b->first_child("c"), nullptr);
+}
+
+TEST(XmlParser, TextAndEntities) {
+    Document doc = parse("<t>a &lt;&amp;&gt; b &#65;&#x42;</t>");
+    EXPECT_EQ(doc.root().text_content(), "a <&> b AB");
+}
+
+TEST(XmlParser, EntityInAttribute) {
+    Document doc = parse(R"(<t v="a&quot;b&apos;c"/>)");
+    EXPECT_EQ(doc.root().attribute_or("v", ""), "a\"b'c");
+}
+
+TEST(XmlParser, CdataSection) {
+    Document doc = parse("<t><![CDATA[<not & parsed>]]></t>");
+    EXPECT_EQ(doc.root().text_content(), "<not & parsed>");
+}
+
+TEST(XmlParser, CommentsArePreserved) {
+    Document doc = parse("<t><!-- note --><a/></t>");
+    ASSERT_EQ(doc.root().children().size(), 2u);
+    EXPECT_EQ(doc.root().children()[0].kind(), NodeKind::Comment);
+    EXPECT_EQ(doc.root().children()[0].text(), " note ");
+}
+
+TEST(XmlParser, WhitespaceOnlyTextIsDropped) {
+    Document doc = parse("<t>\n  <a/>\n  <b/>\n</t>");
+    EXPECT_EQ(doc.root().children().size(), 2u);
+}
+
+TEST(XmlParser, MismatchedCloseTagThrows) {
+    EXPECT_THROW(parse("<a><b></a></b>"), ParseError);
+}
+
+TEST(XmlParser, DuplicateAttributeThrows) {
+    EXPECT_THROW(parse(R"(<a x="1" x="2"/>)"), ParseError);
+}
+
+TEST(XmlParser, UnterminatedThrowsWithLocation) {
+    try {
+        parse("<a>\n<b>");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), 2u);
+    }
+}
+
+TEST(XmlParser, UnknownEntityThrows) {
+    EXPECT_THROW(parse("<a>&bogus;</a>"), ParseError);
+}
+
+TEST(XmlParser, DoctypeRejected) {
+    EXPECT_THROW(parse("<!DOCTYPE html><a/>"), ParseError);
+}
+
+TEST(XmlParser, ContentAfterRootThrows) {
+    EXPECT_THROW(parse("<a/><b/>"), ParseError);
+}
+
+TEST(XmlParser, ProcessingInstructionsSkipped) {
+    Document doc = parse("<?pi data?><a><?inner?></a>");
+    EXPECT_EQ(doc.root().name(), "a");
+    EXPECT_TRUE(doc.root().children().empty());
+}
+
+// --- writer -------------------------------------------------------------------
+
+TEST(XmlWriter, EscapesSpecials) {
+    EXPECT_EQ(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
+    EXPECT_EQ(escape_attribute("say \"hi\"\n"), "say &quot;hi&quot;&#10;");
+}
+
+TEST(XmlWriter, SelfClosesEmptyElements) {
+    Document doc("empty");
+    std::string out = write(doc);
+    EXPECT_NE(out.find("<empty/>"), std::string::npos);
+}
+
+TEST(XmlWriter, InlineTextElements) {
+    Document doc("name");
+    doc.root().add_text("value");
+    EXPECT_NE(write(doc).find("<name>value</name>"), std::string::npos);
+}
+
+TEST(XmlWriter, RoundTripPreservesStructure) {
+    const char* src = R"(<model a="1">
+  <child k="v&quot;q">text &amp; more</child>
+  <other/>
+</model>)";
+    Document doc = parse(src);
+    Document again = parse(write(doc));
+    EXPECT_EQ(again.root().attribute_or("a", ""), "1");
+    const Element* child = again.root().first_child("child");
+    ASSERT_NE(child, nullptr);
+    EXPECT_EQ(child->attribute_or("k", ""), "v\"q");
+    EXPECT_EQ(child->text_content(), "text & more");
+    EXPECT_NE(again.root().first_child("other"), nullptr);
+}
+
+TEST(XmlWriter, DeterministicOutput) {
+    Document doc = parse("<a><b x=\"1\"/><c/></a>");
+    EXPECT_EQ(write(doc), write(parse(write(doc))));
+}
+
+// --- path selection -------------------------------------------------------------
+
+class XmlPathTest : public ::testing::Test {
+protected:
+    Document doc = parse(R"(<root>
+      <group id="g1"><item id="i1"/><item id="i2"/></group>
+      <group id="g2"><item id="i3"/></group>
+      <misc><item id="i4"/></misc>
+    </root>)");
+};
+
+TEST_F(XmlPathTest, ChildSteps) {
+    EXPECT_EQ(select(doc.root(), "group/item").size(), 3u);
+    EXPECT_EQ(select(doc.root(), "misc/item").size(), 1u);
+}
+
+TEST_F(XmlPathTest, WildcardStep) {
+    EXPECT_EQ(select(doc.root(), "*/item").size(), 4u);
+}
+
+TEST_F(XmlPathTest, AttributePredicate) {
+    auto hits = select(doc.root(), "group[@id='g2']/item");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0]->attribute_or("id", ""), "i3");
+}
+
+TEST_F(XmlPathTest, PositionalPredicate) {
+    auto hits = select(doc.root(), "group/item[2]");
+    ASSERT_EQ(hits.size(), 1u);  // second item within g1 only
+    EXPECT_EQ(hits[0]->attribute_or("id", ""), "i2");
+}
+
+TEST_F(XmlPathTest, DescendantSearch) {
+    EXPECT_EQ(select(doc.root(), "//item").size(), 4u);
+}
+
+TEST_F(XmlPathTest, FirstMatchAndMisses) {
+    ASSERT_NE(select_first(doc.root(), "group"), nullptr);
+    EXPECT_EQ(select_first(doc.root(), "nope/never"), nullptr);
+}
+
+TEST_F(XmlPathTest, MalformedPathThrows) {
+    EXPECT_THROW(select(doc.root(), "group//item"), std::invalid_argument);
+    EXPECT_THROW(select(doc.root(), "group[@id=g1]"), std::invalid_argument);
+}
+
+}  // namespace

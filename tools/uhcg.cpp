@@ -1,0 +1,267 @@
+// uhcg — command-line driver for the whole flow: the tool a designer runs
+// against an XMI export from their UML editor (the MagicDraw step of
+// Fig. 2).
+//
+// Usage:
+//   uhcg map <model.xmi> [options]          UML → Simulink CAAM (.mdl)
+//   uhcg codegen <model.xmi> [options]      UML → CAAM → per-CPU C program
+//   uhcg threads <model.xmi> [options]      UML → multithreaded C++ (fallback)
+//   uhcg kpn <model.xmi> [options]          UML → KPN summary (§3 retarget)
+//   uhcg explore <model.xmi> [options]      design-space exploration report
+//   uhcg dot <model.xmi> [options]          Graphviz: task graph + CAAM
+//   uhcg check <model.xmi>                  well-formedness report only
+//
+// Common options:
+//   -o <path>            output file (map/threads) or directory (codegen)
+//   --auto-allocate      §4.2.3 linear clustering instead of the
+//                        deployment diagram
+//   --max-cpus <n>       processor budget for auto allocation
+//   --no-channels        skip §4.2.1 channel inference
+//   --no-delays          skip §4.2.2 temporal-barrier insertion
+//   --dump-ecore <path>  write the intermediate (pre-optimization) CAAM in
+//                        the E-core interchange format (Fig. 2, step 3 input)
+//   --report             print the mapping report (rules, channels, delays)
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "codegen/caam_to_c.hpp"
+#include "codegen/uml_to_cpp.hpp"
+#include "core/mapping.hpp"
+#include "core/pipeline.hpp"
+#include "dse/explore.hpp"
+#include "kpn/from_uml.hpp"
+#include "model/ecore_io.hpp"
+#include "simulink/caam.hpp"
+#include "simulink/generic.hpp"
+#include "simulink/dot.hpp"
+#include "simulink/mdl.hpp"
+#include "taskgraph/dot.hpp"
+#include "taskgraph/linear.hpp"
+#include "uml/wellformed.hpp"
+#include "uml/xmi.hpp"
+
+namespace {
+
+using namespace uhcg;
+
+struct Cli {
+    std::string command;
+    std::string input;
+    std::string output;
+    std::string dump_ecore;
+    core::MapperOptions mapper;
+    bool report = false;
+    std::size_t iterations = 100;
+};
+
+int usage(const char* argv0) {
+    std::cerr
+        << "usage: " << argv0
+        << " <map|codegen|threads|kpn|explore|dot|check> <model.xmi> [options]\n"
+           "options: -o <path> --auto-allocate --max-cpus <n> --no-channels\n"
+           "         --no-delays --dump-ecore <path> --report\n"
+           "         --iterations <n> (threads command)\n";
+    return 2;
+}
+
+bool parse_cli(int argc, char** argv, Cli& cli) {
+    if (argc < 3) return false;
+    cli.command = argv[1];
+    cli.input = argv[2];
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) return nullptr;
+            return argv[++i];
+        };
+        if (arg == "-o") {
+            const char* v = next();
+            if (!v) return false;
+            cli.output = v;
+        } else if (arg == "--auto-allocate") {
+            cli.mapper.auto_allocate = true;
+        } else if (arg == "--max-cpus") {
+            const char* v = next();
+            if (!v) return false;
+            cli.mapper.max_processors = std::strtoul(v, nullptr, 10);
+        } else if (arg == "--no-channels") {
+            cli.mapper.infer_channels = false;
+        } else if (arg == "--no-delays") {
+            cli.mapper.insert_delays = false;
+        } else if (arg == "--dump-ecore") {
+            const char* v = next();
+            if (!v) return false;
+            cli.dump_ecore = v;
+        } else if (arg == "--report") {
+            cli.report = true;
+        } else if (arg == "--iterations") {
+            const char* v = next();
+            if (!v) return false;
+            cli.iterations = std::strtoul(v, nullptr, 10);
+        } else {
+            std::cerr << "unknown option: " << arg << '\n';
+            return false;
+        }
+    }
+    return true;
+}
+
+void print_report(const core::MapperReport& report) {
+    std::cout << "mapping report:\n  rules fired:";
+    for (const auto& [rule, count] : report.rule_stats.applications)
+        std::cout << ' ' << rule << "=" << count;
+    std::cout << "\n  trace links: " << report.rule_stats.trace_links
+              << "\n  processors: " << report.allocation.processor_count();
+    for (std::size_t p = 0; p < report.allocation.processor_count(); ++p) {
+        std::cout << "\n    " << report.allocation.processor_name(p) << ":";
+        for (const uml::ObjectInstance* t : report.allocation.threads_on(p))
+            std::cout << ' ' << t->name();
+    }
+    std::cout << "\n  channels: " << report.channels.intra_channels
+              << " SWFIFO + " << report.channels.inter_channels << " GFIFO"
+              << "\n  system ports: " << report.channels.system_inputs << " in, "
+              << report.channels.system_outputs << " out"
+              << "\n  temporal barriers: " << report.delays.inserted << '\n';
+    for (const std::string& loc : report.delays.locations)
+        std::cout << "    " << loc << '\n';
+    for (const std::string& w : report.warnings)
+        std::cout << "  warning: " << w << '\n';
+}
+
+int cmd_check(const uml::Model& model) {
+    auto issues = uml::check(model);
+    if (issues.empty()) {
+        std::cout << "ok: model is well-formed ("
+                  << model.threads().size() << " threads, "
+                  << model.sequence_diagrams().size()
+                  << " sequence diagrams)\n";
+        return 0;
+    }
+    std::cout << uml::format_issues(issues);
+    return uml::only_warnings(issues) ? 0 : 1;
+}
+
+int cmd_map(const uml::Model& model, const Cli& cli) {
+    core::MapperReport report;
+    if (!cli.dump_ecore.empty()) {
+        // Expose the Fig. 2 step-3 input: the raw m2m result in E-core form.
+        core::CommModel comm = core::analyze_communication(model);
+        core::Allocation alloc =
+            cli.mapper.auto_allocate
+                ? core::auto_allocate(model, comm, cli.mapper.max_processors)
+                : core::allocation_from_deployment(model);
+        core::MappingOutput mapped = core::run_mapping(model, comm, alloc);
+        model::save_file(mapped.caam, cli.dump_ecore);
+        std::cout << "wrote intermediate E-core model: " << cli.dump_ecore
+                  << '\n';
+    }
+    simulink::Model caam = core::map_to_caam(model, cli.mapper, &report);
+    auto problems = simulink::validate_caam(caam);
+    for (const std::string& p : problems) std::cerr << "validation: " << p << '\n';
+    std::string out_path =
+        cli.output.empty() ? model.name() + ".mdl" : cli.output;
+    simulink::save_mdl(caam, out_path);
+    std::cout << "wrote " << out_path << " ("
+              << simulink::caam_stats(caam).total_blocks << " blocks)\n";
+    if (cli.report) print_report(report);
+    return problems.empty() ? 0 : 1;
+}
+
+int cmd_codegen(const uml::Model& model, const Cli& cli) {
+    core::MapperReport report;
+    simulink::Model caam = core::map_to_caam(model, cli.mapper, &report);
+    codegen::GeneratedProgram program = codegen::generate_c_program(caam);
+    std::filesystem::path dir =
+        cli.output.empty() ? model.name() + "_c" : cli.output;
+    std::filesystem::create_directories(dir);
+    for (const auto& [name, contents] : program.files)
+        std::ofstream(dir / name) << contents;
+    std::cout << "wrote " << program.files.size() << " files to " << dir
+              << " (build: cc -std=c99 main.c sfunctions.c cpu_*.c)\n";
+    if (cli.report) print_report(report);
+    return 0;
+}
+
+int cmd_threads(const uml::Model& model, const Cli& cli) {
+    codegen::CppProgram program =
+        codegen::generate_cpp_threads(model, cli.iterations);
+    std::string out_path = cli.output.empty() ? program.file_name : cli.output;
+    std::ofstream(out_path) << program.source;
+    std::cout << "wrote " << out_path << " (" << program.thread_count
+              << " threads, " << program.queue_count
+              << " queues; build: c++ -std=c++17 -pthread)\n";
+    return 0;
+}
+
+int cmd_kpn(const uml::Model& model) {
+    kpn::KpnMappingOutput out = kpn::map_to_kpn(model);
+    std::cout << "KPN '" << out.network.name() << "': "
+              << out.network.processes().size() << " processes, "
+              << out.network.channels().size() << " channels, "
+              << out.initial_tokens_inserted << " initial token(s)\n";
+    for (const kpn::ChannelDecl& c : out.network.channels())
+        std::cout << "  " << c.producer->name() << " --" << c.variable
+                  << "--> " << c.consumer->name()
+                  << (c.initial_tokens ? "  [seeded]" : "") << '\n';
+    for (const std::string& w : out.warnings)
+        std::cout << "warning: " << w << '\n';
+    return out.warnings.empty() ? 0 : 1;
+}
+
+int cmd_dot(const uml::Model& model, const Cli& cli) {
+    core::CommModel comm = core::analyze_communication(model);
+    // Task graph with the clustering the flow would pick (Fig. 7 style).
+    taskgraph::TaskGraph graph = core::build_task_graph(model, comm);
+    taskgraph::Clustering clustering = core::auto_clustering(model, comm);
+    std::string base = cli.output.empty() ? model.name() : cli.output;
+    {
+        std::ofstream f(base + "_taskgraph.dot");
+        taskgraph::DotOptions options;
+        options.name = model.name();
+        f << taskgraph::to_dot(graph, clustering, options);
+    }
+    // The generated CAAM as a block diagram (Fig. 3(c)/8 style).
+    simulink::Model caam = core::map_to_caam(model, cli.mapper);
+    {
+        std::ofstream f(base + "_caam.dot");
+        f << simulink::to_dot(caam);
+    }
+    std::cout << "wrote " << base << "_taskgraph.dot and " << base
+              << "_caam.dot (render with: dot -Tpng -O <file>)\n";
+    return 0;
+}
+
+int cmd_explore(const uml::Model& model, const Cli& cli) {
+    core::CommModel comm = core::analyze_communication(model);
+    dse::ExploreOptions options;
+    options.max_processors = cli.mapper.max_processors;
+    dse::ExploreResult result = dse::explore(model, comm, options);
+    std::cout << dse::format(result);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Cli cli;
+    if (!parse_cli(argc, argv, cli)) return usage(argv[0]);
+    try {
+        uml::Model model = uml::load_xmi(cli.input);
+        if (cli.command == "check") return cmd_check(model);
+        if (cli.command == "map") return cmd_map(model, cli);
+        if (cli.command == "codegen") return cmd_codegen(model, cli);
+        if (cli.command == "threads") return cmd_threads(model, cli);
+        if (cli.command == "kpn") return cmd_kpn(model);
+        if (cli.command == "explore") return cmd_explore(model, cli);
+        if (cli.command == "dot") return cmd_dot(model, cli);
+        std::cerr << "unknown command: " << cli.command << '\n';
+        return usage(argv[0]);
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+}
