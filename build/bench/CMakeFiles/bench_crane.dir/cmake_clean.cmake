@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crane.dir/bench_crane.cpp.o"
+  "CMakeFiles/bench_crane.dir/bench_crane.cpp.o.d"
+  "bench_crane"
+  "bench_crane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

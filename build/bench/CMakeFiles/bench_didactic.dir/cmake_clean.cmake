@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_didactic.dir/bench_didactic.cpp.o"
+  "CMakeFiles/bench_didactic.dir/bench_didactic.cpp.o.d"
+  "bench_didactic"
+  "bench_didactic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_didactic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flow.dir/bench_flow.cpp.o"
+  "CMakeFiles/bench_flow.dir/bench_flow.cpp.o.d"
+  "bench_flow"
+  "bench_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

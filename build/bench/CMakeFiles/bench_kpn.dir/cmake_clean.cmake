@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kpn.dir/bench_kpn.cpp.o"
+  "CMakeFiles/bench_kpn.dir/bench_kpn.cpp.o.d"
+  "bench_kpn"
+  "bench_kpn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

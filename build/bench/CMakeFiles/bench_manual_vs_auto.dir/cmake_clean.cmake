@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_manual_vs_auto.dir/bench_manual_vs_auto.cpp.o"
+  "CMakeFiles/bench_manual_vs_auto.dir/bench_manual_vs_auto.cpp.o.d"
+  "bench_manual_vs_auto"
+  "bench_manual_vs_auto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_manual_vs_auto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_synthetic_caam.dir/bench_synthetic_caam.cpp.o"
+  "CMakeFiles/bench_synthetic_caam.dir/bench_synthetic_caam.cpp.o.d"
+  "bench_synthetic_caam"
+  "bench_synthetic_caam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synthetic_caam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

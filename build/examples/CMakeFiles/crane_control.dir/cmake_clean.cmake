@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crane_control.dir/crane_control.cpp.o"
+  "CMakeFiles/crane_control.dir/crane_control.cpp.o.d"
+  "crane_control"
+  "crane_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crane_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fsm_elevator.cpp" "examples/CMakeFiles/fsm_elevator.dir/fsm_elevator.cpp.o" "gcc" "examples/CMakeFiles/fsm_elevator.dir/fsm_elevator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cases/CMakeFiles/uhcg_cases.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/uhcg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uhcg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/uhcg_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/uhcg_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kpn/CMakeFiles/uhcg_kpn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/uhcg_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/uml/CMakeFiles/uhcg_uml.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/uhcg_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulink/CMakeFiles/uhcg_simulink.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/uhcg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/uhcg_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgraph/CMakeFiles/uhcg_taskgraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

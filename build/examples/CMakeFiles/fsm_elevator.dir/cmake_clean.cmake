@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_elevator.dir/fsm_elevator.cpp.o"
+  "CMakeFiles/fsm_elevator.dir/fsm_elevator.cpp.o.d"
+  "fsm_elevator"
+  "fsm_elevator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_elevator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_mpsoc.dir/synthetic_mpsoc.cpp.o"
+  "CMakeFiles/synthetic_mpsoc.dir/synthetic_mpsoc.cpp.o.d"
+  "synthetic_mpsoc"
+  "synthetic_mpsoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_mpsoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

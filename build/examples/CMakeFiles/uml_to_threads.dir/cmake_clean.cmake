@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uml_to_threads.dir/uml_to_threads.cpp.o"
+  "CMakeFiles/uml_to_threads.dir/uml_to_threads.cpp.o.d"
+  "uml_to_threads"
+  "uml_to_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uml_to_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

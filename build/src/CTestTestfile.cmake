@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("xml")
+subdirs("model")
+subdirs("uml")
+subdirs("simulink")
+subdirs("taskgraph")
+subdirs("transform")
+subdirs("fsm")
+subdirs("core")
+subdirs("sim")
+subdirs("codegen")
+subdirs("kpn")
+subdirs("dse")
+subdirs("cases")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhcg_cases.dir/cases.cpp.o"
+  "CMakeFiles/uhcg_cases.dir/cases.cpp.o.d"
+  "libuhcg_cases.a"
+  "libuhcg_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhcg_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

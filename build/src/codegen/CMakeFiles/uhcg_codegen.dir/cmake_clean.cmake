@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhcg_codegen.dir/caam_to_c.cpp.o"
+  "CMakeFiles/uhcg_codegen.dir/caam_to_c.cpp.o.d"
+  "CMakeFiles/uhcg_codegen.dir/uml_to_cpp.cpp.o"
+  "CMakeFiles/uhcg_codegen.dir/uml_to_cpp.cpp.o.d"
+  "libuhcg_codegen.a"
+  "libuhcg_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhcg_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhcg_core.dir/allocation.cpp.o"
+  "CMakeFiles/uhcg_core.dir/allocation.cpp.o.d"
+  "CMakeFiles/uhcg_core.dir/comm.cpp.o"
+  "CMakeFiles/uhcg_core.dir/comm.cpp.o.d"
+  "CMakeFiles/uhcg_core.dir/delays.cpp.o"
+  "CMakeFiles/uhcg_core.dir/delays.cpp.o.d"
+  "CMakeFiles/uhcg_core.dir/mapping.cpp.o"
+  "CMakeFiles/uhcg_core.dir/mapping.cpp.o.d"
+  "CMakeFiles/uhcg_core.dir/optimize.cpp.o"
+  "CMakeFiles/uhcg_core.dir/optimize.cpp.o.d"
+  "CMakeFiles/uhcg_core.dir/pipeline.cpp.o"
+  "CMakeFiles/uhcg_core.dir/pipeline.cpp.o.d"
+  "libuhcg_core.a"
+  "libuhcg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhcg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

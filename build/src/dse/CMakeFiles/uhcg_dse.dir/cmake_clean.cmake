@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhcg_dse.dir/explore.cpp.o"
+  "CMakeFiles/uhcg_dse.dir/explore.cpp.o.d"
+  "libuhcg_dse.a"
+  "libuhcg_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhcg_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsm/codegen.cpp" "src/fsm/CMakeFiles/uhcg_fsm.dir/codegen.cpp.o" "gcc" "src/fsm/CMakeFiles/uhcg_fsm.dir/codegen.cpp.o.d"
+  "/root/repo/src/fsm/from_uml.cpp" "src/fsm/CMakeFiles/uhcg_fsm.dir/from_uml.cpp.o" "gcc" "src/fsm/CMakeFiles/uhcg_fsm.dir/from_uml.cpp.o.d"
+  "/root/repo/src/fsm/interpret.cpp" "src/fsm/CMakeFiles/uhcg_fsm.dir/interpret.cpp.o" "gcc" "src/fsm/CMakeFiles/uhcg_fsm.dir/interpret.cpp.o.d"
+  "/root/repo/src/fsm/machine.cpp" "src/fsm/CMakeFiles/uhcg_fsm.dir/machine.cpp.o" "gcc" "src/fsm/CMakeFiles/uhcg_fsm.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uml/CMakeFiles/uhcg_uml.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/uhcg_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/uhcg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/uhcg_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

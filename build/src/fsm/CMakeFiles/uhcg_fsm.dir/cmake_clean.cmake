@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhcg_fsm.dir/codegen.cpp.o"
+  "CMakeFiles/uhcg_fsm.dir/codegen.cpp.o.d"
+  "CMakeFiles/uhcg_fsm.dir/from_uml.cpp.o"
+  "CMakeFiles/uhcg_fsm.dir/from_uml.cpp.o.d"
+  "CMakeFiles/uhcg_fsm.dir/interpret.cpp.o"
+  "CMakeFiles/uhcg_fsm.dir/interpret.cpp.o.d"
+  "CMakeFiles/uhcg_fsm.dir/machine.cpp.o"
+  "CMakeFiles/uhcg_fsm.dir/machine.cpp.o.d"
+  "libuhcg_fsm.a"
+  "libuhcg_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhcg_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

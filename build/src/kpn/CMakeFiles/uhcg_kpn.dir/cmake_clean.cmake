@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhcg_kpn.dir/execute.cpp.o"
+  "CMakeFiles/uhcg_kpn.dir/execute.cpp.o.d"
+  "CMakeFiles/uhcg_kpn.dir/from_uml.cpp.o"
+  "CMakeFiles/uhcg_kpn.dir/from_uml.cpp.o.d"
+  "CMakeFiles/uhcg_kpn.dir/generic.cpp.o"
+  "CMakeFiles/uhcg_kpn.dir/generic.cpp.o.d"
+  "CMakeFiles/uhcg_kpn.dir/model.cpp.o"
+  "CMakeFiles/uhcg_kpn.dir/model.cpp.o.d"
+  "libuhcg_kpn.a"
+  "libuhcg_kpn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhcg_kpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

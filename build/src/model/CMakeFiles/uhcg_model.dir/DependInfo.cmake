@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/ecore_io.cpp" "src/model/CMakeFiles/uhcg_model.dir/ecore_io.cpp.o" "gcc" "src/model/CMakeFiles/uhcg_model.dir/ecore_io.cpp.o.d"
+  "/root/repo/src/model/metamodel.cpp" "src/model/CMakeFiles/uhcg_model.dir/metamodel.cpp.o" "gcc" "src/model/CMakeFiles/uhcg_model.dir/metamodel.cpp.o.d"
+  "/root/repo/src/model/object.cpp" "src/model/CMakeFiles/uhcg_model.dir/object.cpp.o" "gcc" "src/model/CMakeFiles/uhcg_model.dir/object.cpp.o.d"
+  "/root/repo/src/model/validate.cpp" "src/model/CMakeFiles/uhcg_model.dir/validate.cpp.o" "gcc" "src/model/CMakeFiles/uhcg_model.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/uhcg_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

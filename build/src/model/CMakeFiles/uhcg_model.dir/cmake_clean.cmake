@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhcg_model.dir/ecore_io.cpp.o"
+  "CMakeFiles/uhcg_model.dir/ecore_io.cpp.o.d"
+  "CMakeFiles/uhcg_model.dir/metamodel.cpp.o"
+  "CMakeFiles/uhcg_model.dir/metamodel.cpp.o.d"
+  "CMakeFiles/uhcg_model.dir/object.cpp.o"
+  "CMakeFiles/uhcg_model.dir/object.cpp.o.d"
+  "CMakeFiles/uhcg_model.dir/validate.cpp.o"
+  "CMakeFiles/uhcg_model.dir/validate.cpp.o.d"
+  "libuhcg_model.a"
+  "libuhcg_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhcg_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/uhcg_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/uhcg_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/mpsoc.cpp" "src/sim/CMakeFiles/uhcg_sim.dir/mpsoc.cpp.o" "gcc" "src/sim/CMakeFiles/uhcg_sim.dir/mpsoc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simulink/CMakeFiles/uhcg_simulink.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgraph/CMakeFiles/uhcg_taskgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/uhcg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/uhcg_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

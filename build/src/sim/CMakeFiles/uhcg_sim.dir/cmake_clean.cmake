@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhcg_sim.dir/engine.cpp.o"
+  "CMakeFiles/uhcg_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/uhcg_sim.dir/mpsoc.cpp.o"
+  "CMakeFiles/uhcg_sim.dir/mpsoc.cpp.o.d"
+  "libuhcg_sim.a"
+  "libuhcg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhcg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

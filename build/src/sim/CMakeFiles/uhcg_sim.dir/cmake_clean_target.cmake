@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuhcg_sim.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulink/caam.cpp" "src/simulink/CMakeFiles/uhcg_simulink.dir/caam.cpp.o" "gcc" "src/simulink/CMakeFiles/uhcg_simulink.dir/caam.cpp.o.d"
+  "/root/repo/src/simulink/dot.cpp" "src/simulink/CMakeFiles/uhcg_simulink.dir/dot.cpp.o" "gcc" "src/simulink/CMakeFiles/uhcg_simulink.dir/dot.cpp.o.d"
+  "/root/repo/src/simulink/generic.cpp" "src/simulink/CMakeFiles/uhcg_simulink.dir/generic.cpp.o" "gcc" "src/simulink/CMakeFiles/uhcg_simulink.dir/generic.cpp.o.d"
+  "/root/repo/src/simulink/library.cpp" "src/simulink/CMakeFiles/uhcg_simulink.dir/library.cpp.o" "gcc" "src/simulink/CMakeFiles/uhcg_simulink.dir/library.cpp.o.d"
+  "/root/repo/src/simulink/mdl_parser.cpp" "src/simulink/CMakeFiles/uhcg_simulink.dir/mdl_parser.cpp.o" "gcc" "src/simulink/CMakeFiles/uhcg_simulink.dir/mdl_parser.cpp.o.d"
+  "/root/repo/src/simulink/mdl_writer.cpp" "src/simulink/CMakeFiles/uhcg_simulink.dir/mdl_writer.cpp.o" "gcc" "src/simulink/CMakeFiles/uhcg_simulink.dir/mdl_writer.cpp.o.d"
+  "/root/repo/src/simulink/model.cpp" "src/simulink/CMakeFiles/uhcg_simulink.dir/model.cpp.o" "gcc" "src/simulink/CMakeFiles/uhcg_simulink.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/uhcg_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/uhcg_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

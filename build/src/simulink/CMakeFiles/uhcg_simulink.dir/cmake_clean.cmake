@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhcg_simulink.dir/caam.cpp.o"
+  "CMakeFiles/uhcg_simulink.dir/caam.cpp.o.d"
+  "CMakeFiles/uhcg_simulink.dir/dot.cpp.o"
+  "CMakeFiles/uhcg_simulink.dir/dot.cpp.o.d"
+  "CMakeFiles/uhcg_simulink.dir/generic.cpp.o"
+  "CMakeFiles/uhcg_simulink.dir/generic.cpp.o.d"
+  "CMakeFiles/uhcg_simulink.dir/library.cpp.o"
+  "CMakeFiles/uhcg_simulink.dir/library.cpp.o.d"
+  "CMakeFiles/uhcg_simulink.dir/mdl_parser.cpp.o"
+  "CMakeFiles/uhcg_simulink.dir/mdl_parser.cpp.o.d"
+  "CMakeFiles/uhcg_simulink.dir/mdl_writer.cpp.o"
+  "CMakeFiles/uhcg_simulink.dir/mdl_writer.cpp.o.d"
+  "CMakeFiles/uhcg_simulink.dir/model.cpp.o"
+  "CMakeFiles/uhcg_simulink.dir/model.cpp.o.d"
+  "libuhcg_simulink.a"
+  "libuhcg_simulink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhcg_simulink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

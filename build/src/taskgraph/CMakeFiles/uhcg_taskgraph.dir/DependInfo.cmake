@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taskgraph/baselines.cpp" "src/taskgraph/CMakeFiles/uhcg_taskgraph.dir/baselines.cpp.o" "gcc" "src/taskgraph/CMakeFiles/uhcg_taskgraph.dir/baselines.cpp.o.d"
+  "/root/repo/src/taskgraph/clustering.cpp" "src/taskgraph/CMakeFiles/uhcg_taskgraph.dir/clustering.cpp.o" "gcc" "src/taskgraph/CMakeFiles/uhcg_taskgraph.dir/clustering.cpp.o.d"
+  "/root/repo/src/taskgraph/dot.cpp" "src/taskgraph/CMakeFiles/uhcg_taskgraph.dir/dot.cpp.o" "gcc" "src/taskgraph/CMakeFiles/uhcg_taskgraph.dir/dot.cpp.o.d"
+  "/root/repo/src/taskgraph/dsc.cpp" "src/taskgraph/CMakeFiles/uhcg_taskgraph.dir/dsc.cpp.o" "gcc" "src/taskgraph/CMakeFiles/uhcg_taskgraph.dir/dsc.cpp.o.d"
+  "/root/repo/src/taskgraph/generate.cpp" "src/taskgraph/CMakeFiles/uhcg_taskgraph.dir/generate.cpp.o" "gcc" "src/taskgraph/CMakeFiles/uhcg_taskgraph.dir/generate.cpp.o.d"
+  "/root/repo/src/taskgraph/graph.cpp" "src/taskgraph/CMakeFiles/uhcg_taskgraph.dir/graph.cpp.o" "gcc" "src/taskgraph/CMakeFiles/uhcg_taskgraph.dir/graph.cpp.o.d"
+  "/root/repo/src/taskgraph/linear.cpp" "src/taskgraph/CMakeFiles/uhcg_taskgraph.dir/linear.cpp.o" "gcc" "src/taskgraph/CMakeFiles/uhcg_taskgraph.dir/linear.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhcg_taskgraph.dir/baselines.cpp.o"
+  "CMakeFiles/uhcg_taskgraph.dir/baselines.cpp.o.d"
+  "CMakeFiles/uhcg_taskgraph.dir/clustering.cpp.o"
+  "CMakeFiles/uhcg_taskgraph.dir/clustering.cpp.o.d"
+  "CMakeFiles/uhcg_taskgraph.dir/dot.cpp.o"
+  "CMakeFiles/uhcg_taskgraph.dir/dot.cpp.o.d"
+  "CMakeFiles/uhcg_taskgraph.dir/dsc.cpp.o"
+  "CMakeFiles/uhcg_taskgraph.dir/dsc.cpp.o.d"
+  "CMakeFiles/uhcg_taskgraph.dir/generate.cpp.o"
+  "CMakeFiles/uhcg_taskgraph.dir/generate.cpp.o.d"
+  "CMakeFiles/uhcg_taskgraph.dir/graph.cpp.o"
+  "CMakeFiles/uhcg_taskgraph.dir/graph.cpp.o.d"
+  "CMakeFiles/uhcg_taskgraph.dir/linear.cpp.o"
+  "CMakeFiles/uhcg_taskgraph.dir/linear.cpp.o.d"
+  "libuhcg_taskgraph.a"
+  "libuhcg_taskgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhcg_taskgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

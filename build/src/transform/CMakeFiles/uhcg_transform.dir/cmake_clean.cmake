@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhcg_transform.dir/engine.cpp.o"
+  "CMakeFiles/uhcg_transform.dir/engine.cpp.o.d"
+  "CMakeFiles/uhcg_transform.dir/text.cpp.o"
+  "CMakeFiles/uhcg_transform.dir/text.cpp.o.d"
+  "libuhcg_transform.a"
+  "libuhcg_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhcg_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

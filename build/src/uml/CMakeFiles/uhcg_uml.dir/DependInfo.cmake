@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uml/activity.cpp" "src/uml/CMakeFiles/uhcg_uml.dir/activity.cpp.o" "gcc" "src/uml/CMakeFiles/uhcg_uml.dir/activity.cpp.o.d"
+  "/root/repo/src/uml/builder.cpp" "src/uml/CMakeFiles/uhcg_uml.dir/builder.cpp.o" "gcc" "src/uml/CMakeFiles/uhcg_uml.dir/builder.cpp.o.d"
+  "/root/repo/src/uml/generic.cpp" "src/uml/CMakeFiles/uhcg_uml.dir/generic.cpp.o" "gcc" "src/uml/CMakeFiles/uhcg_uml.dir/generic.cpp.o.d"
+  "/root/repo/src/uml/model.cpp" "src/uml/CMakeFiles/uhcg_uml.dir/model.cpp.o" "gcc" "src/uml/CMakeFiles/uhcg_uml.dir/model.cpp.o.d"
+  "/root/repo/src/uml/statemachine.cpp" "src/uml/CMakeFiles/uhcg_uml.dir/statemachine.cpp.o" "gcc" "src/uml/CMakeFiles/uhcg_uml.dir/statemachine.cpp.o.d"
+  "/root/repo/src/uml/wellformed.cpp" "src/uml/CMakeFiles/uhcg_uml.dir/wellformed.cpp.o" "gcc" "src/uml/CMakeFiles/uhcg_uml.dir/wellformed.cpp.o.d"
+  "/root/repo/src/uml/xmi.cpp" "src/uml/CMakeFiles/uhcg_uml.dir/xmi.cpp.o" "gcc" "src/uml/CMakeFiles/uhcg_uml.dir/xmi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/uhcg_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/uhcg_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

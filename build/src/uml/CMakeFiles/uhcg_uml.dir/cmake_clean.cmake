@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhcg_uml.dir/activity.cpp.o"
+  "CMakeFiles/uhcg_uml.dir/activity.cpp.o.d"
+  "CMakeFiles/uhcg_uml.dir/builder.cpp.o"
+  "CMakeFiles/uhcg_uml.dir/builder.cpp.o.d"
+  "CMakeFiles/uhcg_uml.dir/generic.cpp.o"
+  "CMakeFiles/uhcg_uml.dir/generic.cpp.o.d"
+  "CMakeFiles/uhcg_uml.dir/model.cpp.o"
+  "CMakeFiles/uhcg_uml.dir/model.cpp.o.d"
+  "CMakeFiles/uhcg_uml.dir/statemachine.cpp.o"
+  "CMakeFiles/uhcg_uml.dir/statemachine.cpp.o.d"
+  "CMakeFiles/uhcg_uml.dir/wellformed.cpp.o"
+  "CMakeFiles/uhcg_uml.dir/wellformed.cpp.o.d"
+  "CMakeFiles/uhcg_uml.dir/xmi.cpp.o"
+  "CMakeFiles/uhcg_uml.dir/xmi.cpp.o.d"
+  "libuhcg_uml.a"
+  "libuhcg_uml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhcg_uml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

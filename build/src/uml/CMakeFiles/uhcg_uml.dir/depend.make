@@ -1,0 +1,2 @@
+# Empty dependencies file for uhcg_uml.
+# This may be replaced when dependencies are built.

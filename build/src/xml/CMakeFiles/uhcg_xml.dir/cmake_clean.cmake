@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhcg_xml.dir/dom.cpp.o"
+  "CMakeFiles/uhcg_xml.dir/dom.cpp.o.d"
+  "CMakeFiles/uhcg_xml.dir/parser.cpp.o"
+  "CMakeFiles/uhcg_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/uhcg_xml.dir/path.cpp.o"
+  "CMakeFiles/uhcg_xml.dir/path.cpp.o.d"
+  "CMakeFiles/uhcg_xml.dir/writer.cpp.o"
+  "CMakeFiles/uhcg_xml.dir/writer.cpp.o.d"
+  "libuhcg_xml.a"
+  "libuhcg_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhcg_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

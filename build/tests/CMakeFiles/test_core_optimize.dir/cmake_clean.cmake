@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_optimize.dir/test_core_optimize.cpp.o"
+  "CMakeFiles/test_core_optimize.dir/test_core_optimize.cpp.o.d"
+  "test_core_optimize"
+  "test_core_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

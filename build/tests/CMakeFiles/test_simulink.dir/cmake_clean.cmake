@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulink.dir/test_simulink.cpp.o"
+  "CMakeFiles/test_simulink.dir/test_simulink.cpp.o.d"
+  "test_simulink"
+  "test_simulink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

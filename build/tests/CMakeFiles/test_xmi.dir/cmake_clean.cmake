@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xmi.dir/test_xmi.cpp.o"
+  "CMakeFiles/test_xmi.dir/test_xmi.cpp.o.d"
+  "test_xmi"
+  "test_xmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

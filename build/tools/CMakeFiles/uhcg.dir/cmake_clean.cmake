@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhcg.dir/uhcg.cpp.o"
+  "CMakeFiles/uhcg.dir/uhcg.cpp.o.d"
+  "uhcg"
+  "uhcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhcg_export_cases.dir/export_cases.cpp.o"
+  "CMakeFiles/uhcg_export_cases.dir/export_cases.cpp.o.d"
+  "uhcg_export_cases"
+  "uhcg_export_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhcg_export_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

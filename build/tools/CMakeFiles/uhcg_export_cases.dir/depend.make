@@ -1,0 +1,2 @@
+# Empty dependencies file for uhcg_export_cases.
+# This may be replaced when dependencies are built.
