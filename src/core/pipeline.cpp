@@ -2,11 +2,92 @@
 
 #include <stdexcept>
 
+#include "simulink/caam.hpp"
 #include "simulink/generic.hpp"
 #include "simulink/mdl.hpp"
 #include "uml/wellformed.hpp"
 
 namespace uhcg::core {
+
+std::optional<simulink::Model> map_to_caam(const uml::Model& model,
+                                           const MapperOptions& options,
+                                           diag::DiagnosticEngine& engine,
+                                           MapperReport* report) {
+    MapperReport local;
+    MapperReport& r = report ? *report : local;
+
+    // Gate: the conventions of §4.1 must hold or the mapping mis-wires.
+    // All issues are collected before deciding whether to abort, so a model
+    // with three independent defects yields three diagnostics in one run.
+    auto issues = uml::check(model);
+    for (const uml::Issue& i : issues) {
+        std::string code = "uml.";
+        code += (i.rule && i.rule[0]) ? i.rule : "wellformed";
+        engine.report(i.severity == uml::Severity::Error ? diag::Severity::Error
+                                                         : diag::Severity::Warning,
+                      std::move(code), "[" + i.where + "] " + i.message);
+        if (i.severity == uml::Severity::Warning)
+            r.warnings.push_back("uml: [" + i.where + "] " + i.message);
+    }
+    if (options.enforce_wellformedness && !uml::only_warnings(issues))
+        return std::nullopt;
+
+    try {
+        // Analyses feeding the mapping.
+        CommModel comm = analyze_communication(model);
+        r.allocation = options.auto_allocate
+                           ? auto_allocate(model, comm, options.max_processors)
+                           : allocation_from_deployment(model);
+
+        // Step 2: model-to-model transformation.
+        MappingOutput mapped = run_mapping(model, comm, r.allocation);
+        r.rule_stats = mapped.stats;
+        for (const std::string& w : mapped.warnings)
+            engine.warning(diag::codes::kMapRule, w);
+        r.warnings.insert(r.warnings.end(), mapped.warnings.begin(),
+                          mapped.warnings.end());
+
+        // Lift the generic CAAM into the typed API for optimization.
+        simulink::Model caam = simulink::from_generic(mapped.caam);
+
+        // Step 3: optimizations.
+        if (options.infer_channels) {
+            r.channels = infer_channels(caam, comm);
+            for (const std::string& w : r.channels.warnings)
+                engine.warning(diag::codes::kMapChannels, w);
+            r.warnings.insert(r.warnings.end(), r.channels.warnings.begin(),
+                              r.channels.warnings.end());
+        }
+        if (options.insert_delays) r.delays = insert_temporal_barriers(caam);
+
+        // Conformance of the produced CAAM before handing it onward.
+        for (const std::string& p : simulink::validate_caam(caam))
+            engine.error(diag::codes::kCaamInvalid, p);
+        if (engine.has_errors() && options.enforce_wellformedness)
+            return std::nullopt;
+        return caam;
+    } catch (const std::exception& e) {
+        // A mapping stage gave up on a structure the checks above let
+        // through — degrade to a diagnostic so the driver reports instead
+        // of crashing.
+        engine.report(diag::Severity::Fatal, diag::codes::kMapInternal, e.what());
+        return std::nullopt;
+    }
+}
+
+std::optional<std::string> generate_mdl(const uml::Model& model,
+                                        const MapperOptions& options,
+                                        diag::DiagnosticEngine& engine,
+                                        MapperReport* report) {
+    auto caam = map_to_caam(model, options, engine, report);
+    if (!caam) return std::nullopt;
+    try {
+        return simulink::write_mdl(*caam);  // step 4: model-to-text
+    } catch (const std::exception& e) {
+        engine.report(diag::Severity::Fatal, diag::codes::kMapInternal, e.what());
+        return std::nullopt;
+    }
+}
 
 simulink::Model map_to_caam(const uml::Model& model, const MapperOptions& options,
                             MapperReport* report) {

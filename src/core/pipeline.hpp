@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "diag/diag.hpp"
 #include "core/allocation.hpp"
 #include "core/comm.hpp"
 #include "core/delays.hpp"
@@ -61,5 +62,21 @@ simulink::Model map_to_caam(const uml::Model& model,
 std::string generate_mdl(const uml::Model& model,
                          const MapperOptions& options = {},
                          MapperReport* report = nullptr);
+
+/// Diagnostic-engine variants: every issue any stage finds (§4.1
+/// well-formedness, mapping-rule warnings, channel inference, CAAM
+/// validation) is reported through `engine`; the run aborts — returning
+/// nullopt — only when a diagnostic of severity >= Error was recorded and
+/// options.enforce_wellformedness is set. They never throw on bad models,
+/// so a driver can surface *all* problems from one pass.
+std::optional<simulink::Model> map_to_caam(const uml::Model& model,
+                                           const MapperOptions& options,
+                                           diag::DiagnosticEngine& engine,
+                                           MapperReport* report = nullptr);
+
+std::optional<std::string> generate_mdl(const uml::Model& model,
+                                        const MapperOptions& options,
+                                        diag::DiagnosticEngine& engine,
+                                        MapperReport* report = nullptr);
 
 }  // namespace uhcg::core

@@ -1,0 +1,200 @@
+#include "diag/diag.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace uhcg::diag {
+
+std::string_view to_string(Severity s) {
+    switch (s) {
+        case Severity::Note: return "note";
+        case Severity::Warning: return "warning";
+        case Severity::Error: return "error";
+        case Severity::Fatal: return "fatal error";
+    }
+    return "error";
+}
+
+namespace {
+
+std::string dedup_key(const Diagnostic& d) {
+    std::ostringstream key;
+    key << static_cast<int>(d.severity) << '\x1f' << d.code << '\x1f'
+        << d.message << '\x1f' << d.location.file << '\x1f' << d.location.line
+        << '\x1f' << d.location.column;
+    return key.str();
+}
+
+/// Extracts line `line` (1-based) of `text`, without the terminator.
+std::string source_line(const std::string& text, std::size_t line) {
+    std::size_t start = 0;
+    for (std::size_t l = 1; l < line; ++l) {
+        start = text.find('\n', start);
+        if (start == std::string::npos) return {};
+        ++start;
+    }
+    std::size_t end = text.find('\n', start);
+    std::string out = text.substr(start, end == std::string::npos ? std::string::npos
+                                                                  : end - start);
+    if (!out.empty() && out.back() == '\r') out.pop_back();
+    return out;
+}
+
+}  // namespace
+
+void DiagnosticEngine::report(Diagnostic d) {
+    if (!seen_.insert(dedup_key(d)).second) return;
+    if (d.severity == Severity::Error || d.severity == Severity::Fatal) ++errors_;
+    if (d.severity == Severity::Warning) ++warnings_;
+    diags_.push_back(std::move(d));
+}
+
+void DiagnosticEngine::report(Severity severity, std::string code,
+                              std::string message, SourceLocation location,
+                              std::vector<std::string> notes) {
+    report(Diagnostic{severity, std::move(code), std::move(message),
+                      std::move(location), std::move(notes)});
+}
+
+void DiagnosticEngine::error(std::string code, std::string message,
+                             SourceLocation location) {
+    report(Severity::Error, std::move(code), std::move(message), std::move(location));
+}
+
+void DiagnosticEngine::warning(std::string code, std::string message,
+                               SourceLocation location) {
+    report(Severity::Warning, std::move(code), std::move(message),
+           std::move(location));
+}
+
+void DiagnosticEngine::note(std::string code, std::string message,
+                            SourceLocation location) {
+    report(Severity::Note, std::move(code), std::move(message), std::move(location));
+}
+
+std::vector<const Diagnostic*> DiagnosticEngine::sorted() const {
+    std::vector<const Diagnostic*> out;
+    out.reserve(diags_.size());
+    for (const Diagnostic& d : diags_) out.push_back(&d);
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Diagnostic* a, const Diagnostic* b) {
+                         if (a->location.file != b->location.file)
+                             return a->location.file < b->location.file;
+                         if (a->location.line != b->location.line)
+                             return a->location.line < b->location.line;
+                         if (a->location.column != b->location.column)
+                             return a->location.column < b->location.column;
+                         if (a->severity != b->severity)
+                             return a->severity > b->severity;  // errors first
+                         return a->code < b->code;
+                     });
+    return out;
+}
+
+std::size_t DiagnosticEngine::count_code(std::string_view code) const {
+    std::size_t n = 0;
+    for (const Diagnostic& d : diags_)
+        if (d.code == code) ++n;
+    return n;
+}
+
+void DiagnosticEngine::register_source(std::string file, std::string text) {
+    sources_[std::move(file)] = std::move(text);
+}
+
+std::string DiagnosticEngine::render_text() const {
+    std::ostringstream out;
+    for (const Diagnostic* d : sorted()) {
+        if (!d->location.file.empty()) out << d->location.file << ':';
+        if (d->location.known())
+            out << d->location.line << ':' << d->location.column << ':';
+        if (!d->location.file.empty() || d->location.known()) out << ' ';
+        out << to_string(d->severity) << ": " << d->message << " [" << d->code
+            << "]\n";
+        // Caret snippet when we hold the source text of the file.
+        auto src = sources_.find(d->location.file);
+        if (d->location.known() && src != sources_.end()) {
+            std::string text = source_line(src->second, d->location.line);
+            if (!text.empty()) {
+                std::ostringstream gutter;
+                gutter << ' ' << d->location.line << " | ";
+                out << gutter.str() << text << '\n';
+                std::string pad(gutter.str().size() - 2, ' ');
+                std::string lead;
+                for (std::size_t i = 0; i + 1 < d->location.column && i < text.size();
+                     ++i)
+                    lead += (text[i] == '\t') ? '\t' : ' ';
+                out << pad << "| " << lead << "^\n";
+            }
+        }
+        for (const std::string& n : d->notes) out << "    note: " << n << '\n';
+    }
+    if (errors_ > 0 || warnings_ > 0) {
+        out << errors_ << " error(s), " << warnings_ << " warning(s) generated\n";
+    }
+    return out.str();
+}
+
+std::string json_escape(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(c) & 0xff);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string DiagnosticEngine::render_json() const {
+    std::ostringstream out;
+    out << "{\"errors\": " << errors_ << ", \"warnings\": " << warnings_
+        << ", \"diagnostics\": [";
+    bool first = true;
+    for (const Diagnostic* d : sorted()) {
+        if (!first) out << ", ";
+        first = false;
+        out << "{\"severity\": \"" << to_string(d->severity) << "\", \"code\": \""
+            << json_escape(d->code) << "\", \"message\": \""
+            << json_escape(d->message) << "\"";
+        if (!d->location.file.empty())
+            out << ", \"file\": \"" << json_escape(d->location.file) << "\"";
+        if (d->location.known())
+            out << ", \"line\": " << d->location.line
+                << ", \"column\": " << d->location.column;
+        if (!d->notes.empty()) {
+            out << ", \"notes\": [";
+            for (std::size_t i = 0; i < d->notes.size(); ++i) {
+                if (i) out << ", ";
+                out << '"' << json_escape(d->notes[i]) << '"';
+            }
+            out << ']';
+        }
+        out << '}';
+    }
+    out << "]}";
+    return out.str();
+}
+
+void DiagnosticEngine::clear() {
+    diags_.clear();
+    seen_.clear();
+    errors_ = 0;
+    warnings_ = 0;
+}
+
+}  // namespace uhcg::diag

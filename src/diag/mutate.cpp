@@ -1,0 +1,198 @@
+#include "diag/mutate.hpp"
+
+#include <utility>
+
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace uhcg::diag {
+namespace {
+
+/// Deterministic 64-bit LCG (MMIX constants). Not Date/random-seeded:
+/// mutants must be reproducible from the plan alone.
+struct Rng {
+    std::uint64_t state;
+    std::uint64_t next() {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return state >> 33;
+    }
+    std::size_t below(std::size_t n) { return n ? next() % n : 0; }
+};
+
+/// Attributes that cross-reference another element's xmi:id.
+bool is_reference_attr(const std::string& name) {
+    static const char* kRefs[] = {
+        "classifier",     "represents",     "sendLifeline", "receiveLifeline",
+        "source",         "target",         "node",         "location",
+        "deployedArtifact", "initial",      "performer",    "annotatedElement",
+        "base_InstanceSpecification",       "base_Node"};
+    for (const char* r : kRefs)
+        if (name == r) return true;
+    return false;
+}
+
+bool is_numeric_attr(const std::string& name) {
+    return name == "dataSize" || name == "direction" || name == "isActive";
+}
+
+void collect(xml::Element& e, xml::Element* parent,
+             std::vector<std::pair<xml::Element*, xml::Element*>>& out) {
+    out.emplace_back(&e, parent);
+    for (xml::Node& n : e.children())
+        if (n.kind() == xml::NodeKind::Element) collect(n.element(), &e, out);
+}
+
+std::unique_ptr<xml::Element> clone(const xml::Element& e) {
+    auto out = std::make_unique<xml::Element>(e.name());
+    for (const xml::Attribute& a : e.attributes()) out->set_attribute(a.name, a.value);
+    for (const xml::Node& n : e.children())
+        if (n.kind() == xml::NodeKind::Element)
+            out->add_child(clone(n.element()));
+    return out;
+}
+
+}  // namespace
+
+std::string_view to_string(MutationKind kind) {
+    switch (kind) {
+        case MutationKind::Truncate: return "truncate";
+        case MutationKind::TagSwap: return "tag-swap";
+        case MutationKind::AttributeDrop: return "attribute-drop";
+        case MutationKind::ReferenceDangle: return "reference-dangle";
+        case MutationKind::ValueGarble: return "value-garble";
+        case MutationKind::DuplicateId: return "duplicate-id";
+        case MutationKind::CycleInject: return "cycle-inject";
+    }
+    return "unknown";
+}
+
+std::vector<Mutation> plan_mutations(std::size_t count, std::uint64_t seed) {
+    static const MutationKind kKinds[] = {
+        MutationKind::Truncate,        MutationKind::TagSwap,
+        MutationKind::AttributeDrop,   MutationKind::ReferenceDangle,
+        MutationKind::ValueGarble,     MutationKind::DuplicateId,
+        MutationKind::CycleInject};
+    Rng rng{seed * 2654435761ULL + 1};
+    std::vector<Mutation> plan;
+    plan.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        plan.push_back({kKinds[i % std::size(kKinds)], rng.next(), {}});
+    return plan;
+}
+
+std::string apply_mutation(const std::string& xmi_text, Mutation& m) {
+    Rng rng{m.seed | 1};
+
+    if (m.kind == MutationKind::Truncate) {
+        // Keep at least a prefix so the parser gets past the declaration.
+        std::size_t keep = 10 + rng.below(xmi_text.size() > 10 ? xmi_text.size() - 10
+                                                               : 1);
+        m.description = "truncate to " + std::to_string(keep) + " bytes";
+        return xmi_text.substr(0, keep);
+    }
+
+    // Structural mutations operate on the DOM and re-serialize.
+    xml::Document doc;
+    try {
+        doc = xml::parse(xmi_text);
+    } catch (const std::exception&) {
+        m.description = "input unparsable; returned unchanged";
+        return xmi_text;
+    }
+    std::vector<std::pair<xml::Element*, xml::Element*>> elems;
+    collect(doc.root(), nullptr, elems);
+
+    auto untouched = [&] {
+        m.description = std::string(to_string(m.kind)) + ": no applicable site";
+        return xml::write(doc);
+    };
+
+    switch (m.kind) {
+        case MutationKind::TagSwap: {
+            static const char* kTags[] = {"lifeline", "message",  "subvertex",
+                                          "transition", "end",    "ownedOperation",
+                                          "packagedElement"};
+            auto& [e, parent] = elems[rng.below(elems.size())];
+            (void)parent;
+            std::string tag = kTags[rng.below(std::size(kTags))];
+            if (tag == e->name()) tag = "mutatedElement";
+            m.description = "rename <" + e->name() + "> to <" + tag + ">";
+            e->set_name(tag);
+            break;
+        }
+        case MutationKind::AttributeDrop: {
+            std::vector<xml::Element*> with_attrs;
+            for (auto& [e, parent] : elems)
+                if (!e->attributes().empty()) with_attrs.push_back(e);
+            if (with_attrs.empty()) return untouched();
+            xml::Element* e = with_attrs[rng.below(with_attrs.size())];
+            const xml::Attribute& a =
+                e->attributes()[rng.below(e->attributes().size())];
+            m.description = "drop " + a.name + " from <" + e->name() + ">";
+            e->remove_attribute(a.name);
+            break;
+        }
+        case MutationKind::ReferenceDangle: {
+            std::vector<std::pair<xml::Element*, std::string>> refs;
+            for (auto& [e, parent] : elems)
+                for (const xml::Attribute& a : e->attributes())
+                    if (is_reference_attr(a.name)) refs.emplace_back(e, a.name);
+            if (refs.empty()) return untouched();
+            auto& [e, attr] = refs[rng.below(refs.size())];
+            m.description = "dangle " + attr + " on <" + e->name() + ">";
+            e->set_attribute(attr, "zz.dangling." + std::to_string(rng.below(1000)));
+            break;
+        }
+        case MutationKind::ValueGarble: {
+            std::vector<std::pair<xml::Element*, std::string>> vals;
+            for (auto& [e, parent] : elems)
+                for (const xml::Attribute& a : e->attributes())
+                    if (is_numeric_attr(a.name)) vals.emplace_back(e, a.name);
+            if (vals.empty()) return untouched();
+            auto& [e, attr] = vals[rng.below(vals.size())];
+            m.description = "garble " + attr + " on <" + e->name() + ">";
+            e->set_attribute(attr, "!!not-a-value!!");
+            break;
+        }
+        case MutationKind::DuplicateId: {
+            std::vector<xml::Element*> with_id;
+            for (auto& [e, parent] : elems)
+                if (e->has_attribute("xmi:id")) with_id.push_back(e);
+            if (with_id.size() < 2) return untouched();
+            xml::Element* a = with_id[rng.below(with_id.size())];
+            xml::Element* b = with_id[rng.below(with_id.size())];
+            if (a == b) b = with_id[(rng.below(with_id.size() - 1) + 1) % with_id.size()];
+            if (a == b) return untouched();
+            m.description = "copy xmi:id '" + *a->find_attribute("xmi:id") +
+                            "' onto <" + b->name() + ">";
+            b->set_attribute("xmi:id", *a->find_attribute("xmi:id"));
+            break;
+        }
+        case MutationKind::CycleInject: {
+            std::vector<std::pair<xml::Element*, xml::Element*>> messages;
+            for (auto& [e, parent] : elems)
+                if (e->name() == "message" && parent) messages.emplace_back(e, parent);
+            if (messages.empty()) return untouched();
+            auto& [msg, parent] = messages[rng.below(messages.size())];
+            auto rev = clone(*msg);
+            const std::string* send = msg->find_attribute("sendLifeline");
+            const std::string* recv = msg->find_attribute("receiveLifeline");
+            if (send && recv) {
+                rev->set_attribute("sendLifeline", *recv);
+                rev->set_attribute("receiveLifeline", *send);
+            }
+            rev->set_attribute("xmi:id",
+                               "msg.injected." + std::to_string(rng.below(1000)));
+            m.description = "inject reversed copy of message '" +
+                            msg->attribute_or("name", "?") + "'";
+            parent->add_child(std::move(rev));
+            break;
+        }
+        case MutationKind::Truncate:
+            break;  // handled above
+    }
+    return xml::write(doc);
+}
+
+}  // namespace uhcg::diag

@@ -1,0 +1,46 @@
+// mutate.hpp — deterministic XMI fault injection.
+//
+// Generates corrupted variants of a (valid) XMI document: byte-level
+// truncation plus DOM-level structural damage (tag swaps, dropped
+// attributes, dangling references, garbled values, duplicated ids,
+// injected feedback cycles). Both the `uhcg fuzz-xmi` subcommand and the
+// tests/fault_injection harness drive the same planner, so a corpus is
+// reproducible from (input, seed, count) alone — no corpus files to ship.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uhcg::diag {
+
+enum class MutationKind {
+    Truncate,         // cut the text mid-document
+    TagSwap,          // rename an element to a different (known) tag
+    AttributeDrop,    // delete one attribute
+    ReferenceDangle,  // point a cross-reference at a nonexistent id
+    ValueGarble,      // replace a numeric attribute value with junk
+    DuplicateId,      // give one element another element's xmi:id
+    CycleInject,      // duplicate a message with reversed endpoints
+};
+
+std::string_view to_string(MutationKind kind);
+
+/// One planned corruption. `seed_index` feeds the deterministic PRNG so
+/// the same plan always yields the same mutant text.
+struct Mutation {
+    MutationKind kind;
+    std::uint64_t seed;
+    std::string description;  // filled in by apply()
+};
+
+/// Plans `count` mutations cycling through all kinds, derived from `seed`.
+std::vector<Mutation> plan_mutations(std::size_t count, std::uint64_t seed);
+
+/// Applies one mutation to the XMI text, returning the corrupted document
+/// and filling `m.description` with what was damaged. Returns the input
+/// unchanged (with a description saying so) when the mutation found no
+/// applicable site — callers still get a terminating pipeline run.
+std::string apply_mutation(const std::string& xmi_text, Mutation& m);
+
+}  // namespace uhcg::diag

@@ -26,7 +26,8 @@ std::size_t KernelRegistry::state_size(const std::string& name) const {
     return it == entries_.end() ? 0 : it->second.state_size;
 }
 
-ReadBlockedError::ReadBlockedError(std::vector<std::string> blocked)
+ReadBlockedError::ReadBlockedError(std::vector<std::string> blocked,
+                                   std::vector<ChannelState> channels)
     : std::runtime_error([&blocked] {
           std::ostringstream msg;
           msg << "KPN read-blocked — no process can fire; blocked:";
@@ -34,13 +35,20 @@ ReadBlockedError::ReadBlockedError(std::vector<std::string> blocked)
           msg << " (cyclic network without initial tokens?)";
           return msg.str();
       }()),
-      blocked_(std::move(blocked)) {}
+      blocked_(std::move(blocked)),
+      channels_(std::move(channels)) {}
 
 Executor::Executor(const Network& network, const KernelRegistry& registry)
     : network_(&network), registry_(&registry) {
     auto problems = network.check();
-    if (!problems.empty())
-        throw std::runtime_error("malformed KPN: " + problems.front());
+    if (!problems.empty()) {
+        // Report every problem, not just the first: a malformed network
+        // usually has several, and refixing one per run wastes cycles.
+        std::ostringstream msg;
+        msg << "malformed KPN (" << problems.size() << " problem(s)):";
+        for (const auto& p : problems) msg << "\n  " << p;
+        throw std::runtime_error(msg.str());
+    }
     for (const Process* p : network.processes())
         if (!registry.contains(p->kernel()))
             throw std::runtime_error("process '" + p->name() +
@@ -54,6 +62,16 @@ void Executor::set_input(const std::string& var,
 }
 
 KpnResult Executor::run(std::size_t rounds) {
+    return run_impl(rounds, nullptr, {});
+}
+
+KpnResult Executor::run(std::size_t rounds, diag::DiagnosticEngine& engine,
+                        const WatchdogBudget& budget) {
+    return run_impl(rounds, &engine, budget);
+}
+
+KpnResult Executor::run_impl(std::size_t rounds, diag::DiagnosticEngine* engine,
+                             const WatchdogBudget& budget) {
     const auto processes = network_->processes();
     const auto& channels = network_->channels();
 
@@ -95,6 +113,14 @@ KpnResult Executor::run(std::size_t rounds) {
     auto track_depth = [&] {
         for (const auto& q : queues)
             result.max_queue_depth = std::max(result.max_queue_depth, q.size());
+    };
+    auto snapshot_channels = [&] {
+        std::vector<ChannelState> states;
+        states.reserve(channels.size());
+        for (std::size_t c = 0; c < channels.size(); ++c)
+            states.push_back({channels[c].variable, channels[c].producer->name(),
+                              channels[c].consumer->name(), queues[c].size()});
+        return states;
     };
 
     for (std::size_t round = 0; round < rounds; ++round) {
@@ -150,12 +176,52 @@ KpnResult Executor::run(std::size_t rounds) {
                 ++result.firings;
                 progress = true;
                 track_depth();
+                if (budget.max_firings && result.firings >= budget.max_firings &&
+                    engine) {
+                    // Livelock watchdog: the budget bounds total work even
+                    // if the schedule keeps finding fireable processes.
+                    result.budget_exhausted = true;
+                    result.channel_states = snapshot_channels();
+                    engine->report(
+                        diag::Severity::Error, diag::codes::kKpnWatchdog,
+                        "KPN execution exceeded the firing budget (" +
+                            std::to_string(budget.max_firings) +
+                            " firings) — stopping after round " +
+                            std::to_string(result.rounds),
+                        {}, {"network '" + network_->name() + "'"});
+                    return result;
+                }
             }
             if (!progress) {
                 std::vector<std::string> blocked;
                 for (std::size_t i = 0; i < processes.size(); ++i)
                     if (!fired[i]) blocked.push_back(processes[i]->name());
-                throw ReadBlockedError(std::move(blocked));
+                std::vector<ChannelState> states = snapshot_channels();
+                if (!engine) throw ReadBlockedError(std::move(blocked), std::move(states));
+                // Watchdogged mode: degrade to a structured diagnostic and
+                // hand back the partial result.
+                result.deadlocked = true;
+                result.blocked = blocked;
+                result.channel_states = states;
+                std::vector<std::string> notes;
+                {
+                    std::ostringstream b;
+                    b << "blocked process(es):";
+                    for (const auto& p : blocked) b << ' ' << p;
+                    notes.push_back(b.str());
+                }
+                for (const ChannelState& cs : states)
+                    notes.push_back("channel '" + cs.variable + "' (" +
+                                    cs.producer + " -> " + cs.consumer + "): " +
+                                    std::to_string(cs.tokens) + " token(s)");
+                notes.push_back("cyclic network without initial tokens?");
+                engine->report(diag::Severity::Error, diag::codes::kKpnReadBlocked,
+                               "KPN read-blocked in round " +
+                                   std::to_string(result.rounds + 1) + " — " +
+                                   std::to_string(blocked.size()) +
+                                   " process(es) cannot fire",
+                               {}, std::move(notes));
+                return result;
             }
         }
         ++result.rounds;

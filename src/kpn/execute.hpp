@@ -20,9 +20,18 @@
 #include <string>
 #include <vector>
 
+#include "diag/diag.hpp"
 #include "kpn/model.hpp"
 
 namespace uhcg::kpn {
+
+/// Snapshot of one channel at the moment execution stalled.
+struct ChannelState {
+    std::string variable;
+    std::string producer;
+    std::string consumer;
+    std::size_t tokens = 0;
+};
 
 /// Behaviour of one process: consumes one token per input, produces one
 /// per output. `state` persists across firings.
@@ -46,14 +55,26 @@ private:
     std::map<std::string, Entry> entries_;
 };
 
-/// Thrown when no process can fire and the round is incomplete.
+/// Thrown when no process can fire and the round is incomplete. Carries a
+/// structured payload — the blocked processes and every channel's fill
+/// level at the standstill — so drivers can print an actionable report
+/// instead of a flat string.
 class ReadBlockedError : public std::runtime_error {
 public:
-    explicit ReadBlockedError(std::vector<std::string> blocked);
+    explicit ReadBlockedError(std::vector<std::string> blocked,
+                              std::vector<ChannelState> channels = {});
     const std::vector<std::string>& blocked() const { return blocked_; }
+    const std::vector<ChannelState>& channels() const { return channels_; }
 
 private:
     std::vector<std::string> blocked_;
+    std::vector<ChannelState> channels_;
+};
+
+/// Iteration budget for watchdogged execution; 0 = unlimited.
+struct WatchdogBudget {
+    /// Kernel firings allowed across the whole run (livelock guard).
+    std::size_t max_firings = 0;
 };
 
 struct KpnResult {
@@ -65,6 +86,14 @@ struct KpnResult {
     std::map<std::string, std::size_t> channel_tokens;
     /// Largest queue depth observed on any channel (boundedness evidence).
     std::size_t max_queue_depth = 0;
+    /// Set by the watchdogged run(): execution stalled mid-round.
+    bool deadlocked = false;
+    /// Set by the watchdogged run(): the firing budget ran out.
+    bool budget_exhausted = false;
+    /// Processes that could not fire when the run stalled.
+    std::vector<std::string> blocked;
+    /// Channel fill levels when the run stalled.
+    std::vector<ChannelState> channel_states;
 };
 
 class Executor {
@@ -82,7 +111,17 @@ public:
     /// (dataflow order). Throws ReadBlockedError on startup deadlock.
     KpnResult run(std::size_t rounds);
 
+    /// Watchdogged run: never throws on deadlock or budget exhaustion.
+    /// Instead it reports a structured diagnostic (kpn.read-blocked /
+    /// kpn.watchdog, with blocked processes and channel fills as notes)
+    /// into `engine`, flags the result, and returns what executed so far.
+    KpnResult run(std::size_t rounds, diag::DiagnosticEngine& engine,
+                  const WatchdogBudget& budget = {});
+
 private:
+    KpnResult run_impl(std::size_t rounds, diag::DiagnosticEngine* engine,
+                       const WatchdogBudget& budget);
+
     const Network* network_;
     const KernelRegistry* registry_;
     std::map<std::string, std::function<double(std::size_t)>> inputs_;

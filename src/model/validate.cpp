@@ -37,6 +37,15 @@ std::vector<Diagnostic> validate(const ObjectModel& model) {
     return out;
 }
 
+bool validate(const ObjectModel& model, diag::DiagnosticEngine& engine) {
+    auto diagnostics = validate(model);
+    for (const Diagnostic& d : diagnostics)
+        engine.error(diag::codes::kModelConformance,
+                     d.object_id.empty() ? d.message
+                                         : "[" + d.object_id + "] " + d.message);
+    return diagnostics.empty();
+}
+
 void validate_or_throw(const ObjectModel& model) {
     auto diagnostics = validate(model);
     if (diagnostics.empty()) return;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "diag/diag.hpp"
 #include "model/object.hpp"
 
 namespace uhcg::model {
@@ -21,6 +22,11 @@ struct Diagnostic {
 /// values legal, required references populated, single-valued references
 /// not over-filled, containment forest acyclic. Returns all problems found.
 std::vector<Diagnostic> validate(const ObjectModel& model);
+
+/// Reports every conformance problem into `engine` (code
+/// "model.conformance", the object id in the message) and returns whether
+/// the model conforms.
+bool validate(const ObjectModel& model, diag::DiagnosticEngine& engine);
 
 /// Throws std::runtime_error listing every diagnostic if validation fails.
 void validate_or_throw(const ObjectModel& model);

@@ -32,14 +32,16 @@ std::size_t SFunctionRegistry::state_size(const std::string& name) const {
     return it == entries_.end() ? 0 : it->second.state_size;
 }
 
-DeadlockError::DeadlockError(std::vector<std::string> cycle)
+DeadlockError::DeadlockError(std::vector<std::string> cycle,
+                             std::vector<CycleEdge> edges)
     : std::runtime_error([&cycle] {
           std::ostringstream msg;
           msg << "combinational cycle — dataflow deadlock through:";
           for (const auto& b : cycle) msg << ' ' << b;
           return msg.str();
       }()),
-      cycle_(std::move(cycle)) {}
+      cycle_(std::move(cycle)),
+      edges_(std::move(edges)) {}
 
 namespace {
 
@@ -51,16 +53,40 @@ bool is_marker(const Block& b, const System& root) {
     return b.parent() != &root;
 }
 
-int port_number(const Block& b) {
-    return std::stoi(b.parameter_or("Port", "1"));
-}
-
 std::string full_path(const Block& b) {
     std::string path = b.name();
     for (const System* s = b.parent(); s && s->owner_block();
          s = s->owner_block()->parent())
         path = s->owner_block()->name() + "/" + path;
     return path;
+}
+
+/// Numeric block parameters parsed with context: a corrupt model file must
+/// name the block and parameter at fault, not die in a bare std::stod.
+double param_double(const Block& b, const char* name, const char* fallback) {
+    std::string v = b.parameter_or(name, fallback);
+    try {
+        std::size_t used = 0;
+        double parsed = std::stod(v, &used);
+        if (used != v.size()) throw std::invalid_argument(v);
+        return parsed;
+    } catch (const std::exception&) {
+        throw std::runtime_error("block '" + full_path(b) + "' parameter '" +
+                                 name + "' is not a number (got '" + v + "')");
+    }
+}
+
+int port_number(const Block& b) {
+    std::string v = b.parameter_or("Port", "1");
+    try {
+        std::size_t used = 0;
+        int parsed = std::stoi(v, &used);
+        if (used != v.size()) throw std::invalid_argument(v);
+        return parsed;
+    } catch (const std::exception&) {
+        throw std::runtime_error("block '" + full_path(b) +
+                                 "' has a non-numeric Port (got '" + v + "')");
+    }
 }
 
 }  // namespace
@@ -226,9 +252,21 @@ Simulator::Simulator(const simulink::Model& model,
     }
     if (order.size() != atomics.size()) {
         std::vector<std::string> cycle;
-        for (std::size_t i = 0; i < atomics.size(); ++i)
-            if (unmet[i] != 0) cycle.push_back(full_path(*atomics[i]));
-        throw DeadlockError(std::move(cycle));
+        std::vector<CycleEdge> edges;
+        for (std::size_t i = 0; i < atomics.size(); ++i) {
+            if (unmet[i] == 0) continue;
+            cycle.push_back(full_path(*atomics[i]));
+            // Edges among the stuck blocks show the actual loop.
+            for (int slot : pending[i].input_slots) {
+                if (slot < 0) continue;
+                const Block* driver = block_of_slot(slot);
+                if (!driver || driver->type() == BlockType::UnitDelay) continue;
+                auto di = index_of.find(driver);
+                if (di != index_of.end() && unmet[di->second] != 0)
+                    edges.push_back({full_path(*driver), full_path(*atomics[i])});
+            }
+        }
+        throw DeadlockError(std::move(cycle), std::move(edges));
     }
 
     // Pass 4: materialize schedule-ordered atomic records.
@@ -240,7 +278,7 @@ Simulator::Simulator(const simulink::Model& model,
         rec.input_slots = pending[i].input_slots;
         rec.first_output_slot = net.first_slot_of[b];
         if (b->type() == BlockType::UnitDelay) {
-            rec.state.assign(1, std::stod(b->parameter_or("InitialCondition", "0")));
+            rec.state.assign(1, param_double(*b, "InitialCondition", "0"));
             net.delay_indices.push_back(net.blocks.size());
         } else if (b->type() == BlockType::SFunction) {
             std::string fn = b->parameter_or("FunctionName", b->name());
@@ -258,6 +296,39 @@ Simulator::Simulator(const simulink::Model& model,
     }
 }
 
+std::optional<Simulator> Simulator::build(const simulink::Model& model,
+                                          const SFunctionRegistry& registry,
+                                          diag::DiagnosticEngine& engine) {
+    try {
+        return Simulator(model, registry);
+    } catch (const DeadlockError& e) {
+        std::vector<std::string> notes;
+        {
+            std::ostringstream b;
+            b << "blocked block(s):";
+            for (const auto& p : e.cycle()) b << ' ' << p;
+            notes.push_back(b.str());
+        }
+        for (const CycleEdge& edge : e.edges())
+            notes.push_back("combinational dependency: " + edge.from + " -> " +
+                            edge.to);
+        notes.push_back(
+            "insert a temporal barrier (UnitDelay) on the loop — §4.2.2");
+        engine.report(diag::Severity::Error, diag::codes::kSimDeadlock,
+                      "model '" + model.name() +
+                          "' has a combinational cycle through " +
+                          std::to_string(e.cycle().size()) +
+                          " block(s) — dataflow deadlock",
+                      {}, std::move(notes));
+        return std::nullopt;
+    } catch (const std::exception& e) {
+        engine.report(diag::Severity::Error, diag::codes::kSimStructure,
+                      std::string("model '") + model.name() +
+                          "' cannot be scheduled: " + e.what());
+        return std::nullopt;
+    }
+}
+
 void Simulator::set_input(const std::string& name, InputSignal signal) {
     inputs_[name] = std::move(signal);
 }
@@ -272,6 +343,31 @@ SimResult Simulator::run() {
     const double step = net_->model->fixed_step;
     auto steps = static_cast<std::size_t>(net_->model->stop_time / step);
     return run(std::max<std::size_t>(steps, 1));
+}
+
+SimResult Simulator::run(std::size_t steps, diag::DiagnosticEngine& engine,
+                         const WatchdogBudget& budget) {
+    // Clamp the request to the budget up front: the sweep is statically
+    // scheduled, so bounding the step count bounds all work.
+    std::size_t allowed = steps;
+    if (budget.max_steps) allowed = std::min(allowed, budget.max_steps);
+    if (budget.max_block_evals) {
+        std::size_t per_step = std::max<std::size_t>(net_->blocks.size(), 1);
+        allowed = std::min(allowed, budget.max_block_evals / per_step);
+    }
+    SimResult result = run(allowed);
+    if (allowed < steps) {
+        result.budget_exhausted = true;
+        engine.report(
+            diag::Severity::Error, diag::codes::kSimWatchdog,
+            "simulation of '" + net_->model->name() + "' stopped by watchdog: " +
+                std::to_string(steps) + " step(s) requested, budget allows " +
+                std::to_string(allowed),
+            {},
+            {"executed " + std::to_string(result.steps) + " step(s) across " +
+             std::to_string(net_->blocks.size()) + " scheduled block(s)"});
+    }
+    return result;
 }
 
 SimResult Simulator::run(std::size_t steps) {
@@ -333,11 +429,11 @@ SimResult Simulator::run(std::size_t steps) {
                     break;
                 }
                 case BlockType::Gain:
-                    out[0] = std::stod(blk.parameter_or("Gain", "1")) *
+                    out[0] = param_double(blk, "Gain", "1") *
                              read(b.input_slots.empty() ? -1 : b.input_slots[0]);
                     break;
                 case BlockType::Constant:
-                    out[0] = std::stod(blk.parameter_or("Value", "0"));
+                    out[0] = param_double(blk, "Value", "0");
                     break;
                 case BlockType::UnitDelay:
                     break;  // published above, latched below

@@ -24,11 +24,14 @@
 
 #include <functional>
 #include <map>
+#include <memory>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "diag/diag.hpp"
 #include "simulink/model.hpp"
 
 namespace uhcg::sim {
@@ -56,20 +59,40 @@ private:
     std::map<std::string, Entry> entries_;
 };
 
+/// One combinational dependency between two blocks stuck on the cycle.
+struct CycleEdge {
+    std::string from;  // driver block full path
+    std::string to;    // consumer block full path
+};
+
 /// Thrown when the model contains a combinational cycle: the scheduler
 /// cannot order the blocks and a dataflow implementation would deadlock.
+/// Carries both the stuck blocks and the dependency edges among them so a
+/// driver can print the actual loop, not just its membership.
 class DeadlockError : public std::runtime_error {
 public:
-    explicit DeadlockError(std::vector<std::string> cycle);
+    explicit DeadlockError(std::vector<std::string> cycle,
+                           std::vector<CycleEdge> edges = {});
     /// Names of blocks on the unschedulable cycle.
     const std::vector<std::string>& cycle() const { return cycle_; }
+    /// Combinational dependencies among the stuck blocks.
+    const std::vector<CycleEdge>& edges() const { return edges_; }
 
 private:
     std::vector<std::string> cycle_;
+    std::vector<CycleEdge> edges_;
 };
 
 /// External input: value as a function of simulation time.
 using InputSignal = std::function<double(double t)>;
+
+/// Step budget for watchdogged execution; 0 = unlimited.
+struct WatchdogBudget {
+    /// Simulation steps allowed in one run() call.
+    std::size_t max_steps = 0;
+    /// Block evaluations allowed in one run() call (steps × blocks).
+    std::size_t max_block_evals = 0;
+};
 
 struct SimResult {
     std::vector<double> time;
@@ -80,6 +103,8 @@ struct SimResult {
     std::size_t steps = 0;
     /// Total values pushed through CommChannel blocks, by protocol.
     std::map<std::string, std::size_t> channel_traffic;
+    /// Set by the watchdogged run(): the budget cut the run short.
+    bool budget_exhausted = false;
 };
 
 class Simulator {
@@ -89,6 +114,14 @@ public:
     /// unregistered S-functions).
     Simulator(const simulink::Model& model, const SFunctionRegistry& registry);
 
+    /// Non-throwing factory: scheduling failures (combinational cycles,
+    /// undriven inputs, unregistered S-functions) become structured
+    /// diagnostics — sim.deadlock carries the stuck blocks and their
+    /// dependency edges as notes — and nullopt is returned.
+    static std::optional<Simulator> build(const simulink::Model& model,
+                                          const SFunctionRegistry& registry,
+                                          diag::DiagnosticEngine& engine);
+
     /// Binds the root Inport block named `name` (its Var parameter or block
     /// name) to a signal. Unbound inputs read 0.0.
     void set_input(const std::string& name, InputSignal signal);
@@ -97,6 +130,12 @@ public:
     SimResult run(std::size_t steps);
     /// Runs until model.stop_time.
     SimResult run();
+
+    /// Watchdogged run: executes at most the budgeted steps/evaluations.
+    /// When the budget trips, the partial result is returned with
+    /// `budget_exhausted` set and a sim.watchdog diagnostic reported.
+    SimResult run(std::size_t steps, diag::DiagnosticEngine& engine,
+                  const WatchdogBudget& budget = {});
 
     /// Static schedule (block full paths, evaluation order) — for tests.
     std::vector<std::string> schedule() const;

@@ -38,6 +38,30 @@ struct Section {
     throw std::runtime_error("mdl line " + std::to_string(line) + ": " + message);
 }
 
+/// Numeric field parsers that keep the source line in the error instead
+/// of letting a bare std::invalid_argument("stoi") escape.
+int parse_int(const std::string& text, std::size_t line, const char* what) {
+    try {
+        std::size_t used = 0;
+        int value = std::stoi(text, &used);
+        if (used != text.size()) throw std::invalid_argument(text);
+        return value;
+    } catch (const std::exception&) {
+        fail(line, std::string(what) + " is not an integer (got '" + text + "')");
+    }
+}
+
+double parse_double(const std::string& text, std::size_t line, const char* what) {
+    try {
+        std::size_t used = 0;
+        double value = std::stod(text, &used);
+        if (used != text.size()) throw std::invalid_argument(text);
+        return value;
+    } catch (const std::exception&) {
+        fail(line, std::string(what) + " is not a number (got '" + text + "')");
+    }
+}
+
 /// Splits one line into tokens: bare words, "quoted strings" (unescaped),
 /// and bracketed arrays whose items become individual tokens.
 std::vector<std::string> tokenize(const std::string& line, std::size_t line_no) {
@@ -145,7 +169,8 @@ void build_block(System& system, const Section& section) {
 
     if (const auto* ports = section.find("Ports")) {
         if (ports->size() != 2) fail(section.line, "Ports must have two items");
-        block.set_ports(std::stoi((*ports)[0]), std::stoi((*ports)[1]));
+        block.set_ports(parse_int((*ports)[0], section.line, "Ports[0]"),
+                        parse_int((*ports)[1], section.line, "Ports[1]"));
     }
     if (const auto* tag = section.find("Tag")) {
         auto role = caam_role_from_string(tag->front());
@@ -161,10 +186,12 @@ void build_block(System& system, const Section& section) {
     for (const auto& [key, values] : section.entries) {
         if (key == "InPortName") {
             if (values.size() != 2) fail(section.line, "InPortName needs [n] name");
-            block.set_input_name(std::stoi(values[0]), values[1]);
+            block.set_input_name(parse_int(values[0], section.line, "InPortName"),
+                                 values[1]);
         } else if (key == "OutPortName") {
             if (values.size() != 2) fail(section.line, "OutPortName needs [n] name");
-            block.set_output_name(std::stoi(values[0]), values[1]);
+            block.set_output_name(parse_int(values[0], section.line, "OutPortName"),
+                                  values[1]);
         }
     }
     if (block.is_subsystem()) {
@@ -179,7 +206,8 @@ PortRef resolve_port(System& system, const Section& section,
     Block* block = system.find_block(block_name);
     if (!block)
         fail(section.line, "line references unknown block '" + block_name + "'");
-    int port = std::stoi(section.get_string(port_key, section.line));
+    int port =
+        parse_int(section.get_string(port_key, section.line), section.line, port_key.c_str());
     return {block, port};
 }
 
@@ -222,9 +250,9 @@ Model parse_mdl(const std::string& text) {
     Model model(model_section->get_string("Name", model_section->line));
     if (const auto* s = model_section->find("Solver")) model.solver = s->front();
     if (const auto* s = model_section->find("StopTime"))
-        model.stop_time = std::stod(s->front());
+        model.stop_time = parse_double(s->front(), model_section->line, "StopTime");
     if (const auto* s = model_section->find("FixedStep"))
-        model.fixed_step = std::stod(s->front());
+        model.fixed_step = parse_double(s->front(), model_section->line, "FixedStep");
 
     for (const Section& child : model_section->children)
         if (child.name == "System") build_system(model.root(), child);

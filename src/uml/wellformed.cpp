@@ -24,27 +24,27 @@ void check_message(const SequenceDiagram& d, const Message& m,
         if (!set_prefix && !get_prefix)
             out.push_back({Severity::Error, where,
                            "inter-thread message must use the Set/Get prefix "
-                           "convention (got '" + op + "')"});
+                           "convention (got '" + op + "')", "E1"});
         // E2: data must be derivable.
         if (get_prefix && m.result_name().empty())
             out.push_back({Severity::Error, where,
-                           "Get message must bind a result name"});
+                           "Get message must bind a result name", "E2"});
         if (set_prefix && m.arguments().empty())
             out.push_back({Severity::Error, where,
-                           "Set message must carry at least one argument"});
+                           "Set message must carry at least one argument", "E2"});
     }
 
     if (receiver->is_io_device()) {
         // E3: environment access convention.
         if (!io_get && !io_set)
             out.push_back({Severity::Error, where,
-                           "message to <<IO>> device must use get*/set* prefix"});
+                           "message to <<IO>> device must use get*/set* prefix", "E3"});
         if (io_get && m.result_name().empty())
             out.push_back({Severity::Error, where,
-                           "get* on <<IO>> device must bind a result name"});
+                           "get* on <<IO>> device must bind a result name", "E3"});
         if (io_set && m.arguments().empty())
             out.push_back({Severity::Error, where,
-                           "set* on <<IO>> device must carry an argument"});
+                           "set* on <<IO>> device must carry an argument", "E3"});
     }
 
     // E6 / W3: passive-object calls.
@@ -56,12 +56,12 @@ void check_message(const SequenceDiagram& d, const Message& m,
             if (!decl) {
                 out.push_back({Severity::Error, where,
                                "receiver class '" + cls->name() +
-                                   "' has no operation '" + op + "'"});
+                                   "' has no operation '" + op + "'", "E6"});
             } else if (decl->outputs().empty()) {
                 out.push_back({Severity::Warning, where,
                                "operation '" + op +
                                    "' has no out/return parameter; the block "
-                                   "will produce no dataflow"});
+                                   "will produce no dataflow", "W3"});
             }
         }
     }
@@ -88,7 +88,7 @@ std::vector<Issue> check(const Model& model) {
             out.push_back({Severity::Error, where,
                            "thread '" + consumer->name() + "' receives '" +
                                var + "' from both '" + it->second->name() +
-                               "' and '" + producer->name() + "'"});
+                               "' and '" + producer->name() + "'", "E7"});
     };
     for (const SequenceDiagram* d : model.sequence_diagrams()) {
         for (const Message* m : d->messages()) {
@@ -115,14 +115,14 @@ std::vector<Issue> check(const Model& model) {
             std::string where = "deployment/" + dep.artifact->name();
             if (!dep.artifact->is_thread())
                 out.push_back({Severity::Error, where,
-                               "deployed artifact is not <<SASchedRes>>"});
+                               "deployed artifact is not <<SASchedRes>>", "E4"});
             if (!dep.node->is_processor())
                 out.push_back({Severity::Error, where,
                                "deployment target '" + dep.node->name() +
-                                   "' is not <<SAengine>>"});
+                                   "' is not <<SAengine>>", "E4"});
             if (!deployed.insert(dep.artifact).second)
                 out.push_back({Severity::Error, where,
-                               "thread deployed more than once"});
+                               "thread deployed more than once", "E5"});
         }
         bool has_processor = false;
         for (const NodeInstance* n : dd->nodes())
@@ -130,7 +130,7 @@ std::vector<Issue> check(const Model& model) {
         if (has_processor && dd->deployments().empty())
             out.push_back({Severity::Warning, "deployment",
                            "deployment diagram declares processors but "
-                           "allocates no threads"});
+                           "allocates no threads", "W2"});
     }
 
     // W1: dead threads.
@@ -148,10 +148,22 @@ std::vector<Issue> check(const Model& model) {
         }
         if (!referenced)
             out.push_back({Severity::Warning, obj->name(),
-                           "thread never appears in any sequence diagram"});
+                           "thread never appears in any sequence diagram", "W1"});
     }
 
     return out;
+}
+
+bool check(const Model& model, diag::DiagnosticEngine& engine) {
+    auto issues = check(model);
+    for (const Issue& i : issues) {
+        std::string code = "uml.";
+        code += (i.rule && i.rule[0]) ? i.rule : "wellformed";
+        engine.report(i.severity == Severity::Error ? diag::Severity::Error
+                                                    : diag::Severity::Warning,
+                      std::move(code), "[" + i.where + "] " + i.message);
+    }
+    return only_warnings(issues);
 }
 
 bool only_warnings(const std::vector<Issue>& issues) {

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "diag/diag.hpp"
 #include "uml/model.hpp"
 
 namespace uhcg::uml {
@@ -20,6 +21,8 @@ struct Issue {
     /// Where the problem lives (diagram/object/operation name).
     std::string where;
     std::string message;
+    /// Rule id from the list below ("E1".."E7", "W1".."W3").
+    const char* rule = "";
 };
 
 /// Rules enforced:
@@ -37,6 +40,10 @@ struct Issue {
 ///  W2  a deployment diagram with processors but no deployed threads;
 ///  W3  passive-object calls whose operation has no outputs (no dataflow).
 std::vector<Issue> check(const Model& model);
+
+/// Reports every issue into `engine` (code "uml.<rule>", e.g. "uml.E1")
+/// and returns whether the model passed with no errors.
+bool check(const Model& model, diag::DiagnosticEngine& engine);
 
 /// True when `issues` contains no Severity::Error entries.
 bool only_warnings(const std::vector<Issue>& issues);

@@ -1,6 +1,9 @@
 #include "uml/xmi.hpp"
 
+#include <fstream>
 #include <map>
+#include <set>
+#include <sstream>
 #include <stdexcept>
 
 #include "xml/parser.hpp"
@@ -234,7 +237,14 @@ XmiBundle read_xmi_bundle(const xml::Document& doc) {
                 throw std::runtime_error("action target not found: " + target_id);
             CallAction& action =
                 activity.add_call(required_attr(*n, "operation"), *target);
-            action.data(std::stod(n->attribute_or("dataSize", "1")));
+            std::string ds = n->attribute_or("dataSize", "1");
+            try {
+                action.data(std::stod(ds));
+            } catch (const std::exception&) {
+                throw std::runtime_error("action '" + action.operation() +
+                                         "' of activity '" + activity.name() +
+                                         "' has non-numeric dataSize '" + ds + "'");
+            }
             for (const xml::Element* pin : n->children_named("pin")) {
                 if (pin->attribute_or("direction", "in") == "in")
                     action.pin_in(required_attr(*pin, "name"));
@@ -302,13 +312,91 @@ void save_xmi(const Model& model, const std::string& path) {
     xml::write_file(write_xmi(model), path);
 }
 
-Model read_xmi(const xml::Document& doc) {
+namespace {
+
+/// Recovering reader context: resolves attributes and references, reporting
+/// a diagnostic (with the element's source position) instead of throwing.
+/// Callers test the returned pointer and skip the element on nullptr.
+struct Reader {
+    diag::DiagnosticEngine& engine;
+    std::string file;
+    std::set<std::string> ids;  // every xmi:id indexed so far
+
+    diag::SourceLocation loc(const xml::Element& e) const {
+        return {file, e.source_line(), e.source_column()};
+    }
+
+    const std::string* attr(const xml::Element& e, std::string_view name) {
+        const std::string* v = e.find_attribute(name);
+        if (!v)
+            engine.error(diag::codes::kXmiMissingAttribute,
+                         "XMI element <" + e.name() +
+                             "> missing required attribute '" + std::string(name) +
+                             "'",
+                         loc(e));
+        return v;
+    }
+
+    /// Reads an xmi:id, reporting duplicates (last definition wins).
+    const std::string* id_attr(const xml::Element& e) {
+        const std::string* v = attr(e, "xmi:id");
+        if (v && !ids.insert(*v).second)
+            engine.error(diag::codes::kXmiDuplicateId,
+                         "duplicate xmi:id '" + *v + "' on <" + e.name() + ">",
+                         loc(e));
+        return v;
+    }
+
+    double number_or(const xml::Element& e, std::string_view name,
+                     double fallback) {
+        const std::string* v = e.find_attribute(name);
+        if (!v) return fallback;
+        try {
+            std::size_t used = 0;
+            double parsed = std::stod(*v, &used);
+            if (used != v->size()) throw std::invalid_argument(*v);
+            return parsed;
+        } catch (const std::exception&) {
+            engine.error(diag::codes::kXmiBadValue,
+                         "attribute '" + std::string(name) + "' on <" + e.name() +
+                             "> is not a number (got '" + *v + "')",
+                         loc(e));
+            return fallback;
+        }
+    }
+
+    template <typename Map>
+    typename Map::mapped_type resolve(const Map& map, const std::string& ref,
+                                      const xml::Element& e,
+                                      std::string_view what) {
+        auto it = map.find(ref);
+        if (it != map.end()) return it->second;
+        engine.error(diag::codes::kXmiDanglingReference,
+                     std::string(what) + " reference '" + ref + "' on <" +
+                         e.name() + "> does not resolve",
+                     loc(e));
+        return nullptr;
+    }
+};
+
+}  // namespace
+
+Model read_xmi(const xml::Document& doc, diag::DiagnosticEngine& engine,
+               const std::string& file) {
+    Reader rd{engine, file, {}};
     const xml::Element& root = doc.root();
-    if (root.name() != "xmi:XMI")
-        throw std::runtime_error("not an XMI document (root is <" + root.name() +
-                                 ">)");
+    if (root.name() != "xmi:XMI") {
+        engine.report(diag::Severity::Fatal, diag::codes::kXmiNotXmi,
+                      "not an XMI document (root is <" + root.name() + ">)",
+                      rd.loc(root));
+        return Model("invalid");
+    }
     const xml::Element* me = root.first_child("uml:Model");
-    if (!me) throw std::runtime_error("XMI document has no uml:Model");
+    if (!me) {
+        engine.report(diag::Severity::Fatal, diag::codes::kXmiNoModel,
+                      "XMI document has no uml:Model", rd.loc(root));
+        return Model("invalid");
+    }
 
     Model model(me->attribute_or("name", "unnamed"));
     std::map<std::string, Class*> classes_by_id;
@@ -320,19 +408,31 @@ Model read_xmi(const xml::Document& doc) {
     // Pass 1: classes (operations resolve nothing external).
     for (const xml::Element* e : me->children_named("packagedElement")) {
         if (type_of(*e) != "uml:Class") continue;
-        Class& c = model.add_class(required_attr(*e, "name"));
+        const std::string* name = rd.attr(*e, "name");
+        const std::string* id = rd.id_attr(*e);
+        if (!name || !id) continue;
+        Class& c = model.add_class(*name);
         c.set_active(e->attribute_or("isActive", "false") == "true");
-        classes_by_id[required_attr(*e, "xmi:id")] = &c;
+        classes_by_id[*id] = &c;
         for (const xml::Element* oe : e->children_named("ownedOperation")) {
-            Operation& op = c.add_operation(required_attr(*oe, "name"));
+            const std::string* op_name = rd.attr(*oe, "name");
+            if (!op_name) continue;
+            Operation& op = c.add_operation(*op_name);
             for (const xml::Element* pe : oe->children_named("ownedParameter")) {
+                const std::string* p_name = rd.attr(*pe, "name");
+                if (!p_name) continue;
                 Parameter p;
-                p.name = required_attr(*pe, "name");
+                p.name = *p_name;
                 p.type = pe->attribute_or("type", "double");
                 auto dir = direction_from_string(pe->attribute_or("direction", "in"));
-                if (!dir)
-                    throw std::runtime_error("bad parameter direction on " +
-                                             op.name() + "." + p.name);
+                if (!dir) {
+                    engine.error(diag::codes::kXmiBadValue,
+                                 "bad parameter direction '" +
+                                     pe->attribute_or("direction", "") + "' on " +
+                                     op.name() + "." + p.name,
+                                 rd.loc(*pe));
+                    continue;
+                }
                 p.direction = *dir;
                 op.add_parameter(std::move(p));
             }
@@ -347,16 +447,18 @@ Model read_xmi(const xml::Document& doc) {
         if (type == "uml:InstanceSpecification") {
             Class* classifier = nullptr;
             if (const std::string* cid = e->find_attribute("classifier")) {
-                auto it = classes_by_id.find(*cid);
-                if (it == classes_by_id.end())
-                    throw std::runtime_error("dangling classifier reference: " + *cid);
-                classifier = it->second;
+                classifier = rd.resolve(classes_by_id, *cid, *e, "classifier");
+                if (!classifier) continue;
             }
-            ObjectInstance& o = model.add_object(required_attr(*e, "name"), classifier);
-            objects_by_id[required_attr(*e, "xmi:id")] = &o;
+            const std::string* name = rd.attr(*e, "name");
+            const std::string* id = rd.id_attr(*e);
+            if (!name || !id) continue;
+            objects_by_id[*id] = &model.add_object(*name, classifier);
         } else if (type == "uml:Node") {
-            NodeInstance& n = model.deployment().add_node(required_attr(*e, "name"));
-            nodes_by_id[required_attr(*e, "xmi:id")] = &n;
+            const std::string* name = rd.attr(*e, "name");
+            const std::string* id = rd.id_attr(*e);
+            if (!name || !id) continue;
+            nodes_by_id[*id] = &model.deployment().add_node(*name);
         }
     }
 
@@ -364,45 +466,56 @@ Model read_xmi(const xml::Document& doc) {
     for (const xml::Element* e : me->children_named("packagedElement")) {
         std::string type = type_of(*e);
         if (type == "uml:CommunicationPath") {
-            Bus& bus = model.deployment().add_bus(required_attr(*e, "name"));
+            const std::string* name = rd.attr(*e, "name");
+            if (!name) continue;
+            Bus& bus = model.deployment().add_bus(*name);
             for (const xml::Element* ee : e->children_named("end")) {
-                auto it = nodes_by_id.find(required_attr(*ee, "node"));
-                if (it == nodes_by_id.end())
-                    throw std::runtime_error("bus end references unknown node");
-                bus.connect(*it->second);
+                const std::string* node_ref = rd.attr(*ee, "node");
+                if (!node_ref) continue;
+                if (NodeInstance* n = rd.resolve(nodes_by_id, *node_ref, *ee, "bus end"))
+                    bus.connect(*n);
             }
         } else if (type == "uml:Deployment") {
-            auto ai = objects_by_id.find(required_attr(*e, "deployedArtifact"));
-            auto ni = nodes_by_id.find(required_attr(*e, "location"));
-            if (ai == objects_by_id.end() || ni == nodes_by_id.end())
-                throw std::runtime_error("deployment references unknown element");
-            model.deployment().deploy(*ai->second, *ni->second);
+            const std::string* art = rd.attr(*e, "deployedArtifact");
+            const std::string* locn = rd.attr(*e, "location");
+            if (!art || !locn) continue;
+            ObjectInstance* artifact =
+                rd.resolve(objects_by_id, *art, *e, "deployment artifact");
+            NodeInstance* node = rd.resolve(nodes_by_id, *locn, *e, "deployment node");
+            if (artifact && node) model.deployment().deploy(*artifact, *node);
         } else if (type == "uml:Interaction") {
-            SequenceDiagram& d = model.add_sequence_diagram(required_attr(*e, "name"));
+            const std::string* name = rd.attr(*e, "name");
+            if (!name) continue;
+            SequenceDiagram& d = model.add_sequence_diagram(*name);
             std::map<std::string, Lifeline*> lifelines_by_id;
             for (const xml::Element* le : e->children_named("lifeline")) {
-                auto oi = objects_by_id.find(required_attr(*le, "represents"));
-                if (oi == objects_by_id.end())
-                    throw std::runtime_error("lifeline represents unknown object");
-                lifelines_by_id[required_attr(*le, "xmi:id")] =
-                    &d.add_lifeline(*oi->second);
+                const std::string* rep = rd.attr(*le, "represents");
+                const std::string* id = rd.id_attr(*le);
+                if (!rep || !id) continue;
+                ObjectInstance* obj =
+                    rd.resolve(objects_by_id, *rep, *le, "lifeline represents");
+                if (obj) lifelines_by_id[*id] = &d.add_lifeline(*obj);
             }
             for (const xml::Element* msg : e->children_named("message")) {
-                auto fi = lifelines_by_id.find(required_attr(*msg, "sendLifeline"));
-                auto ti = lifelines_by_id.find(required_attr(*msg, "receiveLifeline"));
-                if (fi == lifelines_by_id.end() || ti == lifelines_by_id.end())
-                    throw std::runtime_error("message references unknown lifeline");
-                Message& m = d.add_message(*fi->second, *ti->second,
-                                           required_attr(*msg, "name"));
+                const std::string* send = rd.attr(*msg, "sendLifeline");
+                const std::string* recv = rd.attr(*msg, "receiveLifeline");
+                const std::string* op = rd.attr(*msg, "name");
+                if (!send || !recv || !op) continue;
+                Lifeline* from = rd.resolve(lifelines_by_id, *send, *msg, "sender");
+                Lifeline* to = rd.resolve(lifelines_by_id, *recv, *msg, "receiver");
+                if (!from || !to) continue;
+                Message& m = d.add_message(*from, *to, *op);
                 if (const std::string* r = msg->find_attribute("result"))
                     m.set_result_name(*r);
-                if (const std::string* ds = msg->find_attribute("dataSize"))
-                    m.set_data_size(std::stod(*ds));
+                m.set_data_size(rd.number_or(*msg, "dataSize", m.data_size()));
                 for (const xml::Element* ae : msg->children_named("argument"))
-                    m.add_argument(required_attr(*ae, "name"));
+                    if (const std::string* an = rd.attr(*ae, "name"))
+                        m.add_argument(*an);
             }
         } else if (type == "uml:StateMachine") {
-            StateMachine& sm = model.add_state_machine(required_attr(*e, "name"));
+            const std::string* name = rd.attr(*e, "name");
+            if (!name) continue;
+            StateMachine& sm = model.add_state_machine(*name);
             // Recursively read states, deferring `initial` resolution until
             // all states exist.
             std::vector<std::pair<State*, std::string>> pending_initial;
@@ -411,9 +524,12 @@ Model read_xmi(const xml::Document& doc) {
             auto read_states = [&](const xml::Element& parent_elem, State* parent,
                                    auto&& self) -> void {
                 for (const xml::Element* se : parent_elem.children_named("subvertex")) {
-                    State& s = parent ? parent->add_substate(required_attr(*se, "name"))
-                                      : sm.add_state(required_attr(*se, "name"));
-                    states_by_id[required_attr(*se, "xmi:id")] = &s;
+                    const std::string* s_name = rd.attr(*se, "name");
+                    const std::string* s_id = rd.id_attr(*se);
+                    if (!s_name || !s_id) continue;
+                    State& s = parent ? parent->add_substate(*s_name)
+                                      : sm.add_state(*s_name);
+                    states_by_id[*s_id] = &s;
                     s.set_entry_action(se->attribute_or("entry", ""));
                     s.set_exit_action(se->attribute_or("exit", ""));
                     if (const std::string* init = se->find_attribute("initial"))
@@ -423,24 +539,23 @@ Model read_xmi(const xml::Document& doc) {
             };
             read_states(*e, nullptr, read_states);
             for (auto& [state, init_id] : pending_initial) {
-                auto it = states_by_id.find(init_id);
-                if (it == states_by_id.end())
-                    throw std::runtime_error("unknown initial substate id: " + init_id);
-                state->set_initial_substate(*it->second);
+                if (State* init = rd.resolve(states_by_id, init_id, *e,
+                                             "initial substate"))
+                    state->set_initial_substate(*init);
             }
             if (!machine_initial.empty()) {
-                auto it = states_by_id.find(machine_initial);
-                if (it == states_by_id.end())
-                    throw std::runtime_error("unknown initial state id: " +
-                                             machine_initial);
-                sm.set_initial_state(*it->second);
+                if (State* init = rd.resolve(states_by_id, machine_initial, *e,
+                                             "initial state"))
+                    sm.set_initial_state(*init);
             }
             for (const xml::Element* te : e->children_named("transition")) {
-                auto si = states_by_id.find(required_attr(*te, "source"));
-                auto ti = states_by_id.find(required_attr(*te, "target"));
-                if (si == states_by_id.end() || ti == states_by_id.end())
-                    throw std::runtime_error("transition references unknown state");
-                Transition& t = sm.add_transition(*si->second, *ti->second);
+                const std::string* src = rd.attr(*te, "source");
+                const std::string* tgt = rd.attr(*te, "target");
+                if (!src || !tgt) continue;
+                State* source = rd.resolve(states_by_id, *src, *te, "transition source");
+                State* target = rd.resolve(states_by_id, *tgt, *te, "transition target");
+                if (!source || !target) continue;
+                Transition& t = sm.add_transition(*source, *target);
                 t.set_trigger(te->attribute_or("trigger", ""));
                 t.set_guard(te->attribute_or("guard", ""));
                 t.set_effect(te->attribute_or("effect", ""));
@@ -456,23 +571,57 @@ Model read_xmi(const xml::Document& doc) {
         std::string prefix = name.substr(0, colon);
         if (prefix != "SPT" && prefix != "uhcg") continue;
         auto stereo = stereotype_from_string(name.substr(colon + 1));
-        if (!stereo)
-            throw std::runtime_error("unknown stereotype application <" + name + ">");
+        if (!stereo) {
+            engine.error(diag::codes::kXmiUnknownStereotype,
+                         "unknown stereotype application <" + name + ">",
+                         rd.loc(*e));
+            continue;
+        }
         if (const std::string* base = e->find_attribute("base_InstanceSpecification")) {
-            auto it = objects_by_id.find(*base);
-            if (it == objects_by_id.end())
-                throw std::runtime_error("stereotype applied to unknown object: " +
-                                         *base);
-            it->second->add_stereotype(*stereo);
+            if (ObjectInstance* o =
+                    rd.resolve(objects_by_id, *base, *e, "stereotype base object"))
+                o->add_stereotype(*stereo);
         } else if (const std::string* nb = e->find_attribute("base_Node")) {
-            auto it = nodes_by_id.find(*nb);
-            if (it == nodes_by_id.end())
-                throw std::runtime_error("stereotype applied to unknown node: " + *nb);
-            it->second->add_stereotype(*stereo);
+            if (NodeInstance* n =
+                    rd.resolve(nodes_by_id, *nb, *e, "stereotype base node"))
+                n->add_stereotype(*stereo);
         }
     }
 
     return model;
+}
+
+Model read_xmi(const xml::Document& doc) {
+    diag::DiagnosticEngine engine;
+    Model model = read_xmi(doc, engine);
+    if (engine.has_errors())
+        throw std::runtime_error("invalid XMI:\n" + engine.render_text());
+    return model;
+}
+
+Model from_xmi_string(const std::string& text, diag::DiagnosticEngine& engine,
+                      const std::string& file) {
+    try {
+        xml::Document doc = xml::parse(text);
+        return read_xmi(doc, engine, file);
+    } catch (const xml::ParseError& e) {
+        engine.report(diag::Severity::Fatal, diag::codes::kXmlParse, e.detail(),
+                      {file, e.line(), e.column()});
+        return Model("invalid");
+    }
+}
+
+Model load_xmi(const std::string& path, diag::DiagnosticEngine& engine) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        engine.report(diag::Severity::Fatal, diag::codes::kXmlUnreadable,
+                      "cannot open XMI file: " + path, {path, 0, 0});
+        return Model("invalid");
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    engine.register_source(path, buf.str());
+    return from_xmi_string(buf.str(), engine, path);
 }
 
 Model from_xmi_string(const std::string& text) { return read_xmi(xml::parse(text)); }

@@ -23,6 +23,7 @@
 
 #include <string>
 
+#include "diag/diag.hpp"
 #include "uml/activity.hpp"
 #include "uml/model.hpp"
 #include "xml/dom.hpp"
@@ -53,5 +54,21 @@ XmiBundle from_xmi_string_bundle(const std::string& text);
 Model read_xmi(const xml::Document& doc);
 Model from_xmi_string(const std::string& text);
 Model load_xmi(const std::string& path);
+
+/// Recovering reader: instead of throwing on the first structural problem,
+/// records one diagnostic per malformed element (with the element's XML
+/// line/column under `file`) and keeps reading everything else. Returns the
+/// partial model; callers check `engine.has_errors()` before trusting it.
+Model read_xmi(const xml::Document& doc, diag::DiagnosticEngine& engine,
+               const std::string& file = {});
+
+/// Recovering file loader: I/O and XML parse failures become diagnostics
+/// too (an unreadable or unparsable file yields an empty model plus a
+/// fatal diagnostic — it never throws).
+Model load_xmi(const std::string& path, diag::DiagnosticEngine& engine);
+
+/// Recovering in-memory variant of from_xmi_string.
+Model from_xmi_string(const std::string& text, diag::DiagnosticEngine& engine,
+                      const std::string& file = {});
 
 }  // namespace uhcg::uml

@@ -62,6 +62,17 @@ public:
     const std::string& name() const { return name_; }
     void set_name(std::string n) { name_ = std::move(n); }
 
+    // --- source position --------------------------------------------------
+    /// 1-based position of the element's start tag in the parsed input;
+    /// line 0 for programmatically built elements. Diagnostics use this to
+    /// point at the offending XMI element.
+    std::size_t source_line() const { return src_line_; }
+    std::size_t source_column() const { return src_column_; }
+    void set_source_location(std::size_t line, std::size_t column) {
+        src_line_ = line;
+        src_column_ = column;
+    }
+
     // --- attributes -------------------------------------------------------
     const std::vector<Attribute>& attributes() const { return attrs_; }
     /// Returns nullptr if absent.
@@ -100,6 +111,8 @@ private:
     std::string name_;
     std::vector<Attribute> attrs_;
     std::vector<Node> children_;
+    std::size_t src_line_ = 0;
+    std::size_t src_column_ = 0;
 };
 
 /// A parsed or programmatically built XML document.

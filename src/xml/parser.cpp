@@ -222,8 +222,10 @@ private:
     }
 
     std::unique_ptr<Element> parse_element() {
+        std::size_t line = cur_.line(), column = cur_.column();
         cur_.expect('<');
         auto elem = std::make_unique<Element>(parse_name());
+        elem->set_source_location(line, column);
         // Attributes.
         for (;;) {
             cur_.skip_whitespace();
@@ -301,6 +303,17 @@ private:
 ParseError::ParseError(std::string message, std::size_t line, std::size_t column)
     : std::runtime_error("XML parse error at " + std::to_string(line) + ":" +
                          std::to_string(column) + ": " + message),
+      detail_(std::move(message)),
+      line_(line),
+      column_(column) {}
+
+ParseError::ParseError(std::string message, std::string file, std::size_t line,
+                       std::size_t column)
+    : std::runtime_error("XML parse error at " + file + ":" +
+                         std::to_string(line) + ":" + std::to_string(column) +
+                         ": " + message),
+      detail_(std::move(message)),
+      file_(std::move(file)),
       line_(line),
       column_(column) {}
 
@@ -311,7 +324,13 @@ Document parse_file(const std::string& path) {
     if (!in) throw std::runtime_error("cannot open XML file: " + path);
     std::ostringstream buf;
     buf << in.rdbuf();
-    return parse(buf.str());
+    try {
+        return parse(buf.str());
+    } catch (const ParseError& e) {
+        // Re-raise with the path attached; the bare in-memory error would
+        // otherwise lose which file of a multi-model batch was at fault.
+        throw ParseError(e.detail(), path, e.line(), e.column());
+    }
 }
 
 }  // namespace uhcg::xml

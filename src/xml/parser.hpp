@@ -16,14 +16,24 @@
 
 namespace uhcg::xml {
 
-/// Thrown on malformed input. Carries 1-based line/column of the offence.
+/// Thrown on malformed input. Carries 1-based line/column of the offence
+/// and, when parsing a file, the path — so a caller catching it can build
+/// a full source location without re-deriving context.
 class ParseError : public std::runtime_error {
 public:
     ParseError(std::string message, std::size_t line, std::size_t column);
+    ParseError(std::string message, std::string file, std::size_t line,
+               std::size_t column);
+    /// The parse failure without the position prefix.
+    const std::string& detail() const { return detail_; }
+    /// Path of the input file; empty for in-memory parses.
+    const std::string& file() const { return file_; }
     std::size_t line() const { return line_; }
     std::size_t column() const { return column_; }
 
 private:
+    std::string detail_;
+    std::string file_;
     std::size_t line_;
     std::size_t column_;
 };

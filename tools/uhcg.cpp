@@ -10,6 +10,7 @@
 //   uhcg explore <model.xmi> [options]      design-space exploration report
 //   uhcg dot <model.xmi> [options]          Graphviz: task graph + CAAM
 //   uhcg check <model.xmi>                  well-formedness report only
+//   uhcg fuzz-xmi <model.xmi> [options]     fault-injection robustness sweep
 //
 // Common options:
 //   -o <path>            output file (map/threads) or directory (codegen)
@@ -21,10 +22,21 @@
 //   --dump-ecore <path>  write the intermediate (pre-optimization) CAAM in
 //                        the E-core interchange format (Fig. 2, step 3 input)
 //   --report             print the mapping report (rules, channels, delays)
+//   --json-diagnostics   emit collected diagnostics as JSON on stdout
+//   --mutations <n>      fuzz-xmi: number of mutants to run (default 70)
+//   --seed <n>           fuzz-xmi: deterministic corpus seed (default 1)
+//
+// Exit codes:
+//   0  success (warnings allowed)
+//   1  the input produced diagnostics with severity error or above
+//   2  usage error (bad command line)
+//   3  internal error — an exception escaped the diagnostics engine
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -32,8 +44,12 @@
 #include "codegen/uml_to_cpp.hpp"
 #include "core/mapping.hpp"
 #include "core/pipeline.hpp"
+#include "diag/diag.hpp"
+#include "diag/mutate.hpp"
 #include "dse/explore.hpp"
+#include "kpn/execute.hpp"
 #include "kpn/from_uml.hpp"
+#include "sim/engine.hpp"
 #include "model/ecore_io.hpp"
 #include "simulink/caam.hpp"
 #include "simulink/generic.hpp"
@@ -48,6 +64,11 @@ namespace {
 
 using namespace uhcg;
 
+constexpr int kExitOk = 0;
+constexpr int kExitDiagnostics = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitInternal = 3;
+
 struct Cli {
     std::string command;
     std::string input;
@@ -55,17 +76,24 @@ struct Cli {
     std::string dump_ecore;
     core::MapperOptions mapper;
     bool report = false;
+    bool json_diagnostics = false;
     std::size_t iterations = 100;
+    std::size_t mutations = 70;
+    std::uint64_t seed = 1;
 };
 
 int usage(const char* argv0) {
     std::cerr
         << "usage: " << argv0
-        << " <map|codegen|threads|kpn|explore|dot|check> <model.xmi> [options]\n"
+        << " <map|codegen|threads|kpn|explore|dot|check|fuzz-xmi> <model.xmi>"
+           " [options]\n"
            "options: -o <path> --auto-allocate --max-cpus <n> --no-channels\n"
            "         --no-delays --dump-ecore <path> --report\n"
-           "         --iterations <n> (threads command)\n";
-    return 2;
+           "         --json-diagnostics\n"
+           "         --iterations <n> (threads command)\n"
+           "         --mutations <n> --seed <n> (fuzz-xmi command)\n"
+           "exit codes: 0 ok, 1 diagnostics with errors, 2 usage, 3 internal\n";
+    return kExitUsage;
 }
 
 bool parse_cli(int argc, char** argv, Cli& cli) {
@@ -78,6 +106,21 @@ bool parse_cli(int argc, char** argv, Cli& cli) {
             if (i + 1 >= argc) return nullptr;
             return argv[++i];
         };
+        // Numeric option values must parse fully — "abc" silently becoming
+        // 0 would make `--mutations abc` a no-op sweep.
+        auto next_number = [&](auto& out) {
+            const char* v = next();
+            if (!v || *v == '\0') return false;
+            char* end = nullptr;
+            unsigned long long parsed = std::strtoull(v, &end, 10);
+            if (end == v || *end != '\0') {
+                std::cerr << "option " << arg << " needs a number, got '" << v
+                          << "'\n";
+                return false;
+            }
+            out = static_cast<std::decay_t<decltype(out)>>(parsed);
+            return true;
+        };
         if (arg == "-o") {
             const char* v = next();
             if (!v) return false;
@@ -85,9 +128,7 @@ bool parse_cli(int argc, char** argv, Cli& cli) {
         } else if (arg == "--auto-allocate") {
             cli.mapper.auto_allocate = true;
         } else if (arg == "--max-cpus") {
-            const char* v = next();
-            if (!v) return false;
-            cli.mapper.max_processors = std::strtoul(v, nullptr, 10);
+            if (!next_number(cli.mapper.max_processors)) return false;
         } else if (arg == "--no-channels") {
             cli.mapper.infer_channels = false;
         } else if (arg == "--no-delays") {
@@ -98,10 +139,14 @@ bool parse_cli(int argc, char** argv, Cli& cli) {
             cli.dump_ecore = v;
         } else if (arg == "--report") {
             cli.report = true;
+        } else if (arg == "--json-diagnostics") {
+            cli.json_diagnostics = true;
         } else if (arg == "--iterations") {
-            const char* v = next();
-            if (!v) return false;
-            cli.iterations = std::strtoul(v, nullptr, 10);
+            if (!next_number(cli.iterations)) return false;
+        } else if (arg == "--mutations") {
+            if (!next_number(cli.mutations)) return false;
+        } else if (arg == "--seed") {
+            if (!next_number(cli.seed)) return false;
         } else {
             std::cerr << "unknown option: " << arg << '\n';
             return false;
@@ -132,20 +177,19 @@ void print_report(const core::MapperReport& report) {
         std::cout << "  warning: " << w << '\n';
 }
 
-int cmd_check(const uml::Model& model) {
-    auto issues = uml::check(model);
-    if (issues.empty()) {
+int cmd_check(const uml::Model& model, diag::DiagnosticEngine& engine) {
+    bool clean = uml::check(model, engine);
+    if (engine.empty()) {
         std::cout << "ok: model is well-formed ("
                   << model.threads().size() << " threads, "
                   << model.sequence_diagrams().size()
                   << " sequence diagrams)\n";
-        return 0;
     }
-    std::cout << uml::format_issues(issues);
-    return uml::only_warnings(issues) ? 0 : 1;
+    return clean ? kExitOk : kExitDiagnostics;
 }
 
-int cmd_map(const uml::Model& model, const Cli& cli) {
+int cmd_map(const uml::Model& model, const Cli& cli,
+            diag::DiagnosticEngine& engine) {
     core::MapperReport report;
     if (!cli.dump_ecore.empty()) {
         // Expose the Fig. 2 step-3 input: the raw m2m result in E-core form.
@@ -159,22 +203,53 @@ int cmd_map(const uml::Model& model, const Cli& cli) {
         std::cout << "wrote intermediate E-core model: " << cli.dump_ecore
                   << '\n';
     }
-    simulink::Model caam = core::map_to_caam(model, cli.mapper, &report);
-    auto problems = simulink::validate_caam(caam);
-    for (const std::string& p : problems) std::cerr << "validation: " << p << '\n';
+    auto caam = core::map_to_caam(model, cli.mapper, engine, &report);
+    if (!caam) return kExitDiagnostics;
+    // Schedulability probe: a CAAM with a combinational cycle (e.g. mapped
+    // with --no-delays) would deadlock any dataflow implementation. Print
+    // the structured payload — the cycle and its dependency edges — rather
+    // than shipping a broken .mdl silently.
+    try {
+        sim::SFunctionRegistry probe;
+        sim::Simulator check_schedule(*caam, probe);
+    } catch (const sim::DeadlockError& e) {
+        std::vector<std::string> notes;
+        notes.push_back("blocked block(s): " + [&] {
+            std::string joined;
+            for (const std::string& b : e.cycle())
+                joined += (joined.empty() ? "" : ", ") + b;
+            return joined;
+        }());
+        for (const sim::CycleEdge& edge : e.edges())
+            notes.push_back("combinational dependency: " + edge.from + " -> " +
+                            edge.to);
+        notes.push_back(
+            "insert a temporal barrier (UnitDelay) on the loop — §4.2.2");
+        engine.report(diag::Severity::Error, diag::codes::kSimDeadlock,
+                      "generated CAAM has a combinational cycle through " +
+                          std::to_string(e.cycle().size()) +
+                          " block(s) — dataflow deadlock",
+                      {}, std::move(notes));
+        return kExitDiagnostics;
+    } catch (const std::exception&) {
+        // Other structure issues (unregistered S-functions in the empty
+        // probe registry) are expected here and not a mapping error.
+    }
     std::string out_path =
         cli.output.empty() ? model.name() + ".mdl" : cli.output;
-    simulink::save_mdl(caam, out_path);
+    simulink::save_mdl(*caam, out_path);
     std::cout << "wrote " << out_path << " ("
-              << simulink::caam_stats(caam).total_blocks << " blocks)\n";
+              << simulink::caam_stats(*caam).total_blocks << " blocks)\n";
     if (cli.report) print_report(report);
-    return problems.empty() ? 0 : 1;
+    return kExitOk;
 }
 
-int cmd_codegen(const uml::Model& model, const Cli& cli) {
+int cmd_codegen(const uml::Model& model, const Cli& cli,
+                diag::DiagnosticEngine& engine) {
     core::MapperReport report;
-    simulink::Model caam = core::map_to_caam(model, cli.mapper, &report);
-    codegen::GeneratedProgram program = codegen::generate_c_program(caam);
+    auto caam = core::map_to_caam(model, cli.mapper, engine, &report);
+    if (!caam) return kExitDiagnostics;
+    codegen::GeneratedProgram program = codegen::generate_c_program(*caam);
     std::filesystem::path dir =
         cli.output.empty() ? model.name() + "_c" : cli.output;
     std::filesystem::create_directories(dir);
@@ -183,7 +258,7 @@ int cmd_codegen(const uml::Model& model, const Cli& cli) {
     std::cout << "wrote " << program.files.size() << " files to " << dir
               << " (build: cc -std=c99 main.c sfunctions.c cpu_*.c)\n";
     if (cli.report) print_report(report);
-    return 0;
+    return kExitOk;
 }
 
 int cmd_threads(const uml::Model& model, const Cli& cli) {
@@ -194,10 +269,11 @@ int cmd_threads(const uml::Model& model, const Cli& cli) {
     std::cout << "wrote " << out_path << " (" << program.thread_count
               << " threads, " << program.queue_count
               << " queues; build: c++ -std=c++17 -pthread)\n";
-    return 0;
+    return kExitOk;
 }
 
-int cmd_kpn(const uml::Model& model) {
+int cmd_kpn(const uml::Model& model, const Cli& cli,
+            diag::DiagnosticEngine& engine) {
     kpn::KpnMappingOutput out = kpn::map_to_kpn(model);
     std::cout << "KPN '" << out.network.name() << "': "
               << out.network.processes().size() << " processes, "
@@ -208,11 +284,30 @@ int cmd_kpn(const uml::Model& model) {
                   << "--> " << c.consumer->name()
                   << (c.initial_tokens ? "  [seeded]" : "") << '\n';
     for (const std::string& w : out.warnings)
-        std::cout << "warning: " << w << '\n';
-    return out.warnings.empty() ? 0 : 1;
+        engine.warning(diag::codes::kMapRule, "kpn: " + w);
+    // Watchdogged dry-run with pass-through kernels: a read-blocked
+    // network prints the structured payload (blocked processes, channel
+    // fill levels) instead of a bare exception, and a livelock cannot
+    // hang the CLI.
+    kpn::KernelRegistry registry;
+    for (const auto& p : out.network.processes())
+        registry.register_kernel(p->name(), [](auto, auto outputs, auto&) {
+            for (double& v : outputs) v = 0.0;
+        });
+    kpn::Executor exec(out.network, registry);
+    kpn::WatchdogBudget budget;
+    budget.max_firings =
+        cli.iterations * out.network.processes().size() * 4 + 1000;
+    kpn::KpnResult r = exec.run(cli.iterations, engine, budget);
+    if (!r.deadlocked && !r.budget_exhausted)
+        std::cout << "dry-run: " << r.rounds << " round(s), " << r.firings
+                  << " firing(s), max queue depth " << r.max_queue_depth
+                  << '\n';
+    return kExitOk;
 }
 
-int cmd_dot(const uml::Model& model, const Cli& cli) {
+int cmd_dot(const uml::Model& model, const Cli& cli,
+            diag::DiagnosticEngine& engine) {
     core::CommModel comm = core::analyze_communication(model);
     // Task graph with the clustering the flow would pick (Fig. 7 style).
     taskgraph::TaskGraph graph = core::build_task_graph(model, comm);
@@ -225,14 +320,15 @@ int cmd_dot(const uml::Model& model, const Cli& cli) {
         f << taskgraph::to_dot(graph, clustering, options);
     }
     // The generated CAAM as a block diagram (Fig. 3(c)/8 style).
-    simulink::Model caam = core::map_to_caam(model, cli.mapper);
+    auto caam = core::map_to_caam(model, cli.mapper, engine);
+    if (!caam) return kExitDiagnostics;
     {
         std::ofstream f(base + "_caam.dot");
-        f << simulink::to_dot(caam);
+        f << simulink::to_dot(*caam);
     }
     std::cout << "wrote " << base << "_taskgraph.dot and " << base
               << "_caam.dot (render with: dot -Tpng -O <file>)\n";
-    return 0;
+    return kExitOk;
 }
 
 int cmd_explore(const uml::Model& model, const Cli& cli) {
@@ -241,7 +337,96 @@ int cmd_explore(const uml::Model& model, const Cli& cli) {
     options.max_processors = cli.mapper.max_processors;
     dse::ExploreResult result = dse::explore(model, comm, options);
     std::cout << dse::format(result);
-    return 0;
+    return kExitOk;
+}
+
+/// Fault-injection sweep: runs a deterministic mutation corpus derived
+/// from the input through the full recovering pipeline and verifies that
+/// every mutant terminates in diagnostics — never an escaped exception.
+int cmd_fuzz(const Cli& cli) {
+    std::ifstream in(cli.input, std::ios::binary);
+    if (!in) {
+        std::cerr << "error: cannot open XMI file: " << cli.input << '\n';
+        return kExitDiagnostics;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+
+    auto plan = diag::plan_mutations(cli.mutations, cli.seed);
+    std::size_t diagnosed = 0, clean = 0;
+    std::vector<std::string> escaped;
+    std::map<std::string, std::size_t> by_kind;
+    for (diag::Mutation& m : plan) {
+        std::string mutant = diag::apply_mutation(text, m);
+        diag::DiagnosticEngine engine;
+        try {
+            uml::Model model = uml::from_xmi_string(mutant, engine, "<mutant>");
+            if (!engine.has_errors())
+                (void)core::generate_mdl(model, cli.mapper, engine);
+        } catch (const std::exception& e) {
+            escaped.push_back(std::string(diag::to_string(m.kind)) + " (" +
+                              m.description + "): " + e.what());
+            continue;
+        }
+        ++by_kind[std::string(diag::to_string(m.kind))];
+        if (engine.has_errors())
+            ++diagnosed;
+        else
+            ++clean;
+        if (cli.report)
+            std::cout << "  " << diag::to_string(m.kind) << ": " << m.description
+                      << " -> " << engine.error_count() << " error(s)\n";
+    }
+    std::cout << "fuzz-xmi: " << plan.size() << " mutant(s), seed " << cli.seed
+              << ": " << diagnosed << " diagnosed, " << clean
+              << " survived clean, " << escaped.size()
+              << " escaped exception(s)\n";
+    for (const auto& [kind, count] : by_kind)
+        std::cout << "  " << kind << ": " << count << '\n';
+    if (!escaped.empty()) {
+        for (const std::string& e : escaped)
+            std::cerr << "ESCAPED: " << e << '\n';
+        // An escaped exception is a robustness bug in the pipeline itself.
+        return kExitInternal;
+    }
+    return kExitOk;
+}
+
+int dispatch(const Cli& cli) {
+    if (cli.command == "fuzz-xmi") return cmd_fuzz(cli);
+
+    diag::DiagnosticEngine engine;
+    uml::Model model = uml::load_xmi(cli.input, engine);
+    int code = kExitOk;
+    bool known = true;
+    if (!engine.has_errors()) {
+        if (cli.command == "check")
+            code = cmd_check(model, engine);
+        else if (cli.command == "map")
+            code = cmd_map(model, cli, engine);
+        else if (cli.command == "codegen")
+            code = cmd_codegen(model, cli, engine);
+        else if (cli.command == "threads")
+            code = cmd_threads(model, cli);
+        else if (cli.command == "kpn")
+            code = cmd_kpn(model, cli, engine);
+        else if (cli.command == "explore")
+            code = cmd_explore(model, cli);
+        else if (cli.command == "dot")
+            code = cmd_dot(model, cli, engine);
+        else
+            known = false;
+    }
+    if (!known) {
+        std::cerr << "unknown command: " << cli.command << '\n';
+        return usage("uhcg");
+    }
+    if (cli.json_diagnostics)
+        std::cout << engine.render_json() << '\n';
+    else if (!engine.empty())
+        std::cerr << engine.render_text();
+    if (engine.has_errors()) return kExitDiagnostics;
+    return code;
 }
 
 }  // namespace
@@ -250,18 +435,9 @@ int main(int argc, char** argv) {
     Cli cli;
     if (!parse_cli(argc, argv, cli)) return usage(argv[0]);
     try {
-        uml::Model model = uml::load_xmi(cli.input);
-        if (cli.command == "check") return cmd_check(model);
-        if (cli.command == "map") return cmd_map(model, cli);
-        if (cli.command == "codegen") return cmd_codegen(model, cli);
-        if (cli.command == "threads") return cmd_threads(model, cli);
-        if (cli.command == "kpn") return cmd_kpn(model);
-        if (cli.command == "explore") return cmd_explore(model, cli);
-        if (cli.command == "dot") return cmd_dot(model, cli);
-        std::cerr << "unknown command: " << cli.command << '\n';
-        return usage(argv[0]);
+        return dispatch(cli);
     } catch (const std::exception& e) {
-        std::cerr << "error: " << e.what() << '\n';
-        return 1;
+        std::cerr << "internal error: " << e.what() << '\n';
+        return kExitInternal;
     }
 }
