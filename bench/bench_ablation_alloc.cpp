@@ -6,6 +6,7 @@
 // inter-CPU traffic and simulated MPSoC makespan (shared bus), including
 // how the advantage scales with communication weight.
 #include "bench_common.hpp"
+#include "core/parallel.hpp"
 #include "sim/mpsoc.hpp"
 #include "taskgraph/baselines.hpp"
 #include "taskgraph/dsc.hpp"
@@ -21,7 +22,9 @@ void print_reproduction() {
     bench::banner("Ablation — allocation algorithm choice (§4.2.3)",
                   "linear clustering keeps heavy traffic on-CPU; naive "
                   "mappings pay for it on the bus");
-    const int kSamples = 20;
+    const std::size_t kSamples = 20;
+    const std::size_t kJobs = bench::jobs();
+    bench::row("sample evaluation jobs", kJobs);
     struct Accumulator {
         double inter = 0.0;
         double makespan = 0.0;
@@ -29,8 +32,14 @@ void print_reproduction() {
     // Sweep the communication-to-computation ratio: LC's advantage should
     // grow as communication gets more expensive relative to work.
     for (double comm_scale : {0.5, 2.0, 8.0}) {
-        Accumulator lc{}, dsc{}, rr{}, rnd{}, lb{};
-        for (int s = 0; s < kSamples; ++s) {
+        // Samples are independent: fan them out into per-sample slots on
+        // the shared pool, then reduce serially so the printed means stay
+        // deterministic for any job count.
+        struct Sample {
+            Accumulator lc, dsc, rr, rnd, lb;
+        };
+        std::vector<Sample> samples(kSamples);
+        core::parallel_for(kSamples, kJobs, [&](std::size_t s) {
             RandomDagOptions options;
             options.tasks = 32;
             options.layers = 6;
@@ -45,13 +54,21 @@ void print_reproduction() {
                 a.inter += r.inter_traffic;
                 a.makespan += r.makespan;
             };
-            add(lc, c_lc);
-            add(dsc, dsc_clustering(g));
-            add(rr, round_robin_clustering(g, k));
-            add(rnd, random_clustering(g, k, options.seed));
-            add(lb, load_balance_clustering(g, k));
+            add(samples[s].lc, c_lc);
+            add(samples[s].dsc, dsc_clustering(g));
+            add(samples[s].rr, round_robin_clustering(g, k));
+            add(samples[s].rnd, random_clustering(g, k, options.seed));
+            add(samples[s].lb, load_balance_clustering(g, k));
+        });
+        Accumulator lc{}, dsc{}, rr{}, rnd{}, lb{};
+        for (const Sample& s : samples) {
+            lc.inter += s.lc.inter, lc.makespan += s.lc.makespan;
+            dsc.inter += s.dsc.inter, dsc.makespan += s.dsc.makespan;
+            rr.inter += s.rr.inter, rr.makespan += s.rr.makespan;
+            rnd.inter += s.rnd.inter, rnd.makespan += s.rnd.makespan;
+            lb.inter += s.lb.inter, lb.makespan += s.lb.makespan;
         }
-        std::printf("\ncomm scale ×%.1f (mean over %d graphs):\n", comm_scale,
+        std::printf("\ncomm scale ×%.1f (mean over %zu graphs):\n", comm_scale,
                     kSamples);
         std::printf("%-20s %14s %12s\n", "strategy", "inter-traffic",
                     "makespan");

@@ -10,6 +10,7 @@
 #include "bench_common.hpp"
 #include "cases/cases.hpp"
 #include "core/delays.hpp"
+#include "core/parallel.hpp"
 #include "core/pipeline.hpp"
 #include "sim/engine.hpp"
 #include "sim/mpsoc.hpp"
@@ -30,13 +31,20 @@ void protocol_asymmetry() {
     taskgraph::Clustering lc = taskgraph::linear_clustering(g);
     taskgraph::Clustering rr = taskgraph::round_robin_clustering(
         g, static_cast<std::size_t>(lc.cluster_count()));
-    for (double ratio : {1.0, 4.0, 10.0, 40.0}) {
+    // Ratio points are independent simulations: fan them out, print in order.
+    const std::vector<double> ratios{1.0, 4.0, 10.0, 40.0};
+    std::vector<std::pair<double, double>> makespans(ratios.size());
+    core::parallel_for(ratios.size(), bench::jobs(), [&](std::size_t i) {
         sim::MpsocParams params;
         params.swfifo_cost_per_byte = 1.0;
-        params.gfifo_cost_per_byte = ratio;
-        double m_lc = sim::simulate_mpsoc(g, lc, params).makespan;
-        double m_rr = sim::simulate_mpsoc(g, rr, params).makespan;
-        std::printf("%-24g %12g %12g %9.2fx\n", ratio, m_lc, m_rr, m_rr / m_lc);
+        params.gfifo_cost_per_byte = ratios[i];
+        makespans[i] = {sim::simulate_mpsoc(g, lc, params).makespan,
+                        sim::simulate_mpsoc(g, rr, params).makespan};
+    });
+    for (std::size_t i = 0; i < ratios.size(); ++i) {
+        auto [m_lc, m_rr] = makespans[i];
+        std::printf("%-24g %12g %12g %9.2fx\n", ratios[i], m_lc, m_rr,
+                    m_rr / m_lc);
     }
 }
 

@@ -6,7 +6,11 @@
 // mapping solution ... supporting design space exploration." This bench
 // prints the explored Pareto front (processors vs estimated makespan) for
 // the synthetic example and shows that the §4.2.3 linear-clustering
-// default sits on (or near) the front.
+// default sits on (or near) the front — then measures how the explorer
+// scales: serial vs pool-parallel sweep (ExploreOptions::jobs), the
+// clustering-dedup ratio, and the memoization cache on a repeated run.
+#include <chrono>
+
 #include "bench_common.hpp"
 #include "cases/cases.hpp"
 #include "core/pipeline.hpp"
@@ -18,6 +22,63 @@ namespace {
 
 using namespace uhcg;
 
+double explore_millis(const uml::Model& model, const core::CommModel& comm,
+                      const dse::ExploreOptions& options,
+                      dse::ExploreResult* out = nullptr) {
+    auto start = std::chrono::steady_clock::now();
+    dse::ExploreResult r = dse::explore(model, comm, options);
+    auto stop = std::chrono::steady_clock::now();
+    if (out) *out = std::move(r);
+    return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+void speedup_section() {
+    // The synthetic CAAM sweep, scaled up: a generated layered application
+    // large enough that each candidate's cost simulation is real work.
+    uml::Model app = cases::random_application(9, 64, 8);
+    core::CommModel comm = core::analyze_communication(app);
+    dse::ExploreOptions serial;
+    serial.random_samples = 8;
+    serial.jobs = 1;
+    dse::ExploreOptions parallel = serial;
+    parallel.jobs = bench::jobs();
+
+    // Warm up allocators/pool once, then measure each mode on a cold cache.
+    dse::clear_simulation_cache();
+    (void)dse::explore(app, comm, parallel);
+
+    dse::clear_simulation_cache();
+    dse::ExploreResult serial_result;
+    double serial_ms = explore_millis(app, comm, serial, &serial_result);
+
+    dse::clear_simulation_cache();
+    dse::ExploreResult parallel_result;
+    double parallel_ms = explore_millis(app, comm, parallel, &parallel_result);
+
+    // Warm cache: every unique clustering is served by the memo layer.
+    dse::ExploreResult cached_result;
+    double cached_ms = explore_millis(app, comm, parallel, &cached_result);
+
+    bench::row("hardware threads", parallel.jobs);
+    bench::row("sweep candidates", serial_result.stats.candidates);
+    bench::row("unique clusterings", serial_result.stats.unique_clusterings);
+    bench::row("duplicates skipped (dedup)",
+               serial_result.stats.duplicates_skipped);
+    bench::row("explore jobs=1 (ms)", serial_ms);
+    bench::row("explore jobs=" + std::to_string(parallel.jobs) + " (ms)",
+               parallel_ms);
+    bench::row("parallel speedup", serial_ms / parallel_ms);
+    bench::row("explore warm-cache (ms)", cached_ms);
+    bench::row("warm-cache simulations", cached_result.stats.simulations);
+    bench::row("warm-cache hits", cached_result.stats.cache_hits);
+    bench::row("rankings identical across jobs",
+               std::string(dse::format(serial_result) ==
+                                   dse::format(parallel_result) &&
+                               serial_result.best == parallel_result.best
+                           ? "yes"
+                           : "NO — determinism bug"));
+}
+
 void print_reproduction() {
     bench::banner("DSE — automatic mapping selection (§6 future work)",
                   "sweep allocation strategies × processor budgets, estimate "
@@ -25,7 +86,8 @@ void print_reproduction() {
     uml::Model syn = cases::synthetic_model();
     core::CommModel comm = core::analyze_communication(syn);
     dse::ExploreResult result = dse::explore(syn, comm);
-    bench::row("candidates evaluated", result.candidates.size());
+    bench::row("candidates evaluated", result.stats.candidates);
+    bench::row("unique clusterings", result.stats.unique_clusterings);
     std::printf("%s", dse::format(result).c_str());
 
     // Where does the §4.2.3 default land?
@@ -44,17 +106,49 @@ void print_reproduction() {
     simulink::Model caam = simulink::from_generic(mapped.caam);
     bench::row("recommended mapping → CAAM threads",
                simulink::caam_stats(caam).threads);
+
+    speedup_section();
 }
 
-void BM_ExploreSynthetic(benchmark::State& state) {
+void BM_ExploreSyntheticSerial(benchmark::State& state) {
     uml::Model syn = cases::synthetic_model();
     core::CommModel comm = core::analyze_communication(syn);
+    dse::ExploreOptions options;
+    options.jobs = 1;
     for (auto _ : state) {
-        dse::ExploreResult r = dse::explore(syn, comm);
+        dse::clear_simulation_cache();
+        dse::ExploreResult r = dse::explore(syn, comm, options);
         benchmark::DoNotOptimize(r.best);
     }
 }
-BENCHMARK(BM_ExploreSynthetic);
+BENCHMARK(BM_ExploreSyntheticSerial);
+
+void BM_ExploreSyntheticParallel(benchmark::State& state) {
+    uml::Model syn = cases::synthetic_model();
+    core::CommModel comm = core::analyze_communication(syn);
+    dse::ExploreOptions options;
+    options.jobs = bench::jobs();
+    for (auto _ : state) {
+        dse::clear_simulation_cache();
+        dse::ExploreResult r = dse::explore(syn, comm, options);
+        benchmark::DoNotOptimize(r.best);
+    }
+}
+BENCHMARK(BM_ExploreSyntheticParallel);
+
+void BM_ExploreSyntheticMemoized(benchmark::State& state) {
+    uml::Model syn = cases::synthetic_model();
+    core::CommModel comm = core::analyze_communication(syn);
+    dse::ExploreOptions options;
+    options.jobs = bench::jobs();
+    dse::clear_simulation_cache();
+    (void)dse::explore(syn, comm, options);  // populate the cache
+    for (auto _ : state) {
+        dse::ExploreResult r = dse::explore(syn, comm, options);
+        benchmark::DoNotOptimize(r.best);
+    }
+}
+BENCHMARK(BM_ExploreSyntheticMemoized);
 
 void BM_ExploreScaling(benchmark::State& state) {
     uml::Model app =
@@ -62,13 +156,17 @@ void BM_ExploreScaling(benchmark::State& state) {
     core::CommModel comm = core::analyze_communication(app);
     dse::ExploreOptions options;
     options.random_samples = 1;
+    options.jobs = static_cast<std::size_t>(state.range(1));
     for (auto _ : state) {
+        dse::clear_simulation_cache();
         dse::ExploreResult r = dse::explore(app, comm, options);
         benchmark::DoNotOptimize(r.best);
     }
     state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_ExploreScaling)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+BENCHMARK(BM_ExploreScaling)
+    ->ArgsProduct({{8, 16, 32, 64}, {1, 0}})
+    ->Complexity();
 
 }  // namespace
 

@@ -74,6 +74,12 @@ inline constexpr const char* kMapRule = "map.rule";
 inline constexpr const char* kMapChannels = "map.channels";
 inline constexpr const char* kMapInternal = "map.internal";
 inline constexpr const char* kCaamInvalid = "caam.invalid";
+// Parallel execution layer
+inline constexpr const char* kCoreParallel = "core.parallel";
+// Design-space exploration
+inline constexpr const char* kDseMismatch = "dse.mismatch";
+inline constexpr const char* kDseEmpty = "dse.empty";
+inline constexpr const char* kDseModel = "dse.model";
 // Execution watchdogs
 inline constexpr const char* kSimDeadlock = "sim.deadlock";
 inline constexpr const char* kSimWatchdog = "sim.watchdog";

@@ -10,20 +10,22 @@ void KernelRegistry::register_kernel(std::string name, Kernel kernel,
     entries_[std::move(name)] = {std::move(kernel), state_size};
 }
 
-bool KernelRegistry::contains(const std::string& name) const {
-    return entries_.count(name) != 0;
+const KernelRegistry::Entry* KernelRegistry::find(
+    const std::string& name) const {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : &it->second;
 }
 
 const Kernel& KernelRegistry::kernel(const std::string& name) const {
-    auto it = entries_.find(name);
-    if (it == entries_.end())
+    const Entry* entry = find(name);
+    if (!entry)
         throw std::runtime_error("no kernel registered for '" + name + "'");
-    return it->second.kernel;
+    return entry->kernel;
 }
 
 std::size_t KernelRegistry::state_size(const std::string& name) const {
-    auto it = entries_.find(name);
-    return it == entries_.end() ? 0 : it->second.state_size;
+    const Entry* entry = find(name);
+    return entry ? entry->state_size : 0;
 }
 
 ReadBlockedError::ReadBlockedError(std::vector<std::string> blocked,
@@ -49,11 +51,15 @@ Executor::Executor(const Network& network, const KernelRegistry& registry)
         for (const auto& p : problems) msg << "\n  " << p;
         throw std::runtime_error(msg.str());
     }
-    for (const Process* p : network.processes())
-        if (!registry.contains(p->kernel()))
+    kernels_.reserve(network.processes().size());
+    for (const Process* p : network.processes()) {
+        const KernelRegistry::Entry* entry = registry.find(p->kernel());
+        if (!entry)
             throw std::runtime_error("process '" + p->name() +
                                      "' needs unregistered kernel '" +
                                      p->kernel() + "'");
+        kernels_.push_back(entry);
+    }
 }
 
 void Executor::set_input(const std::string& var,
@@ -106,8 +112,8 @@ KpnResult Executor::run_impl(std::size_t rounds, diag::DiagnosticEngine* engine,
         env_in[{p.process, p.port}];
 
     std::map<const Process*, std::vector<double>> state;
-    for (const Process* p : processes)
-        state[p].assign(registry_->state_size(p->kernel()), 0.0);
+    for (std::size_t i = 0; i < processes.size(); ++i)
+        state[processes[i]].assign(kernels_[i]->state_size, 0.0);
 
     KpnResult result;
     auto track_depth = [&] {
@@ -164,7 +170,7 @@ KpnResult Executor::run_impl(std::size_t rounds, diag::DiagnosticEngine* engine,
                                                     .variable];
                 }
                 std::vector<double> outs(p->output_count(), 0.0);
-                registry_->kernel(p->kernel())(ins, outs, state[p]);
+                kernels_[i]->kernel(ins, outs, state[p]);
                 for (std::size_t port = 0; port < p->output_count(); ++port) {
                     for (int c : out_chans[p][port])
                         queues[static_cast<std::size_t>(c)].push_back(outs[port]);

@@ -18,6 +18,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "diag/diag.hpp"
@@ -41,18 +42,26 @@ using Kernel = std::function<void(std::span<const double> inputs,
 
 class KernelRegistry {
 public:
+    struct Entry {
+        Kernel kernel;
+        std::size_t state_size = 0;
+    };
+
     void register_kernel(std::string name, Kernel kernel,
                          std::size_t state_size = 0);
-    bool contains(const std::string& name) const;
+    /// One hash probe; nullptr when unregistered. The pointer stays valid
+    /// for the registry's lifetime (rehashing never moves mapped values),
+    /// so executors resolve each process's kernel once and fire through
+    /// the cached entry instead of looking the name up per firing.
+    const Entry* find(const std::string& name) const;
+    bool contains(const std::string& name) const {
+        return find(name) != nullptr;
+    }
     const Kernel& kernel(const std::string& name) const;
     std::size_t state_size(const std::string& name) const;
 
 private:
-    struct Entry {
-        Kernel kernel;
-        std::size_t state_size;
-    };
-    std::map<std::string, Entry> entries_;
+    std::unordered_map<std::string, Entry> entries_;
 };
 
 /// Thrown when no process can fire and the round is incomplete. Carries a
@@ -124,6 +133,9 @@ private:
 
     const Network* network_;
     const KernelRegistry* registry_;
+    /// Kernel entry per process (network process order), resolved once at
+    /// construction — firings touch no map at all.
+    std::vector<const KernelRegistry::Entry*> kernels_;
     std::map<std::string, std::function<double(std::size_t)>> inputs_;
 };
 

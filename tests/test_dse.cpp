@@ -2,6 +2,10 @@
 // estimation-driven choice of the mapping solution).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <map>
+
 #include "cases/cases.hpp"
 #include "core/pipeline.hpp"
 #include "dse/explore.hpp"
@@ -126,6 +130,114 @@ TEST(Dse, MismatchedCandidateRejected) {
     wrong.processors = 1;
     wrong.clustering = taskgraph::Clustering(3);  // 3 ≠ 12 threads
     EXPECT_THROW(to_allocation(syn, wrong), std::invalid_argument);
+}
+
+TEST(DseParallel, JobCountDoesNotChangeResults) {
+    // The acceptance bar for the parallel sweep: byte-identical rankings
+    // for any job count, across case studies. (The crane is out: its
+    // closed control loop makes the mined task graph cyclic, which the
+    // clustering sweep rejects by design.)
+    auto random16 = [] { return cases::random_application(5, 16, 4); };
+    for (auto make : {std::function<uml::Model()>(&cases::didactic_model),
+                      std::function<uml::Model()>(&cases::synthetic_model),
+                      std::function<uml::Model()>(random16)}) {
+        uml::Model model = make();
+        core::CommModel comm = core::analyze_communication(model);
+        ExploreOptions serial;
+        serial.jobs = 1;
+        ExploreOptions parallel;
+        parallel.jobs = 8;
+        ExploreResult a = explore(model, comm, serial);
+        ExploreResult b = explore(model, comm, parallel);
+        EXPECT_EQ(format(a), format(b));
+        EXPECT_EQ(a.best, b.best);
+        EXPECT_EQ(a.pareto_front, b.pareto_front);
+        ASSERT_EQ(a.candidates.size(), b.candidates.size());
+        for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+            EXPECT_EQ(a.candidates[i].strategy, b.candidates[i].strategy);
+            EXPECT_EQ(a.candidates[i].processors, b.candidates[i].processors);
+            EXPECT_EQ(a.candidates[i].fingerprint, b.candidates[i].fingerprint);
+            EXPECT_DOUBLE_EQ(a.candidates[i].makespan, b.candidates[i].makespan);
+            EXPECT_EQ(a.candidates[i].pareto, b.candidates[i].pareto);
+        }
+        EXPECT_EQ(a.stats.unique_clusterings, b.stats.unique_clusterings);
+    }
+}
+
+TEST(DseParallel, DuplicateClusteringsSimulatedExactlyOnce) {
+    uml::Model syn = cases::synthetic_model();
+    core::CommModel comm = core::analyze_communication(syn);
+    clear_simulation_cache();
+    ExploreOptions options;
+    options.jobs = 4;
+    ExploreResult result = explore(syn, comm, options);
+    const ExploreStats& s = result.stats;
+    EXPECT_EQ(s.candidates, result.candidates.size());
+    // Cold cache: every unique clustering simulated once, nothing cached.
+    EXPECT_EQ(s.cache_hits, 0u);
+    EXPECT_EQ(s.simulations, s.unique_clusterings);
+    EXPECT_EQ(s.candidates, s.simulations + s.duplicates_skipped + s.cache_hits);
+    // The sweep provably repeats itself (round-robin at k=n is the discrete
+    // clustering, bounded linear saturates, ...).
+    EXPECT_GT(s.duplicates_skipped, 0u);
+    // Identical fingerprints must carry identical metrics.
+    std::map<std::uint64_t, double> makespan_of;
+    for (const Candidate& c : result.candidates) {
+        auto [it, inserted] = makespan_of.emplace(c.fingerprint, c.makespan);
+        if (!inserted) {
+            EXPECT_DOUBLE_EQ(it->second, c.makespan);
+        }
+    }
+    EXPECT_EQ(makespan_of.size(), s.unique_clusterings);
+}
+
+TEST(DseParallel, MemoCacheServesRepeatedExploration) {
+    uml::Model syn = cases::synthetic_model();
+    core::CommModel comm = core::analyze_communication(syn);
+    clear_simulation_cache();
+    ExploreResult first = explore(syn, comm);
+    ExploreResult second = explore(syn, comm);
+    EXPECT_EQ(second.stats.simulations, 0u);
+    EXPECT_EQ(second.stats.cache_hits, second.stats.unique_clusterings);
+    EXPECT_EQ(format(first), format(second));
+    EXPECT_EQ(first.best, second.best);
+    // A different cost model is a different cache key — it must re-simulate.
+    ExploreOptions shifted;
+    shifted.cost_model.gfifo_cost_per_byte = 99.0;
+    ExploreResult other = explore(syn, comm, shifted);
+    EXPECT_EQ(other.stats.simulations, other.stats.unique_clusterings);
+    EXPECT_EQ(other.stats.cache_hits, 0u);
+}
+
+TEST(DseParallel, FingerprintIsLabelInvariant) {
+    taskgraph::Clustering a =
+        taskgraph::Clustering::from_assignment({0, 0, 1, 2, 1});
+    taskgraph::Clustering b =
+        taskgraph::Clustering::from_assignment({2, 2, 0, 1, 0});
+    EXPECT_EQ(clustering_fingerprint(a), clustering_fingerprint(b));
+    taskgraph::Clustering c =
+        taskgraph::Clustering::from_assignment({0, 1, 1, 2, 1});
+    EXPECT_NE(clustering_fingerprint(a), clustering_fingerprint(c));
+}
+
+TEST(Dse, MismatchReportsStructuredDiagnostic) {
+    uml::Model syn = cases::synthetic_model();
+    Candidate wrong;
+    wrong.processors = 1;
+    wrong.clustering = taskgraph::Clustering(3);  // 3 ≠ 12 threads
+    diag::DiagnosticEngine engine;
+    EXPECT_EQ(to_allocation(syn, wrong, engine), std::nullopt);
+    EXPECT_TRUE(engine.has_errors());
+    EXPECT_EQ(engine.count_code(diag::codes::kDseMismatch), 1u);
+}
+
+TEST(Dse, EmptyModelReportsStructuredDiagnostic) {
+    uml::Model empty("empty");
+    core::CommModel comm = core::analyze_communication(empty);
+    diag::DiagnosticEngine engine;
+    EXPECT_EQ(best_allocation(empty, comm, engine), std::nullopt);
+    EXPECT_TRUE(engine.has_errors());
+    EXPECT_EQ(engine.count_code(diag::codes::kDseEmpty), 1u);
 }
 
 TEST(Dse, RandomApplicationsExploreCleanly) {

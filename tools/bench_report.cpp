@@ -1,0 +1,90 @@
+// bench_report — aggregates per-bench JSON artifacts into one report.
+//
+// Usage: uhcg_bench_report <output.json> <input.json> [input.json ...]
+//
+// Each input must be a JSON value: either a `uhcg-bench-v1` reproduction
+// report (written by a bench binary's --uhcg_report flag) or a
+// google-benchmark --benchmark_out file. Inputs are embedded verbatim —
+// no JSON parser needed, the aggregate stays valid JSON by construction:
+//
+//   { "schema": "uhcg-bench-report-v1",
+//     "inputs": [ {"path": "...", "report": <input JSON>}, ... ] }
+//
+// Exit codes: 0 success, 1 unreadable/invalid input, 2 usage.
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "diag/diag.hpp"
+
+namespace {
+
+/// Reads a whole file; empty optional-style flag via `ok`.
+std::string read_file(const std::string& path, bool& ok) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        ok = false;
+        return {};
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    ok = true;
+    return buffer.str();
+}
+
+/// A pasted input must itself be one JSON value, or the aggregate breaks.
+bool looks_like_json(const std::string& text) {
+    for (char c : text) {
+        if (std::isspace(static_cast<unsigned char>(c))) continue;
+        return c == '{' || c == '[';
+    }
+    return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 3) {
+        std::cerr << "usage: " << argv[0]
+                  << " <output.json> <input.json> [input.json ...]\n";
+        return 2;
+    }
+    const std::string output_path = argv[1];
+
+    std::ostringstream out;
+    out << "{\n  \"schema\": \"uhcg-bench-report-v1\",\n  \"inputs\": [";
+    bool first = true;
+    for (int i = 2; i < argc; ++i) {
+        bool ok = false;
+        std::string text = read_file(argv[i], ok);
+        if (!ok) {
+            std::cerr << "error: cannot read " << argv[i] << '\n';
+            return 1;
+        }
+        if (!looks_like_json(text)) {
+            std::cerr << "error: " << argv[i]
+                      << " does not hold a JSON object/array\n";
+            return 1;
+        }
+        // Strip the trailing newline so the embedding stays tidy.
+        while (!text.empty() && (text.back() == '\n' || text.back() == '\r'))
+            text.pop_back();
+        out << (first ? "\n    " : ",\n    ") << "{\"path\": \""
+            << uhcg::diag::json_escape(argv[i]) << "\", \"report\": " << text
+            << '}';
+        first = false;
+    }
+    out << "\n  ]\n}\n";
+
+    std::ofstream file(output_path, std::ios::binary);
+    if (!(file << out.str())) {
+        std::cerr << "error: cannot write " << output_path << '\n';
+        return 1;
+    }
+    std::cout << "wrote " << output_path << " (" << (argc - 2)
+              << " report(s))\n";
+    return 0;
+}

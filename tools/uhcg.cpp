@@ -23,6 +23,9 @@
 //                        the E-core interchange format (Fig. 2, step 3 input)
 //   --report             print the mapping report (rules, channels, delays)
 //   --json-diagnostics   emit collected diagnostics as JSON on stdout
+//   --jobs <n>           explore: worker threads for candidate evaluation
+//                        (0 = all hardware threads; results are identical
+//                        for any value)
 //   --mutations <n>      fuzz-xmi: number of mutants to run (default 70)
 //   --seed <n>           fuzz-xmi: deterministic corpus seed (default 1)
 //
@@ -80,6 +83,7 @@ struct Cli {
     std::size_t iterations = 100;
     std::size_t mutations = 70;
     std::uint64_t seed = 1;
+    std::size_t jobs = 0;
 };
 
 int usage(const char* argv0) {
@@ -90,6 +94,7 @@ int usage(const char* argv0) {
            "options: -o <path> --auto-allocate --max-cpus <n> --no-channels\n"
            "         --no-delays --dump-ecore <path> --report\n"
            "         --json-diagnostics\n"
+           "         --jobs <n> (explore command; 0 = all hardware threads)\n"
            "         --iterations <n> (threads command)\n"
            "         --mutations <n> --seed <n> (fuzz-xmi command)\n"
            "exit codes: 0 ok, 1 diagnostics with errors, 2 usage, 3 internal\n";
@@ -141,6 +146,8 @@ bool parse_cli(int argc, char** argv, Cli& cli) {
             cli.report = true;
         } else if (arg == "--json-diagnostics") {
             cli.json_diagnostics = true;
+        } else if (arg == "--jobs") {
+            if (!next_number(cli.jobs)) return false;
         } else if (arg == "--iterations") {
             if (!next_number(cli.iterations)) return false;
         } else if (arg == "--mutations") {
@@ -331,12 +338,37 @@ int cmd_dot(const uml::Model& model, const Cli& cli,
     return kExitOk;
 }
 
-int cmd_explore(const uml::Model& model, const Cli& cli) {
+int cmd_explore(const uml::Model& model, const Cli& cli,
+                diag::DiagnosticEngine& engine) {
     core::CommModel comm = core::analyze_communication(model);
     dse::ExploreOptions options;
     options.max_processors = cli.mapper.max_processors;
-    dse::ExploreResult result = dse::explore(model, comm, options);
+    options.jobs = cli.jobs;
+    dse::ExploreResult result;
+    try {
+        result = dse::explore(model, comm, options);
+    } catch (const std::exception& e) {
+        // A model the sweep cannot explore (e.g. a cyclic task graph from a
+        // closed control loop) is an input property, not an internal error.
+        engine.report(diag::Severity::Error, diag::codes::kDseModel,
+                      "model '" + model.name() +
+                          "' is not explorable: " + e.what());
+        return kExitDiagnostics;
+    }
+    if (result.candidates.empty()) {
+        // Same structured code the best_allocation path reports — the
+        // exit-code contract (1, not a bare throw) covers explore too.
+        engine.report(diag::Severity::Error, diag::codes::kDseEmpty,
+                      "nothing to explore: model '" + model.name() +
+                          "' has no threads");
+        return kExitDiagnostics;
+    }
     std::cout << dse::format(result);
+    const dse::ExploreStats& s = result.stats;
+    std::cout << "evaluated with jobs=" << s.jobs << ": " << s.simulations
+              << " simulated, " << s.duplicates_skipped
+              << " duplicate clustering(s) skipped, " << s.cache_hits
+              << " cache hit(s)\n";
     return kExitOk;
 }
 
@@ -411,7 +443,7 @@ int dispatch(const Cli& cli) {
         else if (cli.command == "kpn")
             code = cmd_kpn(model, cli, engine);
         else if (cli.command == "explore")
-            code = cmd_explore(model, cli);
+            code = cmd_explore(model, cli, engine);
         else if (cli.command == "dot")
             code = cmd_dot(model, cli, engine);
         else
