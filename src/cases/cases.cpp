@@ -247,8 +247,9 @@ void register_synthetic_sfunctions(sim::SFunctionRegistry& registry) {
         });
 }
 
-uml::StateMachine elevator_state_machine() {
-    uml::StateMachine sm("Elevator");
+namespace {
+
+void populate_elevator(uml::StateMachine& sm) {
     uml::State& idle = sm.add_state("Idle");
     idle.set_entry_action("motor_off();");
     uml::State& doors = sm.add_state("DoorsOpen");
@@ -281,7 +282,21 @@ uml::StateMachine elevator_state_machine() {
         t.set_trigger("door_timeout");
         t.set_guard("pending_call_above");
     }
+}
+
+}  // namespace
+
+uml::StateMachine elevator_state_machine() {
+    uml::StateMachine sm("Elevator");
+    populate_elevator(sm);
     return sm;
+}
+
+uml::Model mixed_model() {
+    uml::Model m = crane_model();
+    m.set_name("mixed");
+    populate_elevator(m.add_state_machine("Elevator"));
+    return m;
 }
 
 uml::Model random_application(std::uint64_t seed, std::size_t threads,

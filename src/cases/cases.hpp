@@ -43,6 +43,11 @@ void register_synthetic_sfunctions(sim::SFunctionRegistry& registry);
 /// machine (with a composite "Moving" state).
 uml::StateMachine elevator_state_machine();
 
+/// Heterogeneous case for the strategy dispatcher: the crane's dataflow
+/// thread loop plus the elevator state machine in one model, so a single
+/// `uhcg generate` run exercises the CAAM, FSM and fallback C++ branches.
+uml::Model mixed_model();
+
 /// Synthetic workload generator for sweeps: a random but convention-
 /// conforming application of `threads` worker threads arranged in
 /// `layers` ranks; every thread computes one value (S-function "work")

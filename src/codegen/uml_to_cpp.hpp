@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "diag/diag.hpp"
 #include "uml/model.hpp"
 
 namespace uhcg::codegen {
@@ -25,5 +26,12 @@ struct CppProgram {
 /// the produced binary terminates (embedded loops are usually endless).
 CppProgram generate_cpp_threads(const uml::Model& model,
                                 std::size_t iterations = 100);
+
+/// Same generator, reporting lossy decisions (stubbed operation bodies,
+/// environment fallbacks for undefined variables, unmatched Set messages)
+/// through `engine` under diag::codes::kCodegenThreads. Output is
+/// byte-identical to the overload above.
+CppProgram generate_cpp_threads(const uml::Model& model, std::size_t iterations,
+                                diag::DiagnosticEngine& engine);
 
 }  // namespace uhcg::codegen

@@ -9,6 +9,10 @@
 //
 // Step 1 (building the UML model) is the designer's: the uml::ModelBuilder
 // or an XMI file.
+//
+// Since the flow-layer refactor these entry points are thin wrappers over
+// the pass pipeline in flow/caam_passes.hpp (library: uhcg_flow); the
+// individual steps are observable passes with per-stage metrics there.
 #pragma once
 
 #include <optional>
@@ -49,7 +53,15 @@ struct MapperReport {
     Allocation allocation;
     ChannelReport channels;
     DelayReport delays;
-    std::vector<std::string> warnings;
+    /// Every diagnostic this run reported — the DiagnosticEngine slice for
+    /// the pipeline invocation (also populated by the throwing variants,
+    /// which collect through an internal engine). The single source of
+    /// truth for warnings.
+    std::vector<diag::Diagnostic> diagnostics;
+    /// Legacy warning strings, derived from `diagnostics` (severity
+    /// Warning only, rendered exactly as the pre-flow pipeline mirrored
+    /// them: well-formedness warnings prefixed "uml: ").
+    std::vector<std::string> warnings() const;
 };
 
 /// Runs steps 2–3 and returns the synthesizable CAAM.

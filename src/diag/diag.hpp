@@ -86,6 +86,13 @@ inline constexpr const char* kSimWatchdog = "sim.watchdog";
 inline constexpr const char* kSimStructure = "sim.structure";
 inline constexpr const char* kKpnReadBlocked = "kpn.read-blocked";
 inline constexpr const char* kKpnWatchdog = "kpn.watchdog";
+// Flow layer: pass manager + strategy dispatch
+inline constexpr const char* kFlowMissingArtifact = "flow.missing-artifact";
+inline constexpr const char* kFlowStrategy = "flow.strategy";
+// Control-flow branch (UML state machine → FSM → C)
+inline constexpr const char* kFsmInvalid = "fsm.invalid";
+// Fallback multithreaded C++ branch
+inline constexpr const char* kCodegenThreads = "codegen.threads";
 }  // namespace codes
 
 /// Collects diagnostics from every stage of one pipeline run.

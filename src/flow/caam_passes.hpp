@@ -1,0 +1,107 @@
+// caam_passes.hpp — the Fig. 2 steps 2–4 re-expressed as flow passes.
+//
+// The former core/pipeline monolith becomes individual passes over the
+// artifact store:
+//
+//   uml.wellformed   §4.1 convention checks (gate)
+//   core.comm        communication analysis over sequence diagrams
+//   core.allocate    thread → processor allocation (§4.2.3 or deployment)
+//   core.mapping     rule-based model-to-model transformation (step 2)
+//   caam.lift        generic CAAM → typed simulink::Model
+//   caam.channels    §4.2.1 channel inference (in place)
+//   caam.delays      §4.2.2 temporal-barrier insertion (in place)
+//   caam.validate    CAAM conformance gate (engine mode only)
+//   simulink.emit    step 4 model-to-text (.mdl), when requested
+//
+// Two modes preserve the two historical pipeline surfaces byte-for-byte:
+// Engine mode collects every issue as diagnostics and fails softly (the
+// recovering CLI behaviour); Throwing mode throws on ill-formed input and
+// propagates mapping exceptions (the library convenience behaviour, which
+// also skips CAAM validation).
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "flow/pass.hpp"
+#include "uml/wellformed.hpp"
+
+namespace uhcg::flow {
+
+/// The source UML model, seeded by the caller. Non-owning: keep the model
+/// alive for the lifetime of the store.
+struct SourceModel {
+    const uml::Model* model = nullptr;
+};
+
+/// §4.1 well-formedness issues, kept for report assembly.
+struct WellformedReport {
+    std::vector<uml::Issue> issues;
+};
+
+/// The emitted .mdl text (produced by the "simulink.emit" pass).
+struct MdlText {
+    std::string text;
+};
+
+template <>
+struct ArtifactTraits<SourceModel> {
+    static constexpr const char* name = "uml.model";
+};
+template <>
+struct ArtifactTraits<WellformedReport> {
+    static constexpr const char* name = "uml.issues";
+};
+template <>
+struct ArtifactTraits<core::CommModel> {
+    static constexpr const char* name = "core.comm";
+};
+template <>
+struct ArtifactTraits<core::Allocation> {
+    static constexpr const char* name = "core.allocation";
+};
+template <>
+struct ArtifactTraits<core::MappingOutput> {
+    static constexpr const char* name = "core.caam-generic";
+};
+template <>
+struct ArtifactTraits<simulink::Model> {
+    static constexpr const char* name = "simulink.caam";
+};
+template <>
+struct ArtifactTraits<core::ChannelReport> {
+    static constexpr const char* name = "caam.channel-report";
+};
+template <>
+struct ArtifactTraits<core::DelayReport> {
+    static constexpr const char* name = "caam.delay-report";
+};
+template <>
+struct ArtifactTraits<MdlText> {
+    static constexpr const char* name = "simulink.mdl";
+};
+
+enum class CaamPipelineMode {
+    /// Report through the DiagnosticEngine, fail softly, validate the CAAM.
+    Engine,
+    /// Throw std::runtime_error on ill-formed models, propagate exceptions,
+    /// skip validation — the legacy library surface.
+    Throwing,
+};
+
+/// Registers the steps 2–3 passes (through caam.delays/caam.validate).
+/// `options` gates the optional optimization passes exactly as the
+/// monolith did.
+void register_caam_passes(PassManager& pm, const core::MapperOptions& options,
+                          CaamPipelineMode mode);
+
+/// Additionally registers the step-4 "simulink.emit" pass producing MdlText.
+void register_mdl_emit_pass(PassManager& pm, const core::MapperOptions& options);
+
+/// Assembles the legacy MapperReport from the store plus the diagnostics
+/// `engine` recorded since `first_diagnostic` (the run's slice).
+void fill_mapper_report(core::MapperReport& report, const ArtifactStore& store,
+                        const diag::DiagnosticEngine& engine,
+                        std::size_t first_diagnostic);
+
+}  // namespace uhcg::flow

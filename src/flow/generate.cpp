@@ -1,0 +1,123 @@
+#include "flow/generate.hpp"
+
+#include "flow/caam_passes.hpp"
+
+namespace uhcg::flow {
+
+template <>
+struct ArtifactTraits<PartitionReport> {
+    static constexpr const char* name = "flow.partition-report";
+};
+
+namespace {
+
+std::string join(const std::vector<std::string>& names) {
+    std::string out;
+    for (const std::string& n : names) out += (out.empty() ? "" : "+") + n;
+    return out;
+}
+
+}  // namespace
+
+GenerateResult generate(const uml::Model& model, const GenerateOptions& options_in,
+                        diag::DiagnosticEngine& engine, FlowTrace* trace) {
+    GenerateResult result;
+    if (trace) trace->set_model(model.name());
+
+    // One-shot surface: when the model ships no deployment diagram the
+    // only viable allocation is the §4.2.3 automatic one — switch to it
+    // instead of failing the CAAM branch.
+    GenerateOptions options = options_in;
+    if (!options.mapper.auto_allocate && model.deployment_or_null() == nullptr) {
+        options.mapper.auto_allocate = true;
+        engine.note(diag::codes::kFlowStrategy,
+                    "model '" + model.name() +
+                        "' has no deployment diagram; using automatic "
+                        "allocation (§4.2.3)");
+    }
+
+    // Stage 1: the partitioner, run as a pass so it lands in the trace.
+    ArtifactStore store;
+    store.put(SourceModel{&model});
+    PassManager pm("flow");
+    pm.add(Pass("flow.partition",
+                [](PassContext& ctx) {
+                    const uml::Model& m = *ctx.in<SourceModel>().model;
+                    PartitionReport& report = ctx.out(partition(m));
+                    ctx.count("subsystems", report.subsystems.size());
+                    ctx.count("feedback-cycles", report.feedback_cycles);
+                    for (const Subsystem& s : report.subsystems)
+                        if (s.kind == SubsystemKind::ControlFlow)
+                            ctx.count("control-flow");
+                        else
+                            ctx.count("dataflow");
+                })
+           .reads<SourceModel>()
+           .writes<PartitionReport>());
+    auto run = pm.run(store, engine, trace, "partition");
+    if (!run.ok || !store.has<PartitionReport>()) {
+        result.ok = false;
+        return result;
+    }
+    result.partitions = std::move(store.require<PartitionReport>());
+
+    // Stage 2: dispatch each subsystem to the strategies that handle it.
+    StrategyRegistry registry = StrategyRegistry::with_builtins();
+    for (const Subsystem& subsystem : result.partitions.subsystems) {
+        std::vector<std::string> wanted;
+        if (subsystem.machine) {
+            wanted.push_back("fsm-c");
+        } else {
+            wanted.push_back("simulink-caam");
+            if (options.fallback_cpp) wanted.push_back("cpp-threads");
+            if (options.with_kpn) wanted.push_back("kpn");
+        }
+
+        std::vector<std::string> dispatched;
+        for (const std::string& name : wanted) {
+            Strategy* strategy = registry.find(name);
+            if (!strategy || !strategy->handles(subsystem)) {
+                engine.note(diag::codes::kFlowStrategy,
+                            "strategy '" + name + "' does not handle "
+                            "subsystem '" + subsystem.name + "'");
+                continue;
+            }
+            dispatched.push_back(name);
+
+            StrategyContext context;
+            context.model = &model;
+            context.subsystem = &subsystem;
+            context.mapper = options.mapper;
+            context.iterations = options.iterations;
+            StrategyResult sr = strategy->generate(context, engine, trace);
+            if (!sr.ok) result.ok = false;
+            if (trace)
+                for (const GeneratedFile& f : sr.files)
+                    trace->add_output({f.name, name, f.contents.size()});
+            result.results.push_back(std::move(sr));
+        }
+
+        if (trace) {
+            TracePartition tp;
+            tp.name = subsystem.name;
+            tp.kind = std::string(to_string(subsystem.kind));
+            tp.strategy = join(dispatched);
+            if (subsystem.machine) {
+                tp.units.push_back(subsystem.machine->name());
+            } else {
+                for (const uml::ObjectInstance* t : subsystem.threads)
+                    tp.units.push_back(t->name());
+            }
+            trace->add_partition(std::move(tp));
+        }
+        if (dispatched.empty()) {
+            engine.warning(diag::codes::kFlowStrategy,
+                           "no registered strategy handles subsystem '" +
+                               subsystem.name + "'");
+            result.ok = false;
+        }
+    }
+    return result;
+}
+
+}  // namespace uhcg::flow

@@ -1,0 +1,40 @@
+// generate.hpp — the one-shot heterogeneous driver: Fig. 1 end to end.
+//
+// One call partitions a mixed UML model, routes every subsystem to the
+// strategies that handle it (dataflow → simulink-caam, control machines →
+// fsm-c, plus the multithreaded C++ fallback and the optional KPN
+// retargeting) and collects every generated file. Each stage — the
+// partitioner included — runs as a pass, so a single FlowTrace covers the
+// whole run with per-stage wall time, counters and diagnostics.
+#pragma once
+
+#include "flow/strategy.hpp"
+
+namespace uhcg::flow {
+
+struct GenerateOptions {
+    core::MapperOptions mapper;
+    /// Loop bound for the fallback threads generator.
+    std::size_t iterations = 100;
+    /// Also emit the multithreaded C++ program for thread subsystems
+    /// ("in case a Simulink compiler is not available").
+    bool fallback_cpp = true;
+    /// Also emit the §3 KPN retargeting summary for thread subsystems.
+    bool with_kpn = false;
+};
+
+struct GenerateResult {
+    PartitionReport partitions;
+    std::vector<StrategyResult> results;
+    /// False when the partition pass or any dispatched strategy failed.
+    bool ok = true;
+};
+
+/// Partitions `model`, dispatches each subsystem to its strategies and
+/// collects the generated files. Diagnostics land in `engine`; `trace`
+/// (optional) receives every pass entry, partition and output record.
+GenerateResult generate(const uml::Model& model, const GenerateOptions& options,
+                        diag::DiagnosticEngine& engine,
+                        FlowTrace* trace = nullptr);
+
+}  // namespace uhcg::flow

@@ -1,0 +1,121 @@
+// pipeline_compat.cpp — the legacy core::map_to_caam / core::generate_mdl
+// surfaces, re-expressed as thin wrappers over the flow pass pipeline.
+// Every caller of core/pipeline.hpp gets the pass-manager substrate (and
+// its observability) without source changes; outputs are byte-identical to
+// the pre-flow monolith.
+#include "core/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "flow/caam_passes.hpp"
+
+namespace uhcg::core {
+
+namespace {
+
+flow::PassManager make_manager(const MapperOptions& options,
+                               flow::CaamPipelineMode mode, bool with_emit) {
+    flow::PassManager pm("core.pipeline");
+    flow::register_caam_passes(pm, options, mode);
+    if (with_emit) flow::register_mdl_emit_pass(pm, options);
+    return pm;
+}
+
+}  // namespace
+
+std::vector<std::string> MapperReport::warnings() const {
+    std::vector<std::string> out;
+    for (const diag::Diagnostic& d : diagnostics) {
+        if (d.severity != diag::Severity::Warning) continue;
+        if (d.code.rfind("uml.", 0) == 0)
+            out.push_back("uml: " + d.message);
+        else
+            out.push_back(d.message);
+    }
+    return out;
+}
+
+std::optional<simulink::Model> map_to_caam(const uml::Model& model,
+                                           const MapperOptions& options,
+                                           diag::DiagnosticEngine& engine,
+                                           MapperReport* report) {
+    MapperReport local;
+    MapperReport& r = report ? *report : local;
+    const std::size_t first_diag = engine.size();
+
+    flow::ArtifactStore store;
+    store.put(flow::SourceModel{&model});
+    flow::PassManager pm =
+        make_manager(options, flow::CaamPipelineMode::Engine, false);
+    auto result = pm.run(store, engine);
+    flow::fill_mapper_report(r, store, engine, first_diag);
+    if (!result.ok) return std::nullopt;
+    simulink::Model* caam = store.get<simulink::Model>();
+    if (!caam) return std::nullopt;
+    return std::move(*caam);
+}
+
+std::optional<std::string> generate_mdl(const uml::Model& model,
+                                        const MapperOptions& options,
+                                        diag::DiagnosticEngine& engine,
+                                        MapperReport* report) {
+    MapperReport local;
+    MapperReport& r = report ? *report : local;
+    const std::size_t first_diag = engine.size();
+
+    flow::ArtifactStore store;
+    store.put(flow::SourceModel{&model});
+    flow::PassManager pm =
+        make_manager(options, flow::CaamPipelineMode::Engine, true);
+    auto result = pm.run(store, engine);
+    flow::fill_mapper_report(r, store, engine, first_diag);
+    if (!result.ok) return std::nullopt;
+    flow::MdlText* mdl = store.get<flow::MdlText>();
+    if (!mdl) return std::nullopt;
+    return std::move(mdl->text);
+}
+
+simulink::Model map_to_caam(const uml::Model& model, const MapperOptions& options,
+                            MapperReport* report) {
+    MapperReport local;
+    MapperReport& r = report ? *report : local;
+
+    // The throwing surface still records diagnostics — into an internal
+    // engine whose slice lands in the report, where warnings() derives the
+    // legacy strings from it.
+    diag::DiagnosticEngine internal;
+    flow::ArtifactStore store;
+    store.put(flow::SourceModel{&model});
+    flow::PassManager pm =
+        make_manager(options, flow::CaamPipelineMode::Throwing, false);
+    try {
+        pm.run(store, internal);
+    } catch (...) {
+        flow::fill_mapper_report(r, store, internal, 0);
+        throw;
+    }
+    flow::fill_mapper_report(r, store, internal, 0);
+    return std::move(store.require<simulink::Model>());
+}
+
+std::string generate_mdl(const uml::Model& model, const MapperOptions& options,
+                         MapperReport* report) {
+    MapperReport local;
+    MapperReport& r = report ? *report : local;
+
+    diag::DiagnosticEngine internal;
+    flow::ArtifactStore store;
+    store.put(flow::SourceModel{&model});
+    flow::PassManager pm =
+        make_manager(options, flow::CaamPipelineMode::Throwing, true);
+    try {
+        pm.run(store, internal);
+    } catch (...) {
+        flow::fill_mapper_report(r, store, internal, 0);
+        throw;
+    }
+    flow::fill_mapper_report(r, store, internal, 0);
+    return std::move(store.require<flow::MdlText>().text);
+}
+
+}  // namespace uhcg::core

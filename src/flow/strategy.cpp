@@ -1,0 +1,258 @@
+#include "flow/strategy.hpp"
+
+#include "codegen/uml_to_cpp.hpp"
+#include "flow/caam_passes.hpp"
+#include "fsm/codegen.hpp"
+#include "fsm/from_uml.hpp"
+#include "fsm/machine.hpp"
+#include "kpn/from_uml.hpp"
+#include "transform/text.hpp"
+
+namespace uhcg::flow {
+
+/// The machine a control-flow strategy consumes (non-owning).
+struct SourceMachine {
+    const uml::StateMachine* machine = nullptr;
+};
+
+template <>
+struct ArtifactTraits<SourceMachine> {
+    static constexpr const char* name = "uml.statemachine";
+};
+template <>
+struct ArtifactTraits<fsm::Machine> {
+    static constexpr const char* name = "fsm.machine";
+};
+template <>
+struct ArtifactTraits<fsm::GeneratedC> {
+    static constexpr const char* name = "fsm.c";
+};
+template <>
+struct ArtifactTraits<codegen::CppProgram> {
+    static constexpr const char* name = "codegen.cpp-threads";
+};
+template <>
+struct ArtifactTraits<kpn::KpnMappingOutput> {
+    static constexpr const char* name = "kpn.network";
+};
+
+namespace {
+
+std::string group_label(std::string_view strategy, const Subsystem& subsystem) {
+    return std::string(strategy) + ":" + subsystem.name;
+}
+
+/// Dataflow branch: the full steps 2–4 pass pipeline ending in .mdl text.
+class CaamStrategy final : public Strategy {
+public:
+    std::string_view name() const override { return "simulink-caam"; }
+    bool handles(const Subsystem& s) const override {
+        return s.machine == nullptr && !s.threads.empty();
+    }
+
+    StrategyResult generate(const StrategyContext& context,
+                            diag::DiagnosticEngine& engine,
+                            FlowTrace* trace) override {
+        StrategyResult result;
+        result.strategy = std::string(name());
+        result.subsystem = context.subsystem->name;
+
+        const std::size_t first_diag = engine.size();
+        ArtifactStore store;
+        store.put(SourceModel{context.model});
+        PassManager pm("simulink-caam");
+        register_caam_passes(pm, context.mapper, CaamPipelineMode::Engine);
+        register_mdl_emit_pass(pm, context.mapper);
+        auto run = pm.run(store, engine, trace,
+                          group_label(name(), *context.subsystem));
+        fill_mapper_report(result.mapper_report, store, engine, first_diag);
+        result.ok = run.ok;
+        if (MdlText* mdl = store.get<MdlText>())
+            result.files.push_back(
+                {transform::sanitize_identifier(context.model->name()) + ".mdl",
+                 std::move(mdl->text)});
+        return result;
+    }
+};
+
+/// Control branch: UML state machine → flat FSM → C header + source.
+class FsmStrategy final : public Strategy {
+public:
+    std::string_view name() const override { return "fsm-c"; }
+    bool handles(const Subsystem& s) const override {
+        return s.machine != nullptr;
+    }
+
+    StrategyResult generate(const StrategyContext& context,
+                            diag::DiagnosticEngine& engine,
+                            FlowTrace* trace) override {
+        StrategyResult result;
+        result.strategy = std::string(name());
+        result.subsystem = context.subsystem->name;
+
+        ArtifactStore store;
+        store.put(SourceMachine{context.subsystem->machine});
+        PassManager pm("fsm-c");
+        pm.set_internal_error_code(diag::codes::kFsmInvalid);
+
+        pm.add(Pass("fsm.flatten",
+                    [](PassContext& ctx) {
+                        const uml::StateMachine& sm =
+                            *ctx.in<SourceMachine>().machine;
+                        fsm::Machine& machine = ctx.out(fsm::from_uml(sm));
+                        ctx.count("states", machine.state_count());
+                        ctx.count("transitions", machine.transitions().size());
+                        for (const std::string& p : machine.check())
+                            ctx.diags().error(diag::codes::kFsmInvalid,
+                                              machine.name() + ": " + p);
+                        if (ctx.diags().has_errors()) ctx.fail();
+                    })
+               .reads<SourceMachine>()
+               .writes<fsm::Machine>());
+
+        pm.add(Pass("fsm.emit-c",
+                    [](PassContext& ctx) {
+                        fsm::GeneratedC& code = ctx.out(
+                            fsm::generate_c(ctx.in<fsm::Machine>()));
+                        ctx.count("bytes",
+                                  code.header.size() + code.source.size());
+                    })
+               .reads<fsm::Machine>()
+               .writes<fsm::GeneratedC>());
+
+        auto run = pm.run(store, engine, trace,
+                          group_label(name(), *context.subsystem));
+        result.ok = run.ok;
+        if (fsm::GeneratedC* code = store.get<fsm::GeneratedC>()) {
+            result.files.push_back({code->header_name, std::move(code->header)});
+            result.files.push_back({code->source_name, std::move(code->source)});
+        }
+        return result;
+    }
+};
+
+/// Fallback branch: multithreaded C++ from the same model.
+class CppThreadsStrategy final : public Strategy {
+public:
+    std::string_view name() const override { return "cpp-threads"; }
+    bool handles(const Subsystem& s) const override {
+        return s.machine == nullptr && !s.threads.empty();
+    }
+
+    StrategyResult generate(const StrategyContext& context,
+                            diag::DiagnosticEngine& engine,
+                            FlowTrace* trace) override {
+        StrategyResult result;
+        result.strategy = std::string(name());
+        result.subsystem = context.subsystem->name;
+
+        ArtifactStore store;
+        store.put(SourceModel{context.model});
+        PassManager pm("cpp-threads");
+
+        const std::size_t iterations = context.iterations;
+        pm.add(Pass("codegen.threads",
+                    [iterations](PassContext& ctx) {
+                        const uml::Model& model = *ctx.in<SourceModel>().model;
+                        codegen::CppProgram& program =
+                            ctx.out(codegen::generate_cpp_threads(
+                                model, iterations, ctx.diags()));
+                        ctx.count("threads", program.thread_count);
+                        ctx.count("queues", program.queue_count);
+                        ctx.count("bytes", program.source.size());
+                    })
+               .reads<SourceModel>()
+               .writes<codegen::CppProgram>());
+
+        auto run = pm.run(store, engine, trace,
+                          group_label(name(), *context.subsystem));
+        result.ok = run.ok;
+        if (codegen::CppProgram* program = store.get<codegen::CppProgram>())
+            result.files.push_back(
+                {program->file_name, std::move(program->source)});
+        return result;
+    }
+};
+
+/// §3 retargeting: the KPN mapping, emitted as a network summary.
+class KpnStrategy final : public Strategy {
+public:
+    std::string_view name() const override { return "kpn"; }
+    bool handles(const Subsystem& s) const override {
+        return s.machine == nullptr && !s.threads.empty();
+    }
+
+    StrategyResult generate(const StrategyContext& context,
+                            diag::DiagnosticEngine& engine,
+                            FlowTrace* trace) override {
+        StrategyResult result;
+        result.strategy = std::string(name());
+        result.subsystem = context.subsystem->name;
+
+        ArtifactStore store;
+        store.put(SourceModel{context.model});
+        PassManager pm("kpn");
+
+        pm.add(Pass("kpn.map",
+                    [](PassContext& ctx) {
+                        const uml::Model& model = *ctx.in<SourceModel>().model;
+                        kpn::KpnMappingOutput& out =
+                            ctx.out(kpn::map_to_kpn(model));
+                        ctx.count("processes", out.network.processes().size());
+                        ctx.count("channels", out.network.channels().size());
+                        ctx.count("initial-tokens", out.initial_tokens_inserted);
+                        for (const std::string& w : out.warnings)
+                            ctx.diags().warning(diag::codes::kMapRule,
+                                                "kpn: " + w);
+                    })
+               .reads<SourceModel>()
+               .writes<kpn::KpnMappingOutput>());
+
+        auto run = pm.run(store, engine, trace,
+                          group_label(name(), *context.subsystem));
+        result.ok = run.ok;
+        if (kpn::KpnMappingOutput* out = store.get<kpn::KpnMappingOutput>()) {
+            transform::CodeWriter w;
+            w.line("# KPN '" + out->network.name() + "': " +
+                   std::to_string(out->network.processes().size()) +
+                   " processes, " +
+                   std::to_string(out->network.channels().size()) +
+                   " channels, " +
+                   std::to_string(out->initial_tokens_inserted) +
+                   " initial token(s)");
+            for (const kpn::ChannelDecl& c : out->network.channels())
+                w.line(c.producer->name() + " --" + c.variable + "--> " +
+                       c.consumer->name() +
+                       (c.initial_tokens ? "  [seeded]" : ""));
+            result.files.push_back(
+                {transform::sanitize_identifier(context.model->name()) +
+                     "_kpn.txt",
+                 w.str()});
+        }
+        return result;
+    }
+};
+
+}  // namespace
+
+StrategyRegistry& StrategyRegistry::add(std::unique_ptr<Strategy> strategy) {
+    strategies_.push_back(std::move(strategy));
+    return *this;
+}
+
+Strategy* StrategyRegistry::find(std::string_view name) {
+    for (const auto& s : strategies_)
+        if (s->name() == name) return s.get();
+    return nullptr;
+}
+
+StrategyRegistry StrategyRegistry::with_builtins() {
+    StrategyRegistry registry;
+    registry.add(std::make_unique<CaamStrategy>())
+        .add(std::make_unique<FsmStrategy>())
+        .add(std::make_unique<CppThreadsStrategy>())
+        .add(std::make_unique<KpnStrategy>());
+    return registry;
+}
+
+}  // namespace uhcg::flow

@@ -1,0 +1,79 @@
+// strategy.hpp — heterogeneous generation strategies behind one interface.
+//
+// Fig. 1's branches become registered strategies the dispatcher routes
+// subsystem partitions to:
+//
+//   simulink-caam   dataflow branch: steps 2–4, UML → CAAM → .mdl
+//   fsm-c           control branch: UML state machine → flat FSM → C
+//   cpp-threads     fallback branch: UML → multithreaded C++ ("in case a
+//                   Simulink compiler is not available")
+//   kpn             §3 retargeting: UML → Kahn process network summary
+//
+// Every strategy runs its stages through a PassManager, so each lands in
+// the shared FlowTrace with per-stage wall time, counters and diagnostics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "flow/partition.hpp"
+#include "flow/pass.hpp"
+
+namespace uhcg::flow {
+
+/// What a strategy is asked to generate.
+struct StrategyContext {
+    const uml::Model* model = nullptr;
+    const Subsystem* subsystem = nullptr;
+    core::MapperOptions mapper;
+    /// Loop bound for the fallback threads / KPN dry-run style generators.
+    std::size_t iterations = 100;
+};
+
+struct GeneratedFile {
+    std::string name;
+    std::string contents;
+};
+
+struct StrategyResult {
+    std::string strategy;
+    std::string subsystem;
+    bool ok = true;
+    std::vector<GeneratedFile> files;
+    /// Legacy mapping report; populated by the simulink-caam strategy only.
+    core::MapperReport mapper_report;
+};
+
+class Strategy {
+public:
+    virtual ~Strategy() = default;
+    virtual std::string_view name() const = 0;
+    /// True when this strategy can consume `subsystem`.
+    virtual bool handles(const Subsystem& subsystem) const = 0;
+    /// Generates artifacts for one subsystem, reporting through `engine`
+    /// and tracing each internal pass (group = "<name>:<subsystem>").
+    virtual StrategyResult generate(const StrategyContext& context,
+                                    diag::DiagnosticEngine& engine,
+                                    FlowTrace* trace) = 0;
+};
+
+/// Name-keyed strategy registry; lookup order is registration order.
+class StrategyRegistry {
+public:
+    StrategyRegistry& add(std::unique_ptr<Strategy> strategy);
+    Strategy* find(std::string_view name);
+    const std::vector<std::unique_ptr<Strategy>>& strategies() const {
+        return strategies_;
+    }
+    /// The four built-in branches of Fig. 1, registration order:
+    /// simulink-caam, fsm-c, cpp-threads, kpn.
+    static StrategyRegistry with_builtins();
+
+private:
+    std::vector<std::unique_ptr<Strategy>> strategies_;
+};
+
+}  // namespace uhcg::flow

@@ -7,14 +7,14 @@ namespace uhcg::transform {
 void Trace::record(const model::Object& source, const std::string& rule,
                    model::Object& target) {
     links_.push_back({&source, rule, &target});
-    by_source_rule_[{&source, rule}].push_back(links_.size() - 1);
+    by_source_rule_[Key(&source, rule)].push_back(links_.size() - 1);
     first_by_source_.emplace(&source, links_.size() - 1);
 }
 
 std::vector<model::Object*> Trace::targets(const model::Object& source,
                                            const std::string& rule) const {
     std::vector<model::Object*> out;
-    auto it = by_source_rule_.find({&source, rule});
+    auto it = by_source_rule_.find(Key(&source, rule));
     if (it == by_source_rule_.end()) return out;
     for (std::size_t i : it->second) out.push_back(links_[i].target);
     return out;
@@ -27,7 +27,7 @@ model::Object* Trace::resolve(const model::Object& source) const {
 
 model::Object* Trace::resolve(const model::Object& source,
                               const std::string& rule) const {
-    auto it = by_source_rule_.find({&source, rule});
+    auto it = by_source_rule_.find(Key(&source, rule));
     if (it == by_source_rule_.end() || it->second.empty()) return nullptr;
     return links_[it->second.front()].target;
 }

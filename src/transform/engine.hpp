@@ -22,6 +22,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "model/object.hpp"
@@ -52,11 +53,30 @@ private:
         std::string rule;
         model::Object* target;
     };
+    // (source, rule) hashed once at construction: resolve() is on the hot
+    // path of every cross-reference a rule body wires, and rehashing the
+    // rule string per probe (and again on table growth) dominated it.
+    struct Key {
+        const model::Object* source;
+        std::string rule;
+        std::size_t hash;
+        Key(const model::Object* s, std::string r)
+            : source(s), rule(std::move(r)) {
+            std::size_t h = std::hash<const model::Object*>{}(source);
+            hash = h ^ (std::hash<std::string>{}(rule) + 0x9e3779b97f4a7c15ULL +
+                        (h << 6) + (h >> 2));
+        }
+        bool operator==(const Key& o) const {
+            return source == o.source && rule == o.rule;
+        }
+    };
+    struct KeyHash {
+        std::size_t operator()(const Key& k) const { return k.hash; }
+    };
     std::vector<Link> links_;
-    // (source, rule) → link indices, for O(log n) resolution.
-    std::map<std::pair<const model::Object*, std::string>, std::vector<std::size_t>>
-        by_source_rule_;
-    std::map<const model::Object*, std::size_t> first_by_source_;
+    // (source, rule) → link indices, for O(1) resolution.
+    std::unordered_map<Key, std::vector<std::size_t>, KeyHash> by_source_rule_;
+    std::unordered_map<const model::Object*, std::size_t> first_by_source_;
 };
 
 class Engine;

@@ -332,6 +332,7 @@ public:
     Model& operator=(Model&& other) noexcept;
 
     const std::string& name() const { return name_; }
+    void set_name(std::string name) { name_ = std::move(name); }
 
     Class& add_class(std::string name);
     Class* find_class(std::string_view name);

@@ -40,6 +40,7 @@ protected:
         fs::create_directories(dir);
         uml::save_xmi(cases::crane_model(), (dir / "crane.xmi").string());
         uml::save_xmi(cases::synthetic_model(), (dir / "synthetic.xmi").string());
+        uml::save_xmi(cases::mixed_model(), (dir / "mixed.xmi").string());
     }
 
     /// Runs the CLI; returns exit status, captures stdout+stderr.
@@ -99,6 +100,26 @@ TEST_F(CliTest, ThreadsEmitsCpp) {
                      std::istreambuf_iterator<char>());
     EXPECT_NE(text.find("k < 5"), std::string::npos);
     EXPECT_NE(text.find("run_T1"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateEmitsHeterogeneousOutputsAndTrace) {
+    std::string out;
+    ASSERT_EQ(
+        run("generate mixed.xmi --out gen --trace-json trace.json", &out), 0);
+    EXPECT_NE(out.find("control:Elevator [control-flow]"), std::string::npos);
+    EXPECT_TRUE(fs::exists(dir / "gen" / "mixed.mdl"));
+    EXPECT_TRUE(fs::exists(dir / "gen" / "Elevator_fsm.c"));
+    EXPECT_TRUE(fs::exists(dir / "gen" / "Elevator_fsm.h"));
+    EXPECT_TRUE(fs::exists(dir / "gen" / "mixed_threads.cpp"));
+    std::ifstream in(dir / "trace.json");
+    std::string trace((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    EXPECT_NE(trace.find("\"schema\": \"uhcg-flow-trace-v1\""),
+              std::string::npos);
+    EXPECT_NE(trace.find("\"fsm-c:control:Elevator\""), std::string::npos);
+    // The dispatcher's .mdl parses like any mapped model.
+    simulink::Model caam = simulink::load_mdl((dir / "gen" / "mixed.mdl").string());
+    EXPECT_EQ(caam.name(), "mixed");
 }
 
 TEST_F(CliTest, KpnPrintsChannels) {

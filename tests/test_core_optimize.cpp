@@ -344,7 +344,7 @@ TEST(ChannelInference, ContendedConsumerPortWarnsInsteadOfCrashing) {
     MapperReport report;
     simulink::Model caam = map_to_caam(b.take(), options, &report);
     bool warned = false;
-    for (const std::string& w : report.warnings)
+    for (const std::string& w : report.warnings())
         if (w.find("already driven") != std::string::npos) warned = true;
     EXPECT_TRUE(warned);
     // Exactly one of the two channels wired.

@@ -1,0 +1,323 @@
+// Tests for the flow layer: artifact store type safety, deterministic
+// pass scheduling, the subsystem partitioner, the strategy dispatcher and
+// the uhcg-flow-trace-v1 JSON document.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cases/cases.hpp"
+#include "core/pipeline.hpp"
+#include "flow/caam_passes.hpp"
+#include "flow/generate.hpp"
+#include "flow/partition.hpp"
+#include "flow/pass.hpp"
+#include "simulink/mdl.hpp"
+
+namespace {
+
+using namespace uhcg;
+
+struct Alpha {
+    int value = 0;
+};
+struct Beta {
+    std::string text;
+};
+struct Gamma {
+    int value = 0;
+};
+
+}  // namespace
+
+namespace uhcg::flow {
+template <>
+struct ArtifactTraits<Alpha> {
+    static constexpr const char* name = "test.alpha";
+};
+template <>
+struct ArtifactTraits<Beta> {
+    static constexpr const char* name = "test.beta";
+};
+template <>
+struct ArtifactTraits<Gamma> {
+    static constexpr const char* name = "test.gamma";
+};
+}  // namespace uhcg::flow
+
+namespace {
+
+// --- artifact store -----------------------------------------------------------------
+
+TEST(ArtifactStore, TypedPutGetRoundTrips) {
+    flow::ArtifactStore store;
+    EXPECT_FALSE(store.has<Alpha>());
+    store.put(Alpha{41});
+    ASSERT_TRUE(store.has<Alpha>());
+    EXPECT_EQ(store.get<Alpha>()->value, 41);
+    EXPECT_EQ(store.require<Alpha>().value, 41);
+    // Different type, same shape: no cross-talk.
+    EXPECT_FALSE(store.has<Gamma>());
+    EXPECT_EQ(store.get<Gamma>(), nullptr);
+}
+
+TEST(ArtifactStore, PutReplacesInPlace) {
+    flow::ArtifactStore store;
+    store.put(Alpha{1});
+    store.put(Alpha{2});
+    EXPECT_EQ(store.require<Alpha>().value, 2);
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ArtifactStore, RequireMissingThrowsFlowError) {
+    flow::ArtifactStore store;
+    EXPECT_THROW(store.require<Alpha>(), flow::FlowError);
+    try {
+        store.require<Alpha>();
+    } catch (const flow::FlowError& e) {
+        EXPECT_NE(std::string(e.what()).find("test.alpha"), std::string::npos);
+    }
+}
+
+TEST(ArtifactStore, NamesUseArtifactTraits) {
+    flow::ArtifactStore store;
+    store.put(Alpha{1});
+    store.put(Beta{"b"});
+    std::vector<std::string> names = store.names();
+    EXPECT_NE(std::find(names.begin(), names.end(), "test.alpha"), names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "test.beta"), names.end());
+}
+
+// --- scheduling ---------------------------------------------------------------------
+
+flow::Pass make_pass(const char* name) {
+    return flow::Pass(name, [](flow::PassContext&) {});
+}
+
+TEST(PassManager, ScheduleFollowsArtifactDependencies) {
+    flow::PassManager pm("t");
+    // Registered consumer-first: the schedule must still run producers first.
+    pm.add(make_pass("consume").reads<Beta>());
+    pm.add(make_pass("mid").reads<Alpha>().writes<Beta>());
+    pm.add(make_pass("produce").writes<Alpha>());
+    std::vector<std::string> order;
+    for (const flow::Pass* p : pm.schedule()) order.push_back(p->name);
+    EXPECT_EQ(order,
+              (std::vector<std::string>{"produce", "mid", "consume"}));
+}
+
+TEST(PassManager, ScheduleIsDeterministicAcrossRuns) {
+    auto build = [] {
+        flow::PassManager pm("t");
+        pm.add(make_pass("c").reads<Alpha>());
+        pm.add(make_pass("a").writes<Alpha>());
+        pm.add(make_pass("b").reads<Alpha>());
+        pm.add(make_pass("d"));
+        return pm;
+    };
+    flow::PassManager first = build();
+    std::vector<std::string> baseline;
+    for (const flow::Pass* p : first.schedule()) baseline.push_back(p->name);
+    // Independent passes tie-break by registration order.
+    EXPECT_EQ(baseline, (std::vector<std::string>{"a", "c", "b", "d"}));
+    for (int i = 0; i < 10; ++i) {
+        flow::PassManager pm = build();
+        std::vector<std::string> order;
+        for (const flow::Pass* p : pm.schedule()) order.push_back(p->name);
+        EXPECT_EQ(order, baseline);
+    }
+}
+
+TEST(PassManager, ExplicitAfterEdgeOrders) {
+    flow::PassManager pm("t");
+    pm.add(make_pass("late").runs_after("early"));
+    pm.add(make_pass("early"));
+    std::vector<std::string> order;
+    for (const flow::Pass* p : pm.schedule()) order.push_back(p->name);
+    EXPECT_EQ(order, (std::vector<std::string>{"early", "late"}));
+}
+
+TEST(PassManager, DuplicateProducerIsAnError) {
+    flow::PassManager pm("t");
+    pm.add(make_pass("one").writes<Alpha>());
+    pm.add(make_pass("two").writes<Alpha>());
+    EXPECT_THROW(pm.schedule(), flow::FlowError);
+}
+
+TEST(PassManager, DependencyCycleIsAnError) {
+    flow::PassManager pm("t");
+    pm.add(make_pass("a").runs_after("b"));
+    pm.add(make_pass("b").runs_after("a"));
+    EXPECT_THROW(pm.schedule(), flow::FlowError);
+}
+
+TEST(PassManager, MissingSeedBecomesDiagnosticNotThrow) {
+    flow::PassManager pm("t");
+    pm.add(make_pass("needs-alpha").reads<Alpha>());
+    flow::ArtifactStore store;  // Alpha not seeded
+    diag::DiagnosticEngine engine;
+    auto result = pm.run(store, engine);
+    EXPECT_FALSE(result.ok);
+    ASSERT_TRUE(engine.has_errors());
+    EXPECT_EQ(engine.diagnostics()[0].code, diag::codes::kFlowMissingArtifact);
+}
+
+TEST(PassManager, TrapsExceptionsAsFatalDiagnostics) {
+    flow::PassManager pm("t");
+    pm.add(flow::Pass("boom", [](flow::PassContext&) {
+        throw std::runtime_error("kaput");
+    }));
+    flow::ArtifactStore store;
+    diag::DiagnosticEngine engine;
+    auto result = pm.run(store, engine);
+    EXPECT_FALSE(result.ok);
+    ASSERT_TRUE(engine.has_errors());
+    EXPECT_EQ(engine.diagnostics()[0].message, "kaput");
+}
+
+TEST(PassManager, CountersAndTimingsLandInTrace) {
+    flow::PassManager pm("t");
+    pm.add(flow::Pass("count", [](flow::PassContext& ctx) {
+        ctx.count("widgets", 3);
+        ctx.count("widgets", 2);
+    }));
+    flow::ArtifactStore store;
+    diag::DiagnosticEngine engine;
+    flow::FlowTrace trace;
+    auto result = pm.run(store, engine, &trace, "grp");
+    EXPECT_TRUE(result.ok);
+    ASSERT_EQ(trace.entries().size(), 1u);
+    EXPECT_EQ(trace.entries()[0].pass, "count");
+    EXPECT_EQ(trace.entries()[0].group, "grp");
+    EXPECT_EQ(trace.entries()[0].counters.at("widgets"), 5u);
+    EXPECT_GE(trace.entries()[0].wall_ms, 0.0);
+}
+
+// --- partitioner --------------------------------------------------------------------
+
+TEST(Partitioner, CraneClosedLoopIsControlFlow) {
+    uml::Model model = cases::crane_model();
+    flow::PartitionReport report = flow::partition(model);
+    ASSERT_EQ(report.subsystems.size(), 1u);
+    EXPECT_EQ(report.subsystems[0].name, "threads");
+    EXPECT_EQ(report.subsystems[0].kind, flow::SubsystemKind::ControlFlow);
+    EXPECT_GE(report.feedback_cycles, 1u);
+    EXPECT_EQ(report.dominant, flow::SubsystemKind::ControlFlow);
+}
+
+TEST(Partitioner, DidacticPipelineIsDataflow) {
+    uml::Model model = cases::didactic_model();
+    flow::PartitionReport report = flow::partition(model);
+    ASSERT_EQ(report.subsystems.size(), 1u);
+    EXPECT_EQ(report.subsystems[0].kind, flow::SubsystemKind::Dataflow);
+    EXPECT_EQ(report.feedback_cycles, 0u);
+    EXPECT_EQ(report.dominant, flow::SubsystemKind::Dataflow);
+}
+
+TEST(Partitioner, MixedModelSplitsControlAndThreads) {
+    uml::Model model = cases::mixed_model();
+    flow::PartitionReport report = flow::partition(model);
+    ASSERT_EQ(report.subsystems.size(), 2u);
+    EXPECT_EQ(report.subsystems[0].name, "control:Elevator");
+    EXPECT_NE(report.subsystems[0].machine, nullptr);
+    EXPECT_EQ(report.subsystems[1].name, "threads");
+    EXPECT_EQ(report.subsystems[1].threads.size(), 3u);
+}
+
+// --- legacy wrapper fidelity --------------------------------------------------------
+
+TEST(PipelineCompat, EngineAndThrowingSurfacesAgree) {
+    core::MapperOptions options;
+    diag::DiagnosticEngine engine;
+    core::MapperReport engine_report;
+    auto via_engine = core::generate_mdl(cases::crane_model(), options, engine,
+                                         &engine_report);
+    ASSERT_TRUE(via_engine.has_value());
+    core::MapperReport throwing_report;
+    std::string via_throw =
+        core::generate_mdl(cases::crane_model(), options, &throwing_report);
+    EXPECT_EQ(*via_engine, via_throw);
+    EXPECT_EQ(engine_report.warnings(), throwing_report.warnings());
+    EXPECT_EQ(engine_report.delays.inserted, throwing_report.delays.inserted);
+}
+
+TEST(PipelineCompat, ThrowingSurfaceStillThrowsOnIllFormed) {
+    uml::Model empty("hollow");
+    EXPECT_THROW(core::generate_mdl(empty, {}), std::runtime_error);
+}
+
+TEST(PipelineCompat, WarningsViewDerivesFromDiagnostics) {
+    core::MapperReport report;
+    report.diagnostics.push_back({diag::Severity::Warning,
+                                  "uml.wellformed", "[w1] problem"});
+    report.diagnostics.push_back(
+        {diag::Severity::Warning, diag::codes::kMapRule, "rule skipped"});
+    report.diagnostics.push_back(
+        {diag::Severity::Error, diag::codes::kCaamInvalid, "not a warning"});
+    EXPECT_EQ(report.warnings(),
+              (std::vector<std::string>{"uml: [w1] problem", "rule skipped"}));
+}
+
+// --- heterogeneous generate ---------------------------------------------------------
+
+TEST(Generate, MixedModelProducesAllBranches) {
+    uml::Model model = cases::mixed_model();
+    flow::GenerateOptions options;
+    diag::DiagnosticEngine engine;
+    flow::FlowTrace trace;
+    flow::GenerateResult result =
+        flow::generate(model, options, engine, &trace);
+    EXPECT_TRUE(result.ok);
+
+    std::vector<std::string> files;
+    for (const flow::StrategyResult& sr : result.results)
+        for (const flow::GeneratedFile& f : sr.files) files.push_back(f.name);
+    auto has = [&](const char* name) {
+        return std::find(files.begin(), files.end(), name) != files.end();
+    };
+    EXPECT_TRUE(has("mixed.mdl"));
+    EXPECT_TRUE(has("elevator_fsm.c") || has("Elevator_fsm.c") ||
+                has("elevator.c"))
+        << "no FSM C source among generated files";
+    EXPECT_TRUE(has("mixed_threads.cpp"));
+
+    // The .mdl from the dispatcher equals the legacy wrapper's output.
+    std::string legacy = core::generate_mdl(cases::mixed_model(), {});
+    for (const flow::StrategyResult& sr : result.results)
+        if (sr.strategy == "simulink-caam")
+            for (const flow::GeneratedFile& f : sr.files)
+                if (f.name == "mixed.mdl") EXPECT_EQ(f.contents, legacy);
+}
+
+TEST(Generate, TraceJsonMatchesSchema) {
+    uml::Model model = cases::mixed_model();
+    flow::GenerateOptions options;
+    diag::DiagnosticEngine engine;
+    flow::FlowTrace trace;
+    flow::generate(model, options, engine, &trace);
+    std::string json = trace.to_json();
+    for (const char* needle :
+         {"\"schema\": \"uhcg-flow-trace-v1\"", "\"model\": \"mixed\"",
+          "\"passes\": [", "\"partitions\": [", "\"outputs\": [",
+          "\"totals\": {", "\"wall_ms\":", "\"counters\":",
+          "\"flow.partition\"", "\"uml.wellformed\"", "\"fsm.flatten\"",
+          "\"simulink-caam:threads\"", "\"fsm-c:control:Elevator\""}) {
+        EXPECT_NE(json.find(needle), std::string::npos)
+            << "missing from trace JSON: " << needle;
+    }
+    // Every pass ran under a group and the totals add up.
+    EXPECT_GT(trace.entries().size(), 6u);
+    for (const flow::PassTraceEntry& e : trace.entries())
+        EXPECT_FALSE(e.group.empty()) << e.pass;
+}
+
+TEST(Generate, FsmStrategySkippedWithoutMachines) {
+    uml::Model model = cases::didactic_model();
+    flow::GenerateOptions options;
+    diag::DiagnosticEngine engine;
+    flow::GenerateResult result = flow::generate(model, options, engine);
+    EXPECT_TRUE(result.ok);
+    for (const flow::StrategyResult& sr : result.results)
+        EXPECT_NE(sr.strategy, "fsm-c");
+}
+
+}  // namespace

@@ -33,7 +33,7 @@ protected:
 
 TEST_F(CraneEndToEnd, ModelValidates) {
     EXPECT_TRUE(simulink::validate_caam(caam).empty());
-    EXPECT_TRUE(report.warnings.empty());
+    EXPECT_TRUE(report.warnings().empty());
 }
 
 TEST_F(CraneEndToEnd, DeadlocksWithoutBarriersRunsWithThem) {
@@ -210,7 +210,7 @@ TEST(DidacticEndToEnd, EnforcementCanBeDisabled) {
     options.enforce_wellformedness = false;
     core::MapperReport report;
     EXPECT_NO_THROW(core::map_to_caam(b.take(), options, &report));
-    EXPECT_FALSE(report.warnings.empty());
+    EXPECT_FALSE(report.warnings().empty());
 }
 
 // --- property sweep over random applications -----------------------------------------

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
         {"didactic.xmi", cases::didactic_model()},
         {"crane.xmi", cases::crane_model()},
         {"synthetic.xmi", cases::synthetic_model()},
+        {"mixed.xmi", cases::mixed_model()},
     };
     for (Entry& e : entries) {
         uml::save_xmi(e.model, (dir / e.file).string());

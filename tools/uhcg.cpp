@@ -3,6 +3,10 @@
 // Fig. 2).
 //
 // Usage:
+//   uhcg generate <model.xmi> [options]     one-shot heterogeneous codegen:
+//                                           partition the model and run every
+//                                           matching strategy (.mdl + FSM C +
+//                                           fallback C++) with a flow trace
 //   uhcg map <model.xmi> [options]          UML → Simulink CAAM (.mdl)
 //   uhcg codegen <model.xmi> [options]      UML → CAAM → per-CPU C program
 //   uhcg threads <model.xmi> [options]      UML → multithreaded C++ (fallback)
@@ -13,7 +17,11 @@
 //   uhcg fuzz-xmi <model.xmi> [options]     fault-injection robustness sweep
 //
 // Common options:
-//   -o <path>            output file (map/threads) or directory (codegen)
+//   -o <path>            output file (map/threads) or directory (codegen,
+//   --out <path>         generate); --out is an alias for -o
+//   --trace-json <path>  generate: write the per-pass observability trace
+//                        (schema uhcg-flow-trace-v1) as JSON
+//   --with-kpn           generate: also emit the §3 KPN retargeting summary
 //   --auto-allocate      §4.2.3 linear clustering instead of the
 //                        deployment diagram
 //   --max-cpus <n>       processor budget for auto allocation
@@ -50,6 +58,7 @@
 #include "diag/diag.hpp"
 #include "diag/mutate.hpp"
 #include "dse/explore.hpp"
+#include "flow/generate.hpp"
 #include "kpn/execute.hpp"
 #include "kpn/from_uml.hpp"
 #include "sim/engine.hpp"
@@ -77,6 +86,8 @@ struct Cli {
     std::string input;
     std::string output;
     std::string dump_ecore;
+    std::string trace_json;
+    bool with_kpn = false;
     core::MapperOptions mapper;
     bool report = false;
     bool json_diagnostics = false;
@@ -89,11 +100,12 @@ struct Cli {
 int usage(const char* argv0) {
     std::cerr
         << "usage: " << argv0
-        << " <map|codegen|threads|kpn|explore|dot|check|fuzz-xmi> <model.xmi>"
-           " [options]\n"
-           "options: -o <path> --auto-allocate --max-cpus <n> --no-channels\n"
-           "         --no-delays --dump-ecore <path> --report\n"
+        << " <generate|map|codegen|threads|kpn|explore|dot|check|fuzz-xmi>"
+           " <model.xmi> [options]\n"
+           "options: -o|--out <path> --auto-allocate --max-cpus <n>\n"
+           "         --no-channels --no-delays --dump-ecore <path> --report\n"
            "         --json-diagnostics\n"
+           "         --trace-json <path> --with-kpn (generate command)\n"
            "         --jobs <n> (explore command; 0 = all hardware threads)\n"
            "         --iterations <n> (threads command)\n"
            "         --mutations <n> --seed <n> (fuzz-xmi command)\n"
@@ -126,10 +138,16 @@ bool parse_cli(int argc, char** argv, Cli& cli) {
             out = static_cast<std::decay_t<decltype(out)>>(parsed);
             return true;
         };
-        if (arg == "-o") {
+        if (arg == "-o" || arg == "--out") {
             const char* v = next();
             if (!v) return false;
             cli.output = v;
+        } else if (arg == "--trace-json") {
+            const char* v = next();
+            if (!v) return false;
+            cli.trace_json = v;
+        } else if (arg == "--with-kpn") {
+            cli.with_kpn = true;
         } else if (arg == "--auto-allocate") {
             cli.mapper.auto_allocate = true;
         } else if (arg == "--max-cpus") {
@@ -180,7 +198,7 @@ void print_report(const core::MapperReport& report) {
               << "\n  temporal barriers: " << report.delays.inserted << '\n';
     for (const std::string& loc : report.delays.locations)
         std::cout << "    " << loc << '\n';
-    for (const std::string& w : report.warnings)
+    for (const std::string& w : report.warnings())
         std::cout << "  warning: " << w << '\n';
 }
 
@@ -268,15 +286,62 @@ int cmd_codegen(const uml::Model& model, const Cli& cli,
     return kExitOk;
 }
 
-int cmd_threads(const uml::Model& model, const Cli& cli) {
+int cmd_threads(const uml::Model& model, const Cli& cli,
+                diag::DiagnosticEngine& engine) {
     codegen::CppProgram program =
-        codegen::generate_cpp_threads(model, cli.iterations);
+        codegen::generate_cpp_threads(model, cli.iterations, engine);
     std::string out_path = cli.output.empty() ? program.file_name : cli.output;
     std::ofstream(out_path) << program.source;
     std::cout << "wrote " << out_path << " (" << program.thread_count
               << " threads, " << program.queue_count
               << " queues; build: c++ -std=c++17 -pthread)\n";
     return kExitOk;
+}
+
+int cmd_generate(const uml::Model& model, const Cli& cli,
+                 diag::DiagnosticEngine& engine) {
+    flow::GenerateOptions options;
+    options.mapper = cli.mapper;
+    options.iterations = cli.iterations;
+    options.with_kpn = cli.with_kpn;
+    flow::FlowTrace trace;
+    flow::GenerateResult result = flow::generate(model, options, engine, &trace);
+
+    std::filesystem::path dir =
+        cli.output.empty() ? model.name() + "_gen" : cli.output;
+    std::filesystem::create_directories(dir);
+    std::size_t written = 0;
+    for (const flow::StrategyResult& sr : result.results)
+        for (const flow::GeneratedFile& f : sr.files) {
+            std::ofstream(dir / f.name) << f.contents;
+            ++written;
+        }
+
+    std::cout << "partitioned '" << model.name() << "' into "
+              << result.partitions.subsystems.size() << " subsystem(s)";
+    if (result.partitions.feedback_cycles)
+        std::cout << ", " << result.partitions.feedback_cycles
+                  << " feedback cycle(s)";
+    std::cout << ":\n";
+    for (const flow::Subsystem& s : result.partitions.subsystems)
+        std::cout << "  " << s.name << " [" << flow::to_string(s.kind) << "]\n";
+    for (const flow::StrategyResult& sr : result.results) {
+        std::cout << "  " << sr.strategy << " (" << sr.subsystem << "):";
+        if (!sr.ok) std::cout << " FAILED";
+        for (const flow::GeneratedFile& f : sr.files)
+            std::cout << ' ' << f.name;
+        std::cout << '\n';
+    }
+    std::cout << "wrote " << written << " file(s) to " << dir.string() << '\n';
+
+    if (!cli.trace_json.empty()) {
+        std::ofstream(cli.trace_json) << trace.to_json() << '\n';
+        std::cout << "wrote trace: " << cli.trace_json << '\n';
+    }
+    if (cli.report)
+        for (const flow::StrategyResult& sr : result.results)
+            if (sr.strategy == "simulink-caam") print_report(sr.mapper_report);
+    return result.ok ? kExitOk : kExitDiagnostics;
 }
 
 int cmd_kpn(const uml::Model& model, const Cli& cli,
@@ -438,8 +503,10 @@ int dispatch(const Cli& cli) {
             code = cmd_map(model, cli, engine);
         else if (cli.command == "codegen")
             code = cmd_codegen(model, cli, engine);
+        else if (cli.command == "generate")
+            code = cmd_generate(model, cli, engine);
         else if (cli.command == "threads")
-            code = cmd_threads(model, cli);
+            code = cmd_threads(model, cli, engine);
         else if (cli.command == "kpn")
             code = cmd_kpn(model, cli, engine);
         else if (cli.command == "explore")
