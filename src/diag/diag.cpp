@@ -190,6 +190,11 @@ std::string DiagnosticEngine::render_json() const {
     return out.str();
 }
 
+bool is_transient(std::string_view code) {
+    return code == codes::kFlowPassTimeout || code == codes::kFlowTransient ||
+           code == codes::kSimWatchdog || code == codes::kKpnWatchdog;
+}
+
 void DiagnosticEngine::clear() {
     diags_.clear();
     seen_.clear();

@@ -89,11 +89,24 @@ inline constexpr const char* kKpnWatchdog = "kpn.watchdog";
 // Flow layer: pass manager + strategy dispatch
 inline constexpr const char* kFlowMissingArtifact = "flow.missing-artifact";
 inline constexpr const char* kFlowStrategy = "flow.strategy";
+// Flow resilience layer: retry/budget enforcement + quarantine
+inline constexpr const char* kFlowPassTimeout = "flow.pass-timeout";
+inline constexpr const char* kFlowRetry = "flow.retry";
+inline constexpr const char* kFlowTransient = "flow.transient";
+inline constexpr const char* kFlowQuarantine = "flow.quarantine";
+inline constexpr const char* kFlowCheckpoint = "flow.checkpoint";
 // Control-flow branch (UML state machine → FSM → C)
 inline constexpr const char* kFsmInvalid = "fsm.invalid";
 // Fallback multithreaded C++ branch
 inline constexpr const char* kCodegenThreads = "codegen.threads";
 }  // namespace codes
+
+/// True for codes describing *transient* conditions — budget/watchdog
+/// trips and injected transient faults — the only failures a RetryPolicy
+/// is allowed to retry. Input defects (xmi.*, uml.*, caam.*) and internal
+/// errors are permanent: re-running the same pass on the same artifacts
+/// reproduces them, so retrying only burns the budget.
+bool is_transient(std::string_view code);
 
 /// Collects diagnostics from every stage of one pipeline run.
 class DiagnosticEngine {

@@ -141,7 +141,10 @@ void register_caam_passes(PassManager& pm, const core::MapperOptions& options,
                         ctx.count("problems", problems.size());
                         for (const std::string& p : problems)
                             ctx.diags().error(diag::codes::kCaamInvalid, p);
-                        if (ctx.diags().has_errors() &&
+                        // Gate on this CAAM's own problems, not the whole
+                        // engine: under quarantine another subsystem's
+                        // failure must not fail this one.
+                        if (!problems.empty() &&
                             options.enforce_wellformedness)
                             ctx.fail();
                     })
@@ -163,7 +166,10 @@ void register_mdl_emit_pass(PassManager& pm, const core::MapperOptions&) {
            .writes<MdlText>()
            .runs_after("caam.channels")
            .runs_after("caam.delays")
-           .runs_after("caam.validate"));
+           .runs_after("caam.validate")
+           // Present only in the resilient generate pipeline; ignored by
+           // the legacy wrappers, which never register the probe.
+           .runs_after("sim.schedulability"));
 }
 
 void fill_mapper_report(core::MapperReport& report, const ArtifactStore& store,

@@ -1,0 +1,122 @@
+#include "flow/checkpoint.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "flow/txout.hpp"
+
+namespace uhcg::flow {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kSchema = "uhcg-flow-checkpoint-v1";
+
+// One length-prefixed field: "<tag> <byte-count>\n<bytes>\n". Byte counts
+// make the format safe for arbitrary generated contents (newlines, quotes).
+void put_field(std::ostringstream& out, const char* tag,
+               std::string_view bytes) {
+    out << tag << ' ' << bytes.size() << '\n' << bytes << '\n';
+}
+
+bool get_field(std::istream& in, const std::string& expected_tag,
+               std::string& bytes) {
+    std::string tag;
+    std::size_t size = 0;
+    if (!(in >> tag >> size) || tag != expected_tag) return false;
+    if (in.get() != '\n') return false;
+    bytes.resize(size);
+    if (size && !in.read(bytes.data(), static_cast<std::streamsize>(size)))
+        return false;
+    return in.get() == '\n';
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(fs::path dir) : dir_(std::move(dir)) {
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    // Failure surfaces on save(); load() just misses.
+}
+
+std::uint64_t CheckpointStore::fnv1a(std::string_view bytes,
+                                     std::uint64_t hash) {
+    for (unsigned char c : bytes) {
+        hash ^= c;
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+std::string CheckpointStore::key(std::string_view model_bytes,
+                                 std::string_view options_fingerprint,
+                                 std::string_view strategy,
+                                 std::string_view subsystem) {
+    // Chain the fields through one running hash, separated so that the
+    // concatenation of two fields can't collide with a shifted split.
+    std::uint64_t h = fnv1a(model_bytes);
+    h = fnv1a("|", h);
+    h = fnv1a(options_fingerprint, h);
+    h = fnv1a("|", h);
+    h = fnv1a(strategy, h);
+    h = fnv1a("|", h);
+    h = fnv1a(subsystem, h);
+    std::ostringstream out;
+    out << std::hex << h;
+    return std::string(strategy) + "-" + std::string(subsystem) + "-" +
+           out.str();
+}
+
+fs::path CheckpointStore::path_for(const std::string& key) const {
+    return dir_ / (key + ".ckpt");
+}
+
+bool CheckpointStore::load(const std::string& key, StrategyResult& out) const {
+    std::ifstream in(path_for(key), std::ios::binary);
+    if (!in) return false;
+    std::string schema;
+    if (!std::getline(in, schema) || schema != kSchema) return false;
+
+    StrategyResult loaded;
+    loaded.ok = true;
+    std::string count_text;
+    if (!get_field(in, "strategy", loaded.strategy)) return false;
+    if (!get_field(in, "subsystem", loaded.subsystem)) return false;
+    if (!get_field(in, "files", count_text)) return false;
+    std::size_t count = 0;
+    try {
+        count = std::stoul(count_text);
+    } catch (...) {
+        return false;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        GeneratedFile file;
+        if (!get_field(in, "name", file.name)) return false;
+        if (!get_field(in, "data", file.contents)) return false;
+        loaded.files.push_back(std::move(file));
+    }
+    out = std::move(loaded);
+    return true;
+}
+
+void CheckpointStore::save(const std::string& key,
+                           const StrategyResult& result) const {
+    std::ostringstream out;
+    out << kSchema << '\n';
+    put_field(out, "strategy", result.strategy);
+    put_field(out, "subsystem", result.subsystem);
+    put_field(out, "files", std::to_string(result.files.size()));
+    for (const GeneratedFile& file : result.files) {
+        put_field(out, "name", file.name);
+        put_field(out, "data", file.contents);
+    }
+    write_file_atomic(path_for(key), out.str());
+}
+
+void CheckpointStore::drop(const std::string& key) const {
+    std::error_code ec;
+    fs::remove(path_for(key), ec);
+}
+
+}  // namespace uhcg::flow

@@ -1,0 +1,60 @@
+// checkpoint.hpp — durable checkpoints for `uhcg generate --resume`.
+//
+// Each successfully completed (strategy × subsystem) unit of a generate
+// run serializes its generated files to one checkpoint file, keyed by a
+// content hash over (serialized model, generation options, strategy,
+// subsystem). `--resume` replays matching checkpoints instead of
+// re-running the unit: outputs are byte-identical by construction (the
+// bytes themselves are replayed) and any input change — model edit,
+// different options — changes the key and forces a re-run. Checkpoints
+// are written incrementally (one atomic file per completed unit), so a
+// killed run resumes from the last completed strategy.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "flow/strategy.hpp"
+
+namespace uhcg::flow {
+
+class CheckpointStore {
+public:
+    /// Uses (and lazily creates) `dir` for checkpoint files.
+    explicit CheckpointStore(std::filesystem::path dir);
+
+    const std::filesystem::path& dir() const { return dir_; }
+
+    /// FNV-1a 64-bit, the repo's standard fingerprint primitive.
+    static std::uint64_t fnv1a(std::string_view bytes,
+                               std::uint64_t hash = 14695981039346656037ULL);
+
+    /// Content-hash key of one generate unit. Any change to the model
+    /// bytes, the options fingerprint, or the routing changes the key.
+    static std::string key(std::string_view model_bytes,
+                           std::string_view options_fingerprint,
+                           std::string_view strategy,
+                           std::string_view subsystem);
+
+    /// Loads the checkpoint for `key` into `out` (strategy, subsystem,
+    /// files). Returns false when absent, unreadable, or corrupt — a
+    /// damaged checkpoint is treated as a miss, never an error.
+    bool load(const std::string& key, StrategyResult& out) const;
+
+    /// Serializes a completed unit under `key` (temp file + atomic
+    /// rename). Only call for successful results; failed strategies must
+    /// re-run on resume.
+    void save(const std::string& key, const StrategyResult& result) const;
+
+    /// Removes the checkpoint for `key` if present (used when a unit that
+    /// previously succeeded fails on a re-run with the same inputs).
+    void drop(const std::string& key) const;
+
+private:
+    std::filesystem::path path_for(const std::string& key) const;
+    std::filesystem::path dir_;
+};
+
+}  // namespace uhcg::flow

@@ -1,0 +1,76 @@
+#include "flow/fault.hpp"
+
+#include <stdexcept>
+
+#include "flow/pass.hpp"
+
+namespace uhcg::flow::fault {
+
+Injector& Injector::instance() {
+    static Injector injector;
+    return injector;
+}
+
+void Injector::arm(std::string site, Kind kind, std::size_t count) {
+    injections_.push_back({std::move(site), kind, count, 0});
+}
+
+void Injector::disarm_all() { injections_.clear(); }
+
+void Injector::fire(const std::string& site, PassContext& ctx) {
+    for (Injection& inj : injections_) {
+        if (inj.remaining == 0) continue;
+        if (site.find(inj.site) == std::string::npos) continue;
+        --inj.remaining;
+        ++inj.hits;
+        switch (inj.kind) {
+            case Kind::Throw:
+                throw std::runtime_error("injected fault at " + site);
+            case Kind::Fatal:
+                ctx.diags().report(diag::Severity::Fatal,
+                                   diag::codes::kFlowQuarantine,
+                                   "injected fatal fault at " + site);
+                ctx.fail();
+                return;
+            case Kind::Transient:
+                ctx.diags().error(diag::codes::kFlowTransient,
+                                  "injected transient fault at " + site +
+                                      " (" + std::to_string(inj.remaining) +
+                                      " hit(s) until it heals)");
+                ctx.fail();
+                return;
+        }
+    }
+}
+
+bool Injector::arm_spec(const std::string& spec) {
+    std::size_t colon = spec.find(':');
+    if (colon == std::string::npos || colon + 1 >= spec.size()) return false;
+    std::string kind_text = spec.substr(0, colon);
+    std::string site = spec.substr(colon + 1);
+
+    std::size_t count = static_cast<std::size_t>(-1);
+    std::size_t x = kind_text.find('x');
+    if (x != std::string::npos) {
+        try {
+            count = std::stoul(kind_text.substr(x + 1));
+        } catch (const std::exception&) {
+            return false;
+        }
+        kind_text.resize(x);
+    }
+
+    Kind kind;
+    if (kind_text == "throw")
+        kind = Kind::Throw;
+    else if (kind_text == "fatal")
+        kind = Kind::Fatal;
+    else if (kind_text == "transient")
+        kind = Kind::Transient;
+    else
+        return false;
+    arm(std::move(site), kind, count);
+    return true;
+}
+
+}  // namespace uhcg::flow::fault

@@ -1,0 +1,75 @@
+// fault.hpp — pass-level fault injection for the resilience layer.
+//
+// PR 1's mutate harness corrupts *inputs*; this extends fault injection to
+// the flow itself: any pass of any strategy can be armed to misbehave at
+// its entry point, deterministically, so the chaos suite can prove that a
+// broken pass quarantines only its own subsystem and never tears the
+// run's outputs. Sites are named "<group>/<pass>" — the same labels the
+// uhcg-flow-trace-v1 trace records (e.g. "fsm-c:control:Elevator/
+// fsm.flatten"), so every traced pass is an injection point.
+//
+// The injector is process-wide (the strategies build their PassManagers
+// internally, out of reach of a per-manager hook) and inert unless armed;
+// `uhcg generate --inject-fault <spec>` arms it from the CLI for the
+// chaos-smoke CI job.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace uhcg::flow {
+
+class PassContext;
+
+namespace fault {
+
+enum class Kind {
+    /// Throw std::runtime_error from the pass entry — exercises the
+    /// trap-exceptions path (becomes a Fatal internal diagnostic).
+    Throw,
+    /// Report a Fatal flow.quarantine diagnostic and fail the pass —
+    /// exercises the diagnostic-fatal path without unwinding.
+    Fatal,
+    /// Report a transient-classified flow.transient error and fail; the
+    /// site heals after `count` hits — exercises the RetryPolicy.
+    Transient,
+};
+
+struct Injection {
+    std::string site;  ///< exact "<group>/<pass>" label, or a substring
+    Kind kind = Kind::Throw;
+    /// Remaining hits before the site heals (Transient) or stops firing.
+    std::size_t remaining = static_cast<std::size_t>(-1);
+    std::size_t hits = 0;  ///< how often this injection actually fired
+};
+
+/// Process-wide injection table. Not thread-safe by design: chaos runs
+/// are single-flow; arm/disarm only between generate() calls.
+class Injector {
+public:
+    static Injector& instance();
+
+    /// Arms `kind` at every site whose label contains `site` as a
+    /// substring (exact labels match themselves). `count` bounds how
+    /// often the fault fires; Transient sites succeed afterwards.
+    void arm(std::string site, Kind kind,
+             std::size_t count = static_cast<std::size_t>(-1));
+    void disarm_all();
+    bool armed() const { return !injections_.empty(); }
+    const std::vector<Injection>& injections() const { return injections_; }
+
+    /// Called by PassManager at each pass entry with the trace label.
+    /// May throw (Kind::Throw) or report-and-fail through `ctx`.
+    void fire(const std::string& site, PassContext& ctx);
+
+    /// Parses a CLI spec "throw:<site>", "fatal:<site>" or
+    /// "transient[xN]:<site>" and arms it. Returns false on bad syntax.
+    bool arm_spec(const std::string& spec);
+
+private:
+    std::vector<Injection> injections_;
+};
+
+}  // namespace fault
+}  // namespace uhcg::flow

@@ -1,6 +1,10 @@
 #include "flow/generate.hpp"
 
+#include <algorithm>
+#include <sstream>
+
 #include "flow/caam_passes.hpp"
+#include "flow/checkpoint.hpp"
 
 namespace uhcg::flow {
 
@@ -17,7 +21,53 @@ std::string join(const std::vector<std::string>& names) {
     return out;
 }
 
+/// Options fingerprint for checkpoint keys: every knob that changes what a
+/// strategy emits. Computed after the auto-allocation fallback so the key
+/// reflects the options actually in force.
+std::string options_fingerprint(const GenerateOptions& options) {
+    std::ostringstream out;
+    out << "auto=" << options.mapper.auto_allocate
+        << "|maxp=" << options.mapper.max_processors
+        << "|chan=" << options.mapper.infer_channels
+        << "|delay=" << options.mapper.insert_delays
+        << "|wf=" << options.mapper.enforce_wellformedness
+        << "|iters=" << options.iterations
+        << "|kpnf=" << options.resilience.kpn_firings
+        << "|sims=" << options.resilience.sim_steps;
+    return out.str();
+}
+
+/// Slice the Error+ diagnostics reported since `first` into a quarantine
+/// record: the first message becomes the reason, codes dedupe in order.
+QuarantineRecord quarantine_record(const std::string& strategy,
+                                   const std::string& subsystem,
+                                   const diag::DiagnosticEngine& engine,
+                                   std::size_t first) {
+    QuarantineRecord record;
+    record.strategy = strategy;
+    record.subsystem = subsystem;
+    for (std::size_t i = first; i < engine.size(); ++i) {
+        const diag::Diagnostic& d = engine.diagnostics()[i];
+        if (d.severity < diag::Severity::Error) continue;
+        if (record.reason.empty()) record.reason = d.message;
+        if (std::find(record.error_codes.begin(), record.error_codes.end(),
+                      d.code) == record.error_codes.end())
+            record.error_codes.push_back(d.code);
+    }
+    if (record.reason.empty()) record.reason = "strategy failed";
+    return record;
+}
+
 }  // namespace
+
+std::string_view to_string(GenerateStatus status) {
+    switch (status) {
+        case GenerateStatus::Ok: return "ok";
+        case GenerateStatus::Partial: return "partial";
+        case GenerateStatus::Failed: return "failed";
+    }
+    return "failed";
+}
 
 GenerateResult generate(const uml::Model& model, const GenerateOptions& options_in,
                         diag::DiagnosticEngine& engine, FlowTrace* trace) {
@@ -40,6 +90,8 @@ GenerateResult generate(const uml::Model& model, const GenerateOptions& options_
     ArtifactStore store;
     store.put(SourceModel{&model});
     PassManager pm("flow");
+    pm.set_retry_policy(options.resilience.retry);
+    pm.set_pass_budget(options.resilience.pass_budget);
     pm.add(Pass("flow.partition",
                 [](PassContext& ctx) {
                     const uml::Model& m = *ctx.in<SourceModel>().model;
@@ -57,11 +109,23 @@ GenerateResult generate(const uml::Model& model, const GenerateOptions& options_
     auto run = pm.run(store, engine, trace, "partition");
     if (!run.ok || !store.has<PartitionReport>()) {
         result.ok = false;
+        result.status = GenerateStatus::Failed;
         return result;
     }
     result.partitions = std::move(store.require<PartitionReport>());
 
+    // Checkpointing needs the model's serialized bytes for a content key.
+    const ResilienceOptions& res = options.resilience;
+    const bool checkpointing =
+        !res.checkpoint_dir.empty() && !res.model_bytes.empty();
+    std::unique_ptr<CheckpointStore> checkpoints;
+    if (checkpointing)
+        checkpoints = std::make_unique<CheckpointStore>(res.checkpoint_dir);
+    const std::string options_fp = options_fingerprint(options);
+
     // Stage 2: dispatch each subsystem to the strategies that handle it.
+    // Every unit runs inside a fault guard: a failure quarantines only
+    // that (strategy × subsystem) pair, and the loop continues.
     StrategyRegistry registry = StrategyRegistry::with_builtins();
     for (const Subsystem& subsystem : result.partitions.subsystems) {
         std::vector<std::string> wanted;
@@ -84,13 +148,67 @@ GenerateResult generate(const uml::Model& model, const GenerateOptions& options_
             }
             dispatched.push_back(name);
 
+            std::string key;
+            if (checkpointing)
+                key = CheckpointStore::key(res.model_bytes, options_fp, name,
+                                           subsystem.name);
+            if (checkpointing && res.resume) {
+                StrategyResult cached;
+                if (checkpoints->load(key, cached)) {
+                    cached.cached = true;
+                    engine.note(diag::codes::kFlowCheckpoint,
+                                "strategy '" + name + "' for subsystem '" +
+                                    subsystem.name +
+                                    "' replayed from checkpoint");
+                    if (trace)
+                        for (const GeneratedFile& f : cached.files)
+                            trace->add_output(
+                                {f.name, name, f.contents.size()});
+                    result.results.push_back(std::move(cached));
+                    continue;
+                }
+            }
+
             StrategyContext context;
             context.model = &model;
             context.subsystem = &subsystem;
             context.mapper = options.mapper;
             context.iterations = options.iterations;
-            StrategyResult sr = strategy->generate(context, engine, trace);
-            if (!sr.ok) result.ok = false;
+            context.retry = res.retry;
+            context.pass_budget = res.pass_budget;
+            context.kpn_firings = res.kpn_firings;
+            context.sim_steps = res.sim_steps;
+
+            const std::size_t diags_before = engine.size();
+            StrategyResult sr;
+            try {
+                sr = strategy->generate(context, engine, trace);
+            } catch (const std::exception& e) {
+                // Strategy code outside any pass body escaped; contain it
+                // to this unit like any other failure.
+                engine.report(diag::Severity::Fatal,
+                              diag::codes::kFlowQuarantine,
+                              "strategy '" + name + "' raised: " + e.what());
+                sr.strategy = name;
+                sr.subsystem = subsystem.name;
+                sr.ok = false;
+                sr.files.clear();
+            }
+
+            if (!sr.ok) {
+                result.quarantined.push_back(quarantine_record(
+                    name, subsystem.name, engine, diags_before));
+                engine.warning(diag::codes::kFlowQuarantine,
+                               "strategy '" + name + "' quarantined for "
+                               "subsystem '" + subsystem.name +
+                               "'; other subsystems continue");
+                // A failed unit never ships files or a checkpoint.
+                sr.files.clear();
+                if (checkpointing) checkpoints->drop(key);
+            } else if (checkpointing) {
+                checkpoints->save(key, sr);
+            }
+
             if (trace)
                 for (const GeneratedFile& f : sr.files)
                     trace->add_output({f.name, name, f.contents.size()});
@@ -114,10 +232,65 @@ GenerateResult generate(const uml::Model& model, const GenerateOptions& options_
             engine.warning(diag::codes::kFlowStrategy,
                            "no registered strategy handles subsystem '" +
                                subsystem.name + "'");
-            result.ok = false;
+            QuarantineRecord record;
+            record.strategy = "none";
+            record.subsystem = subsystem.name;
+            record.reason = "no registered strategy handles this subsystem";
+            record.error_codes.push_back(diag::codes::kFlowStrategy);
+            result.quarantined.push_back(std::move(record));
         }
     }
+
+    const bool any_ok = std::any_of(
+        result.results.begin(), result.results.end(),
+        [](const StrategyResult& r) { return r.ok; });
+    if (result.quarantined.empty())
+        result.status = GenerateStatus::Ok;
+    else if (any_ok)
+        result.status = GenerateStatus::Partial;
+    else
+        result.status = GenerateStatus::Failed;
+    result.ok = result.status == GenerateStatus::Ok;
     return result;
+}
+
+std::string to_manifest_json(const GenerateResult& result) {
+    std::ostringstream out;
+    out << "{\n  \"schema\": \"uhcg-flow-manifest-v1\",\n";
+    out << "  \"status\": \"" << to_string(result.status) << "\",\n";
+    out << "  \"strategies\": [";
+    for (std::size_t i = 0; i < result.results.size(); ++i) {
+        const StrategyResult& r = result.results[i];
+        out << (i ? ",\n    " : "\n    ");
+        out << "{\"strategy\": \"" << diag::json_escape(r.strategy)
+            << "\", \"subsystem\": \"" << diag::json_escape(r.subsystem)
+            << "\", \"ok\": " << (r.ok ? "true" : "false")
+            << ", \"cached\": " << (r.cached ? "true" : "false")
+            << ", \"files\": [";
+        for (std::size_t f = 0; f < r.files.size(); ++f) {
+            if (f) out << ", ";
+            out << "{\"name\": \"" << diag::json_escape(r.files[f].name)
+                << "\", \"bytes\": " << r.files[f].contents.size() << '}';
+        }
+        out << "]}";
+    }
+    out << (result.results.empty() ? "]" : "\n  ]") << ",\n";
+    out << "  \"quarantined\": [";
+    for (std::size_t i = 0; i < result.quarantined.size(); ++i) {
+        const QuarantineRecord& q = result.quarantined[i];
+        out << (i ? ",\n    " : "\n    ");
+        out << "{\"strategy\": \"" << diag::json_escape(q.strategy)
+            << "\", \"subsystem\": \"" << diag::json_escape(q.subsystem)
+            << "\", \"reason\": \"" << diag::json_escape(q.reason)
+            << "\", \"error_codes\": [";
+        for (std::size_t c = 0; c < q.error_codes.size(); ++c) {
+            if (c) out << ", ";
+            out << '"' << diag::json_escape(q.error_codes[c]) << '"';
+        }
+        out << "]}";
+    }
+    out << (result.quarantined.empty() ? "]" : "\n  ]") << "\n}";
+    return out.str();
 }
 
 }  // namespace uhcg::flow

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <sstream>
+#include <thread>
+
+#include "flow/fault.hpp"
 
 namespace uhcg::flow {
 
@@ -55,6 +59,8 @@ std::string FlowTrace::to_json() const {
         out << (i ? ",\n    " : "\n    ");
         out << "{\"name\": \"" << diag::json_escape(e.pass) << "\", \"group\": \""
             << diag::json_escape(e.group) << "\", \"wall_ms\": " << e.wall_ms
+            << ", \"attempts\": " << e.attempts
+            << ", \"budget_ms\": " << e.budget_ms
             << ", \"diagnostics\": {\"errors\": " << e.errors
             << ", \"warnings\": " << e.warnings << ", \"notes\": " << e.notes
             << "}, \"counters\": {";
@@ -168,16 +174,24 @@ std::vector<const Pass*> PassManager::schedule() const {
     return order;
 }
 
+std::uint64_t RetryPolicy::delay_for_retry(std::size_t retry_index) const {
+    if (backoff_ms == 0) return 0;
+    double delay = static_cast<double>(backoff_ms);
+    for (std::size_t i = 0; i < retry_index; ++i) delay *= backoff_factor;
+    double cap = static_cast<double>(backoff_cap_ms);
+    return static_cast<std::uint64_t>(std::min(delay, cap));
+}
+
 PassManager::RunResult PassManager::run(ArtifactStore& store,
                                         diag::DiagnosticEngine& engine,
                                         FlowTrace* trace,
                                         const std::string& group) {
     RunResult result;
+    const std::string group_prefix = group + "/";
     for (const Pass* pass : schedule()) {
-        PassContext ctx(store, engine);
-
         // Every declared input must exist by now — either produced by an
-        // earlier pass or seeded by the caller.
+        // earlier pass or seeded by the caller. A missing input is a
+        // permanent condition: no retry.
         bool inputs_ok = true;
         for (const ArtifactKey& in : pass->inputs) {
             if (store.has(in)) continue;
@@ -192,42 +206,99 @@ PassManager::RunResult PassManager::run(ArtifactStore& store,
         const std::size_t warnings_before = engine.warning_count();
         const std::size_t diags_before = engine.size();
 
-        auto start = std::chrono::steady_clock::now();
-        if (inputs_ok) {
+        bool failed = !inputs_ok;
+        double wall_ms = 0.0;
+        std::size_t attempts = inputs_ok ? 0 : 1;
+        std::map<std::string, std::uint64_t> counters;
+
+        while (inputs_ok) {
+            PassContext ctx(store, engine);
+            ++attempts;
+            const std::size_t attempt_errors = engine.error_count();
+            const std::size_t attempt_diags = engine.size();
+
+            auto start = std::chrono::steady_clock::now();
             if (trap_exceptions_) {
                 try {
-                    pass->run(ctx);
+                    fault::Injector::instance().fire(group_prefix + pass->name,
+                                                     ctx);
+                    if (!ctx.failed()) pass->run(ctx);
                 } catch (const std::exception& e) {
                     engine.report(diag::Severity::Fatal, internal_code_, e.what());
                     ctx.fail();
                 }
             } else {
-                pass->run(ctx);
+                fault::Injector::instance().fire(group_prefix + pass->name, ctx);
+                if (!ctx.failed()) pass->run(ctx);
             }
-        } else {
-            ctx.fail();
+            auto stop = std::chrono::steady_clock::now();
+            double attempt_ms =
+                std::chrono::duration<double, std::milli>(stop - start).count();
+            wall_ms += attempt_ms;
+
+            // Wall budget: a pass that overran becomes a transient-
+            // classified failure — slowness may pass on retry, and a
+            // persistently slow pass quarantines like any other failure.
+            if (budget_.wall_ms != 0 &&
+                attempt_ms > static_cast<double>(budget_.wall_ms)) {
+                // The attempt number keeps repeated overruns distinct so
+                // the engine's dedupe cannot swallow a retry's evidence.
+                engine.error(
+                    diag::codes::kFlowPassTimeout,
+                    "pass '" + pass->name + "' attempt " +
+                        std::to_string(attempts) +
+                        " exceeded its wall budget (" +
+                        std::to_string(static_cast<std::uint64_t>(attempt_ms)) +
+                        " ms > " + std::to_string(budget_.wall_ms) + " ms)");
+                ctx.fail();
+            }
+
+            counters = ctx.counters();
+            failed = ctx.failed();
+            if (!failed) break;
+
+            // Retry only when this attempt's errors are all transient.
+            const std::size_t new_errors = engine.error_count() - attempt_errors;
+            bool retryable = new_errors > 0 && attempts <= retry_.max_retries;
+            if (retryable)
+                for (std::size_t i = attempt_diags; i < engine.size(); ++i) {
+                    const diag::Diagnostic& d = engine.diagnostics()[i];
+                    if (d.severity >= diag::Severity::Error &&
+                        !diag::is_transient(d.code))
+                        retryable = false;
+                }
+            if (!retryable) break;
+
+            std::uint64_t delay = retry_.delay_for_retry(attempts - 1);
+            engine.note(diag::codes::kFlowRetry,
+                        "pass '" + pass->name + "' failed on a transient "
+                        "diagnostic; retry " + std::to_string(attempts) +
+                        " of " + std::to_string(retry_.max_retries) +
+                        " after " + std::to_string(delay) + " ms");
+            if (delay)
+                std::this_thread::sleep_for(std::chrono::milliseconds(delay));
         }
-        auto stop = std::chrono::steady_clock::now();
         ++result.passes_run;
 
         if (trace) {
             PassTraceEntry entry;
             entry.pass = pass->name;
             entry.group = group;
-            entry.wall_ms =
-                std::chrono::duration<double, std::milli>(stop - start).count();
+            entry.wall_ms = wall_ms;
+            entry.attempts = attempts;
+            entry.budget_ms = budget_.wall_ms;
             entry.errors = engine.error_count() - errors_before;
             entry.warnings = engine.warning_count() - warnings_before;
             std::size_t new_diags = engine.size() - diags_before;
             entry.notes = new_diags - entry.errors - entry.warnings;
-            entry.counters = ctx.counters();
+            entry.counters = std::move(counters);
             for (const ArtifactKey& in : pass->inputs) entry.reads.push_back(in.name);
             for (const ArtifactKey& out : pass->outputs)
                 entry.writes.push_back(out.name);
             trace->add(std::move(entry));
         }
 
-        if (ctx.failed()) {
+        if (failed) {
             result.ok = false;
             return result;
         }

@@ -201,14 +201,44 @@ struct Pass {
     }
 };
 
+/// Deterministic capped-backoff retry policy. A failed pass re-runs only
+/// when every error it reported in the failing attempt is classified
+/// transient (diag::is_transient) — watchdog trips, budget overruns,
+/// injected transient faults. Input defects never retry: the same pass
+/// over the same artifacts reproduces them.
+struct RetryPolicy {
+    /// Additional attempts after the first (0 = never retry).
+    std::size_t max_retries = 0;
+    /// Delay before the first retry; 0 keeps retries immediate (tests).
+    std::uint64_t backoff_ms = 0;
+    /// Multiplier applied per further retry (deterministic, no jitter).
+    double backoff_factor = 2.0;
+    /// Upper bound on any single delay.
+    std::uint64_t backoff_cap_ms = 2000;
+
+    /// Delay before retry number `retry_index` (0-based), in ms.
+    std::uint64_t delay_for_retry(std::size_t retry_index) const;
+};
+
+/// Per-pass resource budget. Wall time is checked when the pass body
+/// returns (bodies that can stall internally — sim/kpn execution — bound
+/// themselves via their WatchdogBudgets); an overrun becomes a
+/// transient-classified flow.pass-timeout error and fails the pass, so
+/// the RetryPolicy may re-run it and quarantine applies otherwise.
+struct PassBudget {
+    std::uint64_t wall_ms = 0;  ///< 0 = unlimited
+};
+
 /// One executed pass in the trace.
 struct PassTraceEntry {
     std::string pass;
     std::string group;  ///< strategy / partition the pass ran under
-    double wall_ms = 0.0;
+    double wall_ms = 0.0;      ///< summed over all attempts
+    std::size_t attempts = 1;  ///< 1 + retries actually taken
     std::size_t errors = 0;    ///< diagnostics with severity >= Error
     std::size_t warnings = 0;  ///< warnings reported during the pass
     std::size_t notes = 0;
+    std::uint64_t budget_ms = 0;  ///< wall budget in force (0 = unlimited)
     std::map<std::string, std::uint64_t> counters;
     std::vector<std::string> reads;
     std::vector<std::string> writes;
@@ -281,6 +311,12 @@ public:
         internal_code_ = std::move(code);
     }
 
+    /// Retry/budget enforcement (resilience layer). Both default off.
+    void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
+    const RetryPolicy& retry_policy() const { return retry_; }
+    void set_pass_budget(PassBudget budget) { budget_ = budget; }
+    const PassBudget& pass_budget() const { return budget_; }
+
     /// The deterministic execution order. Throws FlowError on duplicate
     /// producers or cyclic declarations. Inputs with no registered
     /// producer must be seeded in the store before run().
@@ -303,6 +339,8 @@ private:
     std::vector<Pass> passes_;
     bool trap_exceptions_ = true;
     std::string internal_code_ = "flow.internal";
+    RetryPolicy retry_;
+    PassBudget budget_;
 };
 
 }  // namespace uhcg::flow

@@ -5,7 +5,9 @@
 #include "fsm/codegen.hpp"
 #include "fsm/from_uml.hpp"
 #include "fsm/machine.hpp"
+#include "kpn/execute.hpp"
 #include "kpn/from_uml.hpp"
+#include "sim/engine.hpp"
 #include "transform/text.hpp"
 
 namespace uhcg::flow {
@@ -42,6 +44,66 @@ std::string group_label(std::string_view strategy, const Subsystem& subsystem) {
     return std::string(strategy) + ":" + subsystem.name;
 }
 
+void apply_resilience(PassManager& pm, const StrategyContext& context) {
+    pm.set_retry_policy(context.retry);
+    pm.set_pass_budget(context.pass_budget);
+}
+
+/// Schedulability probe over the emitted CAAM — the cmd_map check as a
+/// pass. A combinational cycle becomes a structured sim.deadlock error and
+/// fails the strategy; any other build failure (unregistered S-functions
+/// in the empty probe registry) is expected and skips the probe. With
+/// `sim_steps` > 0 a watchdogged smoke run follows, so the sim watchdog
+/// budget is exercised (and surfaced in the trace) from `uhcg generate`.
+void register_schedulability_probe(PassManager& pm, std::size_t sim_steps) {
+    const std::size_t steps = sim_steps;
+    pm.add(Pass("sim.schedulability",
+                [steps](PassContext& ctx) {
+                    const simulink::Model& caam = ctx.in<simulink::Model>();
+                    sim::SFunctionRegistry probe;
+                    try {
+                        sim::Simulator check(caam, probe);
+                        ctx.count("schedule-blocks", check.schedule().size());
+                        if (steps) {
+                            sim::WatchdogBudget budget;
+                            budget.max_steps = steps;
+                            ctx.count("budget-steps", steps);
+                            sim::SimResult r =
+                                check.run(steps, ctx.diags(), budget);
+                            ctx.count("sim-steps", r.steps);
+                            if (r.budget_exhausted) ctx.fail();
+                        }
+                    } catch (const sim::DeadlockError& e) {
+                        std::vector<std::string> notes;
+                        std::string joined;
+                        for (const std::string& b : e.cycle())
+                            joined += (joined.empty() ? "" : ", ") + b;
+                        notes.push_back("blocked block(s): " + joined);
+                        for (const sim::CycleEdge& edge : e.edges())
+                            notes.push_back("combinational dependency: " +
+                                            edge.from + " -> " + edge.to);
+                        notes.push_back(
+                            "insert a temporal barrier (UnitDelay) on the "
+                            "loop — §4.2.2");
+                        ctx.diags().report(
+                            diag::Severity::Error, diag::codes::kSimDeadlock,
+                            "generated CAAM has a combinational cycle "
+                            "through " +
+                                std::to_string(e.cycle().size()) +
+                                " block(s) — dataflow deadlock",
+                            {}, std::move(notes));
+                        ctx.fail();
+                    } catch (const std::exception&) {
+                        // S-functions the empty probe registry cannot bind;
+                        // not a mapping defect.
+                        ctx.count("probe-skipped");
+                    }
+                })
+           .reads<simulink::Model>()
+           .runs_after("caam.delays")
+           .runs_after("caam.validate"));
+}
+
 /// Dataflow branch: the full steps 2–4 pass pipeline ending in .mdl text.
 class CaamStrategy final : public Strategy {
 public:
@@ -61,7 +123,9 @@ public:
         ArtifactStore store;
         store.put(SourceModel{context.model});
         PassManager pm("simulink-caam");
+        apply_resilience(pm, context);
         register_caam_passes(pm, context.mapper, CaamPipelineMode::Engine);
+        register_schedulability_probe(pm, context.sim_steps);
         register_mdl_emit_pass(pm, context.mapper);
         auto run = pm.run(store, engine, trace,
                           group_label(name(), *context.subsystem));
@@ -94,6 +158,7 @@ public:
         store.put(SourceMachine{context.subsystem->machine});
         PassManager pm("fsm-c");
         pm.set_internal_error_code(diag::codes::kFsmInvalid);
+        apply_resilience(pm, context);
 
         pm.add(Pass("fsm.flatten",
                     [](PassContext& ctx) {
@@ -102,10 +167,14 @@ public:
                         fsm::Machine& machine = ctx.out(fsm::from_uml(sm));
                         ctx.count("states", machine.state_count());
                         ctx.count("transitions", machine.transitions().size());
-                        for (const std::string& p : machine.check())
+                        // Gate on this machine's own problems, not the
+                        // whole engine: under quarantine another
+                        // subsystem's failure must not fail this one.
+                        auto problems = machine.check();
+                        for (const std::string& p : problems)
                             ctx.diags().error(diag::codes::kFsmInvalid,
                                               machine.name() + ": " + p);
-                        if (ctx.diags().has_errors()) ctx.fail();
+                        if (!problems.empty()) ctx.fail();
                     })
                .reads<SourceMachine>()
                .writes<fsm::Machine>());
@@ -149,6 +218,7 @@ public:
         ArtifactStore store;
         store.put(SourceModel{context.model});
         PassManager pm("cpp-threads");
+        apply_resilience(pm, context);
 
         const std::size_t iterations = context.iterations;
         pm.add(Pass("codegen.threads",
@@ -192,6 +262,7 @@ public:
         ArtifactStore store;
         store.put(SourceModel{context.model});
         PassManager pm("kpn");
+        apply_resilience(pm, context);
 
         pm.add(Pass("kpn.map",
                     [](PassContext& ctx) {
@@ -207,6 +278,42 @@ public:
                     })
                .reads<SourceModel>()
                .writes<kpn::KpnMappingOutput>());
+
+        // Watchdogged dry-run of the mapped network — the cmd_kpn check as
+        // a pass, with the firing budget configurable from `uhcg generate`
+        // (0 keeps the legacy formula) and surfaced as a trace counter. A
+        // read-blocked network fails the strategy (quarantining only the
+        // KPN branch); a tripped watchdog is a transient diagnostic the
+        // RetryPolicy may re-run.
+        const std::size_t iterations = context.iterations;
+        const std::size_t firings = context.kpn_firings;
+        pm.add(Pass("kpn.validate",
+                    [iterations, firings](PassContext& ctx) {
+                        const kpn::KpnMappingOutput& out =
+                            ctx.in<kpn::KpnMappingOutput>();
+                        kpn::KernelRegistry registry;
+                        for (const auto& p : out.network.processes())
+                            registry.register_kernel(
+                                p->name(), [](auto, auto outputs, auto&) {
+                                    for (double& v : outputs) v = 0.0;
+                                });
+                        kpn::Executor exec(out.network, registry);
+                        kpn::WatchdogBudget budget;
+                        budget.max_firings =
+                            firings ? firings
+                                    : iterations *
+                                              out.network.processes().size() *
+                                              4 +
+                                          1000;
+                        ctx.count("budget-firings", budget.max_firings);
+                        kpn::KpnResult r =
+                            exec.run(iterations, ctx.diags(), budget);
+                        ctx.count("rounds", r.rounds);
+                        ctx.count("firings", r.firings);
+                        ctx.count("max-queue-depth", r.max_queue_depth);
+                        if (r.deadlocked || r.budget_exhausted) ctx.fail();
+                    })
+               .reads<kpn::KpnMappingOutput>());
 
         auto run = pm.run(store, engine, trace,
                           group_label(name(), *context.subsystem));

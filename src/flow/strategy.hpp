@@ -31,6 +31,15 @@ struct StrategyContext {
     core::MapperOptions mapper;
     /// Loop bound for the fallback threads / KPN dry-run style generators.
     std::size_t iterations = 100;
+    /// Resilience layer: applied to every internal pass manager.
+    RetryPolicy retry;
+    PassBudget pass_budget;
+    /// KPN dry-run firing budget (kpn.validate); 0 derives the legacy
+    /// formula iterations × processes × 4 + 1000.
+    std::size_t kpn_firings = 0;
+    /// Watchdogged smoke-simulation steps after the schedulability probe
+    /// (sim.schedulability); 0 keeps the probe build-only.
+    std::size_t sim_steps = 0;
 };
 
 struct GeneratedFile {
@@ -42,6 +51,8 @@ struct StrategyResult {
     std::string strategy;
     std::string subsystem;
     bool ok = true;
+    /// Replayed from a checkpoint instead of regenerated (`--resume`).
+    bool cached = false;
     std::vector<GeneratedFile> files;
     /// Legacy mapping report; populated by the simulink-caam strategy only.
     core::MapperReport mapper_report;

@@ -1,0 +1,85 @@
+#include "flow/txout.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace uhcg::flow {
+
+namespace fs = std::filesystem;
+
+namespace {
+constexpr const char* kStageName = ".uhcg-stage";
+}
+
+OutputTransaction::OutputTransaction(fs::path dir)
+    : dir_(std::move(dir)), stage_(dir_ / kStageName) {
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        throw std::runtime_error("cannot create output directory '" +
+                                 dir_.string() + "': " + ec.message());
+    // A stale stage is debris from a killed run; it was never committed,
+    // so discarding it is always safe.
+    fs::remove_all(stage_, ec);
+    fs::create_directories(stage_, ec);
+    if (ec)
+        throw std::runtime_error("cannot create staging directory '" +
+                                 stage_.string() + "': " + ec.message());
+}
+
+OutputTransaction::~OutputTransaction() {
+    if (!done_) rollback();
+}
+
+void OutputTransaction::write(const std::string& name,
+                              std::string_view contents) {
+    fs::path target = stage_ / name;
+    std::ofstream out(target, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("cannot stage output file '" +
+                                 target.string() + "'");
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.close();
+    if (!out)
+        throw std::runtime_error("short write staging '" + target.string() +
+                                 "'");
+    ++staged_;
+}
+
+std::size_t OutputTransaction::commit() {
+    std::size_t committed = 0;
+    for (const fs::directory_entry& entry : fs::directory_iterator(stage_)) {
+        fs::path target = dir_ / entry.path().filename();
+        fs::rename(entry.path(), target);  // atomic within one filesystem
+        ++committed;
+    }
+    std::error_code ec;
+    fs::remove_all(stage_, ec);
+    done_ = true;
+    return committed;
+}
+
+void OutputTransaction::rollback() {
+    std::error_code ec;
+    fs::remove_all(stage_, ec);
+    done_ = true;
+}
+
+void write_file_atomic(const fs::path& path, std::string_view contents) {
+    fs::path tmp = path;
+    tmp += ".uhcg-tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        if (!out)
+            throw std::runtime_error("cannot write '" + tmp.string() + "'");
+        out.write(contents.data(),
+                  static_cast<std::streamsize>(contents.size()));
+        if (!out)
+            throw std::runtime_error("short write to '" + tmp.string() + "'");
+    }
+    fs::rename(tmp, path);
+}
+
+}  // namespace uhcg::flow

@@ -1,0 +1,56 @@
+// txout.hpp — transactional artifact output.
+//
+// Every emitter's files reach disk through a staging directory inside the
+// destination, then move into place with per-file atomic renames on
+// commit(). A run that aborts — exception, quarantined strategy, killed
+// process — leaves the destination exactly as it was: either a file's
+// previous version or nothing, never a torn .mdl/C file. Constructing a
+// transaction sweeps any stale stage left by a killed predecessor.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace uhcg::flow {
+
+class OutputTransaction {
+public:
+    /// Creates `dir` (and the stage under it) if needed. Throws
+    /// std::runtime_error when the directory cannot be created.
+    explicit OutputTransaction(std::filesystem::path dir);
+
+    /// Rolls back (removes the stage) unless commit() ran.
+    ~OutputTransaction();
+
+    OutputTransaction(const OutputTransaction&) = delete;
+    OutputTransaction& operator=(const OutputTransaction&) = delete;
+
+    /// Writes one staged file; visible in `dir` only after commit().
+    void write(const std::string& name, std::string_view contents);
+
+    std::size_t staged_count() const { return staged_; }
+    const std::filesystem::path& dir() const { return dir_; }
+
+    /// Moves every staged file into `dir` (rename, atomic per file on a
+    /// POSIX filesystem) and removes the stage. Returns files committed.
+    std::size_t commit();
+
+    /// Explicit rollback: discards the stage and everything in it.
+    void rollback();
+
+private:
+    std::filesystem::path dir_;
+    std::filesystem::path stage_;
+    std::size_t staged_ = 0;
+    bool done_ = false;
+};
+
+/// Writes `contents` to `path` through a sibling temp file + rename —
+/// the single-file cousin of OutputTransaction for map/threads-style
+/// one-artifact commands. Throws std::runtime_error on I/O failure.
+void write_file_atomic(const std::filesystem::path& path,
+                       std::string_view contents);
+
+}  // namespace uhcg::flow

@@ -504,6 +504,19 @@ Model read_xmi(const xml::Document& doc, diag::DiagnosticEngine& engine,
                 Lifeline* from = rd.resolve(lifelines_by_id, *send, *msg, "sender");
                 Lifeline* to = rd.resolve(lifelines_by_id, *recv, *msg, "receiver");
                 if (!from || !to) continue;
+                // A message from a lifeline to itself would become a
+                // self-referential channel — a communication the mapping
+                // cannot realize (a FIFO needs distinct endpoints). Report
+                // and drop it; the rest of the diagram still loads.
+                if (from == to) {
+                    rd.engine.error(
+                        diag::codes::kXmiBadValue,
+                        "message '" + *op + "' in interaction '" + *name +
+                            "' sends and receives on the same lifeline — "
+                            "self-referential channels are not realizable",
+                        rd.loc(*msg));
+                    continue;
+                }
                 Message& m = d.add_message(*from, *to, *op);
                 if (const std::string* r = msg->find_attribute("result"))
                     m.set_result_name(*r);

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <sys/wait.h>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -56,6 +57,18 @@ protected:
             *output = buf.str();
         }
         return status;
+    }
+
+    /// Process exit code of run() (std::system returns a wait status).
+    int run_code(const std::string& args, std::string* output = nullptr) {
+        int status = run(args, output);
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+
+    std::string slurp(const fs::path& p) {
+        std::ifstream in(p, std::ios::binary);
+        return std::string((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
     }
 };
 
@@ -162,6 +175,76 @@ TEST_F(CliTest, DotWritesBothGraphs) {
     std::string caam_text((std::istreambuf_iterator<char>(caam)),
                           std::istreambuf_iterator<char>());
     EXPECT_NE(caam_text.find("CPU-SS"), std::string::npos);
+}
+
+// --- exit-code semantics: 0 = all units ok, 1 = diagnostics, 2 = usage,
+// --- 3 = partial success (some units quarantined).
+
+TEST_F(CliTest, ExitZeroWhenEveryUnitSucceeds) {
+    EXPECT_EQ(run_code("generate mixed.xmi --out gen_ok"), 0);
+    EXPECT_TRUE(fs::exists(dir / "gen_ok" / "generate-manifest.json"));
+}
+
+TEST_F(CliTest, ExitOneOnDiagnosticsFailure) {
+    EXPECT_EQ(run_code("generate missing.xmi --out gen_miss"), 1);
+    EXPECT_FALSE(fs::exists(dir / "gen_miss"));  // transactional: nothing leaks
+}
+
+TEST_F(CliTest, ExitTwoOnUsageError) {
+    EXPECT_EQ(run_code("generate mixed.xmi --no-such-flag"), 2);
+    EXPECT_EQ(run_code("frobnicate mixed.xmi"), 2);
+}
+
+TEST_F(CliTest, ExitThreeOnPartialSuccessWithManifestAndSurvivors) {
+    std::string out;
+    EXPECT_EQ(run_code("generate mixed.xmi --out gen_part "
+                       "--inject-fault fatal:fsm.flatten --manifest part.json",
+                       &out),
+              3);
+    EXPECT_NE(out.find("QUARANTINED"), std::string::npos);
+    // The quarantined fsm unit shipped nothing; survivors are present and
+    // byte-identical to a fault-free run.
+    ASSERT_EQ(run_code("generate mixed.xmi --out gen_full"), 0);
+    EXPECT_FALSE(fs::exists(dir / "gen_part" / "Elevator_fsm.c"));
+    for (const char* survivor : {"mixed.mdl", "mixed_threads.cpp"}) {
+        ASSERT_TRUE(fs::exists(dir / "gen_part" / survivor)) << survivor;
+        EXPECT_EQ(slurp(dir / "gen_part" / survivor),
+                  slurp(dir / "gen_full" / survivor))
+            << survivor;
+    }
+    std::string manifest = slurp(dir / "part.json");
+    EXPECT_NE(manifest.find("uhcg-flow-manifest-v1"), std::string::npos);
+    EXPECT_NE(manifest.find("\"status\": \"partial\""), std::string::npos);
+    EXPECT_NE(manifest.find("\"fsm-c\""), std::string::npos);
+}
+
+TEST_F(CliTest, ResumeReplaysCheckpointsToByteIdenticalOutputs) {
+    // First run faults one unit, checkpointing the rest; the resumed run
+    // heals and must match a fresh fault-free run byte for byte.
+    EXPECT_EQ(run_code("generate mixed.xmi --out gen_r "
+                       "--inject-fault throw:codegen.threads"),
+              3);
+    std::string out;
+    EXPECT_EQ(run_code("generate mixed.xmi --out gen_r --resume", &out), 0);
+    EXPECT_NE(out.find("[resumed]"), std::string::npos);
+    ASSERT_EQ(run_code("generate mixed.xmi --out gen_fresh"), 0);
+    for (const char* name :
+         {"mixed.mdl", "mixed_threads.cpp", "Elevator_fsm.c", "Elevator_fsm.h"}) {
+        ASSERT_TRUE(fs::exists(dir / "gen_r" / name)) << name;
+        EXPECT_EQ(slurp(dir / "gen_r" / name), slurp(dir / "gen_fresh" / name))
+            << name;
+    }
+}
+
+TEST_F(CliTest, RetryHealsTransientFaultWithExitZero) {
+    std::string out;
+    EXPECT_EQ(run_code("generate mixed.xmi --out gen_heal --max-retries 3 "
+                       "--inject-fault transientx2:fsm.flatten --trace-json "
+                       "heal-trace.json",
+                       &out),
+              0);
+    std::string trace = slurp(dir / "heal-trace.json");
+    EXPECT_NE(trace.find("\"attempts\": 3"), std::string::npos);
 }
 
 }  // namespace

@@ -155,6 +155,28 @@ TEST(XmiRecovery, CleanModelRoundTripsWithoutDiagnostics) {
     EXPECT_EQ(back.threads().size(), crane.threads().size());
 }
 
+TEST(XmiRecovery, SelfReferentialChannelIsDroppedNotLoaded) {
+    diag::DiagnosticEngine engine;
+    uml::Model model = uml::load_xmi(bad_path("self_channel.xmi"), engine);
+    EXPECT_GE(engine.count_code("xmi.bad-value"), 1u) << engine.render_text();
+    // The self-message is dropped; the valid T1 -> T2 message survives.
+    ASSERT_EQ(model.sequence_diagrams().size(), 1u);
+    EXPECT_EQ(model.sequence_diagrams()[0]->messages().size(), 1u);
+}
+
+TEST(XmiRecovery, MultiDefectFileReportsEveryDefectInOneRun) {
+    // Duplicate xmi:id + self-referential channel + dangling lifeline
+    // reference: the recovering reader must surface all three defect
+    // classes in a single pass, not stop at the first.
+    diag::DiagnosticEngine engine;
+    uml::Model model = uml::load_xmi(bad_path("multi_defect.xmi"), engine);
+    EXPECT_GE(engine.count_code("xmi.duplicate-id"), 1u)
+        << engine.render_text();
+    EXPECT_GE(engine.count_code("xmi.bad-value"), 1u) << engine.render_text();
+    EXPECT_GE(engine.count_code("xmi.dangling-reference"), 1u)
+        << engine.render_text();
+}
+
 // --- the malformed-input corpus -----------------------------------------------------
 
 struct CorpusCase {
@@ -189,6 +211,9 @@ INSTANTIATE_TEST_SUITE_P(
         CorpusCase{"multi_error.xmi", "xmi.bad-value"},
         CorpusCase{"not_xmi.xmi", "xmi.not-xmi"},
         CorpusCase{"truncated.xmi", "xml.parse"},
+        CorpusCase{"truncated_interaction.xmi", "xml.parse"},
+        CorpusCase{"self_channel.xmi", "xmi.bad-value"},
+        CorpusCase{"multi_defect.xmi", "xmi.duplicate-id"},
         CorpusCase{"bad_direction.xmi", "xmi.bad-value"},
         CorpusCase{"dangling_deployment.xmi", "xmi.dangling-reference"}),
     [](const ::testing::TestParamInfo<CorpusCase>& info) {

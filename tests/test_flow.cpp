@@ -12,6 +12,7 @@
 #include "flow/partition.hpp"
 #include "flow/pass.hpp"
 #include "simulink/mdl.hpp"
+#include "uml/builder.hpp"
 
 namespace {
 
@@ -221,6 +222,47 @@ TEST(Partitioner, MixedModelSplitsControlAndThreads) {
     EXPECT_NE(report.subsystems[0].machine, nullptr);
     EXPECT_EQ(report.subsystems[1].name, "threads");
     EXPECT_EQ(report.subsystems[1].threads.size(), 3u);
+}
+
+TEST(Partitioner, EmptyModelIsDeterministicAndNeverThrows) {
+    uml::Model model("empty");
+    flow::PartitionReport a;
+    ASSERT_NO_THROW(a = flow::partition(model));
+    flow::PartitionReport b = flow::partition(model);
+    EXPECT_EQ(a.subsystems.size(), b.subsystems.size());
+    EXPECT_EQ(a.dominant, b.dominant);
+    EXPECT_EQ(a.feedback_cycles, 0u);
+    for (const flow::Subsystem& s : a.subsystems)
+        EXPECT_TRUE(!s.threads.empty() || s.machine != nullptr) << s.name;
+}
+
+TEST(Partitioner, SingleThreadModelIsOneDataflowSubsystem) {
+    uml::ModelBuilder b("lonely");
+    b.thread("T1");
+    flow::PartitionReport report;
+    ASSERT_NO_THROW(report = flow::partition(b.model()));
+    ASSERT_EQ(report.subsystems.size(), 1u);
+    EXPECT_EQ(report.subsystems[0].threads.size(), 1u);
+    EXPECT_EQ(report.subsystems[0].kind, flow::SubsystemKind::Dataflow);
+    EXPECT_EQ(report.feedback_cycles, 0u);
+    // Deterministic: same classification on every call.
+    flow::PartitionReport again = flow::partition(b.model());
+    EXPECT_EQ(again.subsystems[0].kind, report.subsystems[0].kind);
+    EXPECT_EQ(again.subsystems[0].name, report.subsystems[0].name);
+}
+
+TEST(Partitioner, AllControlFlowModelClassifiesEveryMachine) {
+    uml::Model model("machines_only");
+    model.add_state_machine("A").add_state("S");
+    model.add_state_machine("B").add_state("S");
+    flow::PartitionReport report;
+    ASSERT_NO_THROW(report = flow::partition(model));
+    ASSERT_EQ(report.subsystems.size(), 2u);
+    for (const flow::Subsystem& s : report.subsystems) {
+        EXPECT_EQ(s.kind, flow::SubsystemKind::ControlFlow) << s.name;
+        EXPECT_NE(s.machine, nullptr) << s.name;
+    }
+    EXPECT_EQ(report.dominant, flow::SubsystemKind::ControlFlow);
 }
 
 // --- legacy wrapper fidelity --------------------------------------------------------

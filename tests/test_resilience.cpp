@@ -1,0 +1,418 @@
+// Chaos suite for the flow resilience layer: fault-isolated strategies,
+// retry/budget enforcement, transactional outputs, checkpoint/resume and
+// the uhcg-flow-manifest-v1 failure manifest.
+//
+// The acceptance bar: under injected pass-level faults (30 distinct
+// injection points below), generate() quarantines only the faulted
+// (strategy × subsystem) unit, every surviving unit's files are
+// byte-identical to a fault-free run, and the manifest names every
+// quarantined unit with its stable error codes.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <thread>
+
+#include "cases/cases.hpp"
+#include "flow/checkpoint.hpp"
+#include "flow/fault.hpp"
+#include "flow/generate.hpp"
+#include "flow/txout.hpp"
+#include "uml/xmi.hpp"
+
+namespace {
+
+using namespace uhcg;
+namespace fs = std::filesystem;
+
+/// Every test leaves the process-wide injector clean.
+class Resilience : public ::testing::Test {
+protected:
+    void SetUp() override { flow::fault::Injector::instance().disarm_all(); }
+    void TearDown() override { flow::fault::Injector::instance().disarm_all(); }
+
+    fs::path fresh_dir(const std::string& name) {
+        fs::path dir = fs::path(testing::TempDir()) / ("uhcg_res_" + name);
+        fs::remove_all(dir);
+        fs::create_directories(dir);
+        return dir;
+    }
+};
+
+// --- transient classification -------------------------------------------------------
+
+TEST_F(Resilience, TransientClassificationCoversRetryableCodesOnly) {
+    EXPECT_TRUE(diag::is_transient(diag::codes::kFlowPassTimeout));
+    EXPECT_TRUE(diag::is_transient(diag::codes::kFlowTransient));
+    EXPECT_TRUE(diag::is_transient(diag::codes::kSimWatchdog));
+    EXPECT_TRUE(diag::is_transient(diag::codes::kKpnWatchdog));
+    // Input defects reproduce on retry — never transient.
+    EXPECT_FALSE(diag::is_transient(diag::codes::kXmiBadValue));
+    EXPECT_FALSE(diag::is_transient(diag::codes::kFsmInvalid));
+    EXPECT_FALSE(diag::is_transient(diag::codes::kFlowQuarantine));
+}
+
+TEST_F(Resilience, RetryPolicyBackoffIsDeterministicAndCapped) {
+    flow::RetryPolicy policy;
+    policy.backoff_ms = 100;
+    policy.backoff_factor = 2.0;
+    policy.backoff_cap_ms = 350;
+    EXPECT_EQ(policy.delay_for_retry(0), 100u);
+    EXPECT_EQ(policy.delay_for_retry(1), 200u);
+    EXPECT_EQ(policy.delay_for_retry(2), 350u);  // capped, not 400
+    EXPECT_EQ(policy.delay_for_retry(9), 350u);
+    flow::RetryPolicy immediate;
+    immediate.max_retries = 3;
+    EXPECT_EQ(immediate.delay_for_retry(2), 0u);  // backoff_ms == 0
+}
+
+// --- transactional outputs ----------------------------------------------------------
+
+TEST_F(Resilience, OutputTransactionCommitPublishesRollbackDoesNot) {
+    fs::path dir = fresh_dir("txout");
+    {
+        flow::OutputTransaction tx(dir);
+        tx.write("kept.txt", "v1");
+        EXPECT_FALSE(fs::exists(dir / "kept.txt"));  // staged, not visible
+        EXPECT_EQ(tx.commit(), 1u);
+    }
+    EXPECT_TRUE(fs::exists(dir / "kept.txt"));
+    {
+        flow::OutputTransaction tx(dir);
+        tx.write("torn.txt", "never");
+        // No commit: destructor rolls back.
+    }
+    EXPECT_FALSE(fs::exists(dir / "torn.txt"));
+    EXPECT_TRUE(fs::exists(dir / "kept.txt"));  // previous commit untouched
+    EXPECT_FALSE(fs::exists(dir / ".uhcg-stage"));
+}
+
+TEST_F(Resilience, StaleStageFromKilledRunIsSwept) {
+    fs::path dir = fresh_dir("stale");
+    fs::create_directories(dir / ".uhcg-stage");
+    std::ofstream(dir / ".uhcg-stage" / "debris.mdl") << "half-written";
+    flow::OutputTransaction tx(dir);
+    EXPECT_FALSE(fs::exists(dir / ".uhcg-stage" / "debris.mdl"));
+    tx.write("good.txt", "whole");
+    tx.commit();
+    EXPECT_FALSE(fs::exists(dir / "debris.mdl"));  // debris never committed
+    EXPECT_TRUE(fs::exists(dir / "good.txt"));
+}
+
+TEST_F(Resilience, WriteFileAtomicReplacesWithoutTemporaryResidue) {
+    fs::path dir = fresh_dir("atomic");
+    fs::path target = dir / "out.json";
+    flow::write_file_atomic(target, "first");
+    flow::write_file_atomic(target, "second");
+    std::ifstream in(target);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_EQ(contents, "second");
+    std::size_t entries = 0;
+    for ([[maybe_unused]] const auto& e : fs::directory_iterator(dir)) ++entries;
+    EXPECT_EQ(entries, 1u);  // no .uhcg-tmp left behind
+}
+
+// --- checkpoint store ---------------------------------------------------------------
+
+TEST_F(Resilience, CheckpointRoundTripsFilesByteExactly) {
+    flow::CheckpointStore store(fresh_dir("ckpt"));
+    flow::StrategyResult result;
+    result.strategy = "fsm-c";
+    result.subsystem = "control:Elevator";
+    result.files.push_back({"a.c", "int main(){}\n"});
+    result.files.push_back({"b.h", "binary\0ish\ndata \"quoted\"\n"});
+    std::string key = flow::CheckpointStore::key("<model/>", "opts", "fsm-c",
+                                                "control:Elevator");
+    store.save(key, result);
+    flow::StrategyResult loaded;
+    ASSERT_TRUE(store.load(key, loaded));
+    ASSERT_EQ(loaded.files.size(), 2u);
+    EXPECT_EQ(loaded.strategy, result.strategy);
+    EXPECT_EQ(loaded.subsystem, result.subsystem);
+    EXPECT_EQ(loaded.files[0].name, "a.c");
+    EXPECT_EQ(loaded.files[0].contents, result.files[0].contents);
+    EXPECT_EQ(loaded.files[1].contents, result.files[1].contents);
+    store.drop(key);
+    EXPECT_FALSE(store.load(key, loaded));
+}
+
+TEST_F(Resilience, CheckpointKeyChangesWithEveryInput) {
+    std::string base = flow::CheckpointStore::key("m", "o", "s", "u");
+    EXPECT_NE(base, flow::CheckpointStore::key("m2", "o", "s", "u"));
+    EXPECT_NE(base, flow::CheckpointStore::key("m", "o2", "s", "u"));
+    EXPECT_NE(base, flow::CheckpointStore::key("m", "o", "s2", "u"));
+    EXPECT_NE(base, flow::CheckpointStore::key("m", "o", "s", "u2"));
+    EXPECT_EQ(base, flow::CheckpointStore::key("m", "o", "s", "u"));
+}
+
+TEST_F(Resilience, CorruptCheckpointIsAMissNotAnError) {
+    fs::path dir = fresh_dir("ckpt_bad");
+    flow::CheckpointStore store(dir);
+    std::string key = flow::CheckpointStore::key("m", "o", "s", "u");
+    std::ofstream(dir / (key + ".ckpt")) << "uhcg-flow-checkpoint-v1\ngarbage";
+    flow::StrategyResult loaded;
+    EXPECT_FALSE(store.load(key, loaded));
+    std::ofstream(dir / (key + ".ckpt")) << "other-schema\n";
+    EXPECT_FALSE(store.load(key, loaded));
+}
+
+// --- budget + retry in the pass manager ---------------------------------------------
+
+TEST_F(Resilience, WallBudgetOverrunFailsWithTransientTimeout) {
+    flow::PassManager pm("budget");
+    pm.add(flow::Pass("slow", [](flow::PassContext&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }));
+    pm.set_pass_budget({5});
+    flow::ArtifactStore store;
+    diag::DiagnosticEngine engine;
+    flow::FlowTrace trace;
+    auto run = pm.run(store, engine, &trace, "g");
+    EXPECT_FALSE(run.ok);
+    EXPECT_GE(engine.count_code(diag::codes::kFlowPassTimeout), 1u)
+        << engine.render_text();
+    ASSERT_EQ(trace.entries().size(), 1u);
+    EXPECT_EQ(trace.entries()[0].budget_ms, 5u);
+    EXPECT_EQ(trace.entries()[0].attempts, 1u);
+}
+
+TEST_F(Resilience, TimeoutRetriesUpToPolicyThenFails) {
+    flow::PassManager pm("budget");
+    pm.add(flow::Pass("slow", [](flow::PassContext&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }));
+    pm.set_pass_budget({5});
+    flow::RetryPolicy retry;
+    retry.max_retries = 2;  // immediate retries (backoff_ms = 0)
+    pm.set_retry_policy(retry);
+    flow::ArtifactStore store;
+    diag::DiagnosticEngine engine;
+    flow::FlowTrace trace;
+    auto run = pm.run(store, engine, &trace, "g");
+    EXPECT_FALSE(run.ok);  // persistently slow: still fails after retries
+    ASSERT_EQ(trace.entries().size(), 1u);
+    EXPECT_EQ(trace.entries()[0].attempts, 3u);  // 1 + 2 retries
+    EXPECT_GE(engine.count_code(diag::codes::kFlowRetry), 2u);
+}
+
+TEST_F(Resilience, TransientFaultHealsWithinRetryBudget) {
+    flow::fault::Injector::instance().arm("g/flaky",
+                                          flow::fault::Kind::Transient, 1);
+    flow::PassManager pm("retry");
+    bool body_ran = false;
+    pm.add(flow::Pass("flaky",
+                      [&body_ran](flow::PassContext&) { body_ran = true; }));
+    flow::RetryPolicy retry;
+    retry.max_retries = 2;
+    pm.set_retry_policy(retry);
+    flow::ArtifactStore store;
+    diag::DiagnosticEngine engine;
+    flow::FlowTrace trace;
+    auto run = pm.run(store, engine, &trace, "g");
+    EXPECT_TRUE(run.ok) << engine.render_text();
+    EXPECT_TRUE(body_ran);
+    ASSERT_EQ(trace.entries().size(), 1u);
+    EXPECT_EQ(trace.entries()[0].attempts, 2u);
+}
+
+TEST_F(Resilience, PermanentErrorsNeverRetry) {
+    flow::fault::Injector::instance().arm("g/broken", flow::fault::Kind::Fatal);
+    flow::PassManager pm("noretry");
+    pm.add(flow::Pass("broken", [](flow::PassContext&) {}));
+    flow::RetryPolicy retry;
+    retry.max_retries = 5;
+    pm.set_retry_policy(retry);
+    flow::ArtifactStore store;
+    diag::DiagnosticEngine engine;
+    flow::FlowTrace trace;
+    auto run = pm.run(store, engine, &trace, "g");
+    EXPECT_FALSE(run.ok);
+    ASSERT_EQ(trace.entries().size(), 1u);
+    EXPECT_EQ(trace.entries()[0].attempts, 1u);  // Fatal is not transient
+}
+
+// --- the chaos sweep ----------------------------------------------------------------
+
+using FileMap = std::map<std::pair<std::string, std::string>,
+                         std::map<std::string, std::string>>;
+
+FileMap file_map(const flow::GenerateResult& result) {
+    FileMap out;
+    for (const flow::StrategyResult& sr : result.results) {
+        if (!sr.ok) continue;
+        auto& files = out[{sr.strategy, sr.subsystem}];
+        for (const flow::GeneratedFile& f : sr.files) files[f.name] = f.contents;
+    }
+    return out;
+}
+
+flow::GenerateResult run_generate(const uml::Model& model,
+                                  diag::DiagnosticEngine& engine,
+                                  flow::GenerateOptions options = {}) {
+    options.with_kpn = true;
+    return flow::generate(model, options, engine);
+}
+
+TEST_F(Resilience, ChaosSweepQuarantinesOnlyTheFaultedUnit) {
+    uml::Model model = cases::mixed_model();
+    diag::DiagnosticEngine baseline_engine;
+    flow::GenerateResult baseline = run_generate(model, baseline_engine);
+    ASSERT_EQ(baseline.status, flow::GenerateStatus::Ok)
+        << baseline_engine.render_text();
+    FileMap baseline_files = file_map(baseline);
+    ASSERT_GE(baseline_files.size(), 4u);  // fsm-c, caam, threads, kpn
+
+    // Every pass of every strategy, under both fault kinds: 30 distinct
+    // injection points (the acceptance bar is >= 25).
+    const char* kSites[] = {
+        "flow.partition", "fsm.flatten",   "fsm.emit-c",    "uml.wellformed",
+        "core.comm",      "core.allocate", "core.mapping",  "caam.lift",
+        "caam.channels",  "caam.delays",   "caam.validate", "sim.schedulability",
+        "simulink.emit",  "codegen.threads", "kpn.map",     "kpn.validate"};
+    const flow::fault::Kind kKinds[] = {flow::fault::Kind::Throw,
+                                        flow::fault::Kind::Fatal};
+    std::size_t injection_points = 0;
+    for (const char* site : kSites)
+        for (flow::fault::Kind kind : kKinds) {
+            SCOPED_TRACE(std::string(site) + "/" +
+                         (kind == flow::fault::Kind::Throw ? "throw" : "fatal"));
+            auto& injector = flow::fault::Injector::instance();
+            injector.disarm_all();
+            injector.arm(site, kind);
+            ++injection_points;
+
+            diag::DiagnosticEngine engine;
+            flow::GenerateResult result = run_generate(model, engine);
+
+            if (std::string(site) == "flow.partition") {
+                // The partitioner is stage 1 of the whole run: no
+                // strategies dispatch, the run is Failed, not Partial.
+                EXPECT_EQ(result.status, flow::GenerateStatus::Failed);
+                continue;
+            }
+            EXPECT_EQ(result.status, flow::GenerateStatus::Partial);
+            EXPECT_FALSE(result.quarantined.empty());
+            // Only the faulted unit(s) are quarantined, and no quarantined
+            // unit ships files.
+            for (const flow::StrategyResult& sr : result.results)
+                if (!sr.ok) EXPECT_TRUE(sr.files.empty());
+            // Every surviving unit's files are byte-identical to the
+            // fault-free run.
+            for (const auto& [unit, files] : file_map(result)) {
+                auto it = baseline_files.find(unit);
+                ASSERT_NE(it, baseline_files.end())
+                    << unit.first << ":" << unit.second;
+                EXPECT_EQ(files, it->second)
+                    << unit.first << ":" << unit.second;
+            }
+            // The manifest is well-formed and names the quarantined unit.
+            std::string manifest = flow::to_manifest_json(result);
+            EXPECT_NE(manifest.find("uhcg-flow-manifest-v1"), std::string::npos);
+            EXPECT_NE(manifest.find("\"status\": \"partial\""),
+                      std::string::npos);
+            for (const flow::QuarantineRecord& q : result.quarantined) {
+                EXPECT_NE(manifest.find(q.strategy), std::string::npos);
+                EXPECT_FALSE(q.error_codes.empty()) << q.strategy;
+            }
+        }
+    EXPECT_GE(injection_points, 25u);
+}
+
+TEST_F(Resilience, QuarantineDoesNotCrossContaminateLaterSubsystems) {
+    // The mixed model partitions into control:Elevator (first) and threads
+    // (second): failing the first must leave every strategy of the second
+    // intact — the regression the per-pass problem gating guards against.
+    uml::Model model = cases::mixed_model();
+    flow::fault::Injector::instance().arm("fsm.flatten",
+                                          flow::fault::Kind::Fatal);
+    diag::DiagnosticEngine engine;
+    flow::GenerateResult result = run_generate(model, engine);
+    EXPECT_EQ(result.status, flow::GenerateStatus::Partial);
+    ASSERT_EQ(result.quarantined.size(), 1u);
+    EXPECT_EQ(result.quarantined[0].strategy, "fsm-c");
+    EXPECT_EQ(result.quarantined[0].subsystem, "control:Elevator");
+    for (const flow::StrategyResult& sr : result.results)
+        if (sr.strategy != "fsm-c")
+            EXPECT_TRUE(sr.ok) << sr.strategy << ":" << sr.subsystem;
+}
+
+// --- checkpoint/resume through generate() -------------------------------------------
+
+TEST_F(Resilience, ResumeReplaysCheckpointsByteIdentically) {
+    uml::Model model = cases::mixed_model();
+    std::string model_bytes = uml::to_xmi_string(model);
+    fs::path ckpt = fresh_dir("resume");
+
+    flow::GenerateOptions options;
+    options.with_kpn = true;
+    options.resilience.checkpoint_dir = ckpt.string();
+    options.resilience.model_bytes = model_bytes;
+
+    // Run 1: the fsm branch faults mid-run — the surviving units still
+    // checkpoint (the "killed after some units completed" shape).
+    flow::fault::Injector::instance().arm("fsm.flatten",
+                                          flow::fault::Kind::Throw);
+    diag::DiagnosticEngine first_engine;
+    flow::GenerateResult first = flow::generate(model, options, first_engine);
+    EXPECT_EQ(first.status, flow::GenerateStatus::Partial);
+    flow::fault::Injector::instance().disarm_all();
+
+    // Run 2 with --resume semantics: completed units replay from their
+    // checkpoints, the faulted unit re-runs and now succeeds.
+    options.resilience.resume = true;
+    diag::DiagnosticEngine second_engine;
+    flow::GenerateResult second = flow::generate(model, options, second_engine);
+    EXPECT_EQ(second.status, flow::GenerateStatus::Ok)
+        << second_engine.render_text();
+    std::size_t cached = 0;
+    for (const flow::StrategyResult& sr : second.results) {
+        if (sr.cached) ++cached;
+        if (sr.strategy == "fsm-c") EXPECT_FALSE(sr.cached);
+    }
+    EXPECT_GE(cached, 3u);  // caam, threads, kpn replayed
+
+    // Byte-identity: the resumed run equals a fresh fault-free run.
+    diag::DiagnosticEngine fresh_engine;
+    flow::GenerateResult fresh = run_generate(model, fresh_engine);
+    EXPECT_EQ(file_map(second), file_map(fresh));
+    EXPECT_GE(second_engine.count_code(diag::codes::kFlowCheckpoint), 3u);
+}
+
+TEST_F(Resilience, ResumeIgnoresCheckpointsWhenInputsChange) {
+    uml::Model model = cases::mixed_model();
+    fs::path ckpt = fresh_dir("stale_ckpt");
+    flow::GenerateOptions options;
+    options.with_kpn = true;
+    options.resilience.checkpoint_dir = ckpt.string();
+    options.resilience.model_bytes = uml::to_xmi_string(model);
+    diag::DiagnosticEngine first_engine;
+    (void)flow::generate(model, options, first_engine);
+
+    // Same checkpoint dir, "edited" model bytes: every key misses.
+    options.resilience.resume = true;
+    options.resilience.model_bytes += "<!-- edited -->";
+    diag::DiagnosticEngine second_engine;
+    flow::GenerateResult second = flow::generate(model, options, second_engine);
+    EXPECT_EQ(second.status, flow::GenerateStatus::Ok);
+    for (const flow::StrategyResult& sr : second.results)
+        EXPECT_FALSE(sr.cached) << sr.strategy;
+}
+
+TEST_F(Resilience, ManifestListsEveryStrategyAndQuarantine) {
+    uml::Model model = cases::mixed_model();
+    flow::fault::Injector::instance().arm("codegen.threads",
+                                          flow::fault::Kind::Fatal);
+    diag::DiagnosticEngine engine;
+    flow::GenerateResult result = run_generate(model, engine);
+    std::string manifest = flow::to_manifest_json(result);
+    EXPECT_NE(manifest.find("\"schema\": \"uhcg-flow-manifest-v1\""),
+              std::string::npos);
+    EXPECT_NE(manifest.find("\"cpp-threads\""), std::string::npos);
+    EXPECT_NE(manifest.find("\"quarantined\""), std::string::npos);
+    EXPECT_NE(manifest.find(diag::codes::kFlowQuarantine), std::string::npos);
+}
+
+}  // namespace

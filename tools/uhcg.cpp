@@ -37,11 +37,36 @@
 //   --mutations <n>      fuzz-xmi: number of mutants to run (default 70)
 //   --seed <n>           fuzz-xmi: deterministic corpus seed (default 1)
 //
+// Resilience options (generate command):
+//   --max-retries <n>        re-run a failed pass up to n times when every
+//                            error it reported is transient-classified
+//   --retry-backoff-ms <n>   base delay before the first retry (doubles per
+//                            retry, capped; 0 = immediate)
+//   --pass-budget-ms <n>     wall-clock budget per pass attempt (0 = off)
+//   --kpn-firings <n>        KPN dry-run watchdog budget (kpn command too;
+//                            0 = derived from --iterations)
+//   --sim-steps <n>          watchdogged smoke-simulation steps in the
+//                            schedulability probe (0 = build-only)
+//   --resume                 replay checkpointed units whose inputs are
+//                            unchanged instead of re-running them
+//   --checkpoint-dir <path>  checkpoint location (default
+//                            <outdir>/.uhcg-checkpoints)
+//   --manifest <path>        also write the failure manifest (schema
+//                            uhcg-flow-manifest-v1) to this path; the
+//                            output directory always gets a copy as
+//                            generate-manifest.json
+//   --inject-fault <spec>    arm a deterministic pass-level fault for the
+//                            chaos suite: throw:<site>, fatal:<site> or
+//                            transient[xN]:<site>, site = substring of the
+//                            "<group>/<pass>" trace label (repeatable)
+//
 // Exit codes:
 //   0  success (warnings allowed)
 //   1  the input produced diagnostics with severity error or above
 //   2  usage error (bad command line)
-//   3  internal error — an exception escaped the diagnostics engine
+//   3  partial success — generate quarantined some strategies but others
+//      produced outputs; the manifest lists the quarantined units
+//   4  internal error — an exception escaped the diagnostics engine
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -58,7 +83,9 @@
 #include "diag/diag.hpp"
 #include "diag/mutate.hpp"
 #include "dse/explore.hpp"
+#include "flow/fault.hpp"
 #include "flow/generate.hpp"
+#include "flow/txout.hpp"
 #include "kpn/execute.hpp"
 #include "kpn/from_uml.hpp"
 #include "sim/engine.hpp"
@@ -79,7 +106,9 @@ using namespace uhcg;
 constexpr int kExitOk = 0;
 constexpr int kExitDiagnostics = 1;
 constexpr int kExitUsage = 2;
-constexpr int kExitInternal = 3;
+/// Some strategies were quarantined but others produced outputs.
+constexpr int kExitPartial = 3;
+constexpr int kExitInternal = 4;
 
 struct Cli {
     std::string command;
@@ -95,6 +124,16 @@ struct Cli {
     std::size_t mutations = 70;
     std::uint64_t seed = 1;
     std::size_t jobs = 0;
+    // Resilience layer (generate).
+    std::size_t max_retries = 0;
+    std::uint64_t retry_backoff_ms = 0;
+    std::uint64_t pass_budget_ms = 0;
+    std::size_t kpn_firings = 0;
+    std::size_t sim_steps = 0;
+    bool resume = false;
+    std::string checkpoint_dir;
+    std::string manifest;
+    std::vector<std::string> inject_faults;
 };
 
 int usage(const char* argv0) {
@@ -106,10 +145,15 @@ int usage(const char* argv0) {
            "         --no-channels --no-delays --dump-ecore <path> --report\n"
            "         --json-diagnostics\n"
            "         --trace-json <path> --with-kpn (generate command)\n"
+           "         --max-retries <n> --retry-backoff-ms <n>\n"
+           "         --pass-budget-ms <n> --kpn-firings <n> --sim-steps <n>\n"
+           "         --resume --checkpoint-dir <path> --manifest <path>\n"
+           "         --inject-fault <kind>:<site> (generate command)\n"
            "         --jobs <n> (explore command; 0 = all hardware threads)\n"
            "         --iterations <n> (threads command)\n"
            "         --mutations <n> --seed <n> (fuzz-xmi command)\n"
-           "exit codes: 0 ok, 1 diagnostics with errors, 2 usage, 3 internal\n";
+           "exit codes: 0 ok, 1 diagnostics with errors, 2 usage,\n"
+           "            3 partial success (see manifest), 4 internal\n";
     return kExitUsage;
 }
 
@@ -172,6 +216,36 @@ bool parse_cli(int argc, char** argv, Cli& cli) {
             if (!next_number(cli.mutations)) return false;
         } else if (arg == "--seed") {
             if (!next_number(cli.seed)) return false;
+        } else if (arg == "--max-retries") {
+            if (!next_number(cli.max_retries)) return false;
+        } else if (arg == "--retry-backoff-ms") {
+            if (!next_number(cli.retry_backoff_ms)) return false;
+        } else if (arg == "--pass-budget-ms") {
+            if (!next_number(cli.pass_budget_ms)) return false;
+        } else if (arg == "--kpn-firings") {
+            if (!next_number(cli.kpn_firings)) return false;
+        } else if (arg == "--sim-steps") {
+            if (!next_number(cli.sim_steps)) return false;
+        } else if (arg == "--resume") {
+            cli.resume = true;
+        } else if (arg == "--checkpoint-dir") {
+            const char* v = next();
+            if (!v) return false;
+            cli.checkpoint_dir = v;
+        } else if (arg == "--manifest") {
+            const char* v = next();
+            if (!v) return false;
+            cli.manifest = v;
+        } else if (arg == "--inject-fault") {
+            const char* v = next();
+            if (!v) return false;
+            if (!flow::fault::Injector::instance().arm_spec(v)) {
+                std::cerr << "bad --inject-fault spec: " << v
+                          << " (want throw:<site>, fatal:<site> or "
+                             "transient[xN]:<site>)\n";
+                return false;
+            }
+            cli.inject_faults.push_back(v);
         } else {
             std::cerr << "unknown option: " << arg << '\n';
             return false;
@@ -262,7 +336,7 @@ int cmd_map(const uml::Model& model, const Cli& cli,
     }
     std::string out_path =
         cli.output.empty() ? model.name() + ".mdl" : cli.output;
-    simulink::save_mdl(*caam, out_path);
+    flow::write_file_atomic(out_path, simulink::write_mdl(*caam));
     std::cout << "wrote " << out_path << " ("
               << simulink::caam_stats(*caam).total_blocks << " blocks)\n";
     if (cli.report) print_report(report);
@@ -277,9 +351,10 @@ int cmd_codegen(const uml::Model& model, const Cli& cli,
     codegen::GeneratedProgram program = codegen::generate_c_program(*caam);
     std::filesystem::path dir =
         cli.output.empty() ? model.name() + "_c" : cli.output;
-    std::filesystem::create_directories(dir);
+    flow::OutputTransaction tx(dir);
     for (const auto& [name, contents] : program.files)
-        std::ofstream(dir / name) << contents;
+        tx.write(name, contents);
+    tx.commit();
     std::cout << "wrote " << program.files.size() << " files to " << dir
               << " (build: cc -std=c99 main.c sfunctions.c cpu_*.c)\n";
     if (cli.report) print_report(report);
@@ -291,7 +366,7 @@ int cmd_threads(const uml::Model& model, const Cli& cli,
     codegen::CppProgram program =
         codegen::generate_cpp_threads(model, cli.iterations, engine);
     std::string out_path = cli.output.empty() ? program.file_name : cli.output;
-    std::ofstream(out_path) << program.source;
+    flow::write_file_atomic(out_path, program.source);
     std::cout << "wrote " << out_path << " (" << program.thread_count
               << " threads, " << program.queue_count
               << " queues; build: c++ -std=c++17 -pthread)\n";
@@ -300,22 +375,48 @@ int cmd_threads(const uml::Model& model, const Cli& cli,
 
 int cmd_generate(const uml::Model& model, const Cli& cli,
                  diag::DiagnosticEngine& engine) {
+    std::filesystem::path dir =
+        cli.output.empty() ? model.name() + "_gen" : cli.output;
+
     flow::GenerateOptions options;
     options.mapper = cli.mapper;
     options.iterations = cli.iterations;
     options.with_kpn = cli.with_kpn;
+    options.resilience.retry.max_retries = cli.max_retries;
+    options.resilience.retry.backoff_ms = cli.retry_backoff_ms;
+    options.resilience.pass_budget.wall_ms = cli.pass_budget_ms;
+    options.resilience.kpn_firings = cli.kpn_firings;
+    options.resilience.sim_steps = cli.sim_steps;
+    options.resilience.resume = cli.resume;
+    options.resilience.checkpoint_dir =
+        cli.checkpoint_dir.empty() ? (dir / ".uhcg-checkpoints").string()
+                                   : cli.checkpoint_dir;
+    // Checkpoint keys hash the serialized source model; an unreadable
+    // input already failed in dispatch() before reaching here.
+    {
+        std::ifstream in(cli.input, std::ios::binary);
+        options.resilience.model_bytes.assign(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+    }
+
     flow::FlowTrace trace;
     flow::GenerateResult result = flow::generate(model, options, engine, &trace);
 
-    std::filesystem::path dir =
-        cli.output.empty() ? model.name() + "_gen" : cli.output;
-    std::filesystem::create_directories(dir);
+    // Transactional commit: every surviving file lands through the staging
+    // directory, so a quarantined or aborted run never leaves a torn
+    // artifact — the destination holds either a file's previous version or
+    // nothing. The manifest commits with the files.
+    std::string manifest = flow::to_manifest_json(result);
+    flow::OutputTransaction tx(dir);
     std::size_t written = 0;
     for (const flow::StrategyResult& sr : result.results)
         for (const flow::GeneratedFile& f : sr.files) {
-            std::ofstream(dir / f.name) << f.contents;
+            tx.write(f.name, f.contents);
             ++written;
         }
+    tx.write("generate-manifest.json", manifest + "\n");
+    tx.commit();
 
     std::cout << "partitioned '" << model.name() << "' into "
               << result.partitions.subsystems.size() << " subsystem(s)";
@@ -327,21 +428,33 @@ int cmd_generate(const uml::Model& model, const Cli& cli,
         std::cout << "  " << s.name << " [" << flow::to_string(s.kind) << "]\n";
     for (const flow::StrategyResult& sr : result.results) {
         std::cout << "  " << sr.strategy << " (" << sr.subsystem << "):";
-        if (!sr.ok) std::cout << " FAILED";
+        if (!sr.ok) std::cout << " QUARANTINED";
+        if (sr.cached) std::cout << " [resumed]";
         for (const flow::GeneratedFile& f : sr.files)
             std::cout << ' ' << f.name;
         std::cout << '\n';
     }
     std::cout << "wrote " << written << " file(s) to " << dir.string() << '\n';
+    if (!result.quarantined.empty())
+        std::cout << "quarantined " << result.quarantined.size()
+                  << " strategy unit(s); see "
+                  << (dir / "generate-manifest.json").string() << '\n';
 
+    if (!cli.manifest.empty())
+        flow::write_file_atomic(cli.manifest, manifest + "\n");
     if (!cli.trace_json.empty()) {
-        std::ofstream(cli.trace_json) << trace.to_json() << '\n';
+        flow::write_file_atomic(cli.trace_json, trace.to_json() + "\n");
         std::cout << "wrote trace: " << cli.trace_json << '\n';
     }
     if (cli.report)
         for (const flow::StrategyResult& sr : result.results)
             if (sr.strategy == "simulink-caam") print_report(sr.mapper_report);
-    return result.ok ? kExitOk : kExitDiagnostics;
+    switch (result.status) {
+        case flow::GenerateStatus::Ok: return kExitOk;
+        case flow::GenerateStatus::Partial: return kExitPartial;
+        case flow::GenerateStatus::Failed: return kExitDiagnostics;
+    }
+    return kExitDiagnostics;
 }
 
 int cmd_kpn(const uml::Model& model, const Cli& cli,
@@ -369,7 +482,9 @@ int cmd_kpn(const uml::Model& model, const Cli& cli,
     kpn::Executor exec(out.network, registry);
     kpn::WatchdogBudget budget;
     budget.max_firings =
-        cli.iterations * out.network.processes().size() * 4 + 1000;
+        cli.kpn_firings
+            ? cli.kpn_firings
+            : cli.iterations * out.network.processes().size() * 4 + 1000;
     kpn::KpnResult r = exec.run(cli.iterations, engine, budget);
     if (!r.deadlocked && !r.budget_exhausted)
         std::cout << "dry-run: " << r.rounds << " round(s), " << r.firings
@@ -494,9 +609,10 @@ int dispatch(const Cli& cli) {
 
     diag::DiagnosticEngine engine;
     uml::Model model = uml::load_xmi(cli.input, engine);
+    const bool loaded = !engine.has_errors();
     int code = kExitOk;
     bool known = true;
-    if (!engine.has_errors()) {
+    if (loaded) {
         if (cli.command == "check")
             code = cmd_check(model, engine);
         else if (cli.command == "map")
@@ -524,7 +640,16 @@ int dispatch(const Cli& cli) {
         std::cout << engine.render_json() << '\n';
     else if (!engine.empty())
         std::cerr << engine.render_text();
-    if (engine.has_errors()) return kExitDiagnostics;
+    // A command that already decided on a non-ok code (e.g. generate's
+    // partial success) keeps it; errors only escalate a clean exit. For a
+    // generate run that actually executed, the three-valued run status is
+    // authoritative: a pass that healed on retry leaves its transient
+    // errors in the engine, yet every strategy succeeded — that is
+    // success, not a diagnostics failure. A model that failed to load
+    // still escalates.
+    const bool status_authoritative = cli.command == "generate" && loaded;
+    if (engine.has_errors() && code == kExitOk && !status_authoritative)
+        return kExitDiagnostics;
     return code;
 }
 
