@@ -32,6 +32,19 @@ double explore_millis(const uml::Model& model, const core::CommModel& comm,
     return std::chrono::duration<double, std::milli>(stop - start).count();
 }
 
+// CI red-gate rehearsal: `UHCG_BENCH_INJECT_MS` inflates the serial
+// explore row by that many milliseconds, simulating a localized
+// regression the perf gate must flag. Only one row is touched, so the
+// gate's median-ratio calibration cannot absorb the spike as machine
+// speed (a uniform slowdown would — see src/obs/gate.hpp).
+double injected_ms() {
+    const char* env = std::getenv("UHCG_BENCH_INJECT_MS");
+    if (!env) return 0.0;
+    char* end = nullptr;
+    double parsed = std::strtod(env, &end);
+    return (end != env && *end == '\0' && parsed > 0) ? parsed : 0.0;
+}
+
 void speedup_section() {
     // The synthetic CAAM sweep, scaled up: a generated layered application
     // large enough that each candidate's cost simulation is real work.
@@ -64,9 +77,12 @@ void speedup_section() {
     bench::row("unique clusterings", serial_result.stats.unique_clusterings);
     bench::row("duplicates skipped (dedup)",
                serial_result.stats.duplicates_skipped);
-    bench::row("explore jobs=1 (ms)", serial_ms);
-    bench::row("explore jobs=" + std::to_string(parallel.jobs) + " (ms)",
-               parallel_ms);
+    // Stable label on the parallel row ("jobs=N", not the runtime thread
+    // count) so baseline comparisons work across machines — with the old
+    // interpolated label a 1-core runner emitted "explore jobs=1 (ms)"
+    // twice and the report rows collided.
+    bench::row("explore jobs=1 (ms)", serial_ms + injected_ms());
+    bench::row("explore jobs=N (ms)", parallel_ms);
     bench::row("parallel speedup", serial_ms / parallel_ms);
     bench::row("explore warm-cache (ms)", cached_ms);
     bench::row("warm-cache simulations", cached_result.stats.simulations);

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "taskgraph/linear.hpp"
 
 namespace uhcg::core {
@@ -42,6 +43,9 @@ std::vector<const uml::ObjectInstance*> Allocation::threads_on(
 
 taskgraph::TaskGraph build_task_graph(const uml::Model& model,
                                       const CommModel& comm) {
+    obs::ObsSpan span("taskgraph.build");
+    static obs::Counter& graphs = obs::counter("taskgraph.graphs_built");
+    graphs.add(1);
     taskgraph::TaskGraph g;
     std::map<const uml::ObjectInstance*, taskgraph::TaskIndex> index;
     for (const uml::ObjectInstance* t : model.threads())
@@ -84,6 +88,9 @@ Allocation allocation_from_deployment(const uml::Model& model) {
 taskgraph::Clustering auto_clustering(const uml::Model& model,
                                       const CommModel& comm,
                                       std::size_t max_processors) {
+    obs::ObsSpan span("core.cluster");
+    static obs::Counter& clusterings = obs::counter("core.clusterings");
+    clusterings.add(1);
     taskgraph::TaskGraph g = build_task_graph(model, comm);
     taskgraph::LinearClusteringOptions options;
     options.max_clusters = max_processors;
@@ -92,6 +99,7 @@ taskgraph::Clustering auto_clustering(const uml::Model& model,
 
 Allocation auto_allocate(const uml::Model& model, const CommModel& comm,
                          std::size_t max_processors) {
+    obs::ObsSpan span("core.allocate-auto");
     auto threads = model.threads();
     taskgraph::Clustering clustering = auto_clustering(model, comm, max_processors);
     Allocation out;

@@ -1,5 +1,7 @@
 #include "core/comm.hpp"
 
+#include "obs/obs.hpp"
+
 namespace uhcg::core {
 
 std::vector<const Channel*> CommModel::incoming(
@@ -57,6 +59,7 @@ double CommModel::traffic(const uml::ObjectInstance& from,
 }
 
 CommModel analyze_communication(const uml::Model& model) {
+    obs::ObsSpan span("core.comm-analyze", "core");
     CommModel out;
     for (const uml::SequenceDiagram* d : model.sequence_diagrams()) {
         for (const uml::Message* m : d->messages()) {

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/obs.hpp"
+
 namespace uhcg::core {
 namespace {
 
@@ -78,6 +80,10 @@ void parallel_for(std::size_t count, std::size_t jobs,
     std::mutex error_mutex;
     std::exception_ptr first_error;
     std::size_t first_error_index = count;
+    // Captured on the submitting thread so pool-worker spans join the
+    // caller's subtree instead of appearing as detached roots.
+    const obs::Context fan_out_parent =
+        obs::enabled() ? obs::current_context() : obs::Context{};
     auto drain = [&] {
         for (std::size_t i = next.fetch_add(1); i < count;
              i = next.fetch_add(1)) {
@@ -92,11 +98,15 @@ void parallel_for(std::size_t count, std::size_t jobs,
             }
         }
     };
+    auto drain_as_worker = [&] {
+        obs::ScopedContext context(fan_out_parent);
+        drain();
+    };
 
     std::vector<std::future<void>> pending;
     pending.reserve(jobs - 1);
     for (std::size_t j = 1; j < jobs; ++j)
-        pending.push_back(ThreadPool::shared().submit(drain));
+        pending.push_back(ThreadPool::shared().submit(drain_as_worker));
     // The caller participates: the loop completes even when every pool
     // thread is occupied elsewhere.
     drain();

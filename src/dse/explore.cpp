@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "core/parallel.hpp"
+#include "obs/obs.hpp"
 #include "taskgraph/baselines.hpp"
 #include "taskgraph/dsc.hpp"
 #include "taskgraph/linear.hpp"
@@ -161,6 +162,7 @@ std::uint64_t clustering_fingerprint(const taskgraph::Clustering& clustering) {
 
 ExploreResult explore(const uml::Model& model, const core::CommModel& comm,
                       const ExploreOptions& options) {
+    obs::ObsSpan explore_span("dse.explore");
     taskgraph::TaskGraph graph = core::build_task_graph(model, comm);
     const std::size_t n = graph.task_count();
 
@@ -204,8 +206,12 @@ ExploreResult explore(const uml::Model& model, const core::CommModel& comm,
     //    graph only).
     std::vector<taskgraph::Clustering> clusterings(plan.size(),
                                                    taskgraph::Clustering(0));
-    core::parallel_for(plan.size(), jobs,
-                       [&](std::size_t i) { clusterings[i] = plan[i].make(); });
+    {
+        obs::ObsSpan span("dse.cluster-sweep");
+        core::parallel_for(plan.size(), jobs, [&](std::size_t i) {
+            clusterings[i] = plan[i].make();
+        });
+    }
 
     // 3. Fingerprint and deduplicate *before* simulation: several strategies
     //    routinely produce the same partition (round-robin at k = n is the
@@ -236,11 +242,14 @@ ExploreResult explore(const uml::Model& model, const core::CommModel& comm,
         if (!cache().lookup(key, unique_results[slot]))
             to_simulate.push_back(slot);
     }
-    core::parallel_for(to_simulate.size(), jobs, [&](std::size_t t) {
-        std::size_t slot = to_simulate[t];
-        unique_results[slot] = sim::simulate_mpsoc(
-            graph, clusterings[unique_index[slot]], options.cost_model);
-    });
+    {
+        obs::ObsSpan span("dse.simulate-sweep");
+        core::parallel_for(to_simulate.size(), jobs, [&](std::size_t t) {
+            std::size_t slot = to_simulate[t];
+            unique_results[slot] = sim::simulate_mpsoc(
+                graph, clusterings[unique_index[slot]], options.cost_model);
+        });
+    }
     for (std::size_t slot : to_simulate)
         cache().insert({graph_fp, fingerprints[unique_index[slot]], params_fp},
                        unique_results[slot]);
@@ -263,6 +272,10 @@ ExploreResult explore(const uml::Model& model, const core::CommModel& comm,
     result.stats.simulations = to_simulate.size();
     result.stats.cache_hits = unique_index.size() - to_simulate.size();
     result.stats.jobs = jobs;
+    obs::counter("dse.candidates").add(result.stats.candidates);
+    obs::counter("dse.cache_hits").add(result.stats.cache_hits);
+    obs::counter("dse.simulations").add(result.stats.simulations);
+    obs::counter("dse.duplicates_skipped").add(result.stats.duplicates_skipped);
 
     // 6. Pareto front over (processors ↓, makespan ↓) in one sort-based
     //    O(m log m) pass. A candidate is dominated iff some candidate with

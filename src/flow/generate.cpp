@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/allocation.hpp"
 #include "flow/caam_passes.hpp"
 #include "flow/checkpoint.hpp"
+#include "obs/obs.hpp"
 
 namespace uhcg::flow {
 
@@ -71,6 +73,7 @@ std::string_view to_string(GenerateStatus status) {
 
 GenerateResult generate(const uml::Model& model, const GenerateOptions& options_in,
                         diag::DiagnosticEngine& engine, FlowTrace* trace) {
+    obs::ObsSpan generate_span("flow.generate");
     GenerateResult result;
     if (trace) trace->set_model(model.name());
 
@@ -95,7 +98,14 @@ GenerateResult generate(const uml::Model& model, const GenerateOptions& options_
     pm.add(Pass("flow.partition",
                 [](PassContext& ctx) {
                     const uml::Model& m = *ctx.in<SourceModel>().model;
-                    PartitionReport& report = ctx.out(partition(m));
+                    core::CommModel comm = core::analyze_communication(m);
+                    PartitionReport& report = ctx.out(partition(m, comm));
+                    // Mine the task graph here too: its shape lands in the
+                    // trace for every run, including deployment-diagram
+                    // models that never take the auto-allocation path.
+                    taskgraph::TaskGraph graph = core::build_task_graph(m, comm);
+                    ctx.count("taskgraph-tasks", graph.task_count());
+                    ctx.count("taskgraph-edges", graph.edge_count());
                     ctx.count("subsystems", report.subsystems.size());
                     ctx.count("feedback-cycles", report.feedback_cycles);
                     for (const Subsystem& s : report.subsystems)
@@ -181,6 +191,7 @@ GenerateResult generate(const uml::Model& model, const GenerateOptions& options_
 
             const std::size_t diags_before = engine.size();
             StrategyResult sr;
+            obs::ObsSpan unit_span("flow.strategy:" + name, "flow");
             try {
                 sr = strategy->generate(context, engine, trace);
             } catch (const std::exception& e) {
@@ -196,6 +207,7 @@ GenerateResult generate(const uml::Model& model, const GenerateOptions& options_
             }
 
             if (!sr.ok) {
+                obs::counter("flow.quarantined").add(1);
                 result.quarantined.push_back(quarantine_record(
                     name, subsystem.name, engine, diags_before));
                 engine.warning(diag::codes::kFlowQuarantine,

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "flow/fault.hpp"
+#include "obs/obs.hpp"
 
 namespace uhcg::flow {
 
@@ -217,19 +218,29 @@ PassManager::RunResult PassManager::run(ArtifactStore& store,
             const std::size_t attempt_errors = engine.error_count();
             const std::size_t attempt_diags = engine.size();
 
+            if (attempts > 1) obs::counter("flow.retries").add(1);
             auto start = std::chrono::steady_clock::now();
-            if (trap_exceptions_) {
-                try {
+            {
+                // Pass names carry their layer as a dotted prefix
+                // ("core.mapping" → category "core"), so this one span
+                // covers every layer the pass managers orchestrate. Scoped
+                // to the attempt only — backoff sleeps stay outside.
+                obs::ObsSpan attempt_span(pass->name);
+                if (trap_exceptions_) {
+                    try {
+                        fault::Injector::instance().fire(
+                            group_prefix + pass->name, ctx);
+                        if (!ctx.failed()) pass->run(ctx);
+                    } catch (const std::exception& e) {
+                        engine.report(diag::Severity::Fatal, internal_code_,
+                                      e.what());
+                        ctx.fail();
+                    }
+                } else {
                     fault::Injector::instance().fire(group_prefix + pass->name,
                                                      ctx);
                     if (!ctx.failed()) pass->run(ctx);
-                } catch (const std::exception& e) {
-                    engine.report(diag::Severity::Fatal, internal_code_, e.what());
-                    ctx.fail();
                 }
-            } else {
-                fault::Injector::instance().fire(group_prefix + pass->name, ctx);
-                if (!ctx.failed()) pass->run(ctx);
             }
             auto stop = std::chrono::steady_clock::now();
             double attempt_ms =

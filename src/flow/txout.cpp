@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "obs/obs.hpp"
+
 namespace uhcg::flow {
 
 namespace fs = std::filesystem;
@@ -46,9 +48,11 @@ void OutputTransaction::write(const std::string& name,
         throw std::runtime_error("short write staging '" + target.string() +
                                  "'");
     ++staged_;
+    bytes_staged_ += contents.size();
 }
 
 std::size_t OutputTransaction::commit() {
+    obs::ObsSpan span("txout.commit");
     std::size_t committed = 0;
     for (const fs::directory_entry& entry : fs::directory_iterator(stage_)) {
         fs::path target = dir_ / entry.path().filename();
@@ -58,6 +62,8 @@ std::size_t OutputTransaction::commit() {
     std::error_code ec;
     fs::remove_all(stage_, ec);
     done_ = true;
+    obs::counter("txout.files_committed").add(committed);
+    obs::counter("txout.bytes_committed").add(bytes_staged_);
     return committed;
 }
 

@@ -44,6 +44,7 @@ private:
     std::filesystem::path dir_;
     std::filesystem::path stage_;
     std::size_t staged_ = 0;
+    std::size_t bytes_staged_ = 0;
     bool done_ = false;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/obs.hpp"
+
 namespace uhcg::kpn {
 
 void KernelRegistry::register_kernel(std::string name, Kernel kernel,
@@ -78,6 +80,7 @@ KpnResult Executor::run(std::size_t rounds, diag::DiagnosticEngine& engine,
 
 KpnResult Executor::run_impl(std::size_t rounds, diag::DiagnosticEngine* engine,
                              const WatchdogBudget& budget) {
+    obs::ObsSpan span("kpn.run");
     const auto processes = network_->processes();
     const auto& channels = network_->channels();
 
@@ -180,6 +183,8 @@ KpnResult Executor::run_impl(std::size_t rounds, diag::DiagnosticEngine* engine,
                 fired[i] = true;
                 ++fired_count;
                 ++result.firings;
+                static obs::Counter& firings = obs::counter("kpn.firings");
+                firings.add(1);
                 progress = true;
                 track_depth();
                 if (budget.max_firings && result.firings >= budget.max_firings &&

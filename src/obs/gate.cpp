@@ -1,0 +1,216 @@
+#include "obs/gate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace uhcg::obs {
+namespace {
+
+struct Row {
+    bool numeric = false;
+    double number = 0.0;
+    std::string text;
+};
+
+/// Ordered so missing/extra-label reporting is deterministic.
+using RowMap = std::map<std::string, Row>;
+
+void collect_rows(const json::Value& report, RowMap& out) {
+    const json::Value* schema = report.find("schema");
+    if (!schema || !schema->is_string() || schema->string != "uhcg-bench-v1")
+        return;  // e.g. an embedded google-benchmark document
+    const json::Value* rows = report.find("rows");
+    if (!rows || !rows->is_array()) return;
+    for (const json::Value& entry : rows->array) {
+        const json::Value* label = entry.find("label");
+        if (!label || !label->is_string()) continue;
+        Row row;
+        if (const json::Value* number = entry.find("number");
+            number && number->is_number()) {
+            row.numeric = true;
+            row.number = number->number;
+        } else if (const json::Value* value = entry.find("value");
+                   value && value->is_string()) {
+            row.text = value->string;
+        } else {
+            continue;
+        }
+        // Later duplicates win — matches how a reader scans the table.
+        out[label->string] = row;
+    }
+}
+
+bool extract(const std::string& text, const char* which, RowMap& out,
+             std::string& error) {
+    json::Value doc;
+    if (!json::parse(text, doc, error)) {
+        error = std::string(which) + ": " + error;
+        return false;
+    }
+    const json::Value* schema = doc.find("schema");
+    if (schema && schema->is_string() &&
+        schema->string == "uhcg-bench-report-v1") {
+        if (const json::Value* inputs = doc.find("inputs");
+            inputs && inputs->is_array())
+            for (const json::Value& input : inputs->array)
+                if (const json::Value* report = input.find("report"))
+                    collect_rows(*report, out);
+    } else {
+        collect_rows(doc, out);
+    }
+    if (out.empty()) {
+        error = std::string(which) + ": no uhcg-bench-v1 rows found";
+        return false;
+    }
+    return true;
+}
+
+bool is_timing(const std::string& label) {
+    return label.find("(ms)") != std::string::npos;
+}
+
+bool skipped(const std::string& label, const GateOptions& options) {
+    for (const std::string& needle : options.skip_substrings)
+        if (label.find(needle) != std::string::npos) return true;
+    return false;
+}
+
+std::string format_number(double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%g", value);
+    return buffer;
+}
+
+}  // namespace
+
+std::size_t GateResult::failures() const {
+    return static_cast<std::size_t>(
+        std::count_if(checks.begin(), checks.end(), [](const GateCheck& c) {
+            return c.status == GateCheck::Status::Fail;
+        }));
+}
+
+std::size_t GateResult::warnings() const {
+    return static_cast<std::size_t>(
+        std::count_if(checks.begin(), checks.end(), [](const GateCheck& c) {
+            return c.status == GateCheck::Status::Warn;
+        }));
+}
+
+std::string GateResult::render() const {
+    std::ostringstream out;
+    out << "perf gate (calibration x" << format_number(calibration) << ")\n";
+    for (const GateCheck& check : checks) {
+        const char* tag = check.status == GateCheck::Status::Fail ? "FAIL"
+                          : check.status == GateCheck::Status::Warn
+                              ? "WARN"
+                              : "  ok";
+        out << "  [" << tag << "] " << check.label;
+        if (!check.detail.empty()) out << " — " << check.detail;
+        out << '\n';
+    }
+    out << (passed ? "PASS" : "FAIL") << " (" << checks.size() << " checks, "
+        << failures() << " failures, " << warnings() << " warnings)\n";
+    return out.str();
+}
+
+bool gate_reports(const std::string& baseline_json,
+                  const std::string& fresh_json, const GateOptions& options,
+                  GateResult& result, std::string& error) {
+    RowMap baseline, fresh;
+    if (!extract(baseline_json, "baseline", baseline, error)) return false;
+    if (!extract(fresh_json, "fresh", fresh, error)) return false;
+
+    result = GateResult{};
+
+    // Calibration factor: median fresh/baseline ratio over timing rows.
+    double calibration = 1.0;
+    if (options.calibrate) {
+        std::vector<double> ratios;
+        for (const auto& [label, base] : baseline) {
+            if (!base.numeric || !is_timing(label) || skipped(label, options))
+                continue;
+            auto it = fresh.find(label);
+            if (it == fresh.end() || !it->second.numeric) continue;
+            if (base.number > 0.0 && it->second.number > 0.0)
+                ratios.push_back(it->second.number / base.number);
+        }
+        if (!ratios.empty()) {
+            std::sort(ratios.begin(), ratios.end());
+            calibration = ratios[ratios.size() / 2];
+            if (ratios.size() % 2 == 0)
+                calibration =
+                    (ratios[ratios.size() / 2 - 1] + calibration) / 2.0;
+        }
+    }
+    result.calibration = calibration;
+
+    for (const auto& [label, base] : baseline) {
+        GateCheck check;
+        check.label = label;
+        if (skipped(label, options)) {
+            check.detail = "skipped (machine-shape row)";
+            result.checks.push_back(std::move(check));
+            continue;
+        }
+        auto it = fresh.find(label);
+        if (it == fresh.end()) {
+            check.status = GateCheck::Status::Fail;
+            check.detail = "missing from fresh run";
+            result.checks.push_back(std::move(check));
+            continue;
+        }
+        const Row& now = it->second;
+        if (base.numeric != now.numeric) {
+            check.status = GateCheck::Status::Fail;
+            check.detail = "row kind changed (number vs text)";
+        } else if (!base.numeric) {
+            if (base.text != now.text) {
+                check.status = GateCheck::Status::Fail;
+                check.detail = "\"" + base.text + "\" -> \"" + now.text + "\"";
+            } else {
+                check.detail = "\"" + now.text + "\"";
+            }
+        } else if (is_timing(label)) {
+            double adjusted =
+                calibration > 0.0 ? now.number / calibration : now.number;
+            double limit = base.number * (1.0 + options.tolerance_pct / 100.0);
+            check.detail = format_number(base.number) + " -> " +
+                           format_number(now.number) + " ms (adj " +
+                           format_number(adjusted) + ", limit " +
+                           format_number(limit) + ")";
+            if (base.number > 0.0 && adjusted > limit)
+                check.status = GateCheck::Status::Fail;
+        } else {
+            // Determinism counter: any drift means behavior changed.
+            if (base.number != now.number) {
+                check.status = GateCheck::Status::Fail;
+                check.detail = format_number(base.number) + " -> " +
+                               format_number(now.number) + " (exact match required)";
+            } else {
+                check.detail = format_number(now.number);
+            }
+        }
+        result.checks.push_back(std::move(check));
+    }
+
+    for (const auto& [label, row] : fresh) {
+        if (baseline.count(label) || skipped(label, options)) continue;
+        GateCheck check;
+        check.status = GateCheck::Status::Warn;
+        check.label = label;
+        check.detail = "not in baseline (regenerate to enforce)";
+        result.checks.push_back(std::move(check));
+    }
+
+    result.passed = result.failures() == 0;
+    return true;
+}
+
+}  // namespace uhcg::obs

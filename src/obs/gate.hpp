@@ -1,0 +1,70 @@
+// gate.hpp — perf-regression gate over uhcg-bench reports.
+//
+// Compares a fresh bench run against a committed baseline
+// (`bench/baselines/`). Both sides are `uhcg-bench-report-v1` aggregates
+// (or bare `uhcg-bench-v1` reports); google-benchmark inputs embedded in
+// an aggregate are ignored — the reproduction rows are the contract.
+//
+// Row classification, by label:
+//  * timing rows — label contains "(ms)". Checked against the baseline
+//    with a relative tolerance, after *median-ratio calibration*: the
+//    median fresh/baseline ratio across all timing rows is treated as the
+//    machine-speed factor and divided out, so a uniformly slower CI
+//    runner does not trip the gate while a single-row regression still
+//    does. (A *uniform* global slowdown is invisible by construction —
+//    documented limitation; the absolute numbers are still printed.)
+//  * determinism counters — any other numeric row. Must match exactly:
+//    candidate counts, cache hits and dedup statistics never drift on a
+//    healthy build.
+//  * text rows — must match byte-for-byte.
+//  * skipped rows — labels matching `skip_substrings` (machine-shape
+//    facts like "hardware threads" and derived ratios like "speedup").
+//
+// A label present in the baseline but missing fresh fails the gate; a new
+// fresh-only label warns (it becomes enforced once the baseline is
+// regenerated).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace uhcg::obs {
+
+struct GateOptions {
+    /// Allowed relative wall-time regression, percent, post-calibration.
+    double tolerance_pct = 25.0;
+    /// Divide out the median fresh/baseline timing ratio first.
+    bool calibrate = true;
+    /// Rows whose label contains any of these are not compared.
+    std::vector<std::string> skip_substrings = {
+        "hardware threads", "speedup", "tracing overhead"};
+};
+
+struct GateCheck {
+    enum class Status { Pass, Warn, Fail };
+    Status status = Status::Pass;
+    std::string label;
+    std::string detail;
+};
+
+struct GateResult {
+    bool passed = false;
+    /// Median fresh/baseline timing ratio that was divided out (1.0 when
+    /// calibration is off or no timing rows exist on both sides).
+    double calibration = 1.0;
+    std::vector<GateCheck> checks;
+
+    std::size_t failures() const;
+    std::size_t warnings() const;
+    /// Human rendering: one line per check, then the verdict.
+    std::string render() const;
+};
+
+/// Runs the gate. `baseline_json` / `fresh_json` are the document texts.
+/// Returns false (with `error`) only when a document cannot be parsed or
+/// holds no `uhcg-bench-v1` rows — comparison verdicts land in `result`.
+bool gate_reports(const std::string& baseline_json,
+                  const std::string& fresh_json, const GateOptions& options,
+                  GateResult& result, std::string& error);
+
+}  // namespace uhcg::obs

@@ -1,0 +1,235 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace uhcg::obs::json {
+namespace {
+
+class Parser {
+public:
+    Parser(std::string_view text, std::string& error)
+        : text_(text), error_(error) {}
+
+    bool run(Value& out) {
+        skip_ws();
+        if (!parse_value(out)) return false;
+        skip_ws();
+        if (pos_ != text_.size()) return fail("trailing characters");
+        return true;
+    }
+
+private:
+    bool fail(const std::string& message) {
+        std::size_t line = 1, column = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                column = 1;
+            } else {
+                ++column;
+            }
+        }
+        error_ = std::to_string(line) + ":" + std::to_string(column) + ": " +
+                 message;
+        return false;
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    bool eof() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    bool literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("invalid literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool parse_value(Value& out) {
+        if (eof()) return fail("unexpected end of input");
+        switch (peek()) {
+            case '{': return parse_object(out);
+            case '[': return parse_array(out);
+            case '"':
+                out.kind = Value::Kind::String;
+                return parse_string(out.string);
+            case 't':
+                out.kind = Value::Kind::Boolean;
+                out.boolean = true;
+                return literal("true");
+            case 'f':
+                out.kind = Value::Kind::Boolean;
+                out.boolean = false;
+                return literal("false");
+            case 'n':
+                out.kind = Value::Kind::Null;
+                return literal("null");
+            default: return parse_number(out);
+        }
+    }
+
+    bool parse_object(Value& out) {
+        out.kind = Value::Kind::Object;
+        ++pos_;  // '{'
+        skip_ws();
+        if (!eof() && peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skip_ws();
+            if (eof() || peek() != '"') return fail("expected member name");
+            std::string key;
+            if (!parse_string(key)) return false;
+            skip_ws();
+            if (eof() || peek() != ':') return fail("expected ':'");
+            ++pos_;
+            skip_ws();
+            Value member;
+            if (!parse_value(member)) return false;
+            out.object.emplace_back(std::move(key), std::move(member));
+            skip_ws();
+            if (eof()) return fail("unterminated object");
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool parse_array(Value& out) {
+        out.kind = Value::Kind::Array;
+        ++pos_;  // '['
+        skip_ws();
+        if (!eof() && peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skip_ws();
+            Value element;
+            if (!parse_value(element)) return false;
+            out.array.push_back(std::move(element));
+            skip_ws();
+            if (eof()) return fail("unterminated array");
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool parse_string(std::string& out) {
+        ++pos_;  // opening quote
+        out.clear();
+        while (true) {
+            if (eof()) return fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"') return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (eof()) return fail("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("invalid \\u escape");
+                    }
+                    // UTF-8 encode the BMP code point (surrogate pairs are
+                    // passed through as-is — the emitters never produce them).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default: return fail("invalid escape");
+            }
+        }
+    }
+
+    bool parse_number(Value& out) {
+        std::size_t start = pos_;
+        if (!eof() && peek() == '-') ++pos_;
+        while (!eof() && ((peek() >= '0' && peek() <= '9') || peek() == '.' ||
+                          peek() == 'e' || peek() == 'E' || peek() == '+' ||
+                          peek() == '-'))
+            ++pos_;
+        if (pos_ == start) return fail("expected a value");
+        std::string token(text_.substr(start, pos_ - start));
+        char* end = nullptr;
+        double parsed = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size() || !std::isfinite(parsed)) {
+            pos_ = start;
+            return fail("invalid number");
+        }
+        out.kind = Value::Kind::Number;
+        out.number = parsed;
+        return true;
+    }
+
+    std::string_view text_;
+    std::string& error_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Value* Value::find(std::string_view key) const {
+    if (kind != Kind::Object) return nullptr;
+    for (const auto& [name, value] : object)
+        if (name == key) return &value;
+    return nullptr;
+}
+
+bool parse(std::string_view text, Value& out, std::string& error) {
+    return Parser(text, error).run(out);
+}
+
+}  // namespace uhcg::obs::json

@@ -1,0 +1,47 @@
+// json.hpp — minimal JSON reader for the observability tooling.
+//
+// The repo's emitters build JSON by hand; the perf gate and the obs test
+// suite also need to *read* it back (bench reports, trace files). This is
+// a small recursive-descent parser over a DOM `Value` — strict enough to
+// reject malformed documents, with line/column in the error message. It
+// deliberately lives in `obs` (dependency-free) so tools and tests can
+// link it without pulling in the model stack.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace uhcg::obs::json {
+
+class Value {
+public:
+    enum class Kind { Null, Boolean, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    /// Insertion-ordered — round-trips preserve author ordering.
+    std::vector<std::pair<std::string, Value>> object;
+
+    bool is_null() const { return kind == Kind::Null; }
+    bool is_bool() const { return kind == Kind::Boolean; }
+    bool is_number() const { return kind == Kind::Number; }
+    bool is_string() const { return kind == Kind::String; }
+    bool is_array() const { return kind == Kind::Array; }
+    bool is_object() const { return kind == Kind::Object; }
+
+    /// First member named `key`, or nullptr (also for non-objects).
+    const Value* find(std::string_view key) const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing junk
+/// rejected). On failure returns false and sets `error` to a
+/// "line:column: message" description.
+bool parse(std::string_view text, Value& out, std::string& error);
+
+}  // namespace uhcg::obs::json

@@ -1,0 +1,466 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace uhcg::obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+/// Steady-clock nanoseconds since the first observability call of the
+/// process; relative stamps keep the JSON small and diff-friendly.
+std::uint64_t now_ns() {
+    static const auto epoch = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread span buffers.
+
+struct ThreadBuffer {
+    // Only the owning thread touches these — no lock.
+    std::uint64_t open_span = 0;       ///< innermost open span id
+    std::uint64_t inherited_parent = 0;  ///< ScopedContext injection
+    std::uint32_t depth = 0;
+
+    // Shared with spans_snapshot()/reset_spans() — guarded.
+    std::mutex mutex;
+    std::vector<SpanRecord> records;
+    std::uint64_t next_seq = 0;
+    std::uint32_t ordinal = 0;
+};
+
+struct BufferRegistry {
+    std::mutex mutex;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+BufferRegistry& buffer_registry() {
+    static BufferRegistry registry;
+    return registry;
+}
+
+ThreadBuffer& local_buffer() {
+    thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+        auto fresh = std::make_shared<ThreadBuffer>();
+        BufferRegistry& registry = buffer_registry();
+        std::lock_guard<std::mutex> lock(registry.mutex);
+        fresh->ordinal = static_cast<std::uint32_t>(registry.buffers.size());
+        registry.buffers.push_back(fresh);
+        return fresh;
+    }();
+    return *buffer;
+}
+
+// ---------------------------------------------------------------------------
+// Metric registry. Map nodes are stable, so returned references live for
+// the process; the transparent comparator makes string_view lookups
+// allocation-free (the disabled-mode zero-allocation guarantee).
+
+struct MetricRegistry {
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+MetricRegistry& metric_registry() {
+    static MetricRegistry registry;
+    return registry;
+}
+
+std::string json_escape(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+double to_ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+/// Per-name aggregation used by both the summary and the profile table.
+struct Aggregate {
+    std::string category;
+    std::size_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t self_ns = 0;
+    std::uint64_t min_ns = UINT64_MAX;
+    std::uint64_t max_ns = 0;
+};
+
+std::map<std::string, Aggregate> aggregate_spans(
+    const std::vector<SpanRecord>& spans) {
+    // Children's time subtracts from the parent's self time.
+    std::map<std::uint64_t, std::uint64_t> children_ns;
+    for (const SpanRecord& s : spans)
+        if (s.parent) children_ns[s.parent] += s.dur_ns;
+
+    std::map<std::string, Aggregate> by_name;
+    for (const SpanRecord& s : spans) {
+        Aggregate& agg = by_name[s.name];
+        if (agg.count == 0) agg.category = s.category;
+        ++agg.count;
+        agg.total_ns += s.dur_ns;
+        auto child = children_ns.find(s.id);
+        std::uint64_t nested = child == children_ns.end() ? 0 : child->second;
+        agg.self_ns += s.dur_ns > nested ? s.dur_ns - nested : 0;
+        agg.min_ns = std::min(agg.min_ns, s.dur_ns);
+        agg.max_ns = std::max(agg.max_ns, s.dur_ns);
+    }
+    return by_name;
+}
+
+std::uint32_t thread_count_of(const std::vector<SpanRecord>& spans) {
+    std::uint32_t max_ordinal = 0;
+    for (const SpanRecord& s : spans)
+        max_ordinal = std::max(max_ordinal, s.thread + 1);
+    return max_ordinal;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Enable switch.
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+// ---------------------------------------------------------------------------
+// Metrics.
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+    return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t Histogram::bucket_floor(std::size_t index) {
+    if (index == 0) return 0;
+    return 1ull << (index - 1);
+}
+
+std::uint64_t Histogram::bucket_ceil(std::size_t index) {
+    if (index == 0) return 0;
+    if (index >= 64) return UINT64_MAX;
+    return (1ull << index) - 1;
+}
+
+void Histogram::reset() {
+    for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter& counter(std::string_view name) {
+    MetricRegistry& registry = metric_registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    auto it = registry.counters.find(name);
+    if (it == registry.counters.end())
+        it = registry.counters
+                 .emplace(std::string(name), std::make_unique<Counter>())
+                 .first;
+    return *it->second;
+}
+
+Histogram& histogram(std::string_view name) {
+    MetricRegistry& registry = metric_registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    auto it = registry.histograms.find(name);
+    if (it == registry.histograms.end())
+        it = registry.histograms
+                 .emplace(std::string(name), std::make_unique<Histogram>())
+                 .first;
+    return *it->second;
+}
+
+MetricsSnapshot metrics_snapshot() {
+    MetricRegistry& registry = metric_registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    MetricsSnapshot snapshot;
+    for (const auto& [name, counter] : registry.counters)
+        snapshot.counters.emplace(name, counter->value());
+    for (const auto& [name, histogram] : registry.histograms) {
+        HistogramSnapshot h;
+        h.count = histogram->count();
+        h.sum = histogram->sum();
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+            std::uint64_t n = histogram->bucket(b);
+            if (n == 0) continue;
+            h.buckets.push_back(
+                {Histogram::bucket_floor(b), Histogram::bucket_ceil(b), n});
+        }
+        snapshot.histograms.emplace(name, std::move(h));
+    }
+    return snapshot;
+}
+
+void reset_metrics() {
+    MetricRegistry& registry = metric_registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    for (auto& [name, counter] : registry.counters) counter->reset();
+    for (auto& [name, histogram] : registry.histograms) histogram->reset();
+}
+
+// ---------------------------------------------------------------------------
+// Spans.
+
+Context current_context() {
+    ThreadBuffer& buffer = local_buffer();
+    return {buffer.open_span ? buffer.open_span : buffer.inherited_parent};
+}
+
+ScopedContext::ScopedContext(Context context) {
+    if (!enabled()) return;
+    ThreadBuffer& buffer = local_buffer();
+    previous_ = buffer.inherited_parent;
+    buffer.inherited_parent = context.span_id;
+    armed_ = true;
+}
+
+ScopedContext::~ScopedContext() {
+    if (!armed_) return;
+    local_buffer().inherited_parent = previous_;
+}
+
+ObsSpan::ObsSpan(std::string_view name, std::string_view category) {
+    if (!enabled()) return;
+    ThreadBuffer& buffer = local_buffer();
+    name_.assign(name);
+    if (category.empty()) {
+        std::size_t dot = name.find('.');
+        category_.assign(dot == std::string_view::npos ? name
+                                                       : name.substr(0, dot));
+    } else {
+        category_.assign(category);
+    }
+    id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+    parent_ = buffer.open_span ? buffer.open_span : buffer.inherited_parent;
+    prev_open_ = buffer.open_span;
+    buffer.open_span = id_;
+    depth_ = buffer.depth++;
+    armed_ = true;
+    start_ns_ = now_ns();
+}
+
+ObsSpan::~ObsSpan() {
+    if (!armed_) return;
+    std::uint64_t end = now_ns();
+    ThreadBuffer& buffer = local_buffer();
+    buffer.open_span = prev_open_;
+    --buffer.depth;
+    SpanRecord record;
+    record.name = std::move(name_);
+    record.category = std::move(category_);
+    record.id = id_;
+    record.parent = parent_;
+    record.start_ns = start_ns_;
+    record.dur_ns = end > start_ns_ ? end - start_ns_ : 0;
+    record.thread = buffer.ordinal;
+    record.depth = depth_;
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    record.seq = buffer.next_seq++;
+    buffer.records.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> spans_snapshot() {
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        BufferRegistry& registry = buffer_registry();
+        std::lock_guard<std::mutex> lock(registry.mutex);
+        buffers = registry.buffers;
+    }
+    std::vector<SpanRecord> all;
+    for (const auto& buffer : buffers) {
+        std::lock_guard<std::mutex> lock(buffer->mutex);
+        all.insert(all.end(), buffer->records.begin(), buffer->records.end());
+    }
+    // (start, thread, seq) is a total order: two spans of one thread never
+    // share a seq, so the merge is deterministic for any given record set.
+    std::sort(all.begin(), all.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                  if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                  if (a.thread != b.thread) return a.thread < b.thread;
+                  return a.seq < b.seq;
+              });
+    return all;
+}
+
+void reset_spans() {
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        BufferRegistry& registry = buffer_registry();
+        std::lock_guard<std::mutex> lock(registry.mutex);
+        buffers = registry.buffers;
+    }
+    for (const auto& buffer : buffers) {
+        std::lock_guard<std::mutex> lock(buffer->mutex);
+        buffer->records.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exporters.
+
+std::string chrome_trace_json(const std::vector<SpanRecord>& spans,
+                              const MetricsSnapshot* metrics) {
+    std::ostringstream out;
+    out << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";
+    bool first = true;
+    auto sep = [&] {
+        out << (first ? "\n" : ",\n");
+        first = false;
+    };
+    std::uint32_t threads = thread_count_of(spans);
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        sep();
+        out << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+               "\"tid\": "
+            << t << ", \"args\": {\"name\": \""
+            << (t == 0 ? "uhcg-main" : "uhcg-worker-" + std::to_string(t))
+            << "\"}}";
+    }
+    for (const SpanRecord& s : spans) {
+        sep();
+        out << "{\"name\": \"" << json_escape(s.name) << "\", \"cat\": \""
+            << json_escape(s.category) << "\", \"ph\": \"X\", \"ts\": "
+            << static_cast<double>(s.start_ns) / 1e3
+            << ", \"dur\": " << static_cast<double>(s.dur_ns) / 1e3
+            << ", \"pid\": 1, \"tid\": " << s.thread << ", \"args\": {\"id\": "
+            << s.id << ", \"parent\": " << s.parent << "}}";
+    }
+    if (metrics && !metrics->counters.empty()) {
+        sep();
+        out << "{\"name\": \"uhcg_counters\", \"ph\": \"M\", \"pid\": 1, "
+               "\"tid\": 0, \"args\": {";
+        bool first_counter = true;
+        for (const auto& [name, value] : metrics->counters) {
+            if (!first_counter) out << ", ";
+            first_counter = false;
+            out << '"' << json_escape(name) << "\": " << value;
+        }
+        out << "}}";
+    }
+    out << "\n]\n}";
+    return out.str();
+}
+
+std::string summary_json(const std::vector<SpanRecord>& spans,
+                         const MetricsSnapshot& metrics) {
+    std::map<std::string, Aggregate> by_name = aggregate_spans(spans);
+    std::uint64_t wall_ns = 0;
+    for (const SpanRecord& s : spans)
+        wall_ns = std::max(wall_ns, s.start_ns + s.dur_ns);
+
+    std::ostringstream out;
+    out << "{\n  \"schema\": \"uhcg-obs-v1\",\n  \"spans\": [";
+    bool first = true;
+    for (const auto& [name, agg] : by_name) {
+        out << (first ? "\n    " : ",\n    ");
+        first = false;
+        out << "{\"name\": \"" << json_escape(name) << "\", \"category\": \""
+            << json_escape(agg.category) << "\", \"count\": " << agg.count
+            << ", \"total_ms\": " << to_ms(agg.total_ns)
+            << ", \"self_ms\": " << to_ms(agg.self_ns)
+            << ", \"min_ms\": " << to_ms(agg.min_ns)
+            << ", \"max_ms\": " << to_ms(agg.max_ns) << '}';
+    }
+    out << (by_name.empty() ? "]" : "\n  ]") << ",\n  \"counters\": {";
+    first = true;
+    for (const auto& [name, value] : metrics.counters) {
+        out << (first ? "\n    " : ",\n    ");
+        first = false;
+        out << '"' << json_escape(name) << "\": " << value;
+    }
+    out << (metrics.counters.empty() ? "}" : "\n  }") << ",\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : metrics.histograms) {
+        out << (first ? "\n    " : ",\n    ");
+        first = false;
+        out << '"' << json_escape(name) << "\": {\"count\": " << h.count
+            << ", \"sum\": " << h.sum << ", \"buckets\": [";
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+            if (b) out << ", ";
+            out << "{\"ge\": " << h.buckets[b].floor
+                << ", \"le\": " << h.buckets[b].ceil
+                << ", \"count\": " << h.buckets[b].count << '}';
+        }
+        out << "]}";
+    }
+    out << (metrics.histograms.empty() ? "}" : "\n  }")
+        << ",\n  \"totals\": {\"spans\": " << spans.size()
+        << ", \"threads\": " << thread_count_of(spans)
+        << ", \"wall_ms\": " << to_ms(wall_ns) << "}\n}";
+    return out.str();
+}
+
+std::string profile_table(const std::vector<SpanRecord>& spans,
+                          const MetricsSnapshot& metrics) {
+    std::map<std::string, Aggregate> by_name = aggregate_spans(spans);
+    std::vector<const std::pair<const std::string, Aggregate>*> order;
+    order.reserve(by_name.size());
+    for (const auto& entry : by_name) order.push_back(&entry);
+    std::sort(order.begin(), order.end(), [](const auto* a, const auto* b) {
+        if (a->second.total_ns != b->second.total_ns)
+            return a->second.total_ns > b->second.total_ns;
+        return a->first < b->first;
+    });
+
+    std::ostringstream out;
+    char line[160];
+    std::snprintf(line, sizeof line, "%-32s %7s %12s %12s %12s\n", "span",
+                  "count", "total (ms)", "self (ms)", "mean (ms)");
+    out << line;
+    for (const auto* entry : order) {
+        const Aggregate& agg = entry->second;
+        std::snprintf(line, sizeof line, "%-32s %7zu %12.3f %12.3f %12.3f\n",
+                      entry->first.c_str(), agg.count, to_ms(agg.total_ns),
+                      to_ms(agg.self_ns),
+                      to_ms(agg.total_ns / std::max<std::size_t>(agg.count, 1)));
+        out << line;
+    }
+    bool any_counter = false;
+    for (const auto& [name, value] : metrics.counters) {
+        if (value == 0) continue;
+        if (!any_counter) out << "\ncounters:\n";
+        any_counter = true;
+        std::snprintf(line, sizeof line, "  %-40s %zu\n", name.c_str(),
+                      static_cast<std::size_t>(value));
+        out << line;
+    }
+    for (const auto& [name, h] : metrics.histograms) {
+        if (h.count == 0) continue;
+        std::snprintf(line, sizeof line,
+                      "  %-40s n=%zu sum=%zu mean=%.1f\n", name.c_str(),
+                      static_cast<std::size_t>(h.count),
+                      static_cast<std::size_t>(h.sum),
+                      static_cast<double>(h.sum) /
+                          static_cast<double>(std::max<std::uint64_t>(h.count, 1)));
+        out << line;
+    }
+    return out.str();
+}
+
+}  // namespace uhcg::obs

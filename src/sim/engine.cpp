@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/obs.hpp"
+
 namespace uhcg::sim {
 
 using simulink::Block;
@@ -371,6 +373,7 @@ SimResult Simulator::run(std::size_t steps, diag::DiagnosticEngine& engine,
 }
 
 SimResult Simulator::run(std::size_t steps) {
+    obs::ObsSpan span("sim.run");
     Net& net = *net_;
     SimResult result;
     std::vector<double> values(net.value_count, 0.0);
@@ -484,6 +487,8 @@ SimResult Simulator::run(std::size_t steps) {
         }
         ++result.steps;
     }
+    static obs::Counter& sim_steps = obs::counter("sim.steps");
+    sim_steps.add(result.steps);
     return result;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace uhcg::sim {
 
 using taskgraph::Clustering;
@@ -12,6 +14,11 @@ using taskgraph::TaskIndex;
 
 MpsocResult simulate_mpsoc(const TaskGraph& graph, const Clustering& clustering,
                            const MpsocParams& params) {
+    // Runs on pool workers during the DSE sweep; parallel_for's context
+    // propagation parents this span under the submitting sweep span.
+    obs::ObsSpan span("sim.mpsoc");
+    static obs::Counter& runs = obs::counter("sim.mpsoc_runs");
+    runs.add(1);
     if (graph.task_count() != clustering.task_count())
         throw std::invalid_argument("clustering does not match graph size");
 

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "xml/parser.hpp"
 #include "xml/writer.hpp"
 
@@ -383,6 +384,7 @@ struct Reader {
 
 Model read_xmi(const xml::Document& doc, diag::DiagnosticEngine& engine,
                const std::string& file) {
+    obs::ObsSpan span("uml.xmi-read");
     Reader rd{engine, file, {}};
     const xml::Element& root = doc.root();
     if (root.name() != "xmi:XMI") {
@@ -398,6 +400,8 @@ Model read_xmi(const xml::Document& doc, diag::DiagnosticEngine& engine,
         return Model("invalid");
     }
 
+    static obs::Counter& models_read = obs::counter("uml.models_read");
+    models_read.add(1);
     Model model(me->attribute_or("name", "unnamed"));
     std::map<std::string, Class*> classes_by_id;
     std::map<std::string, ObjectInstance*> objects_by_id;
@@ -614,6 +618,7 @@ Model read_xmi(const xml::Document& doc) {
 
 Model from_xmi_string(const std::string& text, diag::DiagnosticEngine& engine,
                       const std::string& file) {
+    obs::ObsSpan span("uml.xmi-load");
     try {
         xml::Document doc = xml::parse(text);
         return read_xmi(doc, engine, file);

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/obs.hpp"
+
 namespace uhcg::xml {
 namespace {
 
@@ -84,6 +86,9 @@ public:
         doc.set_root(parse_element());
         skip_misc();
         if (!cur_.eof()) cur_.fail("content after root element");
+        // One batched add per document, not one per element.
+        static obs::Counter& nodes = obs::counter("xml.nodes_parsed");
+        nodes.add(elements_);
         return doc;
     }
 
@@ -222,6 +227,7 @@ private:
     }
 
     std::unique_ptr<Element> parse_element() {
+        ++elements_;
         std::size_t line = cur_.line(), column = cur_.column();
         cur_.expect('<');
         auto elem = std::make_unique<Element>(parse_name());
@@ -296,6 +302,7 @@ private:
     }
 
     Cursor cur_;
+    std::size_t elements_ = 0;
 };
 
 }  // namespace
@@ -317,7 +324,10 @@ ParseError::ParseError(std::string message, std::string file, std::size_t line,
       line_(line),
       column_(column) {}
 
-Document parse(std::string_view input) { return Parser(input).run(); }
+Document parse(std::string_view input) {
+    obs::ObsSpan span("xml.parse");
+    return Parser(input).run();
+}
 
 Document parse_file(const std::string& path) {
     std::ifstream in(path, std::ios::binary);

@@ -10,7 +10,10 @@
 #include <fstream>
 #include <sstream>
 
+#include <set>
+
 #include "cases/cases.hpp"
+#include "obs/json.hpp"
 #include "simulink/mdl.hpp"
 #include "uml/xmi.hpp"
 
@@ -147,6 +150,47 @@ TEST_F(CliTest, ExplorePrintsParetoFront) {
     EXPECT_EQ(run("explore synthetic.xmi", &out), 0);
     EXPECT_NE(out.find("pareto front"), std::string::npos);
     EXPECT_NE(out.find("recommended"), std::string::npos);
+}
+
+TEST_F(CliTest, ObservabilityFlagsEmitTraceMetricsAndProfile) {
+    std::string out;
+    ASSERT_EQ(run("generate mixed.xmi --out genobs --trace-out span_trace.json"
+                  " --metrics-out metrics.json --profile",
+                  &out),
+              0);
+    EXPECT_NE(out.find("wrote Chrome trace"), std::string::npos);
+    EXPECT_NE(out.find("cli.generate"), std::string::npos);  // profile table
+
+    // The Chrome trace parses, has one root, and spans at least the six
+    // pipeline layers the tentpole promises.
+    obs::json::Value trace;
+    std::string error;
+    ASSERT_TRUE(obs::json::parse(slurp(dir / "span_trace.json"), trace, error))
+        << error;
+    const obs::json::Value* events = trace.find("traceEvents");
+    ASSERT_TRUE(events && events->is_array());
+    std::set<std::string> categories;
+    int roots = 0;
+    for (const obs::json::Value& e : events->array) {
+        if (e.find("ph")->string != "X") continue;
+        categories.insert(e.find("cat")->string);
+        if (e.find("args")->find("parent")->number == 0) ++roots;
+    }
+    EXPECT_EQ(roots, 1);
+    for (const char* layer :
+         {"xml", "uml", "taskgraph", "core", "flow", "codegen"})
+        EXPECT_TRUE(categories.count(layer)) << layer;
+
+    // The metrics summary round-trips with live counters.
+    obs::json::Value metrics;
+    ASSERT_TRUE(obs::json::parse(slurp(dir / "metrics.json"), metrics, error))
+        << error;
+    EXPECT_EQ(metrics.find("schema")->string, "uhcg-obs-v1");
+    const obs::json::Value* counters = metrics.find("counters");
+    ASSERT_TRUE(counters && counters->is_object());
+    const obs::json::Value* nodes = counters->find("xml.nodes_parsed");
+    ASSERT_TRUE(nodes && nodes->is_number());
+    EXPECT_GT(nodes->number, 0.0);
 }
 
 TEST_F(CliTest, BadInputsFailGracefully) {

@@ -1,0 +1,500 @@
+// Tests for the observability substrate (src/obs): span nesting and
+// deterministic multi-thread merge, histogram bucket edges, the
+// disabled-mode zero-allocation guarantee, Chrome-trace JSON schema,
+// summary round-trips through the repo's own JSON parser, and the
+// perf-gate comparison rules.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <set>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "obs/gate.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+
+// ---------------------------------------------------------------------------
+// Counting global allocator — the disabled-mode test asserts the span/
+// counter hot path performs zero heap allocations. operator new[] funnels
+// through operator new, so one counter covers both.
+
+static std::atomic<std::size_t> g_alloc_count{0};
+
+// GCC cannot see that new and delete are replaced as a matched pair on
+// top of malloc/free and warns about the free below.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
+
+namespace {
+
+using namespace uhcg;
+
+/// Restores a clean tracing state around every test.
+class ObsTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        obs::set_enabled(false);
+        obs::reset_spans();
+        obs::reset_metrics();
+    }
+    void TearDown() override {
+        obs::set_enabled(false);
+        obs::reset_spans();
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Histogram bucket edges.
+
+TEST_F(ObsTest, HistogramBucketIndexIsBitWidth) {
+    EXPECT_EQ(obs::Histogram::bucket_index(0), 0u);
+    EXPECT_EQ(obs::Histogram::bucket_index(1), 1u);
+    EXPECT_EQ(obs::Histogram::bucket_index(2), 2u);
+    EXPECT_EQ(obs::Histogram::bucket_index(3), 2u);
+    EXPECT_EQ(obs::Histogram::bucket_index(4), 3u);
+    EXPECT_EQ(obs::Histogram::bucket_index(7), 3u);
+    EXPECT_EQ(obs::Histogram::bucket_index(8), 4u);
+    EXPECT_EQ(obs::Histogram::bucket_index(UINT64_MAX), 64u);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundsTileTheDomain) {
+    EXPECT_EQ(obs::Histogram::bucket_floor(0), 0u);
+    EXPECT_EQ(obs::Histogram::bucket_ceil(0), 0u);
+    for (std::size_t b = 1; b < obs::Histogram::kBuckets; ++b) {
+        const std::uint64_t floor = obs::Histogram::bucket_floor(b);
+        const std::uint64_t ceil = obs::Histogram::bucket_ceil(b);
+        EXPECT_EQ(floor, std::uint64_t{1} << (b - 1)) << "bucket " << b;
+        EXPECT_LE(floor, ceil) << "bucket " << b;
+        // Every bound maps back into its own bucket, and the buckets tile:
+        // ceil(b) + 1 == floor(b+1).
+        EXPECT_EQ(obs::Histogram::bucket_index(floor), b);
+        EXPECT_EQ(obs::Histogram::bucket_index(ceil), b);
+        if (b + 1 < obs::Histogram::kBuckets) {
+            EXPECT_EQ(ceil + 1, obs::Histogram::bucket_floor(b + 1));
+        }
+    }
+    EXPECT_EQ(obs::Histogram::bucket_ceil(64), UINT64_MAX);
+}
+
+TEST_F(ObsTest, HistogramObserveAccumulates) {
+    obs::Histogram& h = obs::histogram("obs.test-hist");
+    h.observe(0);
+    h.observe(1);
+    h.observe(5);
+    h.observe(5);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 11u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(3), 2u);
+
+    obs::MetricsSnapshot snap = obs::metrics_snapshot();
+    ASSERT_TRUE(snap.histograms.count("obs.test-hist"));
+    const obs::HistogramSnapshot& hs = snap.histograms["obs.test-hist"];
+    EXPECT_EQ(hs.count, 4u);
+    EXPECT_EQ(hs.sum, 11u);
+    ASSERT_EQ(hs.buckets.size(), 3u);  // empty buckets omitted
+    EXPECT_EQ(hs.buckets[2].floor, 4u);
+    EXPECT_EQ(hs.buckets[2].ceil, 7u);
+    EXPECT_EQ(hs.buckets[2].count, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Counters.
+
+TEST_F(ObsTest, CounterReferenceIsStableAndResettable) {
+    obs::Counter& c = obs::counter("obs.test-counter");
+    EXPECT_EQ(&c, &obs::counter("obs.test-counter"));
+    c.add(3);
+    c.add();
+    EXPECT_EQ(c.value(), 4u);
+    EXPECT_EQ(obs::metrics_snapshot().counters["obs.test-counter"], 4u);
+    obs::reset_metrics();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Span nesting, categories, deterministic merge.
+
+TEST_F(ObsTest, SpansNestAndDeriveCategoryFromDottedPrefix) {
+    obs::set_enabled(true);
+    {
+        obs::ObsSpan outer("xml.parse");
+        {
+            obs::ObsSpan inner("xml.tokenize", "lexer");
+            (void)inner;
+        }
+        (void)outer;
+    }
+    std::vector<obs::SpanRecord> spans = obs::spans_snapshot();
+    ASSERT_EQ(spans.size(), 2u);
+    // Sorted by start time: outer opened first.
+    EXPECT_EQ(spans[0].name, "xml.parse");
+    EXPECT_EQ(spans[0].category, "xml");  // derived from the dotted prefix
+    EXPECT_EQ(spans[0].parent, 0u);
+    EXPECT_EQ(spans[0].depth, 0u);
+    EXPECT_EQ(spans[1].name, "xml.tokenize");
+    EXPECT_EQ(spans[1].category, "lexer");  // explicit category wins
+    EXPECT_EQ(spans[1].parent, spans[0].id);
+    EXPECT_EQ(spans[1].depth, 1u);
+    EXPECT_GE(spans[1].start_ns, spans[0].start_ns);
+    EXPECT_LE(spans[1].start_ns + spans[1].dur_ns,
+              spans[0].start_ns + spans[0].dur_ns);
+}
+
+TEST_F(ObsTest, DisabledSpansRecordNothing) {
+    {
+        obs::ObsSpan span("obs.test-off");
+        EXPECT_FALSE(span.armed());
+    }
+    EXPECT_TRUE(obs::spans_snapshot().empty());
+}
+
+TEST_F(ObsTest, CrossThreadSpansJoinViaScopedContext) {
+    obs::set_enabled(true);
+    std::uint64_t root_id = 0;
+    {
+        obs::ObsSpan root("obs.test-root");
+        root_id = root.id();
+        const obs::Context ctx = obs::current_context();
+        EXPECT_EQ(ctx.span_id, root_id);
+
+        std::vector<std::thread> workers;
+        for (int t = 0; t < 4; ++t) {
+            workers.emplace_back([ctx, t] {
+                obs::ScopedContext inherit(ctx);
+                for (int i = 0; i < 8; ++i) {
+                    obs::ObsSpan span("obs.test-worker" + std::to_string(t));
+                    (void)span;
+                }
+            });
+        }
+        for (std::thread& w : workers) w.join();
+    }
+
+    std::vector<obs::SpanRecord> spans = obs::spans_snapshot();
+    ASSERT_EQ(spans.size(), 33u);  // root + 4 threads x 8
+    std::set<std::uint32_t> threads;
+    for (const obs::SpanRecord& s : spans) {
+        threads.insert(s.thread);
+        if (s.id != root_id) {
+            EXPECT_EQ(s.parent, root_id) << s.name;
+            EXPECT_EQ(s.depth, 0u) << "inherited parents do not add depth";
+        }
+    }
+    EXPECT_EQ(threads.size(), 5u);  // main + 4 workers, distinct ordinals
+
+    // The merge is a total order over (start_ns, thread, seq) — repeated
+    // snapshots of the same records are identical.
+    std::vector<obs::SpanRecord> again = obs::spans_snapshot();
+    ASSERT_EQ(again.size(), spans.size());
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        EXPECT_EQ(spans[i].id, again[i].id) << "position " << i;
+        auto key = [](const obs::SpanRecord& s) {
+            return std::tuple(s.start_ns, s.thread, s.seq);
+        };
+        if (i) {
+            EXPECT_LT(key(spans[i - 1]), key(spans[i]));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Disabled mode: zero allocation on the hot path.
+
+TEST_F(ObsTest, DisabledModePerformsNoHeapAllocation) {
+    ASSERT_FALSE(obs::enabled());
+    obs::counter("obs.test-hot");  // registration allocates; do it up front
+
+    const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+    for (int i = 0; i < 100; ++i) {
+        obs::ObsSpan span("obs.test-hot-span", "obs");
+        obs::counter("obs.test-hot").add(1);  // transparent lookup, no copy
+        (void)span;
+    }
+    const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
+    EXPECT_EQ(before, after);
+    EXPECT_EQ(obs::counter("obs.test-hot").value(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export: valid JSON with the trace_event shape.
+
+TEST_F(ObsTest, ChromeTraceJsonMatchesTraceEventSchema) {
+    obs::set_enabled(true);
+    {
+        obs::ObsSpan outer("flow.generate");
+        obs::ObsSpan inner("codegen.emit");
+        (void)outer;
+        (void)inner;
+    }
+    obs::counter("obs.test-trace-counter").add(7);
+
+    obs::MetricsSnapshot metrics = obs::metrics_snapshot();
+    std::vector<obs::SpanRecord> spans = obs::spans_snapshot();
+    std::string text = obs::chrome_trace_json(spans, &metrics);
+
+    obs::json::Value doc;
+    std::string error;
+    ASSERT_TRUE(obs::json::parse(text, doc, error)) << error;
+    ASSERT_TRUE(doc.is_object());
+    const obs::json::Value* events = doc.find("traceEvents");
+    ASSERT_TRUE(events && events->is_array());
+
+    std::set<double> span_ids;
+    std::size_t x_events = 0, meta_events = 0;
+    for (const obs::json::Value& e : events->array) {
+        const obs::json::Value* ph = e.find("ph");
+        ASSERT_TRUE(ph && ph->is_string());
+        ASSERT_TRUE(e.find("pid") && e.find("pid")->is_number());
+        if (ph->string == "X") {
+            ++x_events;
+            for (const char* key : {"name", "cat"})
+                EXPECT_TRUE(e.find(key) && e.find(key)->is_string()) << key;
+            for (const char* key : {"ts", "dur", "tid"})
+                EXPECT_TRUE(e.find(key) && e.find(key)->is_number()) << key;
+            const obs::json::Value* args = e.find("args");
+            ASSERT_TRUE(args && args->is_object());
+            ASSERT_TRUE(args->find("id") && args->find("id")->is_number());
+            span_ids.insert(args->find("id")->number);
+        } else {
+            ASSERT_EQ(ph->string, "M");
+            ++meta_events;
+        }
+    }
+    EXPECT_EQ(x_events, 2u);
+    EXPECT_GE(meta_events, 2u);  // thread name(s) + the counters event
+
+    // Every non-zero parent reference resolves to an emitted span id.
+    for (const obs::json::Value& e : events->array) {
+        const obs::json::Value* args = e.find("args");
+        if (!args) continue;
+        const obs::json::Value* parent = args->find("parent");
+        if (parent && parent->number != 0) {
+            EXPECT_TRUE(span_ids.count(parent->number));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Summary round-trip through the JSON parser.
+
+TEST_F(ObsTest, SummaryJsonRoundTripsThroughParser) {
+    obs::set_enabled(true);
+    {
+        obs::ObsSpan a("dse.explore");
+        { obs::ObsSpan b("sim.run"); (void)b; }
+        { obs::ObsSpan c("sim.run"); (void)c; }
+        (void)a;
+    }
+    obs::counter("obs.test-summary").add(42);
+    obs::histogram("obs.test-summary-hist").observe(9);
+
+    std::string text =
+        obs::summary_json(obs::spans_snapshot(), obs::metrics_snapshot());
+    obs::json::Value doc;
+    std::string error;
+    ASSERT_TRUE(obs::json::parse(text, doc, error)) << error;
+
+    const obs::json::Value* schema = doc.find("schema");
+    ASSERT_TRUE(schema && schema->is_string());
+    EXPECT_EQ(schema->string, "uhcg-obs-v1");
+
+    const obs::json::Value* spans = doc.find("spans");
+    ASSERT_TRUE(spans && spans->is_array());
+    bool saw_sim = false;
+    for (const obs::json::Value& s : spans->array) {
+        if (s.find("name")->string != "sim.run") continue;
+        saw_sim = true;
+        EXPECT_EQ(s.find("count")->number, 2.0);  // aggregated by name
+        EXPECT_GE(s.find("total_ms")->number, 0.0);
+        EXPECT_LE(s.find("min_ms")->number, s.find("max_ms")->number);
+    }
+    EXPECT_TRUE(saw_sim);
+
+    const obs::json::Value* counters = doc.find("counters");
+    ASSERT_TRUE(counters && counters->is_object());
+    const obs::json::Value* c = counters->find("obs.test-summary");
+    ASSERT_TRUE(c && c->is_number());
+    EXPECT_EQ(c->number, 42.0);
+
+    const obs::json::Value* totals = doc.find("totals");
+    ASSERT_TRUE(totals && totals->is_object());
+    EXPECT_EQ(totals->find("spans")->number, 3.0);
+    EXPECT_EQ(totals->find("threads")->number, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Profile table.
+
+TEST_F(ObsTest, ProfileTableListsSpansAndCounters) {
+    obs::set_enabled(true);
+    { obs::ObsSpan s("kpn.run"); (void)s; }
+    obs::counter("kpn.firings").add(5);
+    std::string table =
+        obs::profile_table(obs::spans_snapshot(), obs::metrics_snapshot());
+    EXPECT_NE(table.find("kpn.run"), std::string::npos);
+    EXPECT_NE(table.find("kpn.firings"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser.
+
+TEST(ObsJson, ParsesEscapesAndStructure) {
+    obs::json::Value doc;
+    std::string error;
+    ASSERT_TRUE(obs::json::parse(
+        R"({"a": [1, 2.5, -3e2], "s": "q\"\nA", "t": true, "n": null})",
+        doc, error))
+        << error;
+    EXPECT_EQ(doc.find("a")->array.size(), 3u);
+    EXPECT_EQ(doc.find("a")->array[2].number, -300.0);
+    EXPECT_EQ(doc.find("s")->string, "q\"\nA");
+    EXPECT_TRUE(doc.find("t")->boolean);
+    EXPECT_TRUE(doc.find("n")->is_null());
+}
+
+TEST(ObsJson, RejectsMalformedInputWithPosition) {
+    obs::json::Value doc;
+    std::string error;
+    EXPECT_FALSE(obs::json::parse("{\"a\": }", doc, error));
+    EXPECT_NE(error.find("1:"), std::string::npos) << error;
+    EXPECT_FALSE(obs::json::parse("{} trailing", doc, error));
+    EXPECT_FALSE(obs::json::parse("", doc, error));
+}
+
+// ---------------------------------------------------------------------------
+// Perf gate rules.
+
+std::string bench_doc(double serial_ms, double parallel_ms, double counter,
+                      const std::string& text = "yes", int hw = 2) {
+    return "{\"schema\": \"uhcg-bench-v1\", \"experiment\": \"t\","
+           " \"claim\": \"c\", \"rows\": ["
+           "{\"label\": \"explore jobs=1 (ms)\", \"number\": " +
+           std::to_string(serial_ms) +
+           "}, {\"label\": \"explore jobs=N (ms)\", \"number\": " +
+           std::to_string(parallel_ms) +
+           "}, {\"label\": \"candidates\", \"number\": " +
+           std::to_string(counter) +
+           "}, {\"label\": \"hardware threads\", \"number\": " +
+           std::to_string(hw) +
+           "}, {\"label\": \"rankings identical\", \"value\": \"" +
+           text + "\"}]}";
+}
+
+TEST(ObsGate, PassesOnIdenticalReports) {
+    obs::GateResult result;
+    std::string error;
+    ASSERT_TRUE(obs::gate_reports(bench_doc(10, 6, 74), bench_doc(10, 6, 74),
+                                  {}, result, error))
+        << error;
+    EXPECT_TRUE(result.passed);
+    EXPECT_EQ(result.failures(), 0u);
+}
+
+TEST(ObsGate, CalibrationAbsorbsUniformMachineSlowdown) {
+    // Documented limitation/feature: a uniformly 2x slower machine is
+    // machine speed, not a regression.
+    obs::GateResult result;
+    std::string error;
+    ASSERT_TRUE(obs::gate_reports(bench_doc(10, 6, 74), bench_doc(20, 12, 74),
+                                  {}, result, error));
+    EXPECT_TRUE(result.passed);
+    EXPECT_NEAR(result.calibration, 2.0, 1e-9);
+}
+
+TEST(ObsGate, FlagsSingleRowRegression) {
+    obs::GateResult result;
+    std::string error;
+    ASSERT_TRUE(obs::gate_reports(bench_doc(10, 6, 74), bench_doc(30, 6, 74),
+                                  {}, result, error));
+    EXPECT_FALSE(result.passed);
+    ASSERT_EQ(result.failures(), 1u);
+    EXPECT_NE(result.render().find("explore jobs=1 (ms)"), std::string::npos);
+}
+
+TEST(ObsGate, FlagsDeterminismCounterDrift) {
+    obs::GateResult result;
+    std::string error;
+    ASSERT_TRUE(obs::gate_reports(bench_doc(10, 6, 74), bench_doc(10, 6, 75),
+                                  {}, result, error));
+    EXPECT_FALSE(result.passed);
+    EXPECT_NE(result.render().find("candidates"), std::string::npos);
+}
+
+TEST(ObsGate, FlagsTextRowMismatchButSkipsMachineShapeRows) {
+    obs::GateResult result;
+    std::string error;
+    // "hardware threads" drifts from 2 to 4 below but is on the skip
+    // list, so the only failure is the text row.
+    ASSERT_TRUE(obs::gate_reports(bench_doc(10, 6, 74, "yes", 2),
+                                  bench_doc(10, 6, 74, "NO", 4), {}, result,
+                                  error));
+    EXPECT_FALSE(result.passed);
+    EXPECT_EQ(result.failures(), 1u);
+    EXPECT_NE(result.render().find("rankings identical"), std::string::npos);
+}
+
+TEST(ObsGate, MissingBaselineLabelFailsFreshOnlyLabelWarns) {
+    std::string baseline = bench_doc(10, 6, 74);
+    std::string fresh =
+        "{\"schema\": \"uhcg-bench-v1\", \"experiment\": \"t\","
+        " \"claim\": \"c\", \"rows\": ["
+        "{\"label\": \"explore jobs=1 (ms)\", \"number\": 10},"
+        "{\"label\": \"explore jobs=N (ms)\", \"number\": 6},"
+        "{\"label\": \"candidates\", \"number\": 74},"
+        "{\"label\": \"hardware threads\", \"number\": 2},"
+        "{\"label\": \"rankings identical\", \"value\": \"yes\"},"
+        "{\"label\": \"brand new row\", \"number\": 1}]}";
+    obs::GateResult result;
+    std::string error;
+    ASSERT_TRUE(obs::gate_reports(baseline, fresh, {}, result, error));
+    EXPECT_TRUE(result.passed);
+    EXPECT_EQ(result.warnings(), 1u);
+
+    // Reversed: the baseline promises a row the fresh run no longer has.
+    ASSERT_TRUE(obs::gate_reports(fresh, baseline, {}, result, error));
+    EXPECT_FALSE(result.passed);
+}
+
+TEST(ObsGate, RejectsDocumentsWithoutBenchRows) {
+    obs::GateResult result;
+    std::string error;
+    EXPECT_FALSE(obs::gate_reports("{\"schema\": \"other\"}",
+                                   bench_doc(1, 1, 1), {}, result, error));
+    EXPECT_NE(error.find("baseline"), std::string::npos);
+    EXPECT_FALSE(obs::gate_reports("not json", bench_doc(1, 1, 1), {}, result,
+                                   error));
+}
+
+TEST(ObsGate, UnwrapsBenchReportAggregates) {
+    std::string aggregate =
+        "{\"schema\": \"uhcg-bench-report-v1\", \"inputs\": ["
+        "{\"path\": \"rows.json\", \"report\": " +
+        bench_doc(10, 6, 74) +
+        "}, {\"path\": \"gbench.json\", \"report\": {\"context\": {}}}]}";
+    obs::GateResult result;
+    std::string error;
+    ASSERT_TRUE(
+        obs::gate_reports(aggregate, bench_doc(10, 6, 74), {}, result, error))
+        << error;
+    EXPECT_TRUE(result.passed);
+}
+
+}  // namespace

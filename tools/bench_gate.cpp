@@ -1,0 +1,90 @@
+// bench_gate — the CI perf-regression gate.
+//
+// Usage: uhcg_bench_gate <baseline.json> <fresh.json>
+//                        [--tolerance <pct>] [--no-calibrate]
+//
+// Both files are `uhcg-bench-report-v1` aggregates (or bare
+// `uhcg-bench-v1` reports). Timing rows — labels containing "(ms)" — are
+// compared with median-ratio calibration and the given tolerance
+// (default 25%); every other numeric row is a determinism counter and
+// must match exactly; text rows must match byte-for-byte. See
+// src/obs/gate.hpp for the full contract.
+//
+// Exit codes: 0 gate passed, 1 gate failed (regression/drift),
+//             2 usage or unreadable/invalid input.
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/gate.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+int usage(const char* argv0) {
+    std::cerr << "usage: " << argv0
+              << " <baseline.json> <fresh.json>"
+                 " [--tolerance <pct>] [--no-calibrate]\n"
+                 "exit codes: 0 pass, 1 regression/drift, 2 usage/input\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string baseline_path, fresh_path;
+    uhcg::obs::GateOptions options;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--tolerance") {
+            if (i + 1 >= argc) return usage(argv[0]);
+            char* end = nullptr;
+            options.tolerance_pct = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' || options.tolerance_pct < 0) {
+                std::cerr << "bad --tolerance value: " << argv[i] << '\n';
+                return 2;
+            }
+        } else if (arg == "--no-calibrate") {
+            options.calibrate = false;
+        } else if (baseline_path.empty()) {
+            baseline_path = arg;
+        } else if (fresh_path.empty()) {
+            fresh_path = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (baseline_path.empty() || fresh_path.empty()) return usage(argv[0]);
+
+    std::string baseline, fresh;
+    if (!read_file(baseline_path, baseline)) {
+        std::cerr << "error: cannot read baseline " << baseline_path << '\n';
+        return 2;
+    }
+    if (!read_file(fresh_path, fresh)) {
+        std::cerr << "error: cannot read fresh report " << fresh_path << '\n';
+        return 2;
+    }
+
+    uhcg::obs::GateResult result;
+    std::string error;
+    if (!uhcg::obs::gate_reports(baseline, fresh, options, result, error)) {
+        std::cerr << "error: " << error << '\n';
+        return 2;
+    }
+    std::cout << "baseline: " << baseline_path << "\nfresh:    " << fresh_path
+              << "\ntolerance: " << options.tolerance_pct << "%\n"
+              << result.render();
+    return result.passed ? 0 : 1;
+}

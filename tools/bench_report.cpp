@@ -1,6 +1,7 @@
 // bench_report — aggregates per-bench JSON artifacts into one report.
 //
 // Usage: uhcg_bench_report <output.json> <input.json> [input.json ...]
+//                          [--gate <baseline.json>] [--tolerance <pct>]
 //
 // Each input must be a JSON value: either a `uhcg-bench-v1` reproduction
 // report (written by a bench binary's --uhcg_report flag) or a
@@ -10,8 +11,15 @@
 //   { "schema": "uhcg-bench-report-v1",
 //     "inputs": [ {"path": "...", "report": <input JSON>}, ... ] }
 //
-// Exit codes: 0 success, 1 unreadable/invalid input, 2 usage.
+// With `--gate`, the freshly written aggregate is then compared against
+// the committed baseline with the perf-gate rules (src/obs/gate.hpp) —
+// the same logic `uhcg_bench_gate` runs in CI, reusable locally in one
+// step. `--tolerance` sets the allowed timing regression (default 25%).
+//
+// Exit codes: 0 success, 1 unreadable/invalid input or gate failure,
+//             2 usage.
 #include <cctype>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -19,6 +27,7 @@
 #include <vector>
 
 #include "diag/diag.hpp"
+#include "obs/gate.hpp"
 
 namespace {
 
@@ -47,25 +56,55 @@ bool looks_like_json(const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    if (argc < 3) {
+    std::string output_path;
+    std::vector<std::string> inputs;
+    std::string gate_baseline;
+    uhcg::obs::GateOptions gate_options;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--gate") {
+            if (i + 1 >= argc) {
+                std::cerr << "--gate needs a baseline path\n";
+                return 2;
+            }
+            gate_baseline = argv[++i];
+        } else if (arg == "--tolerance") {
+            if (i + 1 >= argc) {
+                std::cerr << "--tolerance needs a percentage\n";
+                return 2;
+            }
+            char* end = nullptr;
+            gate_options.tolerance_pct = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' ||
+                gate_options.tolerance_pct < 0) {
+                std::cerr << "bad --tolerance value: " << argv[i] << '\n';
+                return 2;
+            }
+        } else if (output_path.empty()) {
+            output_path = arg;
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (output_path.empty() || inputs.empty()) {
         std::cerr << "usage: " << argv[0]
-                  << " <output.json> <input.json> [input.json ...]\n";
+                  << " <output.json> <input.json> [input.json ...]"
+                     " [--gate <baseline.json>] [--tolerance <pct>]\n";
         return 2;
     }
-    const std::string output_path = argv[1];
 
     std::ostringstream out;
     out << "{\n  \"schema\": \"uhcg-bench-report-v1\",\n  \"inputs\": [";
     bool first = true;
-    for (int i = 2; i < argc; ++i) {
+    for (const std::string& input : inputs) {
         bool ok = false;
-        std::string text = read_file(argv[i], ok);
+        std::string text = read_file(input, ok);
         if (!ok) {
-            std::cerr << "error: cannot read " << argv[i] << '\n';
+            std::cerr << "error: cannot read " << input << '\n';
             return 1;
         }
         if (!looks_like_json(text)) {
-            std::cerr << "error: " << argv[i]
+            std::cerr << "error: " << input
                       << " does not hold a JSON object/array\n";
             return 1;
         }
@@ -73,7 +112,7 @@ int main(int argc, char** argv) {
         while (!text.empty() && (text.back() == '\n' || text.back() == '\r'))
             text.pop_back();
         out << (first ? "\n    " : ",\n    ") << "{\"path\": \""
-            << uhcg::diag::json_escape(argv[i]) << "\", \"report\": " << text
+            << uhcg::diag::json_escape(input) << "\", \"report\": " << text
             << '}';
         first = false;
     }
@@ -84,7 +123,28 @@ int main(int argc, char** argv) {
         std::cerr << "error: cannot write " << output_path << '\n';
         return 1;
     }
-    std::cout << "wrote " << output_path << " (" << (argc - 2)
+    std::cout << "wrote " << output_path << " (" << inputs.size()
               << " report(s))\n";
+
+    if (!gate_baseline.empty()) {
+        bool ok = false;
+        std::string baseline = read_file(gate_baseline, ok);
+        if (!ok) {
+            std::cerr << "error: cannot read baseline " << gate_baseline
+                      << '\n';
+            return 1;
+        }
+        uhcg::obs::GateResult result;
+        std::string error;
+        if (!uhcg::obs::gate_reports(baseline, out.str(), gate_options, result,
+                                     error)) {
+            std::cerr << "error: " << error << '\n';
+            return 1;
+        }
+        std::cout << "gate vs " << gate_baseline << " (tolerance "
+                  << gate_options.tolerance_pct << "%)\n"
+                  << result.render();
+        if (!result.passed) return 1;
+    }
     return 0;
 }

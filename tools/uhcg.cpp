@@ -37,6 +37,15 @@
 //   --mutations <n>      fuzz-xmi: number of mutants to run (default 70)
 //   --seed <n>           fuzz-xmi: deterministic corpus seed (default 1)
 //
+// Observability options (any command):
+//   --trace-out <path>   write a Chrome trace_event JSON of the run's span
+//                        tree — load it in Perfetto (ui.perfetto.dev) or
+//                        chrome://tracing
+//   --metrics-out <path> write the uhcg-obs-v1 machine-readable summary
+//                        (spans aggregated by name, counters, histograms)
+//   --profile            print the human profile table (spans by total
+//                        time, non-zero counters) after the command
+//
 // Resilience options (generate command):
 //   --max-retries <n>        re-run a failed pass up to n times when every
 //                            error it reported is transient-classified
@@ -90,6 +99,7 @@
 #include "kpn/from_uml.hpp"
 #include "sim/engine.hpp"
 #include "model/ecore_io.hpp"
+#include "obs/obs.hpp"
 #include "simulink/caam.hpp"
 #include "simulink/generic.hpp"
 #include "simulink/dot.hpp"
@@ -134,6 +144,14 @@ struct Cli {
     std::string checkpoint_dir;
     std::string manifest;
     std::vector<std::string> inject_faults;
+    // Observability (any command).
+    std::string trace_out;
+    std::string metrics_out;
+    bool profile = false;
+
+    bool observing() const {
+        return !trace_out.empty() || !metrics_out.empty() || profile;
+    }
 };
 
 int usage(const char* argv0) {
@@ -149,6 +167,7 @@ int usage(const char* argv0) {
            "         --pass-budget-ms <n> --kpn-firings <n> --sim-steps <n>\n"
            "         --resume --checkpoint-dir <path> --manifest <path>\n"
            "         --inject-fault <kind>:<site> (generate command)\n"
+           "         --trace-out <path> --metrics-out <path> --profile\n"
            "         --jobs <n> (explore command; 0 = all hardware threads)\n"
            "         --iterations <n> (threads command)\n"
            "         --mutations <n> --seed <n> (fuzz-xmi command)\n"
@@ -236,6 +255,16 @@ bool parse_cli(int argc, char** argv, Cli& cli) {
             const char* v = next();
             if (!v) return false;
             cli.manifest = v;
+        } else if (arg == "--trace-out") {
+            const char* v = next();
+            if (!v) return false;
+            cli.trace_out = v;
+        } else if (arg == "--metrics-out") {
+            const char* v = next();
+            if (!v) return false;
+            cli.metrics_out = v;
+        } else if (arg == "--profile") {
+            cli.profile = true;
         } else if (arg == "--inject-fault") {
             const char* v = next();
             if (!v) return false;
@@ -605,6 +634,8 @@ int cmd_fuzz(const Cli& cli) {
 }
 
 int dispatch(const Cli& cli) {
+    // Root of the span tree: everything the command does nests below it.
+    obs::ObsSpan root("cli." + cli.command, "cli");
     if (cli.command == "fuzz-xmi") return cmd_fuzz(cli);
 
     diag::DiagnosticEngine engine;
@@ -655,13 +686,48 @@ int dispatch(const Cli& cli) {
 
 }  // namespace
 
+namespace {
+
+/// Flushes the requested observability artifacts. Runs even after a
+/// failing command — a trace of a failed run is exactly what one debugs.
+void write_obs_outputs(const Cli& cli) {
+    std::vector<obs::SpanRecord> spans = obs::spans_snapshot();
+    obs::MetricsSnapshot metrics = obs::metrics_snapshot();
+    if (!cli.trace_out.empty()) {
+        flow::write_file_atomic(cli.trace_out,
+                                obs::chrome_trace_json(spans, &metrics) + "\n");
+        std::cout << "wrote Chrome trace: " << cli.trace_out
+                  << " (load in Perfetto or chrome://tracing)\n";
+    }
+    if (!cli.metrics_out.empty()) {
+        flow::write_file_atomic(cli.metrics_out,
+                                obs::summary_json(spans, metrics) + "\n");
+        std::cout << "wrote metrics: " << cli.metrics_out << '\n';
+    }
+    if (cli.profile) std::cout << '\n' << obs::profile_table(spans, metrics);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
     Cli cli;
     if (!parse_cli(argc, argv, cli)) return usage(argv[0]);
+    if (cli.observing()) obs::set_enabled(true);
+    int code;
     try {
-        return dispatch(cli);
+        code = dispatch(cli);
     } catch (const std::exception& e) {
         std::cerr << "internal error: " << e.what() << '\n';
-        return kExitInternal;
+        code = kExitInternal;
     }
+    if (cli.observing()) {
+        try {
+            write_obs_outputs(cli);
+        } catch (const std::exception& e) {
+            std::cerr << "cannot write observability outputs: " << e.what()
+                      << '\n';
+            if (code == kExitOk) code = kExitInternal;
+        }
+    }
+    return code;
 }
