@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""CI smoke client for the `uhcg serve` daemon (schema uhcg-serve-v1).
+
+Drives one daemon through the robustness contract:
+  * a burst of valid requests (ping, simulate cold + warm, explore,
+    generate with transactional output, status) — every request answered
+    exactly once with the id echoed;
+  * malformed traffic from separate connections (truncated frame,
+    oversized declared length, invalid JSON, unknown method, mid-request
+    disconnect) — each yields a structured serve.* error or a dropped
+    connection, and the daemon keeps serving afterwards;
+  * a warm-cache proof: the second simulate of the same model must be a
+    cache hit and report nonzero serve.cache_hits in status.
+
+With --fire-and-forget it sends one generate request and exits without
+reading the response — the SIGTERM-mid-flight half of the drain test.
+"""
+import json
+import socket
+import struct
+import sys
+
+MAX_FRAME = 16 << 20
+
+
+def connect(path):
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(path)
+    return s
+
+
+def send_frame(sock, payload):
+    if isinstance(payload, (dict, list)):
+        payload = json.dumps(payload)
+    data = payload.encode() if isinstance(payload, str) else payload
+    sock.sendall(struct.pack(">I", len(data)) + data)
+
+
+def recv_exact(sock, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            return None
+        buf += chunk
+    return buf
+
+
+def recv_frame(sock):
+    header = recv_exact(sock, 4)
+    if header is None:
+        return None
+    (length,) = struct.unpack(">I", header)
+    assert length <= MAX_FRAME, f"daemon sent oversized frame: {length}"
+    body = recv_exact(sock, length)
+    return None if body is None else json.loads(body)
+
+
+def rpc(sock, request):
+    send_frame(sock, request)
+    response = recv_frame(sock)
+    assert response is not None, f"connection died answering {request!r}"
+    assert response["schema"] == "uhcg-serve-v1", response
+    return response
+
+
+def expect_error(response, code):
+    assert response["ok"] is False, response
+    assert response["error"]["code"] == code, response
+
+
+def main():
+    path = sys.argv[1]
+    xmi = open(sys.argv[2]).read()
+    # Optional second model with a feedback cycle: simulate must reject it
+    # structurally (serve.bad-model), never serve.internal or a crash.
+    cyclic_xmi = None
+    extra = [a for a in sys.argv[3:] if not a.startswith("--")]
+    if extra:
+        cyclic_xmi = open(extra[0]).read()
+
+    if "--fire-and-forget" in sys.argv:
+        s = connect(path)
+        send_frame(s, {"method": "generate", "id": "inflight",
+                       "model_xmi": xmi, "params": {"out": "gen_out"}})
+        # Exit without reading: the daemon must finish or reject this
+        # in-flight request during the SIGTERM drain without crashing.
+        s.close()
+        return
+
+    # --- valid burst, one pipelined connection ------------------------------
+    s = connect(path)
+    assert rpc(s, {"method": "ping", "id": 1})["result"]["pong"] is True
+
+    cold = rpc(s, {"method": "simulate", "id": 2, "model_xmi": xmi})
+    assert cold["ok"], cold
+    assert cold["cache"] == "miss", cold
+    model_hash = cold["model_hash"]
+
+    warm = rpc(s, {"method": "simulate", "id": 3, "model_hash": model_hash})
+    assert warm["ok"], warm
+    assert warm["cache"] == "hit", warm
+    assert warm["result"]["makespan"] == cold["result"]["makespan"], (cold, warm)
+
+    explore = rpc(s, {"method": "explore", "id": 4, "model_hash": model_hash,
+                      "params": {"jobs": 2}})
+    assert explore["ok"] and explore["result"]["candidates"] > 0, explore
+
+    generate = rpc(s, {"method": "generate", "id": 5, "model_hash": model_hash,
+                       "params": {"out": "gen_out", "with_kpn": True}})
+    assert generate["ok"], generate
+    assert generate["result"]["files"], generate
+    assert generate["result"]["committed"] > 0, generate
+
+    if cyclic_xmi is not None:
+        bad = rpc(s, {"method": "simulate", "id": 7, "model_xmi": cyclic_xmi})
+        expect_error(bad, "serve.bad-model")
+
+    status = rpc(s, {"method": "status", "id": 6})
+    assert status["ok"], status
+    cache = status["result"]["cache"]
+    assert cache["hits"] > 0 and cache["entries"] >= 1, status
+    s.close()
+
+    # --- malformed traffic, one connection per case -------------------------
+    # Truncated frame: declare 64 bytes, send 10, hang up.
+    s = connect(path)
+    s.sendall(struct.pack(">I", 64) + b"0123456789")
+    s.close()
+
+    # Oversized declared length: answered structurally, then dropped.
+    s = connect(path)
+    s.sendall(struct.pack(">I", 1 << 30))
+    expect_error(recv_frame(s), "serve.frame")
+    s.close()
+
+    # Invalid JSON and unknown method: structured errors, connection lives.
+    s = connect(path)
+    expect_error(rpc(s, "{this is not json"), "serve.parse")
+    expect_error(rpc(s, {"method": "frobnicate", "id": 9}),
+                 "serve.unknown-method")
+    expect_error(rpc(s, {"method": "simulate", "id": 10,
+                         "model_hash": "doesnotexist"}),
+                 "serve.unknown-model")
+    expect_error(rpc(s, {"method": "simulate", "id": 11,
+                         "model_xmi": "<not-xmi>"}), "serve.model-invalid")
+    # Zero-length frame: empty payload is a parse error, not a crash.
+    send_frame(s, b"")
+    expect_error(recv_frame(s), "serve.parse")
+    s.close()
+
+    # Mid-request disconnect, then prove the daemon still serves.
+    s = connect(path)
+    s.sendall(struct.pack(">I", 1000))
+    s.close()
+    s = connect(path)
+    assert rpc(s, {"method": "ping", "id": 12})["ok"]
+    s.close()
+    print("serve smoke: burst + malformed corpus ok "
+          f"(model {model_hash}, warm hits {cache['hits']})")
+
+
+if __name__ == "__main__":
+    main()

@@ -88,7 +88,8 @@ public:
         auto it = map_.find(key);
         if (it == map_.end()) return false;
         ++hits_;
-        out = it->second;
+        it->second.stamp = ++stamp_;  // recency for trim()
+        out = it->second.result;
         return true;
     }
 
@@ -98,7 +99,7 @@ public:
         // process without limit; dropping everything keeps hits deterministic
         // per run (lookups happen before any insert of the same run).
         if (map_.size() >= kMaxEntries) map_.clear();
-        map_.emplace(key, result);
+        map_.emplace(key, Entry{result, ++stamp_});
     }
 
     SimCacheStats stats() {
@@ -113,12 +114,44 @@ public:
         hits_ = 0;
     }
 
+    /// Least-recently-used eviction down to `max_entries` — the hook a
+    /// resident host (the serve daemon) uses to keep the process-wide
+    /// memo inside its memory budget instead of the all-or-nothing bound
+    /// above. Returns the number of entries dropped.
+    std::size_t trim(std::size_t max_entries) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (map_.size() <= max_entries) return 0;
+        std::vector<std::uint64_t> stamps;
+        stamps.reserve(map_.size());
+        for (const auto& [key, entry] : map_) stamps.push_back(entry.stamp);
+        // The (size - max) smallest stamps are the eviction set.
+        std::size_t drop = map_.size() - max_entries;
+        std::nth_element(stamps.begin(), stamps.begin() + (drop - 1),
+                         stamps.end());
+        std::uint64_t threshold = stamps[drop - 1];
+        std::size_t dropped = 0;
+        for (auto it = map_.begin(); it != map_.end();) {
+            if (it->second.stamp <= threshold) {
+                it = map_.erase(it);
+                ++dropped;
+            } else {
+                ++it;
+            }
+        }
+        return dropped;
+    }
+
 private:
     static constexpr std::size_t kMaxEntries = 1u << 16;
+    struct Entry {
+        sim::MpsocResult result;
+        std::uint64_t stamp = 0;  ///< monotone recency (insert or hit)
+    };
     std::mutex mutex_;
-    std::unordered_map<CacheKey, sim::MpsocResult, CacheKeyHash> map_;
+    std::unordered_map<CacheKey, Entry, CacheKeyHash> map_;
     std::size_t lookups_ = 0;
     std::size_t hits_ = 0;
+    std::uint64_t stamp_ = 0;
 };
 
 SimulationCache& cache() {
@@ -406,5 +439,11 @@ std::string format(const ExploreResult& result) {
 SimCacheStats simulation_cache_stats() { return cache().stats(); }
 
 void clear_simulation_cache() { cache().clear(); }
+
+std::size_t trim_simulation_cache(std::size_t max_entries) {
+    std::size_t dropped = cache().trim(max_entries);
+    if (dropped) obs::counter("dse.cache_trimmed").add(dropped);
+    return dropped;
+}
 
 }  // namespace uhcg::dse

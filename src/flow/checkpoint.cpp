@@ -1,9 +1,13 @@
 #include "flow/checkpoint.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "flow/txout.hpp"
+#include "obs/obs.hpp"
 
 namespace uhcg::flow {
 
@@ -117,6 +121,55 @@ void CheckpointStore::save(const std::string& key,
 void CheckpointStore::drop(const std::string& key) const {
     std::error_code ec;
     fs::remove(path_for(key), ec);
+}
+
+CheckpointStore::PruneResult CheckpointStore::prune(
+    const PruneOptions& options) const {
+    PruneResult result;
+    if (!options.max_age_seconds && !options.max_count) return result;
+
+    struct Entry {
+        fs::file_time_type mtime;
+        fs::path path;
+    };
+    std::vector<Entry> entries;
+    std::error_code ec;
+    for (const auto& item : fs::directory_iterator(dir_, ec)) {
+        if (ec) break;
+        if (!item.is_regular_file(ec) || item.path().extension() != ".ckpt")
+            continue;
+        fs::file_time_type mtime = fs::last_write_time(item.path(), ec);
+        if (ec) continue;  // vanished or unreadable — someone else's problem
+        entries.push_back({mtime, item.path()});
+    }
+    result.scanned = entries.size();
+
+    // Oldest first; the file name breaks mtime ties so two runs over the
+    // same directory always pick the same victims.
+    std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+        if (a.mtime != b.mtime) return a.mtime < b.mtime;
+        return a.path.filename() < b.path.filename();
+    });
+
+    std::size_t victims = 0;
+    if (options.max_age_seconds) {
+        const auto cutoff = fs::file_time_type::clock::now() -
+                            std::chrono::seconds(options.max_age_seconds);
+        while (victims < entries.size() && entries[victims].mtime < cutoff)
+            ++victims;
+    }
+    if (options.max_count && entries.size() - victims > options.max_count)
+        victims = entries.size() - options.max_count;
+
+    static obs::Counter& pruned_counter = obs::counter("flow.checkpoints_pruned");
+    for (std::size_t i = 0; i < victims; ++i) {
+        std::error_code remove_ec;
+        if (fs::remove(entries[i].path, remove_ec) && !remove_ec) {
+            ++result.pruned;
+            pruned_counter.add(1);
+        }
+    }
+    return result;
 }
 
 }  // namespace uhcg::flow

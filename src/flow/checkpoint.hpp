@@ -52,6 +52,27 @@ public:
     /// previously succeeded fails on a re-run with the same inputs).
     void drop(const std::string& key) const;
 
+    /// Garbage collection for the checkpoint directory. Without it, every
+    /// model edit leaves its stale keyed entries behind forever.
+    struct PruneOptions {
+        /// Entries whose file is older than this are removed; 0 = no age
+        /// bound.
+        std::uint64_t max_age_seconds = 0;
+        /// Keep at most this many entries (newest win); 0 = no count
+        /// bound.
+        std::size_t max_count = 0;
+    };
+    struct PruneResult {
+        std::size_t scanned = 0;
+        std::size_t pruned = 0;
+    };
+
+    /// Applies both bounds (age first, then count, oldest-first with the
+    /// file name as a deterministic tie-break). Unreadable entries are
+    /// skipped, never fatal. Each removal bumps the
+    /// `flow.checkpoints_pruned` counter.
+    PruneResult prune(const PruneOptions& options) const;
+
 private:
     std::filesystem::path path_for(const std::string& key) const;
     std::filesystem::path dir_;

@@ -8,10 +8,14 @@ namespace {
 
 class Parser {
 public:
-    Parser(std::string_view text, std::string& error)
-        : text_(text), error_(error) {}
+    Parser(std::string_view text, std::string& error,
+           const ParseLimits& limits)
+        : text_(text), error_(error), limits_(limits) {}
 
     bool run(Value& out) {
+        if (limits_.max_bytes && text_.size() > limits_.max_bytes)
+            return fail("input exceeds size limit " +
+                        std::to_string(limits_.max_bytes) + " bytes");
         skip_ws();
         if (!parse_value(out)) return false;
         skip_ws();
@@ -76,12 +80,25 @@ private:
         }
     }
 
+    /// Containers recurse through parse_value; every nesting level must
+    /// pass this gate first, so a hostile document fails with a
+    /// structured error long before the call stack is at risk.
+    bool enter() {
+        if (++depth_ > limits_.max_depth)
+            return fail("nesting exceeds depth limit " +
+                        std::to_string(limits_.max_depth));
+        return true;
+    }
+    void leave() { --depth_; }
+
     bool parse_object(Value& out) {
         out.kind = Value::Kind::Object;
+        if (!enter()) return false;
         ++pos_;  // '{'
         skip_ws();
         if (!eof() && peek() == '}') {
             ++pos_;
+            leave();
             return true;
         }
         while (true) {
@@ -104,6 +121,7 @@ private:
             }
             if (peek() == '}') {
                 ++pos_;
+                leave();
                 return true;
             }
             return fail("expected ',' or '}'");
@@ -112,10 +130,12 @@ private:
 
     bool parse_array(Value& out) {
         out.kind = Value::Kind::Array;
+        if (!enter()) return false;
         ++pos_;  // '['
         skip_ws();
         if (!eof() && peek() == ']') {
             ++pos_;
+            leave();
             return true;
         }
         while (true) {
@@ -131,6 +151,7 @@ private:
             }
             if (peek() == ']') {
                 ++pos_;
+                leave();
                 return true;
             }
             return fail("expected ',' or ']'");
@@ -216,7 +237,9 @@ private:
 
     std::string_view text_;
     std::string& error_;
+    ParseLimits limits_;
     std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
 };
 
 }  // namespace
@@ -228,8 +251,9 @@ const Value* Value::find(std::string_view key) const {
     return nullptr;
 }
 
-bool parse(std::string_view text, Value& out, std::string& error) {
-    return Parser(text, error).run(out);
+bool parse(std::string_view text, Value& out, std::string& error,
+           const ParseLimits& limits) {
+    return Parser(text, error, limits).run(out);
 }
 
 }  // namespace uhcg::obs::json

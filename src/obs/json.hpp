@@ -39,9 +39,27 @@ public:
     const Value* find(std::string_view key) const;
 };
 
+/// Resource limits enforced while parsing. The defaults are generous
+/// enough for every trusted artifact in the repo (bench reports, traces),
+/// yet bound the two unbounded-input hazards: recursion depth (a deeply
+/// nested document must not overflow the stack) and input size. Callers
+/// parsing *untrusted* bytes — the serve daemon's request frames — pass
+/// deliberately tighter limits.
+struct ParseLimits {
+    /// Maximum container nesting depth (objects + arrays). 0 rejects any
+    /// container; the default comfortably covers hand-written documents
+    /// while keeping recursion shallow.
+    std::size_t max_depth = 128;
+    /// Maximum input size in bytes; 0 = unlimited.
+    std::size_t max_bytes = 0;
+};
+
 /// Parses one JSON document (trailing whitespace allowed, trailing junk
 /// rejected). On failure returns false and sets `error` to a
-/// "line:column: message" description.
-bool parse(std::string_view text, Value& out, std::string& error);
+/// "line:column: message" description. Limit violations are structured
+/// parse errors, never crashes: "nesting exceeds depth limit <n>" and
+/// "input exceeds size limit <n> bytes".
+bool parse(std::string_view text, Value& out, std::string& error,
+           const ParseLimits& limits = {});
 
 }  // namespace uhcg::obs::json

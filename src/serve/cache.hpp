@@ -1,0 +1,93 @@
+// cache.hpp — the daemon's resident model cache.
+//
+// The whole point of `uhcg serve` (ROADMAP item 2): `xml.parse` +
+// `uml.xmi-load` are re-paid on every CLI invocation even for unchanged
+// models. The cache keeps the parsed `uml::Model` — plus the mined
+// communication model, which every explore/simulate request needs —
+// resident across requests, keyed by the content hash of the serialized
+// XMI bytes, exactly like flow checkpoints: any model edit changes the
+// key, so staleness is structurally impossible.
+//
+// Eviction is LRU under a configurable byte budget (an *estimate*: the
+// parsed in-memory model is priced as a multiple of its source bytes;
+// the point is a hard upper bound on growth, not accounting precision).
+// Occupancy and churn surface as `serve.cache_*` metrics and through
+// the `status` request.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/comm.hpp"
+#include "diag/diag.hpp"
+#include "uml/model.hpp"
+
+namespace uhcg::serve {
+
+/// One cached, parsed model. Handed out as shared_ptr-to-const so an
+/// in-flight request keeps its model alive even if the entry is evicted
+/// mid-request — eviction only drops the cache's reference.
+struct ResidentModel {
+    std::string hash;   ///< hex FNV-1a of `bytes` (the cache key)
+    std::string bytes;  ///< serialized XMI — checkpoint keys hash these
+    uml::Model model;
+    core::CommModel comm;  ///< mined once; explore/simulate reuse it
+    std::size_t charge_bytes = 0;  ///< what this entry costs the budget
+};
+
+class ModelCache {
+public:
+    /// `budget_bytes` bounds the summed charge of resident entries;
+    /// 0 = unbounded. The most recently admitted entry is always kept —
+    /// a budget smaller than one model degenerates to cache-per-request,
+    /// never to a failure.
+    explicit ModelCache(std::size_t budget_bytes);
+
+    /// Content hash of serialized model bytes, as the lowercase hex key
+    /// clients may send back (`model_hash`) to skip re-uploading.
+    static std::string hash_bytes(std::string_view bytes);
+
+    /// Looks up by hash and marks the entry most-recently-used. Counts
+    /// `serve.cache_hits` / `serve.cache_misses`.
+    std::shared_ptr<const ResidentModel> find(const std::string& hash);
+
+    /// Parses `bytes` and admits the result, evicting LRU entries over
+    /// budget (`serve.cache_evictions`). A model that fails to parse
+    /// reports into `engine` and returns nullptr — nothing is cached, so
+    /// a poisoned payload cannot occupy the budget. If the hash is
+    /// already resident, the existing entry is returned (hit).
+    std::shared_ptr<const ResidentModel> admit(std::string bytes,
+                                               diag::DiagnosticEngine& engine);
+
+    struct Stats {
+        std::size_t entries = 0;
+        std::size_t bytes = 0;         ///< summed charge of resident entries
+        std::size_t budget_bytes = 0;  ///< 0 = unbounded
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+    };
+    Stats stats() const;
+
+private:
+    void evict_over_budget_locked();
+    void touch_locked(const std::string& hash);
+
+    mutable std::mutex mutex_;
+    std::size_t budget_bytes_;
+    std::size_t bytes_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    /// Front = most recently used.
+    std::list<std::shared_ptr<const ResidentModel>> lru_;
+    std::unordered_map<std::string, decltype(lru_)::iterator> index_;
+};
+
+}  // namespace uhcg::serve

@@ -1,0 +1,113 @@
+#include "serve/frame.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace uhcg::serve {
+namespace {
+
+/// Reads exactly `size` bytes. Returns the bytes actually read (< size on
+/// EOF) or -1 on a read error.
+ssize_t read_exact(int fd, char* out, std::size_t size) {
+    std::size_t got = 0;
+    while (got < size) {
+        ssize_t n = ::read(fd, out + got, size - got);
+        if (n > 0) {
+            got += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0) break;  // EOF
+        if (errno == EINTR) continue;
+        return -1;
+    }
+    return static_cast<ssize_t>(got);
+}
+
+bool write_exact(int fd, const char* data, std::size_t size) {
+    std::size_t sent = 0;
+    while (sent < size) {
+        // send(MSG_NOSIGNAL) so a vanished client surfaces as EPIPE, not a
+        // process-killing SIGPIPE; plain files/pipes (ENOTSOCK) fall back
+        // to write(2) — tests drive the codec over pipes.
+        ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK)
+            n = ::write(fd, data + sent, size - sent);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+std::string_view to_string(FrameStatus status) {
+    switch (status) {
+        case FrameStatus::Ok: return "ok";
+        case FrameStatus::Eof: return "eof";
+        case FrameStatus::Truncated: return "truncated";
+        case FrameStatus::Oversized: return "oversized";
+        case FrameStatus::Error: return "error";
+    }
+    return "unknown";
+}
+
+std::string encode_frame(std::string_view payload) {
+    std::string framed;
+    framed.reserve(kFrameHeaderBytes + payload.size());
+    std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+    framed.push_back(static_cast<char>((size >> 24) & 0xFF));
+    framed.push_back(static_cast<char>((size >> 16) & 0xFF));
+    framed.push_back(static_cast<char>((size >> 8) & 0xFF));
+    framed.push_back(static_cast<char>(size & 0xFF));
+    framed.append(payload);
+    return framed;
+}
+
+FrameStatus read_frame(int fd, std::string& payload, std::size_t max_bytes) {
+    char header[kFrameHeaderBytes];
+    ssize_t got = read_exact(fd, header, sizeof header);
+    if (got < 0) return FrameStatus::Error;
+    if (got == 0) return FrameStatus::Eof;
+    if (static_cast<std::size_t>(got) < sizeof header)
+        return FrameStatus::Truncated;
+
+    std::uint32_t size = (static_cast<std::uint32_t>(
+                              static_cast<unsigned char>(header[0]))
+                          << 24) |
+                         (static_cast<std::uint32_t>(
+                              static_cast<unsigned char>(header[1]))
+                          << 16) |
+                         (static_cast<std::uint32_t>(
+                              static_cast<unsigned char>(header[2]))
+                          << 8) |
+                         static_cast<std::uint32_t>(
+                             static_cast<unsigned char>(header[3]));
+    if (size > max_bytes) {
+        payload = "declared frame length " + std::to_string(size) +
+                  " exceeds limit " + std::to_string(max_bytes);
+        return FrameStatus::Oversized;
+    }
+
+    payload.resize(size);
+    if (size) {
+        got = read_exact(fd, payload.data(), size);
+        if (got < 0) return FrameStatus::Error;
+        if (static_cast<std::size_t>(got) < size) return FrameStatus::Truncated;
+    }
+    return FrameStatus::Ok;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+    std::string framed = encode_frame(payload);
+    return write_exact(fd, framed.data(), framed.size());
+}
+
+}  // namespace uhcg::serve

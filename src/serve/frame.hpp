@@ -1,0 +1,57 @@
+// frame.hpp — length-prefixed framing for the `uhcg serve` protocol.
+//
+// Every message on a serve connection is one frame: a 4-byte big-endian
+// payload length followed by exactly that many payload bytes (UTF-8 JSON,
+// schema `uhcg-serve-v1`). The length prefix makes the stream
+// self-delimiting without any in-band escaping, and lets the reader
+// reject an oversized declaration *before* allocating — the first line of
+// the daemon's admission control.
+//
+// The codec distinguishes the failure modes the robustness suite needs to
+// tell apart: a clean end-of-stream between frames (client done), a
+// truncated frame (client died mid-request), and an oversized declared
+// length (hostile or corrupt client).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace uhcg::serve {
+
+/// Largest payload a frame may declare by default (requests carry whole
+/// XMI models, so this is generous; it exists to bound allocation, not to
+/// ration traffic).
+inline constexpr std::size_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Wire size of the length prefix.
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Prepends the big-endian length prefix (in-memory encoder; the fd path
+/// uses write_frame).
+std::string encode_frame(std::string_view payload);
+
+enum class FrameStatus {
+    Ok,         ///< one complete frame read
+    Eof,        ///< clean end of stream between frames
+    Truncated,  ///< stream ended inside a header or payload
+    Oversized,  ///< declared length exceeds the limit (nothing consumed
+                ///< beyond the header; the connection is unrecoverable)
+    Error,      ///< read(2) failed
+};
+
+std::string_view to_string(FrameStatus status);
+
+/// Blocking read of one frame from `fd` (retries EINTR and short reads).
+/// On Ok, `payload` holds the frame body. On Oversized, `payload` holds a
+/// human-readable description of the violation.
+FrameStatus read_frame(int fd, std::string& payload,
+                       std::size_t max_bytes = kDefaultMaxFrameBytes);
+
+/// Blocking write of one framed payload (header + body, retries EINTR and
+/// short writes, never raises SIGPIPE). Returns false when the peer is
+/// gone — callers treat that as a disconnect, not an error.
+bool write_frame(int fd, std::string_view payload);
+
+}  // namespace uhcg::serve

@@ -1,0 +1,281 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/obs.hpp"
+
+namespace uhcg::serve {
+namespace {
+
+void close_fd(int& fd) {
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), engine_([&] {
+          EngineOptions engine_options = options_.engine;
+          // The JSON parser's input bound and the frame codec's length
+          // bound must agree, or one layer's "fine" is the other's abuse.
+          engine_options.max_request_bytes = options_.max_frame_bytes;
+          return engine_options;
+      }()) {
+    engine_.set_gauges(&gauges_);
+}
+
+Server::~Server() {
+    if (listening_.load(std::memory_order_acquire) &&
+        !drained_.load(std::memory_order_acquire)) {
+        notify_stop();
+        wait();
+    }
+    close_fd(listen_fd_);
+    close_fd(wake_pipe_[0]);
+    close_fd(wake_pipe_[1]);
+}
+
+bool Server::start(std::string& error) {
+    if (options_.socket_path.empty()) {
+        error = "socket path is empty";
+        return false;
+    }
+    sockaddr_un addr{};
+    if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+        error = "socket path too long (limit " +
+                std::to_string(sizeof(addr.sun_path) - 1) + " bytes): " +
+                options_.socket_path;
+        return false;
+    }
+
+    if (::pipe(wake_pipe_) != 0) {
+        error = std::string("pipe: ") + std::strerror(errno);
+        return false;
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+                options_.socket_path.size() + 1);
+    // A stale socket file from a killed predecessor would make bind fail
+    // forever; removing it is the unix-socket equivalent of the txout
+    // stale-stage sweep.
+    ::unlink(options_.socket_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+        error = "bind " + options_.socket_path + ": " + std::strerror(errno);
+        close_fd(listen_fd_);
+        return false;
+    }
+    if (::listen(listen_fd_, 64) != 0) {
+        error = std::string("listen: ") + std::strerror(errno);
+        close_fd(listen_fd_);
+        return false;
+    }
+
+    if (options_.workers == 0) options_.workers = 1;
+    for (std::size_t i = 0; i < options_.workers; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+    acceptor_ = std::thread([this] { accept_loop(); });
+    listening_.store(true, std::memory_order_release);
+    return true;
+}
+
+void Server::notify_stop() {
+    // Async-signal-safe: one write(2); the acceptor's poll wakes up.
+    if (wake_pipe_[1] >= 0) {
+        char byte = 1;
+        [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+    }
+}
+
+void Server::stop() {
+    notify_stop();
+    wait();
+}
+
+void Server::wait() {
+    std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+    if (drained_.load(std::memory_order_acquire)) return;
+    if (acceptor_.joinable()) acceptor_.join();
+    // No new connections from here on: refuse instead of queueing into a
+    // daemon that will never serve them.
+    close_fd(listen_fd_);
+    drain();
+    ::unlink(options_.socket_path.c_str());
+    drained_.store(true, std::memory_order_release);
+}
+
+void Server::accept_loop() {
+    while (true) {
+        pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+        int ready = ::poll(fds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (fds[1].revents & (POLLIN | POLLERR | POLLHUP)) break;
+        if (!(fds[0].revents & POLLIN)) continue;
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED) continue;
+            break;
+        }
+        auto connection = std::make_shared<Connection>();
+        connection->fd = fd;
+        gauges_.connections.fetch_add(1, std::memory_order_relaxed);
+        obs::counter("serve.connections").add(1);
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        connections_.push_back(connection);
+        connection_threads_.emplace_back(
+            [this, connection] { connection_loop(connection); });
+    }
+}
+
+void Server::connection_loop(std::shared_ptr<Connection> connection) {
+    while (true) {
+        std::string payload;
+        FrameStatus status =
+            read_frame(connection->fd, payload, options_.max_frame_bytes);
+        if (status == FrameStatus::Eof) break;
+        if (status == FrameStatus::Truncated) {
+            // Mid-request disconnect: the client died inside a frame.
+            // Nothing to respond to — no complete request ever arrived.
+            obs::counter("serve.disconnects").add(1);
+            break;
+        }
+        if (status == FrameStatus::Oversized) {
+            // The stream is beyond resynchronization (we refused to
+            // consume the declared payload), so answer once and close.
+            obs::counter("serve.frame_errors").add(1);
+            respond(connection, Engine::frame_error_response(payload));
+            break;
+        }
+        if (status == FrameStatus::Error) break;
+
+        Engine::Clock::time_point received = Engine::Clock::now();
+        bool rejected_shutdown = false;
+        bool rejected_overload = false;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            if (draining_.load(std::memory_order_relaxed)) {
+                rejected_shutdown = true;
+            } else if (queue_.size() >= options_.queue_limit) {
+                rejected_overload = true;
+            } else {
+                queue_.push_back({std::move(payload), connection, received});
+                gauges_.queue_depth.fetch_add(1, std::memory_order_relaxed);
+                obs::counter("serve.accepted").add(1);
+            }
+        }
+        if (rejected_shutdown) {
+            obs::counter("serve.rejected_shutdown").add(1);
+            respond(connection, engine_.shutting_down_response(payload));
+            continue;  // keep answering until the client hangs up
+        }
+        if (rejected_overload) {
+            // Admission control: reject now, with the queue bound in the
+            // message, instead of buffering unboundedly.
+            obs::counter("serve.rejected_overload").add(1);
+            respond(connection,
+                    engine_.overloaded_response(payload, options_.queue_limit));
+            continue;
+        }
+        queue_cv_.notify_one();
+    }
+    gauges_.connections.fetch_sub(1, std::memory_order_relaxed);
+    ::shutdown(connection->fd, SHUT_RDWR);
+}
+
+void Server::worker_loop() {
+    while (true) {
+        Request request;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock, [this] {
+                return !queue_.empty() ||
+                       draining_.load(std::memory_order_relaxed);
+            });
+            if (queue_.empty()) {
+                if (draining_.load(std::memory_order_relaxed)) return;
+                continue;
+            }
+            request = std::move(queue_.front());
+            queue_.pop_front();
+            gauges_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+        }
+        gauges_.in_flight.fetch_add(1, std::memory_order_relaxed);
+        std::string response = engine_.handle(request.payload, request.received);
+        respond(request.connection, response);
+        gauges_.in_flight.fetch_sub(1, std::memory_order_relaxed);
+        if (engine_.shutdown_requested()) notify_stop();
+    }
+}
+
+void Server::respond(const std::shared_ptr<Connection>& connection,
+                     std::string_view payload) {
+    std::lock_guard<std::mutex> lock(connection->write_mutex);
+    if (!write_frame(connection->fd, payload))
+        obs::counter("serve.write_failures").add(1);
+}
+
+void Server::drain() {
+    std::deque<Request> pending;
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        draining_.store(true, std::memory_order_relaxed);
+        pending.swap(queue_);
+        gauges_.queue_depth.store(0, std::memory_order_relaxed);
+    }
+    queue_cv_.notify_all();
+
+    // Queued-but-unstarted requests are answered, not dropped: exactly
+    // one structured response per request, even across shutdown.
+    for (const Request& request : pending) {
+        obs::counter("serve.rejected_shutdown").add(1);
+        respond(request.connection,
+                engine_.shutting_down_response(request.payload));
+    }
+
+    // Workers finish whatever is in flight (transactional outputs commit
+    // or roll back whole), then exit on the empty+draining condition.
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+
+    // Unblock connection readers parked in read_frame on idle sockets.
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        for (const std::weak_ptr<Connection>& weak : connections_)
+            if (std::shared_ptr<Connection> connection = weak.lock())
+                ::shutdown(connection->fd, SHUT_RD);
+    }
+    std::vector<std::thread> readers;
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        readers.swap(connection_threads_);
+    }
+    for (std::thread& reader : readers) reader.join();
+
+    // Close every surviving connection fd.
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const std::weak_ptr<Connection>& weak : connections_)
+        if (std::shared_ptr<Connection> connection = weak.lock())
+            close_fd(connection->fd);
+    connections_.clear();
+}
+
+}  // namespace uhcg::serve

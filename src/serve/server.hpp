@@ -1,0 +1,120 @@
+// server.hpp — the `uhcg serve` daemon shell: Unix-domain socket
+// transport, admission control, worker pool, graceful drain.
+//
+// Division of labour: the Engine (engine.hpp) owns request semantics; the
+// Server owns everything that can only go wrong in a long-lived process —
+//
+//  * *admission control* — frames land in a bounded queue; when it is
+//    full the connection thread answers `serve.overloaded` immediately
+//    instead of buffering without bound (backpressure, not OOM);
+//  * *concurrency* — a fixed worker pool drains the queue; responses
+//    carry the request id, so one connection may pipeline requests and
+//    receive responses out of order;
+//  * *graceful drain* — on SIGTERM/SIGINT (via the async-signal-safe
+//    `notify_stop()`), a `shutdown` request, or `stop()`: the listener
+//    closes, queued-but-unstarted requests get `serve.shutting-down`,
+//    in-flight requests run to completion (their transactional outputs
+//    commit or roll back whole), then connections close and the socket
+//    file is unlinked;
+//  * *per-connection fault tolerance* — a client that dies mid-frame,
+//    declares an oversized length, or writes garbage affects only its
+//    own connection.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace uhcg::serve {
+
+struct ServerOptions {
+    std::string socket_path;
+    /// Worker threads draining the request queue.
+    std::size_t workers = 2;
+    /// Bounded queue depth; a full queue rejects with serve.overloaded.
+    std::size_t queue_limit = 64;
+    /// Frame-size ceiling (also fed to the JSON parser limits).
+    std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    EngineOptions engine;
+};
+
+class Server {
+public:
+    explicit Server(ServerOptions options);
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Binds the socket and spawns acceptor + workers. Returns false with
+    /// `error` set when the socket cannot be created.
+    bool start(std::string& error);
+
+    /// Blocks until the daemon has fully drained (after notify_stop(),
+    /// stop(), or a `shutdown` request).
+    void wait();
+
+    /// Begins graceful drain. Safe from any thread; *not* from a signal
+    /// handler — handlers use notify_stop().
+    void stop();
+
+    /// Async-signal-safe drain trigger (one write(2) to a self-pipe).
+    void notify_stop();
+
+    Engine& engine() { return engine_; }
+    const ServerOptions& options() const { return options_; }
+
+    /// True once start() succeeded and the acceptor is listening.
+    bool listening() const { return listening_.load(std::memory_order_acquire); }
+
+private:
+    struct Connection {
+        int fd = -1;
+        std::mutex write_mutex;  ///< workers + reader share the fd
+    };
+    struct Request {
+        std::string payload;
+        std::shared_ptr<Connection> connection;
+        Engine::Clock::time_point received;
+    };
+
+    void accept_loop();
+    void connection_loop(std::shared_ptr<Connection> connection);
+    void worker_loop();
+    void respond(const std::shared_ptr<Connection>& connection,
+                 std::string_view payload);
+    void drain();
+
+    ServerOptions options_;
+    Engine engine_;
+    TransportGauges gauges_;
+
+    int listen_fd_ = -1;
+    int wake_pipe_[2] = {-1, -1};
+    std::atomic<bool> listening_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> drained_{false};
+
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<Request> queue_;
+
+    std::thread acceptor_;
+    std::vector<std::thread> workers_;
+    std::mutex connections_mutex_;
+    std::vector<std::thread> connection_threads_;
+    std::vector<std::weak_ptr<Connection>> connections_;
+
+    std::mutex lifecycle_mutex_;
+};
+
+}  // namespace uhcg::serve

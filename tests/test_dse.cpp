@@ -254,4 +254,20 @@ TEST(Dse, RandomApplicationsExploreCleanly) {
     }
 }
 
+TEST(Dse, SimulationCacheTrimBoundsResidencyLru) {
+    clear_simulation_cache();
+    uml::Model syn = cases::synthetic_model();
+    core::CommModel comm = core::analyze_communication(syn);
+    (void)explore(syn, comm);
+    SimCacheStats before = simulation_cache_stats();
+    ASSERT_GT(before.entries, 1u);
+
+    std::size_t dropped = trim_simulation_cache(1);
+    EXPECT_EQ(dropped, before.entries - 1);
+    EXPECT_EQ(simulation_cache_stats().entries, 1u);
+    // Already under the bound: trimming again is a no-op.
+    EXPECT_EQ(trim_simulation_cache(1), 0u);
+    clear_simulation_cache();
+}
+
 }  // namespace

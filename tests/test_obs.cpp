@@ -379,6 +379,41 @@ TEST(ObsJson, RejectsMalformedInputWithPosition) {
     EXPECT_FALSE(obs::json::parse("", doc, error));
 }
 
+TEST(ObsJson, DepthLimitIsAStructuredErrorNotAStackOverflow) {
+    obs::json::Value doc;
+    std::string error;
+    obs::json::ParseLimits limits;
+    limits.max_depth = 8;
+    // Exactly at the limit parses; one deeper is rejected with a message,
+    // and the default limit still stops a hostile nesting bomb.
+    std::string at_limit = std::string(8, '[') + "0" + std::string(8, ']');
+    EXPECT_TRUE(obs::json::parse(at_limit, doc, error, limits)) << error;
+    std::string too_deep = std::string(9, '[') + "0" + std::string(9, ']');
+    EXPECT_FALSE(obs::json::parse(too_deep, doc, error, limits));
+    EXPECT_NE(error.find("depth limit"), std::string::npos) << error;
+    // Mixed nesting counts objects too.
+    EXPECT_FALSE(obs::json::parse(
+        "[{\"a\":[{\"b\":[{\"c\":[{\"d\":[0]}]}]}]}]", doc, error, limits));
+    std::string bomb(100000, '[');
+    EXPECT_FALSE(obs::json::parse(bomb, doc, error));
+    EXPECT_NE(error.find("depth limit"), std::string::npos) << error;
+}
+
+TEST(ObsJson, SizeLimitRejectsOversizedInputUpfront) {
+    obs::json::Value doc;
+    std::string error;
+    obs::json::ParseLimits limits;
+    limits.max_bytes = 16;
+    EXPECT_TRUE(obs::json::parse("{\"a\":1}", doc, error, limits)) << error;
+    EXPECT_FALSE(
+        obs::json::parse("{\"a\":\"0123456789abcdef\"}", doc, error, limits));
+    EXPECT_NE(error.find("size limit"), std::string::npos) << error;
+    // 0 means unlimited, the default.
+    limits.max_bytes = 0;
+    EXPECT_TRUE(
+        obs::json::parse("{\"a\":\"0123456789abcdef\"}", doc, error, limits));
+}
+
 // ---------------------------------------------------------------------------
 // Perf gate rules.
 

@@ -159,6 +159,75 @@ TEST_F(Resilience, CorruptCheckpointIsAMissNotAnError) {
     EXPECT_FALSE(store.load(key, loaded));
 }
 
+// --- checkpoint GC ------------------------------------------------------------------
+
+TEST_F(Resilience, CheckpointPruneEnforcesCountBoundOldestFirst) {
+    fs::path dir = fresh_dir("ckpt_gc_count");
+    flow::CheckpointStore store(dir);
+    flow::StrategyResult result;
+    result.strategy = "s";
+    for (int i = 0; i < 5; ++i) {
+        std::string key = flow::CheckpointStore::key(
+            "m", "o", "s", "u" + std::to_string(i));
+        store.save(key, result);
+        // Distinct mtimes: u0 is oldest, u4 newest.
+        fs::last_write_time(dir / (key + ".ckpt"),
+                            fs::file_time_type::clock::now() -
+                                std::chrono::seconds(100 - i));
+    }
+    flow::CheckpointStore::PruneOptions gc;
+    gc.max_count = 2;
+    flow::CheckpointStore::PruneResult pruned = store.prune(gc);
+    EXPECT_EQ(pruned.scanned, 5u);
+    EXPECT_EQ(pruned.pruned, 3u);
+    // The two newest checkpoints survive and still load.
+    flow::StrategyResult loaded;
+    EXPECT_TRUE(store.load(flow::CheckpointStore::key("m", "o", "s", "u4"),
+                           loaded));
+    EXPECT_TRUE(store.load(flow::CheckpointStore::key("m", "o", "s", "u3"),
+                           loaded));
+    EXPECT_FALSE(store.load(flow::CheckpointStore::key("m", "o", "s", "u0"),
+                            loaded));
+}
+
+TEST_F(Resilience, CheckpointPruneEnforcesAgeBound) {
+    fs::path dir = fresh_dir("ckpt_gc_age");
+    flow::CheckpointStore store(dir);
+    flow::StrategyResult result;
+    result.strategy = "s";
+    for (int i = 0; i < 4; ++i)
+        store.save(flow::CheckpointStore::key("m", "o", "s",
+                                              "u" + std::to_string(i)),
+                   result);
+    // Age two of them far past any TTL.
+    for (int i = 0; i < 2; ++i) {
+        std::string key = flow::CheckpointStore::key("m", "o", "s",
+                                                     "u" + std::to_string(i));
+        fs::last_write_time(dir / (key + ".ckpt"),
+                            fs::file_time_type::clock::now() -
+                                std::chrono::hours(10));
+    }
+    flow::CheckpointStore::PruneOptions gc;
+    gc.max_age_seconds = 3600;
+    flow::CheckpointStore::PruneResult pruned = store.prune(gc);
+    EXPECT_EQ(pruned.scanned, 4u);
+    EXPECT_EQ(pruned.pruned, 2u);
+}
+
+TEST_F(Resilience, CheckpointPruneIsANoopWithoutBoundsOrDirectory) {
+    flow::CheckpointStore store(fresh_dir("ckpt_gc_noop"));
+    flow::CheckpointStore::PruneResult nothing = store.prune({});
+    EXPECT_EQ(nothing.pruned, 0u);
+    // A directory that never existed scans zero files instead of throwing.
+    flow::CheckpointStore missing(fs::path(testing::TempDir()) /
+                                  "uhcg_gc_never_created");
+    flow::CheckpointStore::PruneOptions gc;
+    gc.max_count = 1;
+    flow::CheckpointStore::PruneResult result = missing.prune(gc);
+    EXPECT_EQ(result.scanned, 0u);
+    EXPECT_EQ(result.pruned, 0u);
+}
+
 // --- budget + retry in the pass manager ---------------------------------------------
 
 TEST_F(Resilience, WallBudgetOverrunFailsWithTransientTimeout) {

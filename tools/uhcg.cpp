@@ -15,6 +15,10 @@
 //   uhcg dot <model.xmi> [options]          Graphviz: task graph + CAAM
 //   uhcg check <model.xmi>                  well-formedness report only
 //   uhcg fuzz-xmi <model.xmi> [options]     fault-injection robustness sweep
+//   uhcg serve <socket.sock> [options]      long-lived daemon: answers
+//                                           generate/explore/simulate over a
+//                                           Unix socket with a resident model
+//                                           cache (see DESIGN.md §12)
 //
 // Common options:
 //   -o <path>            output file (map/threads) or directory (codegen,
@@ -69,6 +73,21 @@
 //                            transient[xN]:<site>, site = substring of the
 //                            "<group>/<pass>" trace label (repeatable)
 //
+// Checkpoint GC (generate + serve):
+//   --checkpoint-ttl-s <n>   prune checkpoints older than n seconds
+//   --checkpoint-max <n>     keep at most n newest checkpoints
+//
+// Daemon options (serve command):
+//   --jobs <n>               worker threads draining the request queue
+//                            (default 2)
+//   --queue-limit <n>        bounded request queue; a full queue answers
+//                            serve.overloaded (default 64)
+//   --cache-budget-mb <n>    resident model cache byte budget, LRU-evicted
+//                            (default 256; 0 = unbounded)
+//   --default-deadline-ms <n> deadline for requests that carry none
+//                            (default 0 = none)
+//   --max-frame-mb <n>       request/response frame ceiling (default 16)
+//
 // Exit codes:
 //   0  success (warnings allowed)
 //   1  the input produced diagnostics with severity error or above
@@ -76,6 +95,8 @@
 //   3  partial success — generate quarantined some strategies but others
 //      produced outputs; the manifest lists the quarantined units
 //   4  internal error — an exception escaped the diagnostics engine
+#include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -92,6 +113,7 @@
 #include "diag/diag.hpp"
 #include "diag/mutate.hpp"
 #include "dse/explore.hpp"
+#include "flow/checkpoint.hpp"
 #include "flow/fault.hpp"
 #include "flow/generate.hpp"
 #include "flow/txout.hpp"
@@ -100,6 +122,7 @@
 #include "sim/engine.hpp"
 #include "model/ecore_io.hpp"
 #include "obs/obs.hpp"
+#include "serve/server.hpp"
 #include "simulink/caam.hpp"
 #include "simulink/generic.hpp"
 #include "simulink/dot.hpp"
@@ -144,6 +167,14 @@ struct Cli {
     std::string checkpoint_dir;
     std::string manifest;
     std::vector<std::string> inject_faults;
+    // Checkpoint GC (generate + serve).
+    std::uint64_t checkpoint_ttl_s = 0;
+    std::size_t checkpoint_max = 0;
+    // Daemon (serve).
+    std::size_t queue_limit = 64;
+    std::size_t cache_budget_mb = 256;
+    std::uint64_t default_deadline_ms = 0;
+    std::size_t max_frame_mb = 16;
     // Observability (any command).
     std::string trace_out;
     std::string metrics_out;
@@ -159,6 +190,7 @@ int usage(const char* argv0) {
         << "usage: " << argv0
         << " <generate|map|codegen|threads|kpn|explore|dot|check|fuzz-xmi>"
            " <model.xmi> [options]\n"
+           "       " << argv0 << " serve <socket.sock> [options]\n"
            "options: -o|--out <path> --auto-allocate --max-cpus <n>\n"
            "         --no-channels --no-delays --dump-ecore <path> --report\n"
            "         --json-diagnostics\n"
@@ -171,6 +203,9 @@ int usage(const char* argv0) {
            "         --jobs <n> (explore command; 0 = all hardware threads)\n"
            "         --iterations <n> (threads command)\n"
            "         --mutations <n> --seed <n> (fuzz-xmi command)\n"
+           "         --checkpoint-ttl-s <n> --checkpoint-max <n>\n"
+           "         --queue-limit <n> --cache-budget-mb <n>\n"
+           "         --default-deadline-ms <n> --max-frame-mb <n> (serve)\n"
            "exit codes: 0 ok, 1 diagnostics with errors, 2 usage,\n"
            "            3 partial success (see manifest), 4 internal\n";
     return kExitUsage;
@@ -255,6 +290,18 @@ bool parse_cli(int argc, char** argv, Cli& cli) {
             const char* v = next();
             if (!v) return false;
             cli.manifest = v;
+        } else if (arg == "--checkpoint-ttl-s") {
+            if (!next_number(cli.checkpoint_ttl_s)) return false;
+        } else if (arg == "--checkpoint-max") {
+            if (!next_number(cli.checkpoint_max)) return false;
+        } else if (arg == "--queue-limit") {
+            if (!next_number(cli.queue_limit)) return false;
+        } else if (arg == "--cache-budget-mb") {
+            if (!next_number(cli.cache_budget_mb)) return false;
+        } else if (arg == "--default-deadline-ms") {
+            if (!next_number(cli.default_deadline_ms)) return false;
+        } else if (arg == "--max-frame-mb") {
+            if (!next_number(cli.max_frame_mb)) return false;
         } else if (arg == "--trace-out") {
             const char* v = next();
             if (!v) return false;
@@ -478,6 +525,20 @@ int cmd_generate(const uml::Model& model, const Cli& cli,
     if (cli.report)
         for (const flow::StrategyResult& sr : result.results)
             if (sr.strategy == "simulink-caam") print_report(sr.mapper_report);
+    // Checkpoint GC rides along with the run: a long-lived checkpoint
+    // directory otherwise accumulates one .ckpt per (model, unit) revision
+    // forever.
+    if (cli.checkpoint_ttl_s || cli.checkpoint_max) {
+        flow::CheckpointStore store(options.resilience.checkpoint_dir);
+        flow::CheckpointStore::PruneOptions gc;
+        gc.max_age_seconds = cli.checkpoint_ttl_s;
+        gc.max_count = cli.checkpoint_max;
+        flow::CheckpointStore::PruneResult pruned = store.prune(gc);
+        if (pruned.pruned)
+            std::cout << "pruned " << pruned.pruned << " of " << pruned.scanned
+                      << " checkpoint(s) in "
+                      << options.resilience.checkpoint_dir << '\n';
+    }
     switch (result.status) {
         case flow::GenerateStatus::Ok: return kExitOk;
         case flow::GenerateStatus::Partial: return kExitPartial;
@@ -633,10 +694,61 @@ int cmd_fuzz(const Cli& cli) {
     return kExitOk;
 }
 
+/// The live daemon, visible to the signal handler. Handlers may only call
+/// the async-signal-safe notify_stop() (one write(2) to a self-pipe).
+std::atomic<serve::Server*> g_server{nullptr};
+
+extern "C" void handle_stop_signal(int) {
+    if (serve::Server* server = g_server.load(std::memory_order_acquire))
+        server->notify_stop();
+}
+
+int cmd_serve(const Cli& cli) {
+    serve::ServerOptions options;
+    options.socket_path = cli.input;
+    options.workers = cli.jobs ? cli.jobs : 2;
+    options.queue_limit = cli.queue_limit;
+    options.max_frame_bytes = cli.max_frame_mb << 20;
+    options.engine.cache_budget_bytes = cli.cache_budget_mb << 20;
+    options.engine.default_deadline_ms = cli.default_deadline_ms;
+    options.engine.checkpoint_dir = cli.checkpoint_dir;
+    options.engine.checkpoint_gc.max_age_seconds = cli.checkpoint_ttl_s;
+    options.engine.checkpoint_gc.max_count = cli.checkpoint_max;
+
+    serve::Server server(std::move(options));
+    std::string error;
+    if (!server.start(error)) {
+        std::cerr << "serve: " << error << '\n';
+        return kExitInternal;
+    }
+    g_server.store(&server, std::memory_order_release);
+    std::signal(SIGTERM, handle_stop_signal);
+    std::signal(SIGINT, handle_stop_signal);
+    // A client vanishing mid-response must not kill the daemon; the write
+    // path uses MSG_NOSIGNAL, this covers any other surface.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::cout << "uhcg serve: listening on " << cli.input << " (workers="
+              << server.options().workers << ", queue-limit="
+              << server.options().queue_limit << ", cache-budget="
+              << cli.cache_budget_mb << " MiB)\n"
+              << std::flush;
+    server.wait();
+    g_server.store(nullptr, std::memory_order_release);
+
+    serve::ModelCache::Stats stats = server.engine().cache().stats();
+    std::cout << "uhcg serve: drained; cache " << stats.entries
+              << " model(s) resident, " << stats.hits << " hit(s), "
+              << stats.misses << " miss(es), " << stats.evictions
+              << " eviction(s)\n";
+    return kExitOk;
+}
+
 int dispatch(const Cli& cli) {
     // Root of the span tree: everything the command does nests below it.
     obs::ObsSpan root("cli." + cli.command, "cli");
     if (cli.command == "fuzz-xmi") return cmd_fuzz(cli);
+    if (cli.command == "serve") return cmd_serve(cli);
 
     diag::DiagnosticEngine engine;
     uml::Model model = uml::load_xmi(cli.input, engine);
