@@ -6,6 +6,9 @@
 // engine; the structural correspondence with the CAAM branch (threads ↔
 // processes, channels ↔ channels, UnitDelays ↔ initial tokens) is printed
 // for the paper's case studies.
+#include <algorithm>
+#include <chrono>
+
 #include "bench_common.hpp"
 #include "cases/cases.hpp"
 #include "core/pipeline.hpp"
@@ -79,9 +82,20 @@ void print_reproduction() {
                read_blocked ? "READ-BLOCKED (as expected)" : "unexpectedly ran");
     kpn::KpnMappingOutput seeded = kpn::map_to_kpn(crane);
     kpn::Executor exec(seeded.network, reg);
+    auto start = std::chrono::steady_clock::now();
     kpn::KpnResult r = exec.run(100);
+    double run_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
     bench::row("crane KPN with initial tokens: firings", r.firings);
     bench::row("max channel queue depth (bounded)", r.max_queue_depth);
+    // Absolute throughput for the perf gate's uncalibrated budget floor
+    // (see src/obs/gate.hpp): a uniform machine slowdown that median-ratio
+    // calibration would absorb still shows up as collapsed firings/ms.
+    // Always emitted (clamped denominator) so the baseline row never goes
+    // missing on a fast run.
+    bench::row("kpn firings (/ms)", static_cast<double>(r.firings) /
+                                        std::max(run_ms, 1e-6));
 }
 
 void BM_KpnMappingSynthetic(benchmark::State& state) {

@@ -14,6 +14,7 @@
 
 #include "core/parallel.hpp"
 #include "obs/obs.hpp"
+#include "sim/batch.hpp"
 #include "taskgraph/baselines.hpp"
 #include "taskgraph/dsc.hpp"
 #include "taskgraph/linear.hpp"
@@ -264,7 +265,10 @@ ExploreResult explore(const uml::Model& model, const core::CommModel& comm,
     }
 
     // 4. Probe the memo cache per unique clustering, then fan the surviving
-    //    simulations out across the pool into fixed slots.
+    //    evaluations out across the pool in *chunks*: each chunk owns one
+    //    sim::MpsocBatch (shared precomputation, per-cluster partial cache,
+    //    schedule-prefix reuse between consecutive candidates), so a pool
+    //    task amortizes dispatch over `chunk` candidates instead of one.
     const std::uint64_t graph_fp = graph_fingerprint(graph);
     const std::uint64_t params_fp = params_fingerprint(options.cost_model);
     std::vector<sim::MpsocResult> unique_results(unique_index.size());
@@ -275,17 +279,68 @@ ExploreResult explore(const uml::Model& model, const core::CommModel& comm,
         if (!cache().lookup(key, unique_results[slot]))
             to_simulate.push_back(slot);
     }
+    // Locality order: neighbors (same strategy, adjacent budgets) differ by
+    // few task moves, so placing them consecutively in a chunk maximizes
+    // partial/prefix reuse. Purely an evaluation order — results land in
+    // fixed slots, so rankings stay byte-identical to the exhaustive path.
+    std::vector<std::size_t> sim_order = to_simulate;
+    std::sort(sim_order.begin(), sim_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  std::size_t ia = unique_index[a];
+                  std::size_t ib = unique_index[b];
+                  if (plan[ia].strategy != plan[ib].strategy)
+                      return plan[ia].strategy < plan[ib].strategy;
+                  int ka = clusterings[ia].cluster_count();
+                  int kb = clusterings[ib].cluster_count();
+                  if (ka != kb) return ka < kb;
+                  return ia < ib;
+              });
+    const std::size_t chunk = options.chunk_size == 0 ? core::kDefaultChunkSize
+                                                      : options.chunk_size;
+    const std::size_t num_chunks = (sim_order.size() + chunk - 1) / chunk;
+    std::vector<sim::BatchStats> chunk_stats(num_chunks);
     {
         obs::ObsSpan span("dse.simulate-sweep");
-        core::parallel_for(to_simulate.size(), jobs, [&](std::size_t t) {
-            std::size_t slot = to_simulate[t];
-            unique_results[slot] = sim::simulate_mpsoc(
-                graph, clusterings[unique_index[slot]], options.cost_model);
-        });
+        sim::MpsocPrep prep(graph, options.cost_model);
+        core::parallel_for_chunked(
+            sim_order.size(), jobs, chunk,
+            [&](std::size_t begin, std::size_t end) {
+                obs::ObsSpan chunk_span("sim.mpsoc-batch");
+                sim::MpsocBatch batch(prep);
+                for (std::size_t t = begin; t < end; ++t) {
+                    std::size_t slot = sim_order[t];
+                    unique_results[slot] =
+                        batch.evaluate(clusterings[unique_index[slot]]);
+                }
+                chunk_stats[begin / chunk] = batch.stats();
+            });
     }
     for (std::size_t slot : to_simulate)
         cache().insert({graph_fp, fingerprints[unique_index[slot]], params_fp},
                        unique_results[slot]);
+
+    // Optional oracle check: re-price every unique clustering from scratch
+    // (simulate_mpsoc is the chain-free path) and require bitwise equality.
+    if (options.verify_full) {
+        obs::ObsSpan span("dse.verify-full");
+        core::parallel_for(unique_index.size(), jobs, [&](std::size_t slot) {
+            sim::MpsocResult fresh = sim::simulate_mpsoc(
+                graph, clusterings[unique_index[slot]], options.cost_model);
+            const sim::MpsocResult& inc = unique_results[slot];
+            bool same = fresh.makespan == inc.makespan &&
+                        fresh.bus_busy == inc.bus_busy &&
+                        fresh.inter_traffic == inc.inter_traffic &&
+                        fresh.intra_traffic == inc.intra_traffic &&
+                        fresh.bus_transfers == inc.bus_transfers &&
+                        fresh.cpu_busy == inc.cpu_busy;
+            if (!same)
+                throw std::logic_error(
+                    "dse verify-full: incremental metrics diverge from full "
+                    "re-simulation (strategy " +
+                    plan[unique_index[slot]].strategy + ")");
+        });
+        result.stats.verified = unique_index.size();
+    }
 
     // 5. Assemble candidates in plan order; every clustering moves, never
     //    copies, and duplicates reuse their representative's metrics.
@@ -305,10 +360,20 @@ ExploreResult explore(const uml::Model& model, const core::CommModel& comm,
     result.stats.simulations = to_simulate.size();
     result.stats.cache_hits = unique_index.size() - to_simulate.size();
     result.stats.jobs = jobs;
+    result.stats.chunks = num_chunks;
+    for (const sim::BatchStats& s : chunk_stats) {
+        result.stats.partial_reuse += s.partials_reused;
+        result.stats.prefix_tasks_reused += s.prefix_tasks_reused;
+    }
     obs::counter("dse.candidates").add(result.stats.candidates);
     obs::counter("dse.cache_hits").add(result.stats.cache_hits);
     obs::counter("dse.simulations").add(result.stats.simulations);
     obs::counter("dse.duplicates_skipped").add(result.stats.duplicates_skipped);
+    obs::counter("dse.partial_reuse").add(result.stats.partial_reuse);
+    obs::counter("dse.prefix_reuse").add(result.stats.prefix_tasks_reused);
+    obs::counter("dse.chunks").add(result.stats.chunks);
+    if (result.stats.verified)
+        obs::counter("dse.verified").add(result.stats.verified);
 
     // 6. Pareto front over (processors ↓, makespan ↓) in one sort-based
     //    O(m log m) pass. A candidate is dominated iff some candidate with

@@ -71,8 +71,14 @@ bool extract(const std::string& text, const char* which, RowMap& out,
     return true;
 }
 
+bool is_budget(const std::string& label) {
+    return label.find("(/ms)") != std::string::npos;
+}
+
 bool is_timing(const std::string& label) {
-    return label.find("(ms)") != std::string::npos;
+    // "(ms)" is not a substring of "(/ms)", but keep the budget check first
+    // everywhere so the classification order is explicit.
+    return !is_budget(label) && label.find("(ms)") != std::string::npos;
 }
 
 bool skipped(const std::string& label, const GateOptions& options) {
@@ -177,6 +183,16 @@ bool gate_reports(const std::string& baseline_json,
             } else {
                 check.detail = "\"" + now.text + "\"";
             }
+        } else if (is_budget(label)) {
+            // Absolute throughput floor, deliberately uncalibrated: a
+            // uniform machine slowdown shifts every timing ratio equally
+            // (so calibration hides it) but still collapses work-per-ms.
+            double floor = base.number * options.budget_floor_pct / 100.0;
+            check.detail = format_number(base.number) + " -> " +
+                           format_number(now.number) + " /ms (floor " +
+                           format_number(floor) + ", uncalibrated)";
+            if (base.number > 0.0 && now.number < floor)
+                check.status = GateCheck::Status::Fail;
         } else if (is_timing(label)) {
             double adjusted =
                 calibration > 0.0 ? now.number / calibration : now.number;

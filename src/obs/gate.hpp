@@ -11,8 +11,13 @@
 //    median fresh/baseline ratio across all timing rows is treated as the
 //    machine-speed factor and divided out, so a uniformly slower CI
 //    runner does not trip the gate while a single-row regression still
-//    does. (A *uniform* global slowdown is invisible by construction —
-//    documented limitation; the absolute numbers are still printed.)
+//    does. (A *uniform* global slowdown is invisible to *these* rows by
+//    construction; the budget rows below close that blind spot.)
+//  * budget rows — label contains "(/ms)": absolute work-per-wall-ms
+//    throughput (e.g. "dse simulations (/ms)"). Checked *uncalibrated*
+//    against a floor of `budget_floor_pct` percent of the baseline value,
+//    so a uniform global slowdown — which median-ratio calibration absorbs
+//    by design — still trips the gate once throughput collapses.
 //  * determinism counters — any other numeric row. Must match exactly:
 //    candidate counts, cache hits and dedup statistics never drift on a
 //    healthy build.
@@ -35,9 +40,14 @@ struct GateOptions {
     double tolerance_pct = 25.0;
     /// Divide out the median fresh/baseline timing ratio first.
     bool calibrate = true;
+    /// Budget rows ("(/ms)") must stay at or above this percentage of the
+    /// baseline throughput, with no calibration. Generous on purpose: the
+    /// row exists to catch order-of-magnitude collapses that uniform-ratio
+    /// calibration would absorb, not to re-litigate machine speed.
+    double budget_floor_pct = 25.0;
     /// Rows whose label contains any of these are not compared.
     std::vector<std::string> skip_substrings = {
-        "hardware threads", "speedup", "tracing overhead"};
+        "hardware threads", "pool jobs", "speedup", "tracing overhead"};
 };
 
 struct GateCheck {

@@ -278,6 +278,24 @@ std::string Engine::dispatch(const std::string& id, const std::string& method,
                << ",\"budget_bytes\":" << cache.budget_bytes
                << ",\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
                << ",\"evictions\":" << cache.evictions << "}";
+        // Explore reuse, server-side: memo hits say a request ran warm,
+        // partial reuse says a cold sweep was still incremental. Always
+        // present (zeros before the first explore) so dashboards need no
+        // schema branch.
+        {
+            std::lock_guard<std::mutex> lock(dse_mutex_);
+            result << ",\"dse\":{\"explores\":" << dse_totals_.explores
+                   << ",\"total\":{\"simulations\":" << dse_totals_.simulations
+                   << ",\"cache_hits\":" << dse_totals_.cache_hits
+                   << ",\"partial_reuse\":" << dse_totals_.partial_reuse
+                   << ",\"prefix_tasks_reused\":"
+                   << dse_totals_.prefix_tasks_reused
+                   << "},\"last\":{\"simulations\":" << dse_last_.simulations
+                   << ",\"cache_hits\":" << dse_last_.cache_hits
+                   << ",\"partial_reuse\":" << dse_last_.partial_reuse
+                   << ",\"prefix_tasks_reused\":"
+                   << dse_last_.prefix_tasks_reused << "}}";
+        }
         // Per-category counter rollup: "xml.nodes_parsed" lands under
         // "xml", "serve.cache_hits" under "serve" — the status consumer's
         // view of the whole obs registry without histogram noise.
@@ -441,6 +459,9 @@ std::string Engine::dispatch(const std::string& id, const std::string& method,
         options.jobs = static_cast<std::size_t>(param_number(doc, "jobs", 1));
         options.random_samples = static_cast<std::size_t>(
             param_number(doc, "random_samples", 3));
+        options.chunk_size =
+            static_cast<std::size_t>(param_number(doc, "chunk", 0));
+        options.verify_full = param_bool(doc, "verify_full", false);
         dse::ExploreResult result;
         try {
             result = dse::explore(resident->model, resident->comm, options);
@@ -468,7 +489,24 @@ std::string Engine::dispatch(const std::string& id, const std::string& method,
         r << "],\"stats\":{\"simulations\":" << result.stats.simulations
           << ",\"cache_hits\":" << result.stats.cache_hits
           << ",\"duplicates_skipped\":" << result.stats.duplicates_skipped
+          << ",\"partial_reuse\":" << result.stats.partial_reuse
+          << ",\"prefix_tasks_reused\":" << result.stats.prefix_tasks_reused
+          << ",\"chunks\":" << result.stats.chunks
+          << ",\"verified\":" << result.stats.verified
           << ",\"jobs\":" << result.stats.jobs << "}}";
+        {
+            std::lock_guard<std::mutex> lock(dse_mutex_);
+            dse_last_ = DseActivity{0, result.stats.simulations,
+                                    result.stats.cache_hits,
+                                    result.stats.partial_reuse,
+                                    result.stats.prefix_tasks_reused};
+            ++dse_totals_.explores;
+            dse_totals_.simulations += result.stats.simulations;
+            dse_totals_.cache_hits += result.stats.cache_hits;
+            dse_totals_.partial_reuse += result.stats.partial_reuse;
+            dse_totals_.prefix_tasks_reused +=
+                result.stats.prefix_tasks_reused;
+        }
         return finish(ok_head(cache_state, resident->hash), r.str());
     }
 

@@ -34,6 +34,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -127,6 +128,22 @@ private:
     std::atomic<std::uint64_t> deadline_exceeded_{0};
     std::atomic<std::uint64_t> housekeeping_tick_{0};
     const TransportGauges* gauges_ = nullptr;
+
+    /// Per-explore reuse accounting (plain integers mirroring
+    /// dse::ExploreStats) so `status` can show whether explore requests
+    /// run warm (memo hits) or cold-but-incremental (partial reuse)
+    /// server-side. `totals` accumulate over the process; `last` is the
+    /// most recent explore request.
+    struct DseActivity {
+        std::uint64_t explores = 0;
+        std::uint64_t simulations = 0;
+        std::uint64_t cache_hits = 0;
+        std::uint64_t partial_reuse = 0;
+        std::uint64_t prefix_tasks_reused = 0;
+    };
+    mutable std::mutex dse_mutex_;
+    DseActivity dse_totals_;
+    DseActivity dse_last_;
 };
 
 }  // namespace uhcg::serve

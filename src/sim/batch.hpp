@@ -1,0 +1,117 @@
+// batch.hpp — incremental, batch-oriented MPSoC cost evaluation.
+//
+// The DSE sweep estimates hundreds of clusterings of the *same* task
+// graph under the *same* cost model; `simulate_mpsoc` re-derived the
+// topological order and re-priced every edge from scratch for each one.
+// This module factors the evaluation the way the sweep consumes it:
+//
+//  * `MpsocPrep` — the immutable per-(graph, params) precomputation
+//    (topological order/positions, per-task compute cycles, per-edge
+//    transfer prices), built once and shared read-only by every worker;
+//  * `MpsocBatch` — a per-worker evaluator that carries scratch buffers
+//    and two reuse layers across consecutive candidates:
+//      - per-cluster partial costs (compute cycles, internal traffic, cut
+//        traffic/bus occupancy) keyed by the cluster's member set, so a
+//        cluster that reappears in a later candidate is never re-priced;
+//      - schedule-prefix reuse: neighboring clusterings differ in a few
+//        task assignments, and every scan quantity at a topological
+//        position depends only on assignments at or before the first
+//        affected position — so the timed scan resumes there instead of
+//        at zero.
+//
+// Both layers are exact: an incremental evaluation is bitwise identical
+// to a fresh one (the partial of a member set is computed once, in one
+// deterministic order; a resumed scan replays the same operations from
+// identical state). `simulate_mpsoc` is the chain-free special case, which
+// makes it the natural oracle for `dse` verify mode.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/mpsoc.hpp"
+#include "taskgraph/clustering.hpp"
+#include "taskgraph/graph.hpp"
+
+namespace uhcg::sim {
+
+/// Reuse accounting for one MpsocBatch (one chunk of a sweep).
+struct BatchStats {
+    std::size_t evaluated = 0;           ///< clusterings priced
+    std::size_t partials_computed = 0;   ///< cluster partials priced fresh
+    std::size_t partials_reused = 0;     ///< cluster partials served cached
+    std::size_t prefix_tasks_reused = 0; ///< scan positions replayed from the
+                                         ///< previous candidate's schedule
+};
+
+/// Immutable per-(graph, cost-model) precomputation. Throws
+/// std::logic_error when the graph is cyclic (no topological order), the
+/// same contract the per-candidate simulation had.
+class MpsocPrep {
+public:
+    MpsocPrep(const taskgraph::TaskGraph& graph, const MpsocParams& params);
+
+    const taskgraph::TaskGraph& graph() const { return *graph_; }
+    const MpsocParams& params() const { return params_; }
+
+private:
+    friend class MpsocBatch;
+    const taskgraph::TaskGraph* graph_;
+    MpsocParams params_;
+    std::vector<taskgraph::TaskIndex> topo_;  ///< position → task
+    std::vector<std::size_t> pos_;            ///< task → position
+    std::vector<double> work_;                ///< weight × cycles_per_work
+    std::vector<double> sw_delay_;            ///< per edge: cost × swfifo
+    std::vector<double> bus_duration_;        ///< per edge: setup + cost × gfifo
+};
+
+/// Per-worker incremental evaluator. Not thread-safe; create one per
+/// chunk/worker and feed it candidates in locality order (neighbors
+/// adjacent) to maximize reuse. Results do not depend on that order.
+class MpsocBatch {
+public:
+    explicit MpsocBatch(const MpsocPrep& prep);
+
+    /// Prices one clustering. Bitwise identical to a fresh
+    /// `simulate_mpsoc(prep.graph(), clustering, prep.params())` for any
+    /// history of prior calls.
+    MpsocResult evaluate(const taskgraph::Clustering& clustering);
+
+    /// Forgets the previous candidate: the next evaluate() runs a full
+    /// scan (the per-cluster partial cache is kept — it is history-free).
+    void break_chain() { has_prev_ = false; }
+
+    const BatchStats& stats() const { return stats_; }
+
+private:
+    /// Costs of one cluster that depend on its member set alone.
+    struct ClusterPartial {
+        double work = 0.0;           ///< Σ member compute cycles
+        double internal_cost = 0.0;  ///< Σ cost of member→member edges
+        double cut_cost = 0.0;       ///< Σ cost of member→outside edges
+        double cut_bus = 0.0;        ///< Σ bus duration of those edges
+        std::size_t cut_edges = 0;   ///< how many cross the boundary
+    };
+
+    const ClusterPartial& partial_of(int cluster);
+    std::size_t resume_position() const;
+
+    const MpsocPrep& prep_;
+    BatchStats stats_;
+    std::unordered_map<std::uint64_t, ClusterPartial> partials_;
+
+    // Scratch, persistent across evaluate() calls (the delta chain).
+    bool has_prev_ = false;
+    std::vector<int> canon_prev_;  ///< previous canonical assignment
+    std::vector<int> canon_cur_;
+    std::vector<int> dense_;       ///< raw cluster id → canonical id
+    std::vector<std::vector<taskgraph::TaskIndex>> members_;
+    std::vector<double> finish_;        ///< per task
+    std::vector<double> edge_arrival_;  ///< per edge
+    std::vector<double> bus_free_at_;   ///< per position, post-pricing
+    std::vector<double> cpu_free_;      ///< per cluster, rebuilt on resume
+};
+
+}  // namespace uhcg::sim

@@ -1,77 +1,22 @@
 #include "sim/mpsoc.hpp"
 
-#include <algorithm>
-#include <stdexcept>
-
 #include "obs/obs.hpp"
+#include "sim/batch.hpp"
 
 namespace uhcg::sim {
 
-using taskgraph::Clustering;
-using taskgraph::Edge;
-using taskgraph::TaskGraph;
-using taskgraph::TaskIndex;
-
-MpsocResult simulate_mpsoc(const TaskGraph& graph, const Clustering& clustering,
+MpsocResult simulate_mpsoc(const taskgraph::TaskGraph& graph,
+                           const taskgraph::Clustering& clustering,
                            const MpsocParams& params) {
     // Runs on pool workers during the DSE sweep; parallel_for's context
     // propagation parents this span under the submitting sweep span.
     obs::ObsSpan span("sim.mpsoc");
-    static obs::Counter& runs = obs::counter("sim.mpsoc_runs");
-    runs.add(1);
-    if (graph.task_count() != clustering.task_count())
-        throw std::invalid_argument("clustering does not match graph size");
-
-    MpsocResult result;
-    result.cpu_busy.assign(static_cast<std::size_t>(clustering.cluster_count()),
-                           0.0);
-    std::vector<double> cpu_free(result.cpu_busy.size(), 0.0);
-    std::vector<double> finish(graph.task_count(), 0.0);
-    // Arrival time of each edge's data at the consumer.
-    std::vector<double> edge_arrival(graph.edge_count(), 0.0);
-    double bus_free = 0.0;
-
-    for (TaskIndex t : graph.topological_order()) {
-        auto cpu = static_cast<std::size_t>(clustering.cluster_of(t));
-
-        // All input data must have arrived; transfers were scheduled when
-        // the producers finished (producer order = topological order, so
-        // every in-edge is already priced).
-        double ready = cpu_free[cpu];
-        for (std::size_t e : graph.in_edges(t))
-            ready = std::max(ready, edge_arrival[e]);
-
-        double work = graph.weight(t) * params.cycles_per_work;
-        finish[t] = ready + work;
-        cpu_free[cpu] = finish[t];
-        result.cpu_busy[cpu] += work;
-
-        // Price the outgoing transfers now (data leaves when t finishes).
-        for (std::size_t e : graph.out_edges(t)) {
-            const Edge& edge = graph.edge(e);
-            auto dst_cpu = static_cast<std::size_t>(clustering.cluster_of(edge.to));
-            if (dst_cpu == cpu) {
-                edge_arrival[e] =
-                    finish[t] + edge.cost * params.swfifo_cost_per_byte;
-                result.intra_traffic += edge.cost;
-            } else {
-                double duration =
-                    params.bus_setup + edge.cost * params.gfifo_cost_per_byte;
-                double start = finish[t];
-                if (params.shared_bus) {
-                    start = std::max(start, bus_free);
-                    bus_free = start + duration;
-                }
-                edge_arrival[e] = start + duration;
-                result.bus_busy += duration;
-                result.inter_traffic += edge.cost;
-                ++result.bus_transfers;
-            }
-        }
-    }
-
-    for (double f : finish) result.makespan = std::max(result.makespan, f);
-    return result;
+    // One-shot = a batch of one. There is a single pricing implementation,
+    // which is what lets `--dse-verify-full` treat this call as the
+    // from-scratch oracle for incremental results.
+    MpsocPrep prep(graph, params);
+    MpsocBatch batch(prep);
+    return batch.evaluate(clustering);
 }
 
 }  // namespace uhcg::sim

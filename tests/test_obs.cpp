@@ -508,6 +508,102 @@ TEST(ObsGate, MissingBaselineLabelFailsFreshOnlyLabelWarns) {
     EXPECT_FALSE(result.passed);
 }
 
+std::string budget_doc(double serial_ms, double parallel_ms,
+                       double per_ms_budget) {
+    return "{\"schema\": \"uhcg-bench-v1\", \"experiment\": \"t\","
+           " \"claim\": \"c\", \"rows\": ["
+           "{\"label\": \"explore jobs=1 (ms)\", \"number\": " +
+           std::to_string(serial_ms) +
+           "}, {\"label\": \"explore jobs=N (ms)\", \"number\": " +
+           std::to_string(parallel_ms) +
+           "}, {\"label\": \"dse simulations (/ms)\", \"number\": " +
+           std::to_string(per_ms_budget) + "}]}";
+}
+
+TEST(ObsGate, BudgetRowCatchesUniformSlowdownCalibrationAbsorbs) {
+    // The blind spot the "(/ms)" rows close: a 10x uniform slowdown shifts
+    // every timing row equally — calibration divides it out — but absolute
+    // work-per-ms collapses below the uncalibrated floor and fails.
+    obs::GateResult result;
+    std::string error;
+    ASSERT_TRUE(obs::gate_reports(budget_doc(10, 6, 60),
+                                  budget_doc(100, 60, 6), {}, result, error))
+        << error;
+    EXPECT_NEAR(result.calibration, 10.0, 1e-9);
+    EXPECT_FALSE(result.passed);
+    ASSERT_EQ(result.failures(), 1u);
+    EXPECT_NE(result.render().find("dse simulations (/ms)"), std::string::npos);
+}
+
+TEST(ObsGate, BudgetRowToleratesModestThroughputDipUncalibrated) {
+    // Above the floor (default 25% of baseline) the row passes even
+    // though it would fail an exact-match or calibrated-tolerance check.
+    obs::GateResult result;
+    std::string error;
+    ASSERT_TRUE(obs::gate_reports(budget_doc(10, 6, 60), budget_doc(10, 6, 20),
+                                  {}, result, error));
+    EXPECT_TRUE(result.passed);
+    // At exactly the floor boundary it still passes (>= floor).
+    ASSERT_TRUE(obs::gate_reports(budget_doc(10, 6, 60), budget_doc(10, 6, 15),
+                                  {}, result, error));
+    EXPECT_TRUE(result.passed);
+    // Below it, fail.
+    ASSERT_TRUE(obs::gate_reports(budget_doc(10, 6, 60), budget_doc(10, 6, 14),
+                                  {}, result, error));
+    EXPECT_FALSE(result.passed);
+}
+
+TEST(ObsGate, BudgetRowsDoNotFeedCalibration) {
+    // Only "(ms)" rows calibrate; a throughput collapse must not drag the
+    // median machine-speed ratio with it.
+    obs::GateResult result;
+    std::string error;
+    ASSERT_TRUE(obs::gate_reports(budget_doc(10, 6, 60), budget_doc(10, 6, 1),
+                                  {}, result, error));
+    EXPECT_NEAR(result.calibration, 1.0, 1e-9);
+    EXPECT_FALSE(result.passed);
+}
+
+TEST(ObsGate, PoolJobsRowIsSkippedAsMachineShape) {
+    // UHCG_JOBS pins the pool differently per environment; the row is
+    // informational, like "hardware threads".
+    std::string baseline =
+        "{\"schema\": \"uhcg-bench-v1\", \"experiment\": \"t\","
+        " \"claim\": \"c\", \"rows\": ["
+        "{\"label\": \"pool jobs (jobs=N rows)\", \"number\": 2},"
+        "{\"label\": \"candidates\", \"number\": 74}]}";
+    std::string fresh =
+        "{\"schema\": \"uhcg-bench-v1\", \"experiment\": \"t\","
+        " \"claim\": \"c\", \"rows\": ["
+        "{\"label\": \"pool jobs (jobs=N rows)\", \"number\": 16},"
+        "{\"label\": \"candidates\", \"number\": 74}]}";
+    obs::GateResult result;
+    std::string error;
+    ASSERT_TRUE(obs::gate_reports(baseline, fresh, {}, result, error));
+    EXPECT_TRUE(result.passed);
+}
+
+TEST(ObsGate, SpeedupRowMayChangeKindAcrossHosts) {
+    // A single-core host emits "parallel speedup" as text ("n/a ...") while
+    // a multi-core baseline holds a number; the skip list must make that
+    // kind change invisible rather than a row-kind failure.
+    std::string baseline =
+        "{\"schema\": \"uhcg-bench-v1\", \"experiment\": \"t\","
+        " \"claim\": \"c\", \"rows\": ["
+        "{\"label\": \"parallel speedup\", \"number\": 2.5},"
+        "{\"label\": \"candidates\", \"number\": 74}]}";
+    std::string fresh =
+        "{\"schema\": \"uhcg-bench-v1\", \"experiment\": \"t\","
+        " \"claim\": \"c\", \"rows\": ["
+        "{\"label\": \"parallel speedup\", \"value\": \"n/a (single-core "
+        "host)\"},"
+        "{\"label\": \"candidates\", \"number\": 74}]}";
+    obs::GateResult result;
+    std::string error;
+    ASSERT_TRUE(obs::gate_reports(baseline, fresh, {}, result, error));
+    EXPECT_TRUE(result.passed);
+}
+
 TEST(ObsGate, RejectsDocumentsWithoutBenchRows) {
     obs::GateResult result;
     std::string error;

@@ -16,6 +16,7 @@
 #include <unistd.h>
 
 #include "cases/cases.hpp"
+#include "dse/explore.hpp"
 #include "obs/json.hpp"
 #include "serve/cache.hpp"
 #include "serve/engine.hpp"
@@ -247,6 +248,51 @@ TEST(ServeEngine, ModelHashFromOneMethodServesAnother) {
     ASSERT_TRUE(response_ok(response)) << response;
     EXPECT_NE(response.find("\"cache\":\"hit\""), std::string::npos);
     EXPECT_NE(response.find("\"candidates\":"), std::string::npos);
+}
+
+TEST(ServeEngine, ExploreReportsIncrementalReuseAndStatusRollsItUp) {
+    serve::Engine engine{serve::EngineOptions{}};
+    dse::clear_simulation_cache();
+    std::shared_ptr<const serve::ResidentModel> resident;
+    {
+        diag::DiagnosticEngine diagnostics;
+        resident = engine.cache().admit(didactic_xmi(), diagnostics);
+        ASSERT_TRUE(resident);
+    }
+    // Before any explore the status block exists with zeros, so consumers
+    // never need a schema branch.
+    std::string status = engine.handle("{\"method\":\"status\",\"id\":0}");
+    EXPECT_NE(status.find("\"dse\":{\"explores\":0"), std::string::npos)
+        << status;
+
+    // Cold explore: fresh simulations, nonzero partial reuse, per-request
+    // stats in the response (verify_full exercises the oracle path too).
+    std::string cold = engine.handle(
+        "{\"method\":\"explore\",\"id\":1,\"model_hash\":\"" + resident->hash +
+        "\",\"params\":{\"jobs\":1,\"verify_full\":true}}");
+    ASSERT_TRUE(response_ok(cold)) << cold;
+    EXPECT_NE(cold.find("\"partial_reuse\":"), std::string::npos) << cold;
+    EXPECT_NE(cold.find("\"prefix_tasks_reused\":"), std::string::npos) << cold;
+    EXPECT_EQ(cold.find("\"partial_reuse\":0,"), std::string::npos) << cold;
+    EXPECT_EQ(cold.find("\"verified\":0"), std::string::npos) << cold;
+
+    // Warm explore: the memo serves everything — zero simulations.
+    std::string warm = engine.handle(
+        "{\"method\":\"explore\",\"id\":2,\"model_hash\":\"" + resident->hash +
+        "\",\"params\":{\"jobs\":1}}");
+    ASSERT_TRUE(response_ok(warm)) << warm;
+    EXPECT_NE(warm.find("\"stats\":{\"simulations\":0"), std::string::npos)
+        << warm;
+
+    // Status rolls both up: 2 explores; "last" shows the warm request
+    // (cache hits, no partial reuse).
+    status = engine.handle("{\"method\":\"status\",\"id\":3}");
+    ASSERT_TRUE(response_ok(status)) << status;
+    EXPECT_NE(status.find("\"dse\":{\"explores\":2"), std::string::npos)
+        << status;
+    EXPECT_NE(status.find("\"last\":{\"simulations\":0"), std::string::npos)
+        << status;
+    dse::clear_simulation_cache();
 }
 
 TEST(ServeCache, EvictsLeastRecentlyUsedUnderByteBudget) {

@@ -2,6 +2,9 @@
 // flattening, deadlock detection) and the MPSoC cost simulator.
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "sim/batch.hpp"
 #include "sim/engine.hpp"
 #include "sim/mpsoc.hpp"
 #include "taskgraph/baselines.hpp"
@@ -274,6 +277,147 @@ TEST(Mpsoc, MismatchedClusteringRejected) {
     taskgraph::TaskGraph g = taskgraph::chain_graph(3, 1.0, 1.0);
     taskgraph::Clustering wrong(5);
     EXPECT_THROW(simulate_mpsoc(g, wrong), std::invalid_argument);
+}
+
+// --- incremental batch evaluation (sim::MpsocBatch) --------------------------
+
+void expect_same_result(const MpsocResult& a, const MpsocResult& b) {
+    // Bitwise: the incremental path must replay the exact arithmetic the
+    // from-scratch path performs, not merely approximate it.
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.bus_busy, b.bus_busy);
+    EXPECT_EQ(a.inter_traffic, b.inter_traffic);
+    EXPECT_EQ(a.intra_traffic, b.intra_traffic);
+    EXPECT_EQ(a.bus_transfers, b.bus_transfers);
+    EXPECT_EQ(a.cpu_busy, b.cpu_busy);
+}
+
+TEST(MpsocBatch, DeltaCostMathOnHandBuiltChain) {
+    // A -> B -> C with weights 1,2,3 and edge costs 5,7; {A,B} on CPU0,
+    // {C} on CPU1. Every number below is derivable by hand:
+    //   A: finish 100, A->B intra, arrival 100 + 5*1 = 105
+    //   B: ready max(100,105)=105, finish 305; B->C inter,
+    //      duration 20 + 7*10 = 90, arrival 395, bus busy 90
+    //   C: ready 395, finish 695
+    taskgraph::TaskGraph g;
+    auto a = g.add_task("A", 1.0);
+    auto b = g.add_task("B", 2.0);
+    auto c = g.add_task("C", 3.0);
+    g.add_edge(a, b, 5.0);
+    g.add_edge(b, c, 7.0);
+    taskgraph::Clustering split =
+        taskgraph::Clustering::from_assignment({0, 0, 1});
+    MpsocPrep prep(g, MpsocParams{});
+    MpsocBatch batch(prep);
+    MpsocResult r = batch.evaluate(split);
+    EXPECT_DOUBLE_EQ(r.makespan, 695.0);
+    EXPECT_DOUBLE_EQ(r.intra_traffic, 5.0);
+    EXPECT_DOUBLE_EQ(r.inter_traffic, 7.0);
+    EXPECT_DOUBLE_EQ(r.bus_busy, 90.0);
+    EXPECT_EQ(r.bus_transfers, 1u);
+    ASSERT_EQ(r.cpu_busy.size(), 2u);
+    EXPECT_DOUBLE_EQ(r.cpu_busy[0], 300.0);
+    EXPECT_DOUBLE_EQ(r.cpu_busy[1], 300.0);
+
+    // Delta step: move B next to C. Cluster {C} from before no longer
+    // exists as a set; the {B,C} and {A} partials are fresh; the schedule
+    // must restart at A (the producer of an edge into the moved task).
+    taskgraph::Clustering moved =
+        taskgraph::Clustering::from_assignment({0, 1, 1});
+    MpsocResult m = batch.evaluate(moved);
+    //   A: finish 100; A->B inter, duration 20 + 50 = 70, arrival 170
+    //   B: ready 170, finish 370; B->C intra, arrival 370 + 7 = 377
+    //   C: ready 377, finish 677
+    EXPECT_DOUBLE_EQ(m.makespan, 677.0);
+    EXPECT_DOUBLE_EQ(m.inter_traffic, 5.0);
+    EXPECT_DOUBLE_EQ(m.intra_traffic, 7.0);
+    EXPECT_DOUBLE_EQ(m.bus_busy, 70.0);
+    expect_same_result(m, simulate_mpsoc(g, moved));
+}
+
+TEST(MpsocBatch, IncrementalMatchesFullOnNeighborSequence) {
+    // Walk a chain of single-task moves through one batch; every step must
+    // equal a from-scratch evaluation (simulate_mpsoc is history-free).
+    taskgraph::TaskGraph g = taskgraph::fork_join_graph(5, 2, 2.0, 3.0);
+    const std::size_t n = g.task_count();
+    MpsocPrep prep(g, MpsocParams{});
+    MpsocBatch batch(prep);
+    std::vector<int> assignment(n);
+    for (std::size_t t = 0; t < n; ++t)
+        assignment[t] = static_cast<int>(t % 3);
+    for (std::size_t move = 0; move < n; ++move) {
+        assignment[move] = static_cast<int>((assignment[move] + 1) % 3);
+        taskgraph::Clustering c =
+            taskgraph::Clustering::from_assignment(assignment);
+        expect_same_result(batch.evaluate(c), simulate_mpsoc(g, c));
+    }
+    EXPECT_EQ(batch.stats().evaluated, n);
+    // Single-task moves leave most clusters (and often a schedule prefix)
+    // intact — the reuse the DSE sweep banks on.
+    EXPECT_GT(batch.stats().partials_reused, 0u);
+}
+
+TEST(MpsocBatch, RepeatedClusteringReusesEverything) {
+    taskgraph::TaskGraph g = taskgraph::paper_synthetic_graph();
+    taskgraph::Clustering c = taskgraph::linear_clustering(g);
+    MpsocPrep prep(g, MpsocParams{});
+    MpsocBatch batch(prep);
+    MpsocResult first = batch.evaluate(c);
+    std::size_t computed_once = batch.stats().partials_computed;
+    MpsocResult again = batch.evaluate(c);
+    expect_same_result(first, again);
+    // Identical candidate: zero new partials, full schedule replay.
+    EXPECT_EQ(batch.stats().partials_computed, computed_once);
+    EXPECT_EQ(batch.stats().prefix_tasks_reused, g.task_count());
+}
+
+TEST(MpsocBatch, BreakChainForcesFullScanSameResult) {
+    taskgraph::TaskGraph g = taskgraph::fork_join_graph(4, 2, 1.0, 4.0);
+    taskgraph::Clustering a = taskgraph::round_robin_clustering(g, 3);
+    taskgraph::Clustering b = taskgraph::round_robin_clustering(g, 2);
+    MpsocPrep prep(g, MpsocParams{});
+    MpsocBatch chained(prep);
+    (void)chained.evaluate(a);
+    MpsocResult with_chain = chained.evaluate(b);
+    MpsocBatch broken(prep);
+    (void)broken.evaluate(a);
+    broken.break_chain();
+    MpsocResult without_chain = broken.evaluate(b);
+    expect_same_result(with_chain, without_chain);
+    EXPECT_EQ(broken.stats().prefix_tasks_reused, 0u);
+}
+
+TEST(MpsocBatch, PointToPointBusMatchesOneShot) {
+    taskgraph::TaskGraph g = taskgraph::fork_join_graph(4, 1, 1.0, 10.0);
+    taskgraph::Clustering c = taskgraph::round_robin_clustering(g, 4);
+    MpsocParams ideal;
+    ideal.shared_bus = false;
+    MpsocPrep prep(g, ideal);
+    MpsocBatch batch(prep);
+    (void)batch.evaluate(taskgraph::single_cluster(g));  // build a chain
+    expect_same_result(batch.evaluate(c), simulate_mpsoc(g, c, ideal));
+}
+
+TEST(MpsocBatch, MergedClusteringMatchesOneShot) {
+    // merge() renumbers ids, so consecutive candidates can relabel every
+    // cluster without changing membership much — the diff must stay exact.
+    taskgraph::TaskGraph g = taskgraph::chain_graph(4, 1.0, 2.0);
+    MpsocPrep prep(g, MpsocParams{});
+    MpsocBatch batch(prep);
+    taskgraph::Clustering c(4);  // discrete: ids 0,1,2,3
+    expect_same_result(batch.evaluate(c), simulate_mpsoc(g, c));
+    c.merge(1, 2);  // ids renumber densely
+    expect_same_result(batch.evaluate(c), simulate_mpsoc(g, c));
+    c.merge(0, 3);
+    expect_same_result(batch.evaluate(c), simulate_mpsoc(g, c));
+}
+
+TEST(MpsocBatch, MismatchedClusteringRejected) {
+    taskgraph::TaskGraph g = taskgraph::chain_graph(3, 1.0, 1.0);
+    MpsocPrep prep(g, MpsocParams{});
+    MpsocBatch batch(prep);
+    taskgraph::Clustering wrong(5);
+    EXPECT_THROW(batch.evaluate(wrong), std::invalid_argument);
 }
 
 }  // namespace

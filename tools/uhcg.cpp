@@ -157,6 +157,9 @@ struct Cli {
     std::size_t mutations = 70;
     std::uint64_t seed = 1;
     std::size_t jobs = 0;
+    // DSE (explore).
+    std::size_t dse_chunk = 0;
+    bool dse_verify_full = false;
     // Resilience layer (generate).
     std::size_t max_retries = 0;
     std::uint64_t retry_backoff_ms = 0;
@@ -201,6 +204,11 @@ int usage(const char* argv0) {
            "         --inject-fault <kind>:<site> (generate command)\n"
            "         --trace-out <path> --metrics-out <path> --profile\n"
            "         --jobs <n> (explore command; 0 = all hardware threads)\n"
+           "         --dse-chunk <n> (explore: candidates per pool task,\n"
+           "                          0 = default; results are identical)\n"
+           "         --dse-verify-full (explore: re-simulate every unique\n"
+           "                            clustering from scratch and assert\n"
+           "                            the incremental metrics match)\n"
            "         --iterations <n> (threads command)\n"
            "         --mutations <n> --seed <n> (fuzz-xmi command)\n"
            "         --checkpoint-ttl-s <n> --checkpoint-max <n>\n"
@@ -264,6 +272,10 @@ bool parse_cli(int argc, char** argv, Cli& cli) {
             cli.json_diagnostics = true;
         } else if (arg == "--jobs") {
             if (!next_number(cli.jobs)) return false;
+        } else if (arg == "--dse-chunk") {
+            if (!next_number(cli.dse_chunk)) return false;
+        } else if (arg == "--dse-verify-full") {
+            cli.dse_verify_full = true;
         } else if (arg == "--iterations") {
             if (!next_number(cli.iterations)) return false;
         } else if (arg == "--mutations") {
@@ -614,6 +626,8 @@ int cmd_explore(const uml::Model& model, const Cli& cli,
     dse::ExploreOptions options;
     options.max_processors = cli.mapper.max_processors;
     options.jobs = cli.jobs;
+    options.chunk_size = cli.dse_chunk;
+    options.verify_full = cli.dse_verify_full;
     dse::ExploreResult result;
     try {
         result = dse::explore(model, comm, options);
@@ -638,7 +652,15 @@ int cmd_explore(const uml::Model& model, const Cli& cli,
     std::cout << "evaluated with jobs=" << s.jobs << ": " << s.simulations
               << " simulated, " << s.duplicates_skipped
               << " duplicate clustering(s) skipped, " << s.cache_hits
-              << " cache hit(s)\n";
+              << " cache hit(s)\n"
+              << "incremental: " << s.partial_reuse
+              << " partial(s) reused, " << s.prefix_tasks_reused
+              << " schedule position(s) replayed across " << s.chunks
+              << " chunk(s)\n";
+    if (s.verified)
+        std::cout << "verify-full: " << s.verified
+                  << " clustering(s) re-simulated from scratch, all metrics "
+                     "identical\n";
     return kExitOk;
 }
 
