@@ -82,7 +82,8 @@ void speedup_section() {
     bench::row("hardware threads", hw);
     bench::row("pool jobs (jobs=N rows)", parallel.jobs);
     bench::row("sweep candidates", serial_result.stats.candidates);
-    bench::row("unique clusterings", serial_result.stats.unique_clusterings);
+    bench::row("unique clusterings (sweep)",
+               serial_result.stats.unique_clusterings);
     bench::row("duplicates skipped (dedup)",
                serial_result.stats.duplicates_skipped);
     // Incremental-evaluation proof on the *cold* sweep: these depend only
@@ -123,6 +124,49 @@ void speedup_section() {
                            : "NO — determinism bug"));
 }
 
+// Backend matrix: the same cold serial sweep priced on every registered
+// simulation backend (sim/backend.hpp). The sdf static-schedule backend
+// must be bitwise identical to dynamic-fifo on these (single-rate, mined
+// from UML) graphs while skipping the partial-cache hashing — so its
+// throughput row should beat the reference; analytic is a bound, checked
+// for ranking sanity only. Cross-backend makespan identity is asserted
+// as a text row so the perf gate fails red on any divergence.
+void backend_section() {
+    uml::Model app = cases::random_application(9, 64, 8);
+    core::CommModel comm = core::analyze_communication(app);
+
+    const char* kBackends[] = {"dynamic-fifo", "analytic", "sdf"};
+    dse::ExploreResult results[3];
+    for (std::size_t b = 0; b < 3; ++b) {
+        dse::ExploreOptions options;
+        options.random_samples = 8;
+        options.jobs = 1;
+        options.backend = kBackends[b];
+        dse::clear_simulation_cache();
+        (void)dse::explore(app, comm, options);  // warm up
+        dse::clear_simulation_cache();
+        double ms = explore_millis(app, comm, options, &results[b]);
+        std::string label(kBackends[b]);
+        bench::row("explore backend=" + label + " (ms)", ms);
+        bench::row("dse simulations backend=" + label + " (/ms)",
+                   static_cast<double>(results[b].stats.simulations) / ms);
+    }
+
+    bool identical = true;
+    for (std::size_t i = 0; i < results[0].candidates.size(); ++i)
+        identical = identical && results[2].candidates[i].makespan ==
+                                     results[0].candidates[i].makespan;
+    bench::row("sdf makespans bitwise == dynamic-fifo",
+               std::string(identical ? "yes" : "NO — backend divergence bug"));
+    bool bounded = true;
+    for (std::size_t i = 0; i < results[0].candidates.size(); ++i)
+        bounded = bounded && results[1].candidates[i].makespan <=
+                                 results[0].candidates[i].makespan;
+    bench::row("analytic is a lower bound",
+               std::string(bounded ? "yes" : "NO — bound violation"));
+    bench::row("sdf effective backend", results[2].stats.effective_backend);
+}
+
 void print_reproduction() {
     bench::banner("DSE — automatic mapping selection (§6 future work)",
                   "sweep allocation strategies × processor budgets, estimate "
@@ -131,7 +175,8 @@ void print_reproduction() {
     core::CommModel comm = core::analyze_communication(syn);
     dse::ExploreResult result = dse::explore(syn, comm);
     bench::row("candidates evaluated", result.stats.candidates);
-    bench::row("unique clusterings", result.stats.unique_clusterings);
+    bench::row("unique clusterings (selection)",
+               result.stats.unique_clusterings);
     std::printf("%s", dse::format(result).c_str());
 
     // Where does the §4.2.3 default land?
@@ -152,6 +197,7 @@ void print_reproduction() {
                simulink::caam_stats(caam).threads);
 
     speedup_section();
+    backend_section();
 }
 
 void BM_ExploreSyntheticSerial(benchmark::State& state) {

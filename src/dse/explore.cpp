@@ -6,14 +6,17 @@
 #include <cstring>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <sstream>
+#include <string_view>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
 #include "core/parallel.hpp"
 #include "obs/obs.hpp"
+#include "sim/backend.hpp"
 #include "sim/batch.hpp"
 #include "taskgraph/baselines.hpp"
 #include "taskgraph/dsc.hpp"
@@ -42,6 +45,14 @@ std::uint64_t fnv1a(std::uint64_t hash, double value) {
     return fnv1a(hash, std::bit_cast<std::uint64_t>(value));
 }
 
+std::uint64_t fnv1a(std::uint64_t hash, std::string_view text) {
+    for (unsigned char byte : text) {
+        hash ^= byte;
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
 std::uint64_t graph_fingerprint(const taskgraph::TaskGraph& graph) {
     std::uint64_t h = fnv1a(kFnvOffset, graph.task_count());
     for (std::size_t t = 0; t < graph.task_count(); ++t)
@@ -50,6 +61,8 @@ std::uint64_t graph_fingerprint(const taskgraph::TaskGraph& graph) {
         h = fnv1a(h, e.from);
         h = fnv1a(h, e.to);
         h = fnv1a(h, e.cost);
+        h = fnv1a(h, static_cast<std::uint64_t>(e.produce));
+        h = fnv1a(h, static_cast<std::uint64_t>(e.consume));
     }
     return h;
 }
@@ -71,13 +84,18 @@ struct CacheKey {
     std::uint64_t graph = 0;
     std::uint64_t clustering = 0;
     std::uint64_t params = 0;
+    /// Fingerprint of the *effective* backend name, so inexact backends
+    /// never alias exact entries. A fallback compiles to dynamic-fifo and
+    /// deliberately shares its entries — it runs the same engine.
+    std::uint64_t backend = 0;
     bool operator==(const CacheKey&) const = default;
 };
 
 struct CacheKeyHash {
     std::size_t operator()(const CacheKey& k) const {
-        return static_cast<std::size_t>(
-            fnv1a(fnv1a(fnv1a(kFnvOffset, k.graph), k.clustering), k.params));
+        return static_cast<std::size_t>(fnv1a(
+            fnv1a(fnv1a(fnv1a(kFnvOffset, k.graph), k.clustering), k.params),
+            k.backend));
     }
 };
 
@@ -195,12 +213,17 @@ std::uint64_t clustering_fingerprint(const taskgraph::Clustering& clustering) {
 }
 
 ExploreResult explore(const uml::Model& model, const core::CommModel& comm,
-                      const ExploreOptions& options) {
+                      const ExploreOptions& options,
+                      diag::DiagnosticEngine* engine) {
     obs::ObsSpan explore_span("dse.explore");
+    const sim::Backend& backend = sim::backend_or_throw(options.backend);
+    explore_span.annotate("sim.backend", backend.name());
     taskgraph::TaskGraph graph = core::build_task_graph(model, comm);
     const std::size_t n = graph.task_count();
 
     ExploreResult result;
+    result.stats.backend = std::string(backend.name());
+    result.stats.effective_backend = result.stats.backend;
     if (n == 0) return result;
     const std::size_t max_cpus = options.max_processors == 0
                                      ? n
@@ -264,18 +287,27 @@ ExploreResult explore(const uml::Model& model, const core::CommModel& comm,
         (void)it;
     }
 
-    // 4. Probe the memo cache per unique clustering, then fan the surviving
-    //    evaluations out across the pool in *chunks*: each chunk owns one
-    //    sim::MpsocBatch (shared precomputation, per-cluster partial cache,
-    //    schedule-prefix reuse between consecutive candidates), so a pool
-    //    task amortizes dispatch over `chunk` candidates instead of one.
+    // 4. Compile the graph on the requested backend (the per-(graph,
+    //    params) precomputation, shared read-only by every worker; an sdf
+    //    request on non-static rates falls back to dynamic-fifo here,
+    //    reporting into `engine`), probe the memo cache per unique
+    //    clustering, then fan the surviving evaluations out across the
+    //    pool in *chunks*: each chunk mints one BackendEvaluator (partial
+    //    caches, schedule-prefix reuse between consecutive candidates), so
+    //    a pool task amortizes dispatch over `chunk` candidates.
+    std::unique_ptr<sim::CompiledModel> compiled =
+        backend.compile(graph, options.cost_model, engine);
+    result.stats.effective_backend = std::string(compiled->effective_backend());
     const std::uint64_t graph_fp = graph_fingerprint(graph);
     const std::uint64_t params_fp = params_fingerprint(options.cost_model);
+    const std::uint64_t backend_fp =
+        fnv1a(kFnvOffset, compiled->effective_backend());
     std::vector<sim::MpsocResult> unique_results(unique_index.size());
     std::vector<std::size_t> to_simulate;
     to_simulate.reserve(unique_index.size());
     for (std::size_t slot = 0; slot < unique_index.size(); ++slot) {
-        CacheKey key{graph_fp, fingerprints[unique_index[slot]], params_fp};
+        CacheKey key{graph_fp, fingerprints[unique_index[slot]], params_fp,
+                     backend_fp};
         if (!cache().lookup(key, unique_results[slot]))
             to_simulate.push_back(slot);
     }
@@ -301,31 +333,42 @@ ExploreResult explore(const uml::Model& model, const core::CommModel& comm,
     std::vector<sim::BatchStats> chunk_stats(num_chunks);
     {
         obs::ObsSpan span("dse.simulate-sweep");
-        sim::MpsocPrep prep(graph, options.cost_model);
+        span.annotate("sim.backend", compiled->effective_backend());
         core::parallel_for_chunked(
             sim_order.size(), jobs, chunk,
             [&](std::size_t begin, std::size_t end) {
                 obs::ObsSpan chunk_span("sim.mpsoc-batch");
-                sim::MpsocBatch batch(prep);
+                chunk_span.annotate("sim.backend",
+                                    compiled->effective_backend());
+                std::unique_ptr<sim::BackendEvaluator> evaluator =
+                    compiled->evaluator();
                 for (std::size_t t = begin; t < end; ++t) {
                     std::size_t slot = sim_order[t];
                     unique_results[slot] =
-                        batch.evaluate(clusterings[unique_index[slot]]);
+                        evaluator->evaluate(clusterings[unique_index[slot]]);
                 }
-                chunk_stats[begin / chunk] = batch.stats();
+                chunk_stats[begin / chunk] = evaluator->stats();
             });
     }
     for (std::size_t slot : to_simulate)
-        cache().insert({graph_fp, fingerprints[unique_index[slot]], params_fp},
+        cache().insert({graph_fp, fingerprints[unique_index[slot]], params_fp,
+                        backend_fp},
                        unique_results[slot]);
 
-    // Optional oracle check: re-price every unique clustering from scratch
-    // (simulate_mpsoc is the chain-free path) and require bitwise equality.
+    // Optional oracle check: re-price every unique clustering on a fresh,
+    // chain-free evaluator of the same compiled model and require bitwise
+    // equality on every metric. For an exact non-default backend the
+    // makespan is additionally cross-checked bitwise against the
+    // dynamic-fifo reference engine — the backend-equivalence contract.
     if (options.verify_full) {
         obs::ObsSpan span("dse.verify-full");
+        const bool cross_check =
+            compiled->exact() &&
+            compiled->effective_backend() != sim::kDefaultBackend;
         core::parallel_for(unique_index.size(), jobs, [&](std::size_t slot) {
-            sim::MpsocResult fresh = sim::simulate_mpsoc(
-                graph, clusterings[unique_index[slot]], options.cost_model);
+            sim::MpsocResult fresh =
+                compiled->evaluator()->evaluate(
+                    clusterings[unique_index[slot]]);
             const sim::MpsocResult& inc = unique_results[slot];
             bool same = fresh.makespan == inc.makespan &&
                         fresh.bus_busy == inc.bus_busy &&
@@ -338,6 +381,17 @@ ExploreResult explore(const uml::Model& model, const core::CommModel& comm,
                     "dse verify-full: incremental metrics diverge from full "
                     "re-simulation (strategy " +
                     plan[unique_index[slot]].strategy + ")");
+            if (cross_check) {
+                sim::MpsocResult reference = sim::simulate_mpsoc(
+                    graph, clusterings[unique_index[slot]],
+                    options.cost_model);
+                if (reference.makespan != inc.makespan)
+                    throw std::logic_error(
+                        "dse verify-full: backend '" +
+                        std::string(compiled->effective_backend()) +
+                        "' makespan diverges from dynamic-fifo (strategy " +
+                        plan[unique_index[slot]].strategy + ")");
+            }
         });
         result.stats.verified = unique_index.size();
     }
@@ -466,7 +520,7 @@ std::optional<core::Allocation> best_allocation(const uml::Model& model,
                                                 const core::CommModel& comm,
                                                 diag::DiagnosticEngine& engine,
                                                 const ExploreOptions& options) {
-    ExploreResult result = explore(model, comm, options);
+    ExploreResult result = explore(model, comm, options, &engine);
     if (result.candidates.empty()) {
         engine.report(diag::Severity::Error, diag::codes::kDseEmpty,
                       "nothing to explore: model '" + model.name() +

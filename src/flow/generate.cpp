@@ -35,7 +35,8 @@ std::string options_fingerprint(const GenerateOptions& options) {
         << "|wf=" << options.mapper.enforce_wellformedness
         << "|iters=" << options.iterations
         << "|kpnf=" << options.resilience.kpn_firings
-        << "|sims=" << options.resilience.sim_steps;
+        << "|sims=" << options.resilience.sim_steps
+        << "|simbk=" << options.sim_backend;
     return out.str();
 }
 
@@ -188,6 +189,7 @@ GenerateResult generate(const uml::Model& model, const GenerateOptions& options_
             context.pass_budget = res.pass_budget;
             context.kpn_firings = res.kpn_firings;
             context.sim_steps = res.sim_steps;
+            context.sim_backend = options.sim_backend;
 
             const std::size_t diags_before = engine.size();
             StrategyResult sr;

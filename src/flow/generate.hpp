@@ -50,6 +50,9 @@ struct GenerateOptions {
     bool fallback_cpp = true;
     /// Also emit the §3 KPN retargeting summary for thread subsystems.
     bool with_kpn = false;
+    /// Simulation backend for the advisory sim.estimate pass; empty =
+    /// sim::kDefaultBackend.
+    std::string sim_backend;
     ResilienceOptions resilience;
 };
 

@@ -7,6 +7,7 @@
 #include "fsm/machine.hpp"
 #include "kpn/execute.hpp"
 #include "kpn/from_uml.hpp"
+#include "sim/backend.hpp"
 #include "sim/engine.hpp"
 #include "transform/text.hpp"
 
@@ -104,6 +105,51 @@ void register_schedulability_probe(PassManager& pm, std::size_t sim_steps) {
            .runs_after("caam.validate"));
 }
 
+/// Advisory cost estimate of the chosen allocation on the configured
+/// simulation backend (sim/backend.hpp) — the §4.2.3 estimate surfaced as
+/// trace counters from `uhcg generate`, without failing the strategy: a
+/// model the cost model cannot price (no threads, detached subsystem) just
+/// counts `estimate-skipped`. Backend fallbacks (sdf on a multirate graph)
+/// land in the diagnostics as the usual sim.backend-fallback warning.
+void register_estimate_pass(PassManager& pm, std::string backend) {
+    pm.add(Pass("sim.estimate",
+                [backend = std::move(backend)](PassContext& ctx) {
+                    try {
+                        const uml::Model& model =
+                            *ctx.in<SourceModel>().model;
+                        const core::CommModel& comm =
+                            ctx.in<core::CommModel>();
+                        const core::Allocation& alloc =
+                            ctx.in<core::Allocation>();
+                        taskgraph::TaskGraph graph =
+                            core::build_task_graph(model, comm);
+                        auto threads = model.threads();
+                        std::vector<int> assignment;
+                        assignment.reserve(threads.size());
+                        for (const uml::ObjectInstance* t : threads)
+                            assignment.push_back(static_cast<int>(
+                                alloc.processor_of(*t)));
+                        sim::MpsocResult estimate = sim::simulate_backend(
+                            graph, taskgraph::Clustering::from_assignment(
+                                       std::move(assignment)),
+                            {}, backend, &ctx.diags());
+                        ctx.count("estimate-cpus", estimate.cpu_busy.size());
+                        ctx.count("estimate-makespan",
+                                  static_cast<std::size_t>(estimate.makespan));
+                        ctx.count("estimate-bus-transfers",
+                                  estimate.bus_transfers);
+                    } catch (const std::exception&) {
+                        // Advisory only: an unpriceable model is not a
+                        // generation defect.
+                        ctx.count("estimate-skipped");
+                    }
+                })
+           .reads<SourceModel>()
+           .reads<core::CommModel>()
+           .reads<core::Allocation>()
+           .runs_after("caam.validate"));
+}
+
 /// Dataflow branch: the full steps 2–4 pass pipeline ending in .mdl text.
 class CaamStrategy final : public Strategy {
 public:
@@ -126,6 +172,7 @@ public:
         apply_resilience(pm, context);
         register_caam_passes(pm, context.mapper, CaamPipelineMode::Engine);
         register_schedulability_probe(pm, context.sim_steps);
+        register_estimate_pass(pm, context.sim_backend);
         register_mdl_emit_pass(pm, context.mapper);
         auto run = pm.run(store, engine, trace,
                           group_label(name(), *context.subsystem));

@@ -40,6 +40,9 @@ struct StrategyContext {
     /// Watchdogged smoke-simulation steps after the schedulability probe
     /// (sim.schedulability); 0 keeps the probe build-only.
     std::size_t sim_steps = 0;
+    /// Simulation backend for the advisory cost-estimate pass
+    /// (sim.estimate); empty = sim::kDefaultBackend.
+    std::string sim_backend;
 };
 
 struct GeneratedFile {

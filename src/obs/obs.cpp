@@ -265,6 +265,12 @@ ObsSpan::ObsSpan(std::string_view name, std::string_view category) {
     start_ns_ = now_ns();
 }
 
+void ObsSpan::annotate(std::string_view key, std::string_view value) {
+    if (!armed_) return;
+    attr_key_.assign(key);
+    attr_value_.assign(value);
+}
+
 ObsSpan::~ObsSpan() {
     if (!armed_) return;
     std::uint64_t end = now_ns();
@@ -280,6 +286,8 @@ ObsSpan::~ObsSpan() {
     record.dur_ns = end > start_ns_ ? end - start_ns_ : 0;
     record.thread = buffer.ordinal;
     record.depth = depth_;
+    record.attr_key = std::move(attr_key_);
+    record.attr_value = std::move(attr_value_);
     std::lock_guard<std::mutex> lock(buffer.mutex);
     record.seq = buffer.next_seq++;
     buffer.records.push_back(std::move(record));
@@ -349,7 +357,11 @@ std::string chrome_trace_json(const std::vector<SpanRecord>& spans,
             << static_cast<double>(s.start_ns) / 1e3
             << ", \"dur\": " << static_cast<double>(s.dur_ns) / 1e3
             << ", \"pid\": 1, \"tid\": " << s.thread << ", \"args\": {\"id\": "
-            << s.id << ", \"parent\": " << s.parent << "}}";
+            << s.id << ", \"parent\": " << s.parent;
+        if (!s.attr_key.empty())
+            out << ", \"" << json_escape(s.attr_key) << "\": \""
+                << json_escape(s.attr_value) << '"';
+        out << "}}";
     }
     if (metrics && !metrics->counters.empty()) {
         sep();

@@ -146,6 +146,8 @@ struct SpanRecord {
     std::uint32_t thread = 0;    ///< stable per-thread ordinal, 0 = first
     std::uint32_t depth = 0;     ///< nesting depth on its own thread
     std::uint64_t seq = 0;       ///< per-thread completion sequence
+    std::string attr_key;        ///< optional annotation (empty = none)
+    std::string attr_value;
 };
 
 /// Logical parent handle for cross-thread fan-out: capture on the
@@ -188,9 +190,16 @@ public:
     bool armed() const { return armed_; }
     std::uint64_t id() const { return id_; }
 
+    /// Attaches one key/value annotation, exported in the Chrome-trace
+    /// `args` object (e.g. the simulation backend pricing a sweep). A
+    /// second call overwrites; no-op on a disarmed span.
+    void annotate(std::string_view key, std::string_view value);
+
 private:
     std::string name_;
     std::string category_;
+    std::string attr_key_;
+    std::string attr_value_;
     std::uint64_t id_ = 0;
     std::uint64_t parent_ = 0;
     std::uint64_t prev_open_ = 0;

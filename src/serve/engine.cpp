@@ -13,6 +13,7 @@
 #include "flow/txout.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "sim/backend.hpp"
 #include "sim/mpsoc.hpp"
 
 namespace uhcg::serve {
@@ -294,7 +295,16 @@ std::string Engine::dispatch(const std::string& id, const std::string& method,
                    << ",\"cache_hits\":" << dse_last_.cache_hits
                    << ",\"partial_reuse\":" << dse_last_.partial_reuse
                    << ",\"prefix_tasks_reused\":"
-                   << dse_last_.prefix_tasks_reused << "}}";
+                   << dse_last_.prefix_tasks_reused
+                   << ",\"backend\":" << quote(dse_last_.backend)
+                   << "},\"by_backend\":{";
+            bool first_backend = true;
+            for (const auto& [name, count] : dse_by_backend_) {
+                result << (first_backend ? "" : ",") << quote(name) << ":"
+                       << count;
+                first_backend = false;
+            }
+            result << "}}";
         }
         // Per-category counter rollup: "xml.nodes_parsed" lands under
         // "xml", "serve.cache_hits" under "serve" — the status consumer's
@@ -462,9 +472,18 @@ std::string Engine::dispatch(const std::string& id, const std::string& method,
         options.chunk_size =
             static_cast<std::size_t>(param_number(doc, "chunk", 0));
         options.verify_full = param_bool(doc, "verify_full", false);
+        options.backend = param_string(doc, "backend");
+        if (!sim::find_backend(options.backend))
+            return error_response(id, "serve.bad-request",
+                                  "unknown simulation backend '" +
+                                      options.backend +
+                                      "' (want dynamic-fifo, analytic or "
+                                      "sdf)");
         dse::ExploreResult result;
+        diag::DiagnosticEngine explore_diags;
         try {
-            result = dse::explore(resident->model, resident->comm, options);
+            result = dse::explore(resident->model, resident->comm, options,
+                                  &explore_diags);
         } catch (const std::exception& e) {
             return error_response(
                 id, "serve.bad-model",
@@ -493,19 +512,27 @@ std::string Engine::dispatch(const std::string& id, const std::string& method,
           << ",\"prefix_tasks_reused\":" << result.stats.prefix_tasks_reused
           << ",\"chunks\":" << result.stats.chunks
           << ",\"verified\":" << result.stats.verified
-          << ",\"jobs\":" << result.stats.jobs << "}}";
+          << ",\"jobs\":" << result.stats.jobs
+          << ",\"backend\":" << quote(result.stats.backend)
+          << ",\"effective_backend\":"
+          << quote(result.stats.effective_backend);
+        if (explore_diags.count_code(diag::codes::kSimBackendFallback))
+            r << ",\"backend_fallback\":true";
+        r << "}}";
         {
             std::lock_guard<std::mutex> lock(dse_mutex_);
             dse_last_ = DseActivity{0, result.stats.simulations,
                                     result.stats.cache_hits,
                                     result.stats.partial_reuse,
-                                    result.stats.prefix_tasks_reused};
+                                    result.stats.prefix_tasks_reused,
+                                    result.stats.effective_backend};
             ++dse_totals_.explores;
             dse_totals_.simulations += result.stats.simulations;
             dse_totals_.cache_hits += result.stats.cache_hits;
             dse_totals_.partial_reuse += result.stats.partial_reuse;
             dse_totals_.prefix_tasks_reused +=
                 result.stats.prefix_tasks_reused;
+            ++dse_by_backend_[result.stats.effective_backend];
         }
         return finish(ok_head(cache_state, resident->hash), r.str());
     }
@@ -518,13 +545,23 @@ std::string Engine::dispatch(const std::string& id, const std::string& method,
                                               params.gfifo_cost_per_byte);
     std::size_t max_processors =
         static_cast<std::size_t>(param_number(doc, "max_processors", 0));
+    std::string backend = param_string(doc, "backend");
+    if (!sim::find_backend(backend))
+        return error_response(id, "serve.bad-request",
+                              "unknown simulation backend '" + backend +
+                                  "' (want dynamic-fifo, analytic or sdf)");
     sim::MpsocResult sim_result;
+    std::string effective_backend;
+    diag::DiagnosticEngine sim_diags;
     try {
         taskgraph::TaskGraph graph =
             core::build_task_graph(resident->model, resident->comm);
         taskgraph::Clustering clustering = core::auto_clustering(
             resident->model, resident->comm, max_processors);
-        sim_result = sim::simulate_mpsoc(graph, clustering, params);
+        std::unique_ptr<sim::CompiledModel> compiled =
+            sim::backend_or_throw(backend).compile(graph, params, &sim_diags);
+        effective_backend = compiled->effective_backend();
+        sim_result = compiled->evaluator()->evaluate(clustering);
     } catch (const std::exception& e) {
         // A model the simulator cannot schedule (e.g. a feedback cycle in
         // the task graph) is an input property, not an internal error —
@@ -539,7 +576,11 @@ std::string Engine::dispatch(const std::string& id, const std::string& method,
       << ",\"inter_traffic\":" << number_text(sim_result.inter_traffic)
       << ",\"intra_traffic\":" << number_text(sim_result.intra_traffic)
       << ",\"bus_transfers\":" << sim_result.bus_transfers
-      << ",\"processors\":" << sim_result.cpu_busy.size() << "}";
+      << ",\"processors\":" << sim_result.cpu_busy.size()
+      << ",\"backend\":" << quote(effective_backend);
+    if (sim_diags.count_code(diag::codes::kSimBackendFallback))
+        r << ",\"backend_fallback\":true";
+    r << "}";
     return finish(ok_head(cache_state, resident->hash), r.str());
 }
 

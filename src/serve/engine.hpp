@@ -33,6 +33,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -140,10 +141,16 @@ private:
         std::uint64_t cache_hits = 0;
         std::uint64_t partial_reuse = 0;
         std::uint64_t prefix_tasks_reused = 0;
+        /// Effective simulation backend of the most recent explore (only
+        /// meaningful on `last`; empty before the first request).
+        std::string backend;
     };
     mutable std::mutex dse_mutex_;
     DseActivity dse_totals_;
     DseActivity dse_last_;
+    /// Explore count per *effective* simulation backend, for the status
+    /// rollup — shows whether clients actually exercise sdf/analytic.
+    std::map<std::string, std::uint64_t> dse_by_backend_;
 };
 
 }  // namespace uhcg::serve

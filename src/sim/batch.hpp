@@ -56,6 +56,15 @@ public:
     const taskgraph::TaskGraph& graph() const { return *graph_; }
     const MpsocParams& params() const { return params_; }
 
+    // The precomputed tables, exposed read-only so alternative pricing
+    // backends (sim/backend.hpp) replay the exact arithmetic of the timed
+    // scan without re-deriving them.
+    const std::vector<taskgraph::TaskIndex>& topo() const { return topo_; }
+    const std::vector<std::size_t>& pos() const { return pos_; }
+    const std::vector<double>& work() const { return work_; }
+    const std::vector<double>& sw_delay() const { return sw_delay_; }
+    const std::vector<double>& bus_duration() const { return bus_duration_; }
+
 private:
     friend class MpsocBatch;
     const taskgraph::TaskGraph* graph_;

@@ -1,0 +1,126 @@
+#include "sim/sdf.hpp"
+
+#include <numeric>
+#include <queue>
+
+namespace uhcg::sim {
+
+namespace {
+
+/// Positive rational with on-the-fly normalization; rates are uint32 and
+/// graphs are small, so uint64 arithmetic never overflows in practice.
+struct Rational {
+    std::uint64_t num = 1;
+    std::uint64_t den = 1;
+
+    void normalize() {
+        std::uint64_t g = std::gcd(num, den);
+        num /= g;
+        den /= g;
+    }
+};
+
+std::uint64_t lcm(std::uint64_t a, std::uint64_t b) {
+    return a / std::gcd(a, b) * b;
+}
+
+}  // namespace
+
+SdfAnalysis analyze_sdf(const taskgraph::TaskGraph& graph) {
+    using taskgraph::Edge;
+    using taskgraph::TaskIndex;
+    const std::size_t n = graph.task_count();
+    SdfAnalysis out;
+    out.consistent = true;
+    out.homogeneous = true;
+    if (n == 0) return out;
+
+    // Propagate rational firing rates over the undirected connectivity of
+    // the graph: fixing rate(seed) = 1, an edge e forces
+    // rate(to) = rate(from) * produce(e) / consume(e). A revisited task
+    // whose propagated rate disagrees with its stored one witnesses an
+    // inconsistency (the balance equations have no solution).
+    std::vector<Rational> rate(n);
+    std::vector<char> seen(n, 0);
+    std::vector<std::vector<TaskIndex>> components;
+    for (TaskIndex seed = 0; seed < n; ++seed) {
+        if (seen[seed]) continue;
+        seen[seed] = 1;
+        rate[seed] = Rational{1, 1};
+        components.emplace_back();
+        std::vector<TaskIndex>& component = components.back();
+        component.push_back(seed);
+        std::queue<TaskIndex> frontier;
+        frontier.push(seed);
+        while (!frontier.empty()) {
+            TaskIndex t = frontier.front();
+            frontier.pop();
+            auto visit = [&](std::size_t e, bool forward) {
+                const Edge& edge = graph.edge(e);
+                TaskIndex other = forward ? edge.to : edge.from;
+                // rate(to)*consume == rate(from)*produce.
+                Rational implied;
+                if (forward) {
+                    implied.num = rate[t].num * edge.produce;
+                    implied.den = rate[t].den * edge.consume;
+                } else {
+                    implied.num = rate[t].num * edge.consume;
+                    implied.den = rate[t].den * edge.produce;
+                }
+                implied.normalize();
+                if (!seen[other]) {
+                    seen[other] = 1;
+                    rate[other] = implied;
+                    component.push_back(other);
+                    frontier.push(other);
+                    return;
+                }
+                if (rate[other].num != implied.num ||
+                    rate[other].den != implied.den) {
+                    out.consistent = false;
+                    if (out.reason.empty())
+                        out.reason = "inconsistent token rates around edge " +
+                                     graph.name(edge.from) + " -> " +
+                                     graph.name(edge.to) + " (" +
+                                     std::to_string(edge.produce) + "/" +
+                                     std::to_string(edge.consume) + ")";
+                }
+            };
+            for (std::size_t e : graph.out_edges(t)) visit(e, true);
+            for (std::size_t e : graph.in_edges(t)) visit(e, false);
+        }
+    }
+    if (!out.consistent) {
+        out.homogeneous = false;
+        return out;
+    }
+
+    // Scale each component's rationals to its minimal integer vector:
+    // multiply by the LCM of the component's denominators, then divide by
+    // the component's GCD. Per component, because each was seeded
+    // independently and disconnected SDF components iterate independently.
+    out.repetition.resize(n);
+    for (const std::vector<TaskIndex>& component : components) {
+        std::uint64_t den_lcm = 1;
+        for (TaskIndex t : component) den_lcm = lcm(den_lcm, rate[t].den);
+        std::uint64_t g = 0;
+        for (TaskIndex t : component) {
+            out.repetition[t] = rate[t].num * (den_lcm / rate[t].den);
+            g = std::gcd(g, out.repetition[t]);
+        }
+        if (g > 1)
+            for (TaskIndex t : component) out.repetition[t] /= g;
+    }
+
+    for (TaskIndex t = 0; t < n; ++t) {
+        if (out.repetition[t] == 1) continue;
+        out.homogeneous = false;
+        out.reason = "task " + graph.name(t) + " fires " +
+                     std::to_string(out.repetition[t]) +
+                     " time(s) per iteration (multirate graph)";
+        break;
+    }
+    return out;
+}
+
+}  // namespace uhcg::sim

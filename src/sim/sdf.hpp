@@ -1,0 +1,49 @@
+// sdf.hpp — synchronous-dataflow rate analysis of CAAM task graphs.
+//
+// Fakih et al. ("Automatic SDF-based Code Generation from Simulink
+// Models", PAPERS.md) observe that static-rate CAAMs admit a compile-time
+// periodic schedule, eliminating dynamic simulation from the pricing loop.
+// This module does the rate half of that argument: solve the SDF balance
+// equations
+//
+//     rep[from] * produce(e) == rep[to] * consume(e)   for every edge e
+//
+// for the repetition vector `rep` (the per-task firing counts of one
+// periodic iteration). A graph is *consistent* when a solution exists and
+// *homogeneous* (single-rate, HSDF) when the minimal solution is all-ones
+// — the case where one firing per task per iteration makes the
+// topological order itself the static schedule. The SDF simulation
+// backend commits to a compile-time schedule only for homogeneous graphs
+// and falls back to the dynamic engine otherwise (see sim/backend.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "taskgraph/graph.hpp"
+
+namespace uhcg::sim {
+
+struct SdfAnalysis {
+    /// The balance equations have a solution (every connected component
+    /// propagates one consistent rational rate).
+    bool consistent = false;
+    /// Consistent and the minimal repetition vector is all-ones: one
+    /// firing per task per iteration, so the topological order is a valid
+    /// periodic schedule.
+    bool homogeneous = false;
+    /// Minimal integer repetition vector, per task (empty when
+    /// inconsistent). All-ones iff `homogeneous`.
+    std::vector<std::uint64_t> repetition;
+    /// Human-readable reason when !homogeneous (names the offending edge
+    /// or task) — the payload of the backend-fallback diagnostic.
+    std::string reason;
+};
+
+/// Solves the balance equations of `graph`. Pure structural analysis: it
+/// never throws on cyclic graphs (rates are about tokens, not
+/// schedulability) and costs O(tasks + edges).
+SdfAnalysis analyze_sdf(const taskgraph::TaskGraph& graph);
+
+}  // namespace uhcg::sim

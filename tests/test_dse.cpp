@@ -357,6 +357,81 @@ TEST(DseIncremental, VerifyFullMatchesIncremental) {
     clear_simulation_cache();
 }
 
+// --- simulation backends through the sweep (sim/backend.hpp) -----------------
+
+TEST(DseBackend, SdfSweepIsBitwiseIdenticalToDynamicFifo) {
+    uml::Model app = cases::random_application(7, 14, 4);
+    core::CommModel comm = core::analyze_communication(app);
+    ExploreOptions dynamic_fifo;
+    dynamic_fifo.jobs = 1;
+    ExploreOptions sdf = dynamic_fifo;
+    sdf.backend = "sdf";
+    clear_simulation_cache();
+    ExploreResult a = explore(app, comm, dynamic_fifo);
+    clear_simulation_cache();
+    ExploreResult b = explore(app, comm, sdf);
+    EXPECT_EQ(b.stats.backend, "sdf");
+    EXPECT_EQ(b.stats.effective_backend, "sdf");
+    ASSERT_EQ(a.candidates.size(), b.candidates.size());
+    for (std::size_t i = 0; i < a.candidates.size(); ++i)
+        EXPECT_EQ(a.candidates[i].makespan, b.candidates[i].makespan) << i;
+    EXPECT_EQ(a.best, b.best);
+    EXPECT_EQ(format(a), format(b));
+    clear_simulation_cache();
+}
+
+TEST(DseBackend, MemoCacheIsolatesBackends) {
+    // An analytic sweep must never serve its bounds to a dynamic-fifo
+    // sweep (or vice versa): run analytic cold, then dynamic-fifo — the
+    // second sweep must simulate everything itself, not hit the memo.
+    uml::Model app = cases::random_application(5, 10, 3);
+    core::CommModel comm = core::analyze_communication(app);
+    ExploreOptions analytic;
+    analytic.jobs = 1;
+    analytic.backend = "analytic";
+    clear_simulation_cache();
+    ExploreResult first = explore(app, comm, analytic);
+    EXPECT_EQ(first.stats.cache_hits, 0u);
+    ExploreOptions dynamic_fifo;
+    dynamic_fifo.jobs = 1;
+    ExploreResult second = explore(app, comm, dynamic_fifo);
+    EXPECT_EQ(second.stats.cache_hits, 0u);
+    EXPECT_EQ(second.stats.simulations, second.stats.unique_clusterings);
+    // Same backend again: now the memo serves every unique clustering.
+    ExploreResult third = explore(app, comm, dynamic_fifo);
+    EXPECT_EQ(third.stats.cache_hits, third.stats.unique_clusterings);
+    clear_simulation_cache();
+}
+
+TEST(DseBackend, VerifyFullCrossChecksSdfAgainstReference) {
+    uml::Model app = cases::random_application(6, 12, 3);
+    core::CommModel comm = core::analyze_communication(app);
+    ExploreOptions options;
+    options.backend = "sdf";
+    options.verify_full = true;
+    options.jobs = 2;
+    clear_simulation_cache();
+    ExploreResult r = explore(app, comm, options);
+    EXPECT_EQ(r.stats.verified, r.stats.unique_clusterings);
+    EXPECT_GT(r.stats.verified, 0u);
+    clear_simulation_cache();
+}
+
+TEST(DseBackend, UnknownBackendThrowsListingNames) {
+    uml::Model syn = cases::synthetic_model();
+    core::CommModel comm = core::analyze_communication(syn);
+    ExploreOptions options;
+    options.backend = "simd-warp";
+    try {
+        (void)explore(syn, comm, options);
+        FAIL() << "unknown backend accepted";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("dynamic-fifo"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("sdf"), std::string::npos);
+    }
+}
+
 // --- core::parallel_for_chunked (the dispatch primitive under the sweep) -----
 
 TEST(ParallelChunked, CoversEveryIndexExactlyOnce) {

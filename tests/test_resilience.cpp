@@ -334,13 +334,14 @@ TEST_F(Resilience, ChaosSweepQuarantinesOnlyTheFaultedUnit) {
     FileMap baseline_files = file_map(baseline);
     ASSERT_GE(baseline_files.size(), 4u);  // fsm-c, caam, threads, kpn
 
-    // Every pass of every strategy, under both fault kinds: 30 distinct
+    // Every pass of every strategy, under both fault kinds: 34 distinct
     // injection points (the acceptance bar is >= 25).
     const char* kSites[] = {
         "flow.partition", "fsm.flatten",   "fsm.emit-c",    "uml.wellformed",
         "core.comm",      "core.allocate", "core.mapping",  "caam.lift",
         "caam.channels",  "caam.delays",   "caam.validate", "sim.schedulability",
-        "simulink.emit",  "codegen.threads", "kpn.map",     "kpn.validate"};
+        "sim.estimate",   "simulink.emit", "codegen.threads", "kpn.map",
+        "kpn.validate"};
     const flow::fault::Kind kKinds[] = {flow::fault::Kind::Throw,
                                         flow::fault::Kind::Fatal};
     std::size_t injection_points = 0;

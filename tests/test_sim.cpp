@@ -4,9 +4,11 @@
 
 #include <vector>
 
+#include "sim/backend.hpp"
 #include "sim/batch.hpp"
 #include "sim/engine.hpp"
 #include "sim/mpsoc.hpp"
+#include "sim/sdf.hpp"
 #include "taskgraph/baselines.hpp"
 #include "taskgraph/generate.hpp"
 #include "taskgraph/linear.hpp"
@@ -418,6 +420,145 @@ TEST(MpsocBatch, MismatchedClusteringRejected) {
     MpsocBatch batch(prep);
     taskgraph::Clustering wrong(5);
     EXPECT_THROW(batch.evaluate(wrong), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Pluggable simulation backends (sim/backend.hpp).
+
+/// A multirate but consistent SDF graph: A fires once, B twice.
+taskgraph::TaskGraph multirate_graph() {
+    taskgraph::TaskGraph g;
+    taskgraph::TaskIndex a = g.add_task("A", 2.0);
+    taskgraph::TaskIndex b = g.add_task("B", 1.0);
+    g.add_edge(a, b, 4.0, /*produce=*/2, /*consume=*/1);
+    return g;
+}
+
+TEST(SimBackend, RegistryListsBuiltinsInOrder) {
+    const BackendRegistry& registry = BackendRegistry::builtins();
+    ASSERT_EQ(registry.backends().size(), 3u);
+    EXPECT_EQ(registry.backends()[0]->name(), "dynamic-fifo");
+    EXPECT_EQ(registry.backends()[1]->name(), "analytic");
+    EXPECT_EQ(registry.backends()[2]->name(), "sdf");
+    EXPECT_EQ(&backend_or_throw(""), registry.backends()[0].get());
+    EXPECT_EQ(find_backend("no-such-engine"), nullptr);
+    EXPECT_THROW(backend_or_throw("no-such-engine"), std::invalid_argument);
+}
+
+TEST(SimBackend, SdfBitwiseEqualsDynamicFifoOnStaticGraph) {
+    taskgraph::TaskGraph g = taskgraph::fork_join_graph(3, 3, 2.0, 5.0);
+    auto compiled = backend_or_throw("sdf").compile(g, MpsocParams{});
+    EXPECT_EQ(compiled->effective_backend(), "sdf");
+    EXPECT_TRUE(compiled->exact());
+    auto evaluator = compiled->evaluator();
+    taskgraph::Clustering linear = taskgraph::linear_clustering(g);
+    expect_same_result(evaluator->evaluate(linear), simulate_mpsoc(g, linear));
+    taskgraph::Clustering single = taskgraph::single_cluster(g);
+    expect_same_result(evaluator->evaluate(single), simulate_mpsoc(g, single));
+}
+
+TEST(SimBackend, SdfPrefixResumeStaysBitwiseOnNeighborChain) {
+    // Walk single-task moves through one sdf evaluator: the prefix-resume
+    // layer must engage (reused positions > 0) without ever diverging from
+    // the history-free dynamic-fifo oracle.
+    taskgraph::TaskGraph g = taskgraph::chain_graph(8, 1.5, 3.0);
+    auto compiled = backend_or_throw("sdf").compile(g, MpsocParams{});
+    auto evaluator = compiled->evaluator();
+    std::vector<int> assign(8, 0);
+    for (std::size_t t = 4; t < 8; ++t) assign[t] = 1;
+    for (std::size_t move = 7; move >= 5; --move) {
+        taskgraph::Clustering c = taskgraph::Clustering::from_assignment(assign);
+        expect_same_result(evaluator->evaluate(c), simulate_mpsoc(g, c));
+        assign[move] = 0;
+    }
+    EXPECT_GT(evaluator->stats().prefix_tasks_reused, 0u);
+    // break_chain() forgets history but not correctness.
+    evaluator->break_chain();
+    taskgraph::Clustering c = taskgraph::Clustering::from_assignment(assign);
+    expect_same_result(evaluator->evaluate(c), simulate_mpsoc(g, c));
+}
+
+TEST(SimBackend, SdfFallsBackOnMultirateGraphWithDiagnostic) {
+    taskgraph::TaskGraph g = multirate_graph();
+    diag::DiagnosticEngine engine;
+    auto compiled = backend_or_throw("sdf").compile(g, MpsocParams{}, &engine);
+    EXPECT_EQ(compiled->effective_backend(), kDefaultBackend);
+    EXPECT_TRUE(compiled->exact());  // the fallback IS the reference engine
+    EXPECT_EQ(engine.count_code(diag::codes::kSimBackendFallback), 1u);
+    EXPECT_FALSE(engine.has_errors());  // a warning, never an error
+    taskgraph::Clustering single = taskgraph::single_cluster(g);
+    expect_same_result(compiled->evaluator()->evaluate(single),
+                       simulate_mpsoc(g, single));
+}
+
+TEST(SimBackend, AnalyticIsDeterministicLowerBound) {
+    taskgraph::TaskGraph g = taskgraph::fork_join_graph(4, 2, 3.0, 8.0);
+    auto compiled = backend_or_throw("analytic").compile(g, MpsocParams{});
+    EXPECT_FALSE(compiled->exact());
+    taskgraph::Clustering linear = taskgraph::linear_clustering(g);
+    MpsocResult bound = compiled->evaluator()->evaluate(linear);
+    MpsocResult reference = simulate_mpsoc(g, linear);
+    EXPECT_LE(bound.makespan, reference.makespan);
+    EXPECT_GT(bound.makespan, 0.0);
+    // The clustering-derived aggregates are exact either way.
+    EXPECT_EQ(bound.inter_traffic, reference.inter_traffic);
+    EXPECT_EQ(bound.bus_busy, reference.bus_busy);
+    EXPECT_EQ(bound.cpu_busy, reference.cpu_busy);
+    // Deterministic: the same candidate prices identically every time.
+    EXPECT_EQ(compiled->evaluator()->evaluate(linear).makespan, bound.makespan);
+}
+
+TEST(SimBackend, AnalyzeSdfSolvesBalanceEquations) {
+    SdfAnalysis multirate = analyze_sdf(multirate_graph());
+    EXPECT_TRUE(multirate.consistent);
+    EXPECT_FALSE(multirate.homogeneous);
+    ASSERT_EQ(multirate.repetition.size(), 2u);
+    EXPECT_EQ(multirate.repetition[0], 1u);
+    EXPECT_EQ(multirate.repetition[1], 2u);
+
+    taskgraph::TaskGraph unit = taskgraph::chain_graph(3, 1.0, 1.0);
+    SdfAnalysis homogeneous = analyze_sdf(unit);
+    EXPECT_TRUE(homogeneous.consistent);
+    EXPECT_TRUE(homogeneous.homogeneous);
+
+    // Triangle with disagreeing rate products: no repetition vector exists.
+    taskgraph::TaskGraph bad;
+    taskgraph::TaskIndex a = bad.add_task("A");
+    taskgraph::TaskIndex b = bad.add_task("B");
+    taskgraph::TaskIndex c = bad.add_task("C");
+    bad.add_edge(a, b, 1.0);
+    bad.add_edge(b, c, 1.0, /*produce=*/2, /*consume=*/1);
+    bad.add_edge(a, c, 1.0);
+    SdfAnalysis inconsistent = analyze_sdf(bad);
+    EXPECT_FALSE(inconsistent.consistent);
+    EXPECT_FALSE(inconsistent.homogeneous);
+    EXPECT_NE(inconsistent.reason.find("inconsistent"), std::string::npos);
+}
+
+TEST(SimBackend, TaskGraphRejectsBadRates) {
+    taskgraph::TaskGraph g;
+    taskgraph::TaskIndex a = g.add_task("A");
+    taskgraph::TaskIndex b = g.add_task("B");
+    EXPECT_THROW(g.add_edge(a, b, 1.0, /*produce=*/0, /*consume=*/1),
+                 std::invalid_argument);
+    g.add_edge(a, b, 1.0, 2, 1);
+    // Merging parallel edges must agree on the rate signature.
+    EXPECT_THROW(g.add_edge(a, b, 1.0, 1, 1), std::invalid_argument);
+    g.add_edge(a, b, 2.0, 2, 1);  // same rates: costs accumulate
+    EXPECT_EQ(g.edge_count(), 1u);
+    EXPECT_EQ(g.edges()[0].cost, 3.0);
+    EXPECT_FALSE(g.unit_rate());
+}
+
+TEST(SimBackend, SimulateBackendConvenienceMatchesOneShot) {
+    taskgraph::TaskGraph g = taskgraph::fork_join_graph(2, 2, 1.0, 4.0);
+    taskgraph::Clustering linear = taskgraph::linear_clustering(g);
+    expect_same_result(simulate_backend(g, linear, MpsocParams{}, "sdf"),
+                       simulate_mpsoc(g, linear));
+    expect_same_result(simulate_backend(g, linear, MpsocParams{}, ""),
+                       simulate_mpsoc(g, linear));
+    EXPECT_THROW(simulate_backend(g, linear, MpsocParams{}, "bogus"),
+                 std::invalid_argument);
 }
 
 }  // namespace

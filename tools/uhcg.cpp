@@ -38,6 +38,12 @@
 //   --jobs <n>           explore: worker threads for candidate evaluation
 //                        (0 = all hardware threads; results are identical
 //                        for any value)
+//   --sim-backend <name> explore/generate: simulation backend pricing the
+//                        cost model — dynamic-fifo (default reference
+//                        engine), analytic (closed-form lower bound), sdf
+//                        (static-schedule pricing; falls back to
+//                        dynamic-fifo with a sim.backend-fallback warning
+//                        when the task graph is not single-rate)
 //   --mutations <n>      fuzz-xmi: number of mutants to run (default 70)
 //   --seed <n>           fuzz-xmi: deterministic corpus seed (default 1)
 //
@@ -160,6 +166,8 @@ struct Cli {
     // DSE (explore).
     std::size_t dse_chunk = 0;
     bool dse_verify_full = false;
+    // Simulation backend (explore, generate, serve).
+    std::string sim_backend;
     // Resilience layer (generate).
     std::size_t max_retries = 0;
     std::uint64_t retry_backoff_ms = 0;
@@ -208,7 +216,15 @@ int usage(const char* argv0) {
            "                          0 = default; results are identical)\n"
            "         --dse-verify-full (explore: re-simulate every unique\n"
            "                            clustering from scratch and assert\n"
-           "                            the incremental metrics match)\n"
+           "                            the incremental metrics match; on an\n"
+           "                            exact non-default backend also cross-\n"
+           "                            check makespans against dynamic-fifo)\n"
+           "         --sim-backend <name> (explore/generate: cost-model\n"
+           "                          backend: dynamic-fifo (default),\n"
+           "                          analytic (fast lower bound), sdf\n"
+           "                          (static schedule; falls back with a\n"
+           "                          sim.backend-fallback warning when the\n"
+           "                          task graph is not single-rate))\n"
            "         --iterations <n> (threads command)\n"
            "         --mutations <n> --seed <n> (fuzz-xmi command)\n"
            "         --checkpoint-ttl-s <n> --checkpoint-max <n>\n"
@@ -276,6 +292,10 @@ bool parse_cli(int argc, char** argv, Cli& cli) {
             if (!next_number(cli.dse_chunk)) return false;
         } else if (arg == "--dse-verify-full") {
             cli.dse_verify_full = true;
+        } else if (arg == "--sim-backend") {
+            const char* v = next();
+            if (!v) return false;
+            cli.sim_backend = v;
         } else if (arg == "--iterations") {
             if (!next_number(cli.iterations)) return false;
         } else if (arg == "--mutations") {
@@ -470,6 +490,7 @@ int cmd_generate(const uml::Model& model, const Cli& cli,
     options.mapper = cli.mapper;
     options.iterations = cli.iterations;
     options.with_kpn = cli.with_kpn;
+    options.sim_backend = cli.sim_backend;
     options.resilience.retry.max_retries = cli.max_retries;
     options.resilience.retry.backoff_ms = cli.retry_backoff_ms;
     options.resilience.pass_budget.wall_ms = cli.pass_budget_ms;
@@ -628,9 +649,14 @@ int cmd_explore(const uml::Model& model, const Cli& cli,
     options.jobs = cli.jobs;
     options.chunk_size = cli.dse_chunk;
     options.verify_full = cli.dse_verify_full;
+    options.backend = cli.sim_backend;
     dse::ExploreResult result;
     try {
-        result = dse::explore(model, comm, options);
+        result = dse::explore(model, comm, options, &engine);
+    } catch (const std::invalid_argument& e) {
+        // Unknown --sim-backend: a usage error, listing the known names.
+        std::cerr << "error: " << e.what() << '\n';
+        return kExitUsage;
     } catch (const std::exception& e) {
         // A model the sweep cannot explore (e.g. a cyclic task graph from a
         // closed control loop) is an input property, not an internal error.
@@ -649,6 +675,10 @@ int cmd_explore(const uml::Model& model, const Cli& cli,
     }
     std::cout << dse::format(result);
     const dse::ExploreStats& s = result.stats;
+    std::cout << "backend: " << s.backend;
+    if (s.effective_backend != s.backend)
+        std::cout << " (fell back to " << s.effective_backend << ")";
+    std::cout << '\n';
     std::cout << "evaluated with jobs=" << s.jobs << ": " << s.simulations
               << " simulated, " << s.duplicates_skipped
               << " duplicate clustering(s) skipped, " << s.cache_hits
