@@ -1,0 +1,88 @@
+// campaign.hpp — the supervised sweep runner.
+//
+// `run_campaign` turns an expanded manifest into a campaign tree:
+//
+//   <out>/jobs/<job-dir>/...        per-job outputs + report.json
+//   <out>/campaign-journal.jsonl    crash-safe checkpoint journal
+//   <out>/campaign-report.json     aggregate summary + Pareto table
+//   <out>/campaign-manifest.json   uhcg-campaign-manifest-v1 failure record
+//
+// Supervision contract (the robustness tentpole):
+//   * Jobs run in deterministic shards over the core thread pool; each
+//     job's outputs commit through one OutputTransaction, so a crash
+//     mid-job leaves only a stage directory that the next run's stale-GC
+//     or re-run discards — never a half-written job.
+//   * A failing job (poisoned model, injected fault, exhausted budget) is
+//     quarantined: recorded with its first diagnostic, counted, and the
+//     sweep continues. Only `fault::CrashInjected` — the chaos suite's
+//     stand-in for kill -9 — escapes the guard.
+//   * Every finished job appends one hash-guarded journal line; `resume`
+//     replays intact entries (an "ok" entry only when its on-disk
+//     report.json still matches the recorded hash) and re-runs the rest.
+//     Because every artifact is deterministic — no wall times, no
+//     absolute paths, no cache statistics — a resumed campaign's final
+//     tree is byte-identical to an uninterrupted run's.
+//   * Exit mirrors the flow's three-valued outcome: every job ok → Ok,
+//     some ok → Partial, none → Failed.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "campaign/journal.hpp"
+#include "campaign/manifest.hpp"
+#include "diag/diag.hpp"
+#include "flow/pass.hpp"
+
+namespace uhcg::campaign {
+
+struct CampaignOptions {
+    std::filesystem::path out_dir = "campaign-out";
+    /// Replay the journal instead of starting fresh.
+    bool resume = false;
+    /// Worker threads running shards (0 = hardware, 1 = serial).
+    std::size_t jobs = 0;
+    /// Jobs per shard (a shard runs sequentially on one worker); 0 = 1.
+    std::size_t shard_size = 0;
+    /// Chaos/CI hook: raise SIGKILL against this very process after the
+    /// N-th journal append — a deterministic mid-sweep kill -9. 0 = off.
+    std::size_t halt_after = 0;
+    /// Passed into every generate job's resilience layer (transient
+    /// retry with deterministic backoff).
+    flow::RetryPolicy retry;
+    /// Per-pass wall budget for generate jobs; 0 = unlimited.
+    std::uint64_t pass_budget_ms = 0;
+    /// Stale `.uhcg-stage` directories under the campaign tree older than
+    /// this are pruned before the sweep starts; 0 disables the GC.
+    std::uint64_t stale_stage_ttl_s = 3600;
+};
+
+enum class CampaignStatus { Ok, Partial, Failed };
+
+std::string_view to_string(CampaignStatus status);
+
+struct CampaignResult {
+    CampaignStatus status = CampaignStatus::Failed;
+    std::size_t jobs_total = 0;
+    std::size_t jobs_ok = 0;
+    std::size_t jobs_quarantined = 0;
+    /// Journal entries replayed instead of re-run (`resume` only).
+    std::size_t jobs_resumed = 0;
+    std::size_t stale_stages_pruned = 0;
+    /// Final per-job outcomes in canonical (expansion) order.
+    std::vector<JournalEntry> outcomes;
+    std::filesystem::path report_path;
+    std::filesystem::path manifest_path;
+};
+
+/// Runs the campaign described by `manifest` (already parsed; callers
+/// check `engine.has_errors()` after load_manifest). Campaign-level
+/// problems — an unexpandable manifest, an unwritable output directory —
+/// report `campaign.*` diagnostics into `engine` and yield Failed.
+CampaignResult run_campaign(const Manifest& manifest,
+                            const CampaignOptions& options,
+                            diag::DiagnosticEngine& engine);
+
+}  // namespace uhcg::campaign

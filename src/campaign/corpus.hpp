@@ -1,0 +1,74 @@
+// corpus.hpp — seeded synthetic UML/XMI corpus generator.
+//
+// A campaign needs many models; hand-written cases give three. This
+// generator produces arbitrarily many in the paper's shape — active
+// threads exchanging data over rated channels through Platform "work"
+// S-function calls (the Fig. 6 idiom) — from a single seed, fully
+// deterministically: the same options always produce byte-identical XMI
+// files, which is what lets the chaos suite compare whole campaign trees
+// across crash/resume boundaries.
+//
+// Each model is a layered thread DAG (every thread past the first has at
+// least one predecessor, extra channels added by density), optionally
+// closed into a feedback cycle. Cyclic models are generated on purpose:
+// `dse explore` rejects them with a structured dse.model error while
+// `generate` still succeeds via delay insertion, so a corpus with
+// `feedback_cycles > 0` exercises the campaign's per-job quarantine path
+// with a real, deterministic failure — no fault injection required.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "uml/model.hpp"
+
+namespace uhcg::campaign {
+
+struct CorpusOptions {
+    std::size_t models = 8;     ///< how many models to generate
+    std::uint64_t seed = 42;    ///< master seed; model i derives seed ^ i
+    std::size_t min_threads = 4;
+    std::size_t max_threads = 12;
+    /// Percent probability [0,100] of an extra forward channel between any
+    /// thread pair beyond the spanning connections.
+    unsigned channel_density = 30;
+    /// The last `feedback_cycles` models each get one back-channel closing
+    /// a cycle in the task graph (deterministic explore failures).
+    std::size_t feedback_cycles = 0;
+    /// Channel data-rate bounds (bytes per transfer, task-graph edge
+    /// weights). Drawn uniformly per channel.
+    double rate_min = 1.0;
+    double rate_max = 64.0;
+};
+
+/// One generated model, as listed in corpus-index.json.
+struct CorpusModelInfo {
+    std::string file;        ///< file name within the corpus directory
+    std::size_t threads = 0;
+    std::size_t channels = 0;
+    bool cyclic = false;
+    std::string xmi_hash;    ///< FNV-1a of the XMI bytes, 16 hex digits
+};
+
+struct CorpusResult {
+    std::vector<CorpusModelInfo> models;
+    std::size_t files_written = 0;  ///< XMI files + the index
+};
+
+/// Builds model `index` of the corpus (0-based). Deterministic in
+/// (options, index). Throws std::invalid_argument on inconsistent
+/// options (models == 0, min > max, rate_min > rate_max,
+/// feedback_cycles > models, density > 100).
+uml::Model synth_model(const CorpusOptions& options, std::size_t index);
+
+/// Generates the whole corpus into `dir` through one OutputTransaction:
+/// corpus-000.xmi … plus corpus-index.json (schema `uhcg-corpus-v1`
+/// recording the options and per-model stats). Either every file commits
+/// or none do.
+CorpusResult write_corpus(const CorpusOptions& options,
+                          const std::filesystem::path& dir);
+
+}  // namespace uhcg::campaign

@@ -1,0 +1,81 @@
+// journal.hpp — crash-safe checkpoint journal for campaign runs.
+//
+// The journal is the campaign's only source of resume truth: one JSONL
+// line per finished job (schema `uhcg-campaign-journal-v1`), appended
+// *after* the job's transactional outputs committed. Each line carries a
+// trailing FNV-1a self-hash (`,"h":"<16 hex>"}`) computed over everything
+// before the `,"h"` suffix, and every append is a single write(2) on an
+// O_APPEND descriptor — so a `kill -9` at any instant leaves at most one
+// torn final line, which `load` detects by the hash guard and discards.
+// A torn or stale line simply means that job re-runs; its transactional
+// re-commit overwrites the orphaned outputs, which is what makes resume
+// replay byte-identical rather than merely convergent.
+//
+// Entries key on the content-hashed job id (see manifest.hpp): editing a
+// model, a cost model or the sweep options changes every affected id, so
+// a journal from a different campaign can never mark the wrong job done.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace uhcg::campaign {
+
+/// One finished job, as recorded in (or replayed from) the journal.
+struct JournalEntry {
+    std::string job;     ///< content-hashed job id (16 hex digits)
+    std::string dir;     ///< job directory name, relative to the campaign
+    std::string status;  ///< "ok" | "quarantined"
+    /// FNV-1a hash (16 hex digits) of the committed report.json bytes —
+    /// resume only trusts an "ok" entry whose on-disk report still matches.
+    std::string report_hash;
+    /// Quarantine details (deterministic: first diagnostic code/message).
+    std::string error_code;
+    std::string error_message;
+    std::size_t attempts = 0;  ///< how many attempts the job took
+};
+
+/// Append-only journal file with per-line hash guards.
+class Journal {
+public:
+    explicit Journal(std::filesystem::path path) : path_(std::move(path)) {}
+    ~Journal();
+
+    Journal(const Journal&) = delete;
+    Journal& operator=(const Journal&) = delete;
+
+    /// Reads every intact entry from an existing journal file; a missing
+    /// file is an empty journal. Lines with a missing or wrong self-hash
+    /// (torn tail after a crash, manual edits) are discarded and counted
+    /// on the `campaign.journal_torn` counter. Later entries for the same
+    /// job id win (a re-run job appends a fresh line).
+    std::vector<JournalEntry> load() const;
+
+    /// Opens the journal for appending. `truncate` starts it fresh (a
+    /// non-resume run must not inherit stale entries); otherwise intact
+    /// existing lines are preserved and appends go after them.
+    void open_for_append(bool truncate);
+
+    /// Serializes `entry` and appends it as one write(2) syscall.
+    /// Thread-safe. Requires open_for_append().
+    void append(const JournalEntry& entry);
+
+    void close();
+
+    /// Number of appends performed by this object (not counting loaded
+    /// lines) — the campaign's `--halt-after` kill switch counts these.
+    std::size_t appended() const { return appended_; }
+
+    const std::filesystem::path& path() const { return path_; }
+
+private:
+    std::filesystem::path path_;
+    mutable std::mutex mutex_;
+    int fd_ = -1;
+    std::size_t appended_ = 0;
+};
+
+}  // namespace uhcg::campaign

@@ -102,6 +102,10 @@ inline constexpr const char* kFlowCheckpoint = "flow.checkpoint";
 inline constexpr const char* kFsmInvalid = "fsm.invalid";
 // Fallback multithreaded C++ branch
 inline constexpr const char* kCodegenThreads = "codegen.threads";
+// Campaign orchestration (manifest expansion, per-job quarantine, journal)
+inline constexpr const char* kCampaignManifest = "campaign.manifest";
+inline constexpr const char* kCampaignJob = "campaign.job";
+inline constexpr const char* kCampaignJournal = "campaign.journal";
 }  // namespace codes
 
 /// True for codes describing *transient* conditions — budget/watchdog

@@ -1,5 +1,6 @@
 #include "flow/fault.hpp"
 
+#include <mutex>
 #include <stdexcept>
 
 #include "flow/pass.hpp"
@@ -40,6 +41,22 @@ void Injector::fire(const std::string& site, PassContext& ctx) {
                 ctx.fail();
                 return;
         }
+    }
+}
+
+void Injector::fire_crash(const std::string& site) {
+    // Campaign shards probe concurrently; serialize the hit accounting
+    // (pass-level fire() stays lock-free — chaos runs never mix the two
+    // paths on the same sites).
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
+    for (Injection& inj : injections_) {
+        if (inj.remaining == 0) continue;
+        if (site.find(inj.site) == std::string::npos) continue;
+        if (inj.kind == Kind::Transient) continue;
+        --inj.remaining;
+        ++inj.hits;
+        throw CrashInjected("injected crash at " + site);
     }
 }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,16 @@ namespace uhcg::flow {
 class PassContext;
 
 namespace fault {
+
+/// Thrown by `Injector::fire_crash` — the in-process stand-in for a
+/// process death (`kill -9`) at a campaign-level site. Deliberately NOT a
+/// plain std::runtime_error subclass the per-job fault guard would
+/// swallow: the campaign runner rethrows it past its quarantine guard so
+/// the chaos suite can crash a sweep at an exact site and then prove
+/// `--resume` replays byte-identically.
+struct CrashInjected : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
 
 enum class Kind {
     /// Throw std::runtime_error from the pass entry — exercises the
@@ -62,6 +73,12 @@ public:
     /// Called by PassManager at each pass entry with the trace label.
     /// May throw (Kind::Throw) or report-and-fail through `ctx`.
     void fire(const std::string& site, PassContext& ctx);
+
+    /// Campaign-level probe outside any pass: an armed Throw or Fatal
+    /// injection matching `site` throws CrashInjected (Transient is
+    /// ignored here — there is no pass to heal). Used by the campaign
+    /// runner at its dispatch/job/journal/aggregate sites.
+    void fire_crash(const std::string& site);
 
     /// Parses a CLI spec "throw:<site>", "fatal:<site>" or
     /// "transient[xN]:<site>" and arms it. Returns false on bad syntax.

@@ -1,5 +1,6 @@
 #include "flow/txout.hpp"
 
+#include <chrono>
 #include <fstream>
 #include <stdexcept>
 #include <system_error>
@@ -71,6 +72,52 @@ void OutputTransaction::rollback() {
     std::error_code ec;
     fs::remove_all(stage_, ec);
     done_ = true;
+}
+
+namespace {
+
+void scan_for_stages(const fs::path& dir, std::uint64_t max_age_seconds,
+                     std::size_t depth_left, StaleStageStats& stats) {
+    std::error_code ec;
+    fs::directory_iterator it(
+        dir, fs::directory_options::skip_permission_denied, ec);
+    if (ec) return;
+    const auto now = fs::file_time_type::clock::now();
+    for (const fs::directory_entry& entry : it) {
+        std::error_code entry_ec;
+        if (!entry.is_directory(entry_ec) || entry_ec) continue;
+        if (entry.path().filename() == kStageName) {
+            ++stats.scanned;
+            fs::file_time_type mtime = entry.last_write_time(entry_ec);
+            if (entry_ec) continue;
+            auto age = std::chrono::duration_cast<std::chrono::seconds>(
+                now - mtime);
+            if (age.count() < 0 ||
+                static_cast<std::uint64_t>(age.count()) < max_age_seconds)
+                continue;
+            fs::remove_all(entry.path(), entry_ec);
+            if (!entry_ec) {
+                ++stats.pruned;
+                obs::counter("txout.stale_dirs_pruned").add();
+            }
+            continue;  // never descend into a stage
+        }
+        if (depth_left > 0)
+            scan_for_stages(entry.path(), max_age_seconds, depth_left - 1,
+                            stats);
+    }
+}
+
+}  // namespace
+
+StaleStageStats prune_stale_stages(const fs::path& root,
+                                   std::uint64_t max_age_seconds,
+                                   std::size_t max_depth) {
+    StaleStageStats stats;
+    std::error_code ec;
+    if (!fs::exists(root, ec) || ec) return stats;
+    scan_for_stages(root, max_age_seconds, max_depth, stats);
+    return stats;
 }
 
 void write_file_atomic(const fs::path& path, std::string_view contents) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <string>
 #include <string_view>
@@ -53,5 +54,23 @@ private:
 /// one-artifact commands. Throws std::runtime_error on I/O failure.
 void write_file_atomic(const std::filesystem::path& path,
                        std::string_view contents);
+
+/// Startup-time GC for staging debris. A transaction sweeps *its own*
+/// stage on construction, but a `kill -9` mid-campaign leaves `.uhcg-stage`
+/// directories inside job directories that no later transaction ever
+/// reopens — those were never reclaimed. This walks `root` (bounded depth)
+/// and removes every `.uhcg-stage` whose mtime is older than
+/// `max_age_seconds`. The age gate keeps stages of a *concurrently
+/// running* process safe; an uncommitted stage is discardable by the
+/// transaction protocol, so removal is always correct once it is stale.
+/// Each removal bumps the `txout.stale_dirs_pruned` counter. I/O errors
+/// skip the entry, never throw.
+struct StaleStageStats {
+    std::size_t scanned = 0;  ///< stage directories inspected
+    std::size_t pruned = 0;   ///< stage directories removed
+};
+StaleStageStats prune_stale_stages(const std::filesystem::path& root,
+                                   std::uint64_t max_age_seconds,
+                                   std::size_t max_depth = 4);
 
 }  // namespace uhcg::flow

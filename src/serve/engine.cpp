@@ -429,6 +429,10 @@ std::string Engine::dispatch(const std::string& id, const std::string& method,
             tx.write("generate-manifest.json",
                      flow::to_manifest_json(result) + "\n");
             committed = tx.commit();
+            // Remember the root for the housekeeping stale-staging GC.
+            constexpr std::size_t kMaxOutRoots = 64;
+            std::lock_guard<std::mutex> lock(out_roots_mutex_);
+            if (out_roots_.size() < kMaxOutRoots) out_roots_.insert(out_dir);
         }
 
         bool return_files = param_bool(doc, "return_files", false);
@@ -589,16 +593,29 @@ void Engine::housekeeping() {
     // it without limit (the CLI one-shot never could).
     if (options_.dse_memo_max_entries)
         dse::trim_simulation_cache(options_.dse_memo_max_entries);
-    // Checkpoint GC: cheap enough to run on a cadence, pointless to run
-    // per request (it stats the whole directory).
-    if (options_.checkpoint_dir.empty()) return;
-    if (!options_.checkpoint_gc.max_age_seconds &&
-        !options_.checkpoint_gc.max_count)
-        return;
+    // Directory-scanning GC passes are cheap enough to run on a cadence,
+    // pointless to run per request.
     if (housekeeping_tick_.fetch_add(1, std::memory_order_relaxed) % 16 != 0)
         return;
-    flow::CheckpointStore store(options_.checkpoint_dir);
-    store.prune(options_.checkpoint_gc);
+    if (!options_.checkpoint_dir.empty() &&
+        (options_.checkpoint_gc.max_age_seconds ||
+         options_.checkpoint_gc.max_count)) {
+        flow::CheckpointStore store(options_.checkpoint_dir);
+        store.prune(options_.checkpoint_gc);
+    }
+    // Stale staging GC: `.uhcg-stage` debris under any output root a
+    // generate request has committed into (a client killed mid-request
+    // never commits its stage). Age-gated so a request running right now
+    // keeps its live stage.
+    if (options_.stale_stage_ttl_seconds) {
+        std::vector<std::string> roots;
+        {
+            std::lock_guard<std::mutex> lock(out_roots_mutex_);
+            roots.assign(out_roots_.begin(), out_roots_.end());
+        }
+        for (const std::string& root : roots)
+            flow::prune_stale_stages(root, options_.stale_stage_ttl_seconds);
+    }
 }
 
 }  // namespace uhcg::serve

@@ -36,6 +36,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 
@@ -64,6 +65,11 @@ struct EngineOptions {
     std::string checkpoint_dir;
     /// Periodic GC for `checkpoint_dir` (both-zero = no GC).
     flow::CheckpointStore::PruneOptions checkpoint_gc;
+    /// Stale `.uhcg-stage` staging directories under output roots that
+    /// generate requests have written to are pruned on the housekeeping
+    /// cadence once older than this (debris of clients killed mid-run);
+    /// 0 disables the GC.
+    std::uint64_t stale_stage_ttl_seconds = 3600;
     /// Upper bound fed to the hardened JSON parser; transports should
     /// pass their frame limit so the two layers agree.
     std::size_t max_request_bytes = kDefaultMaxFrameBytes;
@@ -128,6 +134,11 @@ private:
     std::atomic<std::uint64_t> requests_failed_{0};
     std::atomic<std::uint64_t> deadline_exceeded_{0};
     std::atomic<std::uint64_t> housekeeping_tick_{0};
+    /// Output roots generate requests committed into — the stale-staging
+    /// GC's scan list. Bounded; a daemon serving arbitrarily many distinct
+    /// roots GCs the first kMaxOutRoots (the common case is one or two).
+    std::mutex out_roots_mutex_;
+    std::set<std::string> out_roots_;
     const TransportGauges* gauges_ = nullptr;
 
     /// Per-explore reuse accounting (plain integers mirroring

@@ -12,9 +12,14 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <map>
+#include <string>
 #include <thread>
 
+#include "campaign/campaign.hpp"
+#include "campaign/corpus.hpp"
+#include "campaign/manifest.hpp"
 #include "cases/cases.hpp"
 #include "flow/checkpoint.hpp"
 #include "flow/fault.hpp"
@@ -483,6 +488,214 @@ TEST_F(Resilience, ManifestListsEveryStrategyAndQuarantine) {
     EXPECT_NE(manifest.find("\"cpp-threads\""), std::string::npos);
     EXPECT_NE(manifest.find("\"quarantined\""), std::string::npos);
     EXPECT_NE(manifest.find(diag::codes::kFlowQuarantine), std::string::npos);
+}
+
+// --- stale-stage garbage collection -------------------------------------------------
+
+TEST_F(Resilience, StaleStageGcPrunesOldStagesOnly) {
+    fs::path root = fresh_dir("stale_gc");
+    fs::create_directories(root / "old" / ".uhcg-stage");
+    std::ofstream(root / "old" / ".uhcg-stage" / "debris") << "x";
+    fs::create_directories(root / "young" / ".uhcg-stage");
+    // Age the first stage past any reasonable TTL.
+    fs::last_write_time(root / "old" / ".uhcg-stage",
+                        fs::file_time_type::clock::now() -
+                            std::chrono::hours(2));
+    flow::StaleStageStats stats = flow::prune_stale_stages(root, 3600);
+    EXPECT_EQ(stats.scanned, 2u);
+    EXPECT_EQ(stats.pruned, 1u);
+    EXPECT_FALSE(fs::exists(root / "old" / ".uhcg-stage"));
+    EXPECT_TRUE(fs::exists(root / "young" / ".uhcg-stage"));  // age-gated
+}
+
+TEST_F(Resilience, StaleStageGcNeverDescendsIntoAStage) {
+    fs::path root = fresh_dir("stale_gc_nest");
+    // A stage containing something named like a stage: the inner dir is
+    // the *content* of a crashed transaction, not an independent stage —
+    // pruning the outer one must count once, and a young outer stage
+    // must shield its contents entirely.
+    fs::create_directories(root / ".uhcg-stage" / ".uhcg-stage");
+    flow::StaleStageStats young = flow::prune_stale_stages(root, 3600);
+    EXPECT_EQ(young.scanned, 1u);
+    EXPECT_EQ(young.pruned, 0u);
+    fs::last_write_time(root / ".uhcg-stage",
+                        fs::file_time_type::clock::now() -
+                            std::chrono::hours(2));
+    flow::StaleStageStats old_stats = flow::prune_stale_stages(root, 3600);
+    EXPECT_EQ(old_stats.scanned, 1u);
+    EXPECT_EQ(old_stats.pruned, 1u);
+    EXPECT_FALSE(fs::exists(root / ".uhcg-stage"));
+}
+
+TEST_F(Resilience, StaleStageGcHandlesMissingRoot) {
+    flow::StaleStageStats stats = flow::prune_stale_stages(
+        fs::path(testing::TempDir()) / "uhcg_res_does_not_exist", 3600);
+    EXPECT_EQ(stats.scanned, 0u);
+    EXPECT_EQ(stats.pruned, 0u);
+}
+
+// --- campaign chaos -----------------------------------------------------------------
+//
+// The campaign's own crash sites, exercised the same way the flow's pass
+// sites are: arm a Throw injection (the chaos stand-in for kill -9 at
+// that instant), watch the process "die", resume, and require the final
+// campaign tree — per-job outputs, aggregate report, failure manifest —
+// to be byte-identical to a run that was never interrupted.
+
+namespace campaign_chaos {
+
+/// Two models (threads-only shapes keep jobs fast), one cyclic so every
+/// campaign in the suite also crosses the quarantine path.
+fs::path build_corpus(const fs::path& dir) {
+    campaign::CorpusOptions options;
+    options.models = 2;
+    options.seed = 5;
+    options.min_threads = 3;
+    options.max_threads = 4;
+    options.feedback_cycles = 1;
+    campaign::write_corpus(options, dir);
+    return dir;
+}
+
+campaign::Manifest manifest_for(const fs::path& corpus) {
+    campaign::Manifest manifest;
+    manifest.models = {corpus.string()};
+    manifest.strategies = {"generate", "explore"};
+    manifest.backends = {"dynamic-fifo"};
+    manifest.cost_models.push_back({});
+    manifest.max_processors = 3;
+    manifest.random_samples = 1;
+    return manifest;
+}
+
+std::map<std::string, std::string> tree(const fs::path& root) {
+    std::map<std::string, std::string> files;
+    if (!fs::exists(root)) return files;
+    for (const fs::directory_entry& entry :
+         fs::recursive_directory_iterator(root)) {
+        if (!entry.is_regular_file()) continue;
+        std::ifstream in(entry.path(), std::ios::binary);
+        files[fs::relative(entry.path(), root).string()] =
+            std::string((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    }
+    return files;
+}
+
+}  // namespace campaign_chaos
+
+class CampaignChaos : public Resilience,
+                      public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(CampaignChaos, CrashAtAnySiteResumesByteIdentically) {
+    namespace cc = campaign_chaos;
+    const std::string site = GetParam();
+    fs::path corpus = cc::build_corpus(fresh_dir("cc_corpus_" + site));
+    campaign::Manifest manifest = cc::manifest_for(corpus);
+
+    // Reference: the same campaign, never interrupted.
+    campaign::CampaignOptions reference;
+    reference.out_dir = fresh_dir("cc_ref_" + site);
+    reference.jobs = 1;
+    diag::DiagnosticEngine reference_engine;
+    campaign::CampaignResult expected =
+        campaign::run_campaign(manifest, reference, reference_engine);
+    ASSERT_EQ(expected.status, campaign::CampaignStatus::Partial)
+        << "corpus must exercise both ok and quarantined jobs";
+
+    // Crash at the armed site, then resume.
+    campaign::CampaignOptions options;
+    options.out_dir = fresh_dir("cc_out_" + site);
+    options.jobs = 1;
+    flow::fault::Injector::instance().arm(site, flow::fault::Kind::Throw, 1);
+    diag::DiagnosticEngine crash_engine;
+    EXPECT_THROW(campaign::run_campaign(manifest, options, crash_engine),
+                 flow::fault::CrashInjected);
+    flow::fault::Injector::instance().disarm_all();
+
+    options.resume = true;
+    diag::DiagnosticEngine resume_engine;
+    campaign::CampaignResult resumed =
+        campaign::run_campaign(manifest, options, resume_engine);
+    EXPECT_EQ(resumed.status, expected.status);
+    EXPECT_EQ(resumed.jobs_ok, expected.jobs_ok);
+    EXPECT_EQ(resumed.jobs_quarantined, expected.jobs_quarantined);
+    EXPECT_EQ(cc::tree(options.out_dir / "jobs"),
+              cc::tree(reference.out_dir / "jobs"));
+    for (const char* artifact :
+         {"campaign-report.json", "campaign-manifest.json"})
+        EXPECT_EQ(cc::tree(options.out_dir)[artifact],
+                  cc::tree(reference.out_dir)[artifact])
+            << artifact;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sites, CampaignChaos,
+                         ::testing::Values("campaign.dispatch",
+                                           "campaign.job",
+                                           "campaign.journal",
+                                           "campaign.aggregate"),
+                         [](const auto& info) {
+                             std::string name = info.param;
+                             for (char& c : name)
+                                 if (c == '.') c = '_';
+                             return name;
+                         });
+
+TEST_F(Resilience, CampaignTornJournalLineMeansReRunNotCorruption) {
+    namespace cc = campaign_chaos;
+    fs::path corpus = cc::build_corpus(fresh_dir("cc_torn_corpus"));
+    campaign::Manifest manifest = cc::manifest_for(corpus);
+    campaign::CampaignOptions options;
+    options.out_dir = fresh_dir("cc_torn_out");
+    options.jobs = 1;
+    diag::DiagnosticEngine engine;
+    campaign::CampaignResult first =
+        campaign::run_campaign(manifest, options, engine);
+    std::map<std::string, std::string> reference =
+        cc::tree(options.out_dir / "jobs");
+
+    // Tear the journal's final line mid-byte, as a kill -9 inside the
+    // append's write(2) would.
+    fs::path journal = options.out_dir / "campaign-journal.jsonl";
+    std::ifstream in(journal, std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(text.size(), 20u);
+    std::ofstream(journal, std::ios::binary)
+        << text.substr(0, text.size() - 12);
+
+    options.resume = true;
+    diag::DiagnosticEngine resume_engine;
+    campaign::CampaignResult resumed =
+        campaign::run_campaign(manifest, options, resume_engine);
+    EXPECT_EQ(resumed.status, first.status);
+    EXPECT_EQ(resumed.jobs_resumed, resumed.jobs_total - 1);  // one re-ran
+    EXPECT_EQ(cc::tree(options.out_dir / "jobs"), reference);
+}
+
+TEST_F(Resilience, CampaignQuarantinesCyclicModelWithStructuredCode) {
+    namespace cc = campaign_chaos;
+    fs::path corpus = cc::build_corpus(fresh_dir("cc_cyclic_corpus"));
+    campaign::Manifest manifest = cc::manifest_for(corpus);
+    campaign::CampaignOptions options;
+    options.out_dir = fresh_dir("cc_cyclic_out");
+    options.jobs = 1;
+    diag::DiagnosticEngine engine;
+    campaign::CampaignResult result =
+        campaign::run_campaign(manifest, options, engine);
+    EXPECT_EQ(result.status, campaign::CampaignStatus::Partial);
+    std::size_t cyclic_quarantines = 0;
+    for (const campaign::JournalEntry& entry : result.outcomes)
+        if (entry.status == "quarantined") {
+            EXPECT_EQ(entry.error_code, diag::codes::kDseModel);
+            EXPECT_FALSE(entry.error_message.empty());
+            ++cyclic_quarantines;
+        }
+    EXPECT_EQ(cyclic_quarantines, 1u);  // the cyclic model's explore job
+    // Generate still succeeds on the cyclic model (delay insertion), so
+    // the same model contributes ok jobs too — isolation, not contagion.
+    EXPECT_EQ(result.jobs_ok, result.jobs_total - 1);
 }
 
 }  // namespace

@@ -5,19 +5,24 @@
 //
 // Each input must be a JSON value: either a `uhcg-bench-v1` reproduction
 // report (written by a bench binary's --uhcg_report flag) or a
-// google-benchmark --benchmark_out file. Inputs are embedded verbatim —
-// no JSON parser needed, the aggregate stays valid JSON by construction:
+// google-benchmark --benchmark_out file. Inputs are embedded verbatim
+// after validating they parse as JSON (a crashed bench leaves truncated
+// artifacts; embedding one would corrupt the whole aggregate):
 //
 //   { "schema": "uhcg-bench-report-v1",
 //     "inputs": [ {"path": "...", "report": <input JSON>}, ... ] }
+//
+// A missing or invalid input is skipped with a structured warning on
+// stderr — one bad artifact must not discard every other bench's numbers.
+// The run fails only when *no* input survives.
 //
 // With `--gate`, the freshly written aggregate is then compared against
 // the committed baseline with the perf-gate rules (src/obs/gate.hpp) —
 // the same logic `uhcg_bench_gate` runs in CI, reusable locally in one
 // step. `--tolerance` sets the allowed timing regression (default 25%).
 //
-// Exit codes: 0 success, 1 unreadable/invalid input or gate failure,
-//             2 usage.
+// Exit codes: 0 success (some inputs may have been skipped), 1 every
+//             input unreadable/invalid or gate failure, 2 usage.
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
@@ -28,6 +33,7 @@
 
 #include "diag/diag.hpp"
 #include "obs/gate.hpp"
+#include "obs/json.hpp"
 
 namespace {
 
@@ -44,13 +50,12 @@ std::string read_file(const std::string& path, bool& ok) {
     return buffer.str();
 }
 
-/// A pasted input must itself be one JSON value, or the aggregate breaks.
-bool looks_like_json(const std::string& text) {
-    for (char c : text) {
-        if (std::isspace(static_cast<unsigned char>(c))) continue;
-        return c == '{' || c == '[';
-    }
-    return false;
+/// A pasted input must itself be one complete JSON value, or the
+/// aggregate breaks. A full parse (not a first-byte sniff) is what
+/// catches the truncated artifact a crashed bench run leaves behind.
+bool valid_json(const std::string& text, std::string& error) {
+    uhcg::obs::json::Value value;
+    return uhcg::obs::json::parse(text, value, error);
 }
 
 }  // namespace
@@ -95,36 +100,48 @@ int main(int argc, char** argv) {
 
     std::ostringstream out;
     out << "{\n  \"schema\": \"uhcg-bench-report-v1\",\n  \"inputs\": [";
-    bool first = true;
+    std::size_t embedded = 0, skipped = 0;
     for (const std::string& input : inputs) {
         bool ok = false;
         std::string text = read_file(input, ok);
         if (!ok) {
-            std::cerr << "error: cannot read " << input << '\n';
-            return 1;
+            std::cerr << "warning: skipping " << input
+                      << ": cannot read file\n";
+            ++skipped;
+            continue;
         }
-        if (!looks_like_json(text)) {
-            std::cerr << "error: " << input
-                      << " does not hold a JSON object/array\n";
-            return 1;
+        std::string parse_error;
+        if (!valid_json(text, parse_error)) {
+            std::cerr << "warning: skipping " << input
+                      << ": not valid JSON (" << parse_error
+                      << ") — truncated bench artifact?\n";
+            ++skipped;
+            continue;
         }
         // Strip the trailing newline so the embedding stays tidy.
         while (!text.empty() && (text.back() == '\n' || text.back() == '\r'))
             text.pop_back();
-        out << (first ? "\n    " : ",\n    ") << "{\"path\": \""
+        out << (embedded ? ",\n    " : "\n    ") << "{\"path\": \""
             << uhcg::diag::json_escape(input) << "\", \"report\": " << text
             << '}';
-        first = false;
+        ++embedded;
     }
     out << "\n  ]\n}\n";
+    if (!embedded) {
+        std::cerr << "error: every input (" << skipped
+                  << ") was unreadable or invalid — nothing to aggregate\n";
+        return 1;
+    }
 
     std::ofstream file(output_path, std::ios::binary);
     if (!(file << out.str())) {
         std::cerr << "error: cannot write " << output_path << '\n';
         return 1;
     }
-    std::cout << "wrote " << output_path << " (" << inputs.size()
-              << " report(s))\n";
+    std::cout << "wrote " << output_path << " (" << embedded
+              << " report(s)";
+    if (skipped) std::cout << ", " << skipped << " skipped";
+    std::cout << ")\n";
 
     if (!gate_baseline.empty()) {
         bool ok = false;

@@ -19,6 +19,13 @@
 //                                           generate/explore/simulate over a
 //                                           Unix socket with a resident model
 //                                           cache (see DESIGN.md §12)
+//   uhcg campaign <manifest.json> [options] supervised sharded sweep over a
+//                                           models × strategies × cost-models
+//                                           × backends matrix with per-job
+//                                           quarantine and a crash-safe
+//                                           --resume journal (DESIGN.md §15)
+//   uhcg synth-corpus <out-dir> [options]   seeded deterministic UML/XMI
+//                                           corpus generator (campaign fuel)
 //
 // Common options:
 //   -o <path>            output file (map/threads) or directory (codegen,
@@ -83,6 +90,30 @@
 //   --checkpoint-ttl-s <n>   prune checkpoints older than n seconds
 //   --checkpoint-max <n>     keep at most n newest checkpoints
 //
+// Campaign options (campaign command):
+//   --out <dir>              campaign tree root (default campaign-out)
+//   --resume                 replay the checkpoint journal: completed jobs
+//                            are skipped, in-flight jobs re-run; the final
+//                            tree is byte-identical to an uninterrupted run
+//   --jobs <n>               worker threads running shards (0 = hardware)
+//   --shard-size <n>         jobs per shard (default 1)
+//   --halt-after <n>         chaos/CI hook: SIGKILL this process after the
+//                            n-th journal append (deterministic kill -9)
+//   --stale-ttl-s <n>        prune .uhcg-stage debris older than n seconds
+//                            before the sweep (also generate; default 3600,
+//                            0 = off)
+//   --max-retries/--retry-backoff-ms/--pass-budget-ms apply per job
+//
+// Corpus options (synth-corpus command):
+//   --corpus-models <n>      how many models to generate (default 8)
+//   --seed <n>               master seed (default 1)
+//   --min-threads <n> --max-threads <n>   thread count range (default 4-12)
+//   --channel-density <pct>  extra-channel probability 0-100 (default 30)
+//   --feedback-cycles <n>    last n models get a task-graph cycle — they
+//                            fail explore deterministically (quarantine
+//                            fuel; default 0)
+//   --rate-min <n> --rate-max <n>         channel byte-rate range (1-64)
+//
 // Daemon options (serve command):
 //   --jobs <n>               worker threads draining the request queue
 //                            (default 2)
@@ -112,6 +143,9 @@
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hpp"
+#include "campaign/corpus.hpp"
+#include "campaign/manifest.hpp"
 #include "codegen/caam_to_c.hpp"
 #include "codegen/uml_to_cpp.hpp"
 #include "core/mapping.hpp"
@@ -181,6 +215,18 @@ struct Cli {
     // Checkpoint GC (generate + serve).
     std::uint64_t checkpoint_ttl_s = 0;
     std::size_t checkpoint_max = 0;
+    // Campaign.
+    std::size_t shard_size = 0;
+    std::size_t halt_after = 0;
+    std::uint64_t stale_ttl_s = 3600;
+    // Synthetic corpus.
+    std::size_t corpus_models = 8;
+    std::size_t min_threads = 4;
+    std::size_t max_threads = 12;
+    std::size_t channel_density = 30;
+    std::size_t feedback_cycles = 0;
+    std::size_t rate_min = 1;
+    std::size_t rate_max = 64;
     // Daemon (serve).
     std::size_t queue_limit = 64;
     std::size_t cache_budget_mb = 256;
@@ -202,6 +248,8 @@ int usage(const char* argv0) {
         << " <generate|map|codegen|threads|kpn|explore|dot|check|fuzz-xmi>"
            " <model.xmi> [options]\n"
            "       " << argv0 << " serve <socket.sock> [options]\n"
+           "       " << argv0 << " campaign <manifest.json> [options]\n"
+           "       " << argv0 << " synth-corpus <out-dir> [options]\n"
            "options: -o|--out <path> --auto-allocate --max-cpus <n>\n"
            "         --no-channels --no-delays --dump-ecore <path> --report\n"
            "         --json-diagnostics\n"
@@ -230,6 +278,12 @@ int usage(const char* argv0) {
            "         --checkpoint-ttl-s <n> --checkpoint-max <n>\n"
            "         --queue-limit <n> --cache-budget-mb <n>\n"
            "         --default-deadline-ms <n> --max-frame-mb <n> (serve)\n"
+           "         --resume --jobs <n> --shard-size <n> --halt-after <n>\n"
+           "         --stale-ttl-s <n> (campaign command)\n"
+           "         --corpus-models <n> --seed <n> --min-threads <n>\n"
+           "         --max-threads <n> --channel-density <pct>\n"
+           "         --feedback-cycles <n> --rate-min <n> --rate-max <n>\n"
+           "         (synth-corpus command)\n"
            "exit codes: 0 ok, 1 diagnostics with errors, 2 usage,\n"
            "            3 partial success (see manifest), 4 internal\n";
     return kExitUsage;
@@ -326,6 +380,26 @@ bool parse_cli(int argc, char** argv, Cli& cli) {
             if (!next_number(cli.checkpoint_ttl_s)) return false;
         } else if (arg == "--checkpoint-max") {
             if (!next_number(cli.checkpoint_max)) return false;
+        } else if (arg == "--shard-size") {
+            if (!next_number(cli.shard_size)) return false;
+        } else if (arg == "--halt-after") {
+            if (!next_number(cli.halt_after)) return false;
+        } else if (arg == "--stale-ttl-s") {
+            if (!next_number(cli.stale_ttl_s)) return false;
+        } else if (arg == "--corpus-models") {
+            if (!next_number(cli.corpus_models)) return false;
+        } else if (arg == "--min-threads") {
+            if (!next_number(cli.min_threads)) return false;
+        } else if (arg == "--max-threads") {
+            if (!next_number(cli.max_threads)) return false;
+        } else if (arg == "--channel-density") {
+            if (!next_number(cli.channel_density)) return false;
+        } else if (arg == "--feedback-cycles") {
+            if (!next_number(cli.feedback_cycles)) return false;
+        } else if (arg == "--rate-min") {
+            if (!next_number(cli.rate_min)) return false;
+        } else if (arg == "--rate-max") {
+            if (!next_number(cli.rate_max)) return false;
         } else if (arg == "--queue-limit") {
             if (!next_number(cli.queue_limit)) return false;
         } else if (arg == "--cache-budget-mb") {
@@ -485,6 +559,17 @@ int cmd_generate(const uml::Model& model, const Cli& cli,
                  diag::DiagnosticEngine& engine) {
     std::filesystem::path dir =
         cli.output.empty() ? model.name() + "_gen" : cli.output;
+
+    // Reclaim .uhcg-stage debris a kill -9 left under the output tree.
+    // Age-gated so a concurrently running generate's live stage survives.
+    if (cli.stale_ttl_s) {
+        flow::StaleStageStats stale =
+            flow::prune_stale_stages(dir, cli.stale_ttl_s);
+        if (stale.pruned)
+            std::cout << "pruned " << stale.pruned
+                      << " stale staging dir(s) under " << dir.string()
+                      << '\n';
+    }
 
     flow::GenerateOptions options;
     options.mapper = cli.mapper;
@@ -746,6 +831,76 @@ int cmd_fuzz(const Cli& cli) {
     return kExitOk;
 }
 
+int cmd_campaign(const Cli& cli, diag::DiagnosticEngine& engine) {
+    campaign::Manifest manifest = campaign::load_manifest(cli.input, engine);
+    if (engine.has_errors()) return kExitDiagnostics;
+
+    campaign::CampaignOptions options;
+    options.out_dir = cli.output.empty() ? "campaign-out" : cli.output;
+    options.resume = cli.resume;
+    options.jobs = cli.jobs;
+    options.shard_size = cli.shard_size;
+    options.halt_after = cli.halt_after;
+    options.retry.max_retries = cli.max_retries;
+    options.retry.backoff_ms = cli.retry_backoff_ms;
+    options.pass_budget_ms = cli.pass_budget_ms;
+    options.stale_stage_ttl_s = cli.stale_ttl_s;
+
+    campaign::CampaignResult result =
+        campaign::run_campaign(manifest, options, engine);
+    if (result.jobs_total == 0) return kExitDiagnostics;
+
+    std::cout << "campaign " << campaign::to_string(result.status) << ": "
+              << result.jobs_ok << "/" << result.jobs_total << " job(s) ok";
+    if (result.jobs_quarantined)
+        std::cout << ", " << result.jobs_quarantined << " quarantined";
+    if (result.jobs_resumed)
+        std::cout << ", " << result.jobs_resumed << " resumed from journal";
+    if (result.stale_stages_pruned)
+        std::cout << ", " << result.stale_stages_pruned
+                  << " stale stage(s) pruned";
+    std::cout << "\nwrote " << result.report_path.string() << " and "
+              << result.manifest_path.string() << '\n';
+    for (const campaign::JournalEntry& entry : result.outcomes)
+        if (entry.status != "ok")
+            std::cout << "  quarantined " << entry.dir << ": ["
+                      << entry.error_code << "] " << entry.error_message
+                      << '\n';
+    switch (result.status) {
+        case campaign::CampaignStatus::Ok: return kExitOk;
+        case campaign::CampaignStatus::Partial: return kExitPartial;
+        case campaign::CampaignStatus::Failed: return kExitDiagnostics;
+    }
+    return kExitDiagnostics;
+}
+
+int cmd_synth_corpus(const Cli& cli) {
+    campaign::CorpusOptions options;
+    options.models = cli.corpus_models;
+    options.seed = cli.seed;
+    options.min_threads = cli.min_threads;
+    options.max_threads = cli.max_threads;
+    options.channel_density = static_cast<unsigned>(cli.channel_density);
+    options.feedback_cycles = cli.feedback_cycles;
+    options.rate_min = static_cast<double>(cli.rate_min);
+    options.rate_max = static_cast<double>(cli.rate_max);
+
+    campaign::CorpusResult result;
+    try {
+        result = campaign::write_corpus(options, cli.input);
+    } catch (const std::invalid_argument& e) {
+        std::cerr << "synth-corpus: " << e.what() << '\n';
+        return kExitUsage;
+    }
+    std::size_t cyclic = 0;
+    for (const campaign::CorpusModelInfo& info : result.models)
+        if (info.cyclic) ++cyclic;
+    std::cout << "wrote " << result.models.size() << " model(s) ("
+              << cyclic << " cyclic) + corpus-index.json to " << cli.input
+              << '\n';
+    return kExitOk;
+}
+
 /// The live daemon, visible to the signal handler. Handlers may only call
 /// the async-signal-safe notify_stop() (one write(2) to a self-pipe).
 std::atomic<serve::Server*> g_server{nullptr};
@@ -801,6 +956,16 @@ int dispatch(const Cli& cli) {
     obs::ObsSpan root("cli." + cli.command, "cli");
     if (cli.command == "fuzz-xmi") return cmd_fuzz(cli);
     if (cli.command == "serve") return cmd_serve(cli);
+    if (cli.command == "synth-corpus") return cmd_synth_corpus(cli);
+    if (cli.command == "campaign") {
+        diag::DiagnosticEngine engine;
+        int code = cmd_campaign(cli, engine);
+        if (cli.json_diagnostics)
+            std::cout << engine.render_json() << '\n';
+        else if (!engine.empty())
+            std::cerr << engine.render_text();
+        return code;
+    }
 
     diag::DiagnosticEngine engine;
     uml::Model model = uml::load_xmi(cli.input, engine);
