@@ -14,18 +14,80 @@ Drives one daemon through the robustness contract:
 
 With --fire-and-forget it sends one generate request and exits without
 reading the response — the SIGTERM-mid-flight half of the drain test.
+
+Startup is failure-aware: with --daemon-pid/--daemon-log the script polls
+for the socket under a deadline, detects the daemon dying before it binds
+(the historical hang: a shell loop sleeping its full budget against a
+crashed daemon, then failing with no explanation), and dumps the daemon's
+log so the CI failure is readable without re-running the job.
 """
 import json
+import os
 import socket
 import struct
 import sys
+import time
 
 MAX_FRAME = 16 << 20
+IO_TIMEOUT_S = 60.0
+BIND_DEADLINE_S = 15.0
+
+# Filled from --daemon-pid / --daemon-log so failures anywhere in the
+# burst can say what the daemon was doing when it happened.
+DAEMON_PID = None
+DAEMON_LOG = None
+
+
+def fail(message):
+    print(f"serve smoke: FAIL: {message}", file=sys.stderr)
+    if DAEMON_PID is not None:
+        state = "still running" if daemon_alive(DAEMON_PID) else "dead"
+        print(f"serve smoke: daemon pid {DAEMON_PID} is {state}",
+              file=sys.stderr)
+    if DAEMON_LOG and os.path.exists(DAEMON_LOG):
+        print(f"--- daemon log ({DAEMON_LOG}) ---", file=sys.stderr)
+        with open(DAEMON_LOG, errors="replace") as f:
+            sys.stderr.write(f.read())
+        print("--- end daemon log ---", file=sys.stderr)
+    sys.exit(1)
+
+
+def daemon_alive(pid):
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return False
+    return True
+
+
+def wait_for_socket(path):
+    """Poll for the listening socket under a deadline, failing fast (with
+    the daemon log) the moment the daemon dies instead of sleeping out the
+    whole budget against a corpse."""
+    deadline = time.monotonic() + BIND_DEADLINE_S
+    while time.monotonic() < deadline:
+        if DAEMON_PID is not None and not daemon_alive(DAEMON_PID):
+            fail(f"daemon died before binding {path}")
+        if os.path.exists(path):
+            try:
+                probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                probe.settimeout(IO_TIMEOUT_S)
+                probe.connect(path)
+                probe.close()
+                return
+            except OSError:
+                pass  # bound but not accepting yet — keep polling
+        time.sleep(0.05)
+    fail(f"daemon did not accept on {path} within {BIND_DEADLINE_S:.0f}s")
 
 
 def connect(path):
     s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-    s.connect(path)
+    s.settimeout(IO_TIMEOUT_S)
+    try:
+        s.connect(path)
+    except OSError as e:
+        fail(f"cannot connect to {path}: {e}")
     return s
 
 
@@ -69,17 +131,35 @@ def expect_error(response, code):
     assert response["error"]["code"] == code, response
 
 
+def flag_value(args, flag):
+    if flag not in args:
+        return None
+    i = args.index(flag)
+    if i + 1 >= len(args):
+        fail(f"{flag} needs a value")
+    value = args[i + 1]
+    del args[i:i + 2]
+    return value
+
+
 def main():
-    path = sys.argv[1]
-    xmi = open(sys.argv[2]).read()
+    global DAEMON_PID, DAEMON_LOG
+    args = sys.argv[1:]
+    pid = flag_value(args, "--daemon-pid")
+    DAEMON_PID = int(pid) if pid is not None else None
+    DAEMON_LOG = flag_value(args, "--daemon-log")
+
+    path = args[0]
+    wait_for_socket(path)
+    xmi = open(args[1]).read()
     # Optional second model with a feedback cycle: simulate must reject it
     # structurally (serve.bad-model), never serve.internal or a crash.
     cyclic_xmi = None
-    extra = [a for a in sys.argv[3:] if not a.startswith("--")]
+    extra = [a for a in args[2:] if not a.startswith("--")]
     if extra:
         cyclic_xmi = open(extra[0]).read()
 
-    if "--fire-and-forget" in sys.argv:
+    if "--fire-and-forget" in args:
         s = connect(path)
         send_frame(s, {"method": "generate", "id": "inflight",
                        "model_xmi": xmi, "params": {"out": "gen_out"}})
@@ -161,4 +241,9 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    try:
+        main()
+    except AssertionError as e:
+        fail(f"contract violation: {e}")
+    except socket.timeout:
+        fail(f"daemon stopped responding (I/O timeout {IO_TIMEOUT_S:.0f}s)")

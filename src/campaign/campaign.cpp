@@ -177,6 +177,7 @@ JobRun execute_job(const JobSpec& job, const CampaignOptions& options) {
         flow::GenerateOptions gopts;
         gopts.iterations = m.iterations;
         gopts.with_kpn = m.with_kpn;
+        gopts.gen_jobs = options.gen_jobs;
         gopts.sim_backend = job.backend;
         gopts.resilience.retry = options.retry;
         gopts.resilience.pass_budget.wall_ms = options.pass_budget_ms;

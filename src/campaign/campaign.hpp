@@ -46,6 +46,12 @@ struct CampaignOptions {
     std::size_t jobs = 0;
     /// Jobs per shard (a shard runs sequentially on one worker); 0 = 1.
     std::size_t shard_size = 0;
+    /// Worker threads for each generate job's own strategy dispatch
+    /// (GenerateOptions::gen_jobs). Defaults to 1: campaign shards already
+    /// occupy the pool, and a nested fan-out from a pool worker degrades
+    /// to serial anyway — raising this mainly helps jobs running on the
+    /// caller thread of a small campaign.
+    std::size_t gen_jobs = 1;
     /// Chaos/CI hook: raise SIGKILL against this very process after the
     /// N-th journal append — a deterministic mid-sweep kill -9. 0 = off.
     std::size_t halt_after = 0;

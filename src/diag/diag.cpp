@@ -73,6 +73,11 @@ void DiagnosticEngine::note(std::string code, std::string message,
     report(Severity::Note, std::move(code), std::move(message), std::move(location));
 }
 
+void DiagnosticEngine::merge(const DiagnosticEngine& other) {
+    for (const Diagnostic& d : other.diags_) report(d);
+    for (const auto& [file, text] : other.sources_) sources_.emplace(file, text);
+}
+
 std::vector<const Diagnostic*> DiagnosticEngine::sorted() const {
     std::vector<const Diagnostic*> out;
     out.reserve(diags_.size());

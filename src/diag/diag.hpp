@@ -131,6 +131,14 @@ public:
     void warning(std::string code, std::string message, SourceLocation location = {});
     void note(std::string code, std::string message, SourceLocation location = {});
 
+    /// Appends every diagnostic of `other` in `other`'s report order,
+    /// through the normal dedup path, and adopts its registered sources.
+    /// The parallel generate dispatcher collects each (strategy ×
+    /// subsystem) unit into a private engine and folds them back in
+    /// canonical unit order, so the merged stream is identical for any
+    /// worker count.
+    void merge(const DiagnosticEngine& other);
+
     bool empty() const { return diags_.empty(); }
     std::size_t size() const { return diags_.size(); }
     std::size_t error_count() const { return errors_; }

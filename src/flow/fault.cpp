@@ -13,43 +13,67 @@ Injector& Injector::instance() {
 }
 
 void Injector::arm(std::string site, Kind kind, std::size_t count) {
+    std::lock_guard<std::mutex> lock(mutex_);
     injections_.push_back({std::move(site), kind, count, 0});
 }
 
-void Injector::disarm_all() { injections_.clear(); }
+void Injector::disarm_all() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    injections_.clear();
+}
+
+bool Injector::armed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return !injections_.empty();
+}
+
+std::vector<Injection> Injector::injections() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return injections_;
+}
 
 void Injector::fire(const std::string& site, PassContext& ctx) {
-    for (Injection& inj : injections_) {
-        if (inj.remaining == 0) continue;
-        if (site.find(inj.site) == std::string::npos) continue;
-        --inj.remaining;
-        ++inj.hits;
-        switch (inj.kind) {
-            case Kind::Throw:
-                throw std::runtime_error("injected fault at " + site);
-            case Kind::Fatal:
-                ctx.diags().report(diag::Severity::Fatal,
-                                   diag::codes::kFlowQuarantine,
-                                   "injected fatal fault at " + site);
-                ctx.fail();
-                return;
-            case Kind::Transient:
-                ctx.diags().error(diag::codes::kFlowTransient,
-                                  "injected transient fault at " + site +
-                                      " (" + std::to_string(inj.remaining) +
-                                      " hit(s) until it heals)");
-                ctx.fail();
-                return;
+    // Pass entries fire from pool workers under `--gen-jobs`; the hit
+    // accounting must be serialized. The action runs outside the lock —
+    // the armed site determines it, not the interleaving.
+    Kind kind;
+    std::size_t remaining;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Injection* hit = nullptr;
+        for (Injection& inj : injections_) {
+            if (inj.remaining == 0) continue;
+            if (site.find(inj.site) == std::string::npos) continue;
+            hit = &inj;
+            break;
         }
+        if (!hit) return;
+        --hit->remaining;
+        ++hit->hits;
+        kind = hit->kind;
+        remaining = hit->remaining;
+    }
+    switch (kind) {
+        case Kind::Throw:
+            throw std::runtime_error("injected fault at " + site);
+        case Kind::Fatal:
+            ctx.diags().report(diag::Severity::Fatal,
+                               diag::codes::kFlowQuarantine,
+                               "injected fatal fault at " + site);
+            ctx.fail();
+            return;
+        case Kind::Transient:
+            ctx.diags().error(diag::codes::kFlowTransient,
+                              "injected transient fault at " + site + " (" +
+                                  std::to_string(remaining) +
+                                  " hit(s) until it heals)");
+            ctx.fail();
+            return;
     }
 }
 
 void Injector::fire_crash(const std::string& site) {
-    // Campaign shards probe concurrently; serialize the hit accounting
-    // (pass-level fire() stays lock-free — chaos runs never mix the two
-    // paths on the same sites).
-    static std::mutex mutex;
-    std::lock_guard<std::mutex> lock(mutex);
+    std::lock_guard<std::mutex> lock(mutex_);
     for (Injection& inj : injections_) {
         if (inj.remaining == 0) continue;
         if (site.find(inj.site) == std::string::npos) continue;

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -55,8 +56,10 @@ struct Injection {
     std::size_t hits = 0;  ///< how often this injection actually fired
 };
 
-/// Process-wide injection table. Not thread-safe by design: chaos runs
-/// are single-flow; arm/disarm only between generate() calls.
+/// Process-wide injection table. `fire`/`fire_crash` are thread-safe —
+/// the parallel generate dispatcher runs pass entries on pool workers —
+/// but arm/disarm still belong between generate() calls: re-arming while
+/// a flow is in flight would make which unit trips the fault racy.
 class Injector {
 public:
     static Injector& instance();
@@ -67,8 +70,8 @@ public:
     void arm(std::string site, Kind kind,
              std::size_t count = static_cast<std::size_t>(-1));
     void disarm_all();
-    bool armed() const { return !injections_.empty(); }
-    const std::vector<Injection>& injections() const { return injections_; }
+    bool armed() const;
+    std::vector<Injection> injections() const;
 
     /// Called by PassManager at each pass entry with the trace label.
     /// May throw (Kind::Throw) or report-and-fail through `ctx`.
@@ -85,6 +88,7 @@ public:
     bool arm_spec(const std::string& spec);
 
 private:
+    mutable std::mutex mutex_;
     std::vector<Injection> injections_;
 };
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/allocation.hpp"
+#include "core/parallel.hpp"
 #include "flow/caam_passes.hpp"
 #include "flow/checkpoint.hpp"
 #include "obs/obs.hpp"
@@ -34,6 +35,8 @@ std::string options_fingerprint(const GenerateOptions& options) {
         << "|delay=" << options.mapper.insert_delays
         << "|wf=" << options.mapper.enforce_wellformedness
         << "|iters=" << options.iterations
+        << "|caamc=" << options.caam_c
+        << "|caamdot=" << options.caam_dot
         << "|kpnf=" << options.resilience.kpn_firings
         << "|sims=" << options.resilience.sim_steps
         << "|simbk=" << options.sim_backend;
@@ -134,21 +137,56 @@ GenerateResult generate(const uml::Model& model, const GenerateOptions& options_
         checkpoints = std::make_unique<CheckpointStore>(res.checkpoint_dir);
     const std::string options_fp = options_fingerprint(options);
 
-    // Stage 2: dispatch each subsystem to the strategies that handle it.
-    // Every unit runs inside a fault guard: a failure quarantines only
-    // that (strategy × subsystem) pair, and the loop continues.
+    // Stage 2: dispatch each (strategy × subsystem) unit, optionally
+    // across the core::parallel pool (--gen-jobs). The unit list is fixed
+    // up front in canonical order (subsystem order × wanted order);
+    // workers fill per-unit slots through private DiagnosticEngines and
+    // FlowTraces, and a serial fold afterwards merges everything back in
+    // canonical order — so the output tree, manifest and diagnostic
+    // stream are byte-identical for every job count. Each dataflow
+    // subsystem's CAAM mapping is computed once (compute_shared_caam) and
+    // consumed read-only by all three caam-family emitters.
+    constexpr std::size_t kNoPrep = static_cast<std::size_t>(-1);
+    struct PrepState {
+        const Subsystem* subsystem = nullptr;
+        SharedCaam shared;
+        diag::DiagnosticEngine engine;
+        FlowTrace trace;
+    };
+    struct UnitState {
+        const Subsystem* subsystem = nullptr;
+        std::string name;
+        Strategy* strategy = nullptr;
+        std::string key;
+        /// Index into `preps` for live caam-family units; kNoPrep else.
+        std::size_t prep = static_cast<std::size_t>(-1);
+        bool cached = false;
+        StrategyResult sr;
+        diag::DiagnosticEngine engine;
+        FlowTrace trace;
+    };
+
     StrategyRegistry registry = StrategyRegistry::with_builtins();
+    std::vector<PrepState> preps;
+    std::vector<UnitState> units;
+
+    // Serial planning pass: wanted lists, checkpoint replay, shared-prep
+    // assignment, trace partitions. Everything order-sensitive that is
+    // cheap stays on the calling thread.
     for (const Subsystem& subsystem : result.partitions.subsystems) {
         std::vector<std::string> wanted;
         if (subsystem.machine) {
             wanted.push_back("fsm-c");
         } else {
             wanted.push_back("simulink-caam");
+            if (options.caam_c) wanted.push_back("caam-c");
+            if (options.caam_dot) wanted.push_back("caam-dot");
             if (options.fallback_cpp) wanted.push_back("cpp-threads");
             if (options.with_kpn) wanted.push_back("kpn");
         }
 
         std::vector<std::string> dispatched;
+        std::size_t prep_index = kNoPrep;
         for (const std::string& name : wanted) {
             Strategy* strategy = registry.find(name);
             if (!strategy || !strategy->handles(subsystem)) {
@@ -159,74 +197,37 @@ GenerateResult generate(const uml::Model& model, const GenerateOptions& options_
             }
             dispatched.push_back(name);
 
-            std::string key;
+            UnitState unit;
+            unit.subsystem = &subsystem;
+            unit.name = name;
+            unit.strategy = strategy;
             if (checkpointing)
-                key = CheckpointStore::key(res.model_bytes, options_fp, name,
-                                           subsystem.name);
+                unit.key = CheckpointStore::key(res.model_bytes, options_fp,
+                                                name, subsystem.name);
             if (checkpointing && res.resume) {
                 StrategyResult cached;
-                if (checkpoints->load(key, cached)) {
+                if (checkpoints->load(unit.key, cached)) {
                     cached.cached = true;
-                    engine.note(diag::codes::kFlowCheckpoint,
-                                "strategy '" + name + "' for subsystem '" +
-                                    subsystem.name +
-                                    "' replayed from checkpoint");
-                    if (trace)
-                        for (const GeneratedFile& f : cached.files)
-                            trace->add_output(
-                                {f.name, name, f.contents.size()});
-                    result.results.push_back(std::move(cached));
-                    continue;
+                    unit.cached = true;
+                    unit.sr = std::move(cached);
+                    unit.engine.note(diag::codes::kFlowCheckpoint,
+                                     "strategy '" + name +
+                                         "' for subsystem '" +
+                                         subsystem.name +
+                                         "' replayed from checkpoint");
                 }
             }
-
-            StrategyContext context;
-            context.model = &model;
-            context.subsystem = &subsystem;
-            context.mapper = options.mapper;
-            context.iterations = options.iterations;
-            context.retry = res.retry;
-            context.pass_budget = res.pass_budget;
-            context.kpn_firings = res.kpn_firings;
-            context.sim_steps = res.sim_steps;
-            context.sim_backend = options.sim_backend;
-
-            const std::size_t diags_before = engine.size();
-            StrategyResult sr;
-            obs::ObsSpan unit_span("flow.strategy:" + name, "flow");
-            try {
-                sr = strategy->generate(context, engine, trace);
-            } catch (const std::exception& e) {
-                // Strategy code outside any pass body escaped; contain it
-                // to this unit like any other failure.
-                engine.report(diag::Severity::Fatal,
-                              diag::codes::kFlowQuarantine,
-                              "strategy '" + name + "' raised: " + e.what());
-                sr.strategy = name;
-                sr.subsystem = subsystem.name;
-                sr.ok = false;
-                sr.files.clear();
+            const bool caam_family = name == "simulink-caam" ||
+                                     name == "caam-c" || name == "caam-dot";
+            if (!unit.cached && caam_family) {
+                if (prep_index == kNoPrep) {
+                    prep_index = preps.size();
+                    preps.emplace_back();
+                    preps.back().subsystem = &subsystem;
+                }
+                unit.prep = prep_index;
             }
-
-            if (!sr.ok) {
-                obs::counter("flow.quarantined").add(1);
-                result.quarantined.push_back(quarantine_record(
-                    name, subsystem.name, engine, diags_before));
-                engine.warning(diag::codes::kFlowQuarantine,
-                               "strategy '" + name + "' quarantined for "
-                               "subsystem '" + subsystem.name +
-                               "'; other subsystems continue");
-                // A failed unit never ships files or a checkpoint.
-                sr.files.clear();
-                if (checkpointing) checkpoints->drop(key);
-            } else if (checkpointing) {
-                checkpoints->save(key, sr);
-            }
-
-            if (trace)
-                for (const GeneratedFile& f : sr.files)
-                    trace->add_output({f.name, name, f.contents.size()});
-            result.results.push_back(std::move(sr));
+            units.push_back(std::move(unit));
         }
 
         if (trace) {
@@ -253,6 +254,120 @@ GenerateResult generate(const uml::Model& model, const GenerateOptions& options_
             record.error_codes.push_back(diag::codes::kFlowStrategy);
             result.quarantined.push_back(std::move(record));
         }
+    }
+
+    auto make_context = [&](const Subsystem& subsystem) {
+        StrategyContext context;
+        context.model = &model;
+        context.subsystem = &subsystem;
+        context.mapper = options.mapper;
+        context.iterations = options.iterations;
+        context.retry = res.retry;
+        context.pass_budget = res.pass_budget;
+        context.kpn_firings = res.kpn_firings;
+        context.sim_steps = res.sim_steps;
+        context.sim_backend = options.sim_backend;
+        return context;
+    };
+
+    auto run_unit = [&](UnitState& unit) {
+        StrategyContext context = make_context(*unit.subsystem);
+        if (unit.prep != kNoPrep)
+            context.shared_caam = &preps[unit.prep].shared;
+        obs::ObsSpan unit_span("flow.strategy:" + unit.name, "flow");
+        FlowTrace* unit_trace = trace ? &unit.trace : nullptr;
+        try {
+            unit.sr = unit.strategy->generate(context, unit.engine,
+                                              unit_trace);
+        } catch (const std::exception& e) {
+            // Strategy code outside any pass body escaped; contain it to
+            // this unit like any other failure.
+            unit.engine.report(diag::Severity::Fatal,
+                               diag::codes::kFlowQuarantine,
+                               "strategy '" + unit.name +
+                                   "' raised: " + e.what());
+            unit.sr.strategy = unit.name;
+            unit.sr.subsystem = unit.subsystem->name;
+            unit.sr.ok = false;
+            unit.sr.files.clear();
+        }
+    };
+
+    // Wave 1: every shared CAAM prep plus every live non-caam unit.
+    // Wave 2: the caam-family emitters, which read the preps built in
+    // wave 1. The fault guard keeps worker exceptions inside their unit,
+    // so parallel_for's own rethrow path stays cold.
+    std::vector<std::size_t> emitters;
+    std::vector<std::size_t> independents;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        if (units[i].cached) continue;
+        (units[i].prep != kNoPrep ? emitters : independents).push_back(i);
+    }
+    const std::size_t jobs = options.gen_jobs;
+    core::parallel_for(
+        preps.size() + independents.size(), jobs, [&](std::size_t i) {
+            if (i < preps.size()) {
+                PrepState& prep = preps[i];
+                StrategyContext context = make_context(*prep.subsystem);
+                prep.shared = compute_shared_caam(
+                    context, prep.engine, trace ? &prep.trace : nullptr);
+            } else {
+                run_unit(units[independents[i - preps.size()]]);
+            }
+        });
+    core::parallel_for(emitters.size(), jobs,
+                       [&](std::size_t i) { run_unit(units[emitters[i]]); });
+
+    // Serial fold in canonical unit order: a subsystem's prep merges just
+    // before its first live caam unit, then each unit's diagnostics,
+    // trace entries, outputs, quarantine records and checkpoints.
+    std::vector<bool> prep_merged(preps.size(), false);
+    for (UnitState& unit : units) {
+        if (unit.prep != kNoPrep && !prep_merged[unit.prep]) {
+            prep_merged[unit.prep] = true;
+            PrepState& prep = preps[unit.prep];
+            engine.merge(prep.engine);
+            if (trace)
+                for (const PassTraceEntry& entry : prep.trace.entries())
+                    trace->add(entry);
+        }
+        engine.merge(unit.engine);
+        if (trace)
+            for (const PassTraceEntry& entry : unit.trace.entries())
+                trace->add(entry);
+
+        StrategyResult sr = std::move(unit.sr);
+        if (!unit.cached) {
+            if (!sr.ok) {
+                obs::counter("flow.quarantined").add(1);
+                // A unit downed by its shared prep reported nothing of its
+                // own — its quarantine record slices the prep's engine so
+                // the reason and codes name the actual mapping failure.
+                const bool prep_failed = unit.prep != kNoPrep &&
+                                         !preps[unit.prep].shared.ok;
+                const diag::DiagnosticEngine& source =
+                    (prep_failed && !unit.engine.has_errors())
+                        ? preps[unit.prep].engine
+                        : unit.engine;
+                result.quarantined.push_back(quarantine_record(
+                    unit.name, unit.subsystem->name, source, 0));
+                engine.warning(diag::codes::kFlowQuarantine,
+                               "strategy '" + unit.name +
+                                   "' quarantined for subsystem '" +
+                                   unit.subsystem->name +
+                                   "'; other subsystems continue");
+                // A failed unit never ships files or a checkpoint.
+                sr.files.clear();
+                if (checkpointing) checkpoints->drop(unit.key);
+            } else if (checkpointing) {
+                checkpoints->save(unit.key, sr);
+            }
+        }
+
+        if (trace)
+            for (const GeneratedFile& f : sr.files)
+                trace->add_output({f.name, unit.name, f.contents.size()});
+        result.results.push_back(std::move(sr));
     }
 
     const bool any_ok = std::any_of(

@@ -50,6 +50,17 @@ struct GenerateOptions {
     bool fallback_cpp = true;
     /// Also emit the §3 KPN retargeting summary for thread subsystems.
     bool with_kpn = false;
+    /// Also emit the per-CPU C program from the shared CAAM (caam-c).
+    bool caam_c = true;
+    /// Also emit the Graphviz block diagram from the shared CAAM (caam-dot).
+    bool caam_dot = true;
+    /// Worker threads for the (strategy × subsystem) dispatch; 1 = serial
+    /// (the legacy behaviour), 0 = one per hardware thread. Output trees,
+    /// manifests and diagnostics are byte-identical for every value — the
+    /// unit order is fixed up front and per-unit results are folded back
+    /// in that canonical order. Deliberately NOT part of the checkpoint
+    /// fingerprint: a serial run may resume a parallel one and vice versa.
+    std::size_t gen_jobs = 1;
     /// Simulation backend for the advisory sim.estimate pass; empty =
     /// sim::kDefaultBackend.
     std::string sim_backend;

@@ -1,5 +1,6 @@
 #include "flow/strategy.hpp"
 
+#include "codegen/caam_to_c.hpp"
 #include "codegen/uml_to_cpp.hpp"
 #include "flow/caam_passes.hpp"
 #include "fsm/codegen.hpp"
@@ -7,8 +8,11 @@
 #include "fsm/machine.hpp"
 #include "kpn/execute.hpp"
 #include "kpn/from_uml.hpp"
+#include "obs/obs.hpp"
 #include "sim/backend.hpp"
 #include "sim/engine.hpp"
+#include "simulink/dot.hpp"
+#include "simulink/mdl.hpp"
 #include "transform/text.hpp"
 
 namespace uhcg::flow {
@@ -18,9 +22,37 @@ struct SourceMachine {
     const uml::StateMachine* machine = nullptr;
 };
 
+/// Read-only view of the shared mapping, seeded into each emitter's own
+/// store so the emit pass is still a traced, fault-injectable pass.
+struct SharedCaamRef {
+    const SharedCaam* shared = nullptr;
+};
+
+/// The per-CPU C program emitted from the shared CAAM (caam-c).
+struct CaamCProgram {
+    codegen::GeneratedProgram program;
+};
+
+/// The Graphviz text emitted from the shared CAAM (caam-dot).
+struct CaamDotText {
+    std::string text;
+};
+
 template <>
 struct ArtifactTraits<SourceMachine> {
     static constexpr const char* name = "uml.statemachine";
+};
+template <>
+struct ArtifactTraits<SharedCaamRef> {
+    static constexpr const char* name = "caam.shared";
+};
+template <>
+struct ArtifactTraits<CaamCProgram> {
+    static constexpr const char* name = "caam.c-program";
+};
+template <>
+struct ArtifactTraits<CaamDotText> {
+    static constexpr const char* name = "caam.dot";
 };
 template <>
 struct ArtifactTraits<fsm::Machine> {
@@ -150,7 +182,31 @@ void register_estimate_pass(PassManager& pm, std::string backend) {
            .runs_after("caam.validate"));
 }
 
-/// Dataflow branch: the full steps 2–4 pass pipeline ending in .mdl text.
+/// Shared prelude of every caam-family emitter: resolve the dispatcher's
+/// SharedCaam, or compute a private one for standalone strategy calls.
+/// Returns nullptr (with `result.ok = false`) when the mapping failed —
+/// the emitter then returns its result untouched and the dispatcher
+/// quarantines it with the prep's diagnostics.
+const SharedCaam* resolve_shared_caam(const StrategyContext& context,
+                                      diag::DiagnosticEngine& engine,
+                                      FlowTrace* trace, SharedCaam& local,
+                                      StrategyResult& result) {
+    const SharedCaam* shared = context.shared_caam;
+    if (shared == nullptr) {
+        local = compute_shared_caam(context, engine, trace);
+        shared = &local;
+    }
+    if (!shared->ok) {
+        result.ok = false;
+        return nullptr;
+    }
+    return shared;
+}
+
+/// Dataflow branch: steps 2–4 ending in .mdl text. The mapping (steps
+/// 2–3) lives in the SharedCaam; this strategy only runs the step-4
+/// model-to-text pass, so the same analysis feeds caam-c and caam-dot
+/// without being recomputed.
 class CaamStrategy final : public Strategy {
 public:
     std::string_view name() const override { return "simulink-caam"; }
@@ -165,23 +221,135 @@ public:
         result.strategy = std::string(name());
         result.subsystem = context.subsystem->name;
 
-        const std::size_t first_diag = engine.size();
+        SharedCaam local;
+        const SharedCaam* shared =
+            resolve_shared_caam(context, engine, trace, local, result);
+        // The legacy report travels with the mdl result whether or not the
+        // mapping succeeded — cmd_generate --report prints it either way.
+        if (context.shared_caam)
+            result.mapper_report = context.shared_caam->mapper_report;
+        else
+            result.mapper_report = local.mapper_report;
+        if (!shared) return result;
+
         ArtifactStore store;
-        store.put(SourceModel{context.model});
+        store.put(SharedCaamRef{shared});
         PassManager pm("simulink-caam");
         apply_resilience(pm, context);
-        register_caam_passes(pm, context.mapper, CaamPipelineMode::Engine);
-        register_schedulability_probe(pm, context.sim_steps);
-        register_estimate_pass(pm, context.sim_backend);
-        register_mdl_emit_pass(pm, context.mapper);
+        pm.add(Pass("simulink.emit",
+                    [](PassContext& ctx) {
+                        const SharedCaam& s = *ctx.in<SharedCaamRef>().shared;
+                        MdlText& mdl =
+                            ctx.out(MdlText{simulink::write_mdl(s.caam)});
+                        ctx.count("bytes", mdl.text.size());
+                    })
+               .reads<SharedCaamRef>()
+               .writes<MdlText>());
         auto run = pm.run(store, engine, trace,
                           group_label(name(), *context.subsystem));
-        fill_mapper_report(result.mapper_report, store, engine, first_diag);
         result.ok = run.ok;
         if (MdlText* mdl = store.get<MdlText>())
             result.files.push_back(
                 {transform::sanitize_identifier(context.model->name()) + ".mdl",
                  std::move(mdl->text)});
+        return result;
+    }
+};
+
+/// Dataflow branch: the same CAAM emitted as a per-CPU C99 program — the
+/// multithread software-generation step, from the shared mapping.
+class CaamCStrategy final : public Strategy {
+public:
+    std::string_view name() const override { return "caam-c"; }
+    bool handles(const Subsystem& s) const override {
+        return s.machine == nullptr && !s.threads.empty();
+    }
+
+    StrategyResult generate(const StrategyContext& context,
+                            diag::DiagnosticEngine& engine,
+                            FlowTrace* trace) override {
+        StrategyResult result;
+        result.strategy = std::string(name());
+        result.subsystem = context.subsystem->name;
+
+        SharedCaam local;
+        const SharedCaam* shared =
+            resolve_shared_caam(context, engine, trace, local, result);
+        if (!shared) return result;
+
+        ArtifactStore store;
+        store.put(SharedCaamRef{shared});
+        PassManager pm("caam-c");
+        apply_resilience(pm, context);
+        pm.add(Pass("caam.emit-c",
+                    [](PassContext& ctx) {
+                        const SharedCaam& s = *ctx.in<SharedCaamRef>().shared;
+                        CaamCProgram& prog = ctx.out(CaamCProgram{
+                            codegen::generate_c_program(s.caam)});
+                        std::size_t bytes = 0;
+                        for (const auto& [name, contents] : prog.program.files)
+                            bytes += contents.size();
+                        ctx.count("files", prog.program.files.size());
+                        ctx.count("channels", prog.program.channel_count);
+                        ctx.count("sfunctions", prog.program.sfunction_count);
+                        ctx.count("bytes", bytes);
+                    })
+               .reads<SharedCaamRef>()
+               .writes<CaamCProgram>());
+        auto run = pm.run(store, engine, trace,
+                          group_label(name(), *context.subsystem));
+        result.ok = run.ok;
+        if (CaamCProgram* prog = store.get<CaamCProgram>()) {
+            const std::string prefix =
+                transform::sanitize_identifier(context.model->name()) + "_";
+            for (auto& [name, contents] : prog->program.files)
+                result.files.push_back({prefix + name, std::move(contents)});
+        }
+        return result;
+    }
+};
+
+/// Dataflow branch: the same CAAM exported as a Graphviz block diagram.
+class CaamDotStrategy final : public Strategy {
+public:
+    std::string_view name() const override { return "caam-dot"; }
+    bool handles(const Subsystem& s) const override {
+        return s.machine == nullptr && !s.threads.empty();
+    }
+
+    StrategyResult generate(const StrategyContext& context,
+                            diag::DiagnosticEngine& engine,
+                            FlowTrace* trace) override {
+        StrategyResult result;
+        result.strategy = std::string(name());
+        result.subsystem = context.subsystem->name;
+
+        SharedCaam local;
+        const SharedCaam* shared =
+            resolve_shared_caam(context, engine, trace, local, result);
+        if (!shared) return result;
+
+        ArtifactStore store;
+        store.put(SharedCaamRef{shared});
+        PassManager pm("caam-dot");
+        apply_resilience(pm, context);
+        pm.add(Pass("caam.emit-dot",
+                    [](PassContext& ctx) {
+                        const SharedCaam& s = *ctx.in<SharedCaamRef>().shared;
+                        CaamDotText& dot = ctx.out(
+                            CaamDotText{simulink::to_dot(s.caam)});
+                        ctx.count("bytes", dot.text.size());
+                    })
+               .reads<SharedCaamRef>()
+               .writes<CaamDotText>());
+        auto run = pm.run(store, engine, trace,
+                          group_label(name(), *context.subsystem));
+        result.ok = run.ok;
+        if (CaamDotText* dot = store.get<CaamDotText>())
+            result.files.push_back(
+                {transform::sanitize_identifier(context.model->name()) +
+                     "_caam.dot",
+                 std::move(dot->text)});
         return result;
     }
 };
@@ -389,6 +557,29 @@ public:
 
 }  // namespace
 
+SharedCaam compute_shared_caam(const StrategyContext& context,
+                               diag::DiagnosticEngine& engine,
+                               FlowTrace* trace) {
+    SharedCaam shared;
+    const std::size_t first_diag = engine.size();
+    ArtifactStore store;
+    store.put(SourceModel{context.model});
+    PassManager pm("simulink-caam");
+    apply_resilience(pm, context);
+    register_caam_passes(pm, context.mapper, CaamPipelineMode::Engine);
+    register_schedulability_probe(pm, context.sim_steps);
+    register_estimate_pass(pm, context.sim_backend);
+    auto run = pm.run(store, engine, trace,
+                      group_label("simulink-caam", *context.subsystem));
+    fill_mapper_report(shared.mapper_report, store, engine, first_diag);
+    obs::counter("flow.caam_shared_computed").add(1);
+    if (simulink::Model* caam = store.get<simulink::Model>()) {
+        shared.caam = std::move(*caam);
+        shared.ok = run.ok;
+    }
+    return shared;
+}
+
 StrategyRegistry& StrategyRegistry::add(std::unique_ptr<Strategy> strategy) {
     strategies_.push_back(std::move(strategy));
     return *this;
@@ -403,6 +594,8 @@ Strategy* StrategyRegistry::find(std::string_view name) {
 StrategyRegistry StrategyRegistry::with_builtins() {
     StrategyRegistry registry;
     registry.add(std::make_unique<CaamStrategy>())
+        .add(std::make_unique<CaamCStrategy>())
+        .add(std::make_unique<CaamDotStrategy>())
         .add(std::make_unique<FsmStrategy>())
         .add(std::make_unique<CppThreadsStrategy>())
         .add(std::make_unique<KpnStrategy>());

@@ -4,13 +4,19 @@
 // subsystem partitions to:
 //
 //   simulink-caam   dataflow branch: steps 2–4, UML → CAAM → .mdl
+//   caam-c          dataflow branch: the same CAAM → per-CPU C program
+//   caam-dot        dataflow branch: the same CAAM → Graphviz diagram
 //   fsm-c           control branch: UML state machine → flat FSM → C
 //   cpp-threads     fallback branch: UML → multithreaded C++ ("in case a
 //                   Simulink compiler is not available")
 //   kpn             §3 retargeting: UML → Kahn process network summary
 //
-// Every strategy runs its stages through a PassManager, so each lands in
-// the shared FlowTrace with per-stage wall time, counters and diagnostics.
+// The three caam-family emitters share one SharedCaam mapping artifact —
+// the paper's amortize-one-analysis-across-many-back-ends shape — which
+// compute_shared_caam() builds once per dataflow subsystem; each emitter
+// then runs only its model-to-text pass. Every strategy still runs its
+// stages through a PassManager, so each lands in the shared FlowTrace
+// with per-stage wall time, counters and diagnostics.
 #pragma once
 
 #include <memory>
@@ -21,8 +27,22 @@
 #include "core/pipeline.hpp"
 #include "flow/partition.hpp"
 #include "flow/pass.hpp"
+#include "simulink/model.hpp"
 
 namespace uhcg::flow {
+
+/// The per-subsystem CAAM mapping result (steps 2–3 plus the
+/// schedulability probe and cost estimate), computed once and consumed
+/// read-only by every caam-family emitter. Immutable after
+/// compute_shared_caam() returns, so concurrent emitter units may share
+/// one instance without synchronization. `ok == false` means the mapping
+/// pipeline failed; the dispatcher quarantines every dependent emitter
+/// with the prep's diagnostics instead of running them.
+struct SharedCaam {
+    bool ok = false;
+    simulink::Model caam{""};
+    core::MapperReport mapper_report;
+};
 
 /// What a strategy is asked to generate.
 struct StrategyContext {
@@ -43,7 +63,20 @@ struct StrategyContext {
     /// Simulation backend for the advisory cost-estimate pass
     /// (sim.estimate); empty = sim::kDefaultBackend.
     std::string sim_backend;
+    /// Shared mapping for the caam-family emitters, owned by the
+    /// dispatcher. Null for non-caam strategies and for standalone
+    /// strategy calls — a caam emitter then computes a private mapping.
+    const SharedCaam* shared_caam = nullptr;
 };
+
+/// Runs the steps 2–3 mapping pipeline (plus schedulability probe and
+/// cost estimate) once for `context.subsystem`, tracing under group
+/// "simulink-caam:<subsystem>" and bumping the process-wide
+/// `flow.caam_shared_computed` counter. Diagnostics land in `engine`;
+/// on failure the result has `ok == false` and the engine holds why.
+SharedCaam compute_shared_caam(const StrategyContext& context,
+                               diag::DiagnosticEngine& engine,
+                               FlowTrace* trace);
 
 struct GeneratedFile {
     std::string name;
@@ -82,8 +115,8 @@ public:
     const std::vector<std::unique_ptr<Strategy>>& strategies() const {
         return strategies_;
     }
-    /// The four built-in branches of Fig. 1, registration order:
-    /// simulink-caam, fsm-c, cpp-threads, kpn.
+    /// The built-in branches of Fig. 1, registration order:
+    /// simulink-caam, caam-c, caam-dot, fsm-c, cpp-threads, kpn.
     static StrategyRegistry with_builtins();
 
 private:

@@ -5,6 +5,11 @@
 #include <stdexcept>
 #include <system_error>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "obs/obs.hpp"
 
 namespace uhcg::flow {
@@ -13,10 +18,24 @@ namespace fs = std::filesystem;
 
 namespace {
 constexpr const char* kStageName = ".uhcg-stage";
-}
 
-OutputTransaction::OutputTransaction(fs::path dir)
-    : dir_(std::move(dir)), stage_(dir_ / kStageName) {
+/// Best-effort directory fsync: makes the renames durable on POSIX.
+/// Failure is not an error — some filesystems reject fsync on
+/// directories, and the rename itself already guaranteed atomicity.
+void sync_directory(const fs::path& dir) {
+#if defined(__unix__) || defined(__APPLE__)
+    int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return;
+    ::fsync(fd);
+    ::close(fd);
+#else
+    (void)dir;
+#endif
+}
+}  // namespace
+
+OutputTransaction::OutputTransaction(fs::path dir, CommitMode mode)
+    : dir_(std::move(dir)), stage_(dir_ / kStageName), mode_(mode) {
     std::error_code ec;
     fs::create_directories(dir_, ec);
     if (ec)
@@ -50,19 +69,27 @@ void OutputTransaction::write(const std::string& name,
                                  "'");
     ++staged_;
     bytes_staged_ += contents.size();
+    names_.insert(name);
 }
 
 std::size_t OutputTransaction::commit() {
     obs::ObsSpan span("txout.commit");
     std::size_t committed = 0;
-    for (const fs::directory_entry& entry : fs::directory_iterator(stage_)) {
-        fs::path target = dir_ / entry.path().filename();
-        fs::rename(entry.path(), target);  // atomic within one filesystem
+    // std::set iteration gives the sorted, deduplicated rename sequence —
+    // identical for any producer order, which keeps parallel generate's
+    // on-disk effects byte-for-byte those of a serial run.
+    for (const std::string& name : names_) {
+        fs::rename(stage_ / name,
+                   dir_ / name);  // atomic within one filesystem
         ++committed;
+        obs::counter("txout.renames").add(1);
+        if (mode_ == CommitMode::PerFile) sync_directory(dir_);
     }
+    if (mode_ == CommitMode::Batched && committed) sync_directory(dir_);
     std::error_code ec;
     fs::remove_all(stage_, ec);
     done_ = true;
+    obs::counter("txout.commit_batches").add(1);
     obs::counter("txout.files_committed").add(committed);
     obs::counter("txout.bytes_committed").add(bytes_staged_);
     return committed;

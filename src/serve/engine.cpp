@@ -396,6 +396,10 @@ std::string Engine::dispatch(const std::string& id, const std::string& method,
         options.iterations =
             static_cast<std::size_t>(param_number(doc, "iterations", 100));
         options.with_kpn = param_bool(doc, "with_kpn", false);
+        options.caam_c = param_bool(doc, "caam_c", true);
+        options.caam_dot = param_bool(doc, "caam_dot", true);
+        options.gen_jobs =
+            static_cast<std::size_t>(param_number(doc, "gen_jobs", 1));
         options.resilience.model_bytes = resident->bytes;
         options.resilience.pass_budget.wall_ms = static_cast<std::uint64_t>(
             param_number(doc, "pass_budget_ms", 0));

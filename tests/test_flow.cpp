@@ -11,6 +11,7 @@
 #include "flow/generate.hpp"
 #include "flow/partition.hpp"
 #include "flow/pass.hpp"
+#include "obs/obs.hpp"
 #include "simulink/mdl.hpp"
 #include "uml/builder.hpp"
 
@@ -360,6 +361,92 @@ TEST(Generate, FsmStrategySkippedWithoutMachines) {
     EXPECT_TRUE(result.ok);
     for (const flow::StrategyResult& sr : result.results)
         EXPECT_NE(sr.strategy, "fsm-c");
+}
+
+TEST(Generate, CaamEmittersShipCAndDotFromSharedMapping) {
+    uml::Model model = cases::mixed_model();
+    flow::GenerateOptions options;
+    diag::DiagnosticEngine engine;
+    flow::GenerateResult result = flow::generate(model, options, engine);
+    EXPECT_TRUE(result.ok);
+
+    std::vector<std::string> files;
+    for (const flow::StrategyResult& sr : result.results)
+        for (const flow::GeneratedFile& f : sr.files) files.push_back(f.name);
+    auto has = [&](const char* name) {
+        return std::find(files.begin(), files.end(), name) != files.end();
+    };
+    EXPECT_TRUE(has("mixed_main.c"));
+    EXPECT_TRUE(has("mixed_uhcg_rt.h"));
+    EXPECT_TRUE(has("mixed_caam.dot"));
+
+    // --no-caam-c / --no-caam-dot drop exactly those units.
+    options.caam_c = false;
+    options.caam_dot = false;
+    diag::DiagnosticEngine engine2;
+    flow::GenerateResult trimmed = flow::generate(model, options, engine2);
+    EXPECT_TRUE(trimmed.ok);
+    for (const flow::StrategyResult& sr : trimmed.results) {
+        EXPECT_NE(sr.strategy, "caam-c");
+        EXPECT_NE(sr.strategy, "caam-dot");
+    }
+}
+
+// The tentpole economics: three caam-family emitters, one mapping. The
+// process-wide counter must advance by exactly one per dataflow
+// subsystem, serial or parallel.
+TEST(Generate, SharedCaamComputedExactlyOncePerSubsystem) {
+    uml::Model model = cases::mixed_model();  // one dataflow subsystem
+    for (std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+        flow::GenerateOptions options;
+        options.gen_jobs = jobs;
+        diag::DiagnosticEngine engine;
+        const std::uint64_t before =
+            obs::counter("flow.caam_shared_computed").value();
+        flow::GenerateResult result = flow::generate(model, options, engine);
+        const std::uint64_t after =
+            obs::counter("flow.caam_shared_computed").value();
+        EXPECT_TRUE(result.ok) << "gen_jobs=" << jobs;
+        EXPECT_EQ(after - before, 1u)
+            << "shared CAAM recomputed at gen_jobs=" << jobs;
+    }
+}
+
+// A parallel run's results, manifest and diagnostics are byte-identical
+// to the serial run's.
+TEST(Generate, ParallelDispatchMatchesSerialByteForByte) {
+    uml::Model model = cases::mixed_model();
+    flow::GenerateOptions serial;
+    serial.with_kpn = true;
+    flow::GenerateOptions parallel = serial;
+    parallel.gen_jobs = 4;
+
+    diag::DiagnosticEngine e1, e2;
+    flow::FlowTrace t1, t2;
+    flow::GenerateResult r1 = flow::generate(model, serial, e1, &t1);
+    flow::GenerateResult r2 = flow::generate(model, parallel, e2, &t2);
+
+    EXPECT_EQ(flow::to_manifest_json(r1), flow::to_manifest_json(r2));
+    EXPECT_EQ(e1.render_text(), e2.render_text());
+    ASSERT_EQ(r1.results.size(), r2.results.size());
+    for (std::size_t i = 0; i < r1.results.size(); ++i) {
+        EXPECT_EQ(r1.results[i].strategy, r2.results[i].strategy);
+        EXPECT_EQ(r1.results[i].subsystem, r2.results[i].subsystem);
+        ASSERT_EQ(r1.results[i].files.size(), r2.results[i].files.size());
+        for (std::size_t f = 0; f < r1.results[i].files.size(); ++f) {
+            EXPECT_EQ(r1.results[i].files[f].name,
+                      r2.results[i].files[f].name);
+            EXPECT_EQ(r1.results[i].files[f].contents,
+                      r2.results[i].files[f].contents);
+        }
+    }
+    // Trace outputs (name, strategy, bytes) line up in canonical order.
+    ASSERT_EQ(t1.outputs().size(), t2.outputs().size());
+    for (std::size_t i = 0; i < t1.outputs().size(); ++i) {
+        EXPECT_EQ(t1.outputs()[i].path, t2.outputs()[i].path);
+        EXPECT_EQ(t1.outputs()[i].strategy, t2.outputs()[i].strategy);
+        EXPECT_EQ(t1.outputs()[i].bytes, t2.outputs()[i].bytes);
+    }
 }
 
 }  // namespace

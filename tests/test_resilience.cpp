@@ -339,14 +339,16 @@ TEST_F(Resilience, ChaosSweepQuarantinesOnlyTheFaultedUnit) {
     FileMap baseline_files = file_map(baseline);
     ASSERT_GE(baseline_files.size(), 4u);  // fsm-c, caam, threads, kpn
 
-    // Every pass of every strategy, under both fault kinds: 34 distinct
-    // injection points (the acceptance bar is >= 25).
+    // Every pass of every strategy, under both fault kinds: 38 distinct
+    // injection points (the acceptance bar is >= 25). A fault in the
+    // shared CAAM prep (caam.*/sim.*) quarantines all three caam-family
+    // emitters; a fault in one emit pass quarantines only that emitter.
     const char* kSites[] = {
         "flow.partition", "fsm.flatten",   "fsm.emit-c",    "uml.wellformed",
         "core.comm",      "core.allocate", "core.mapping",  "caam.lift",
         "caam.channels",  "caam.delays",   "caam.validate", "sim.schedulability",
-        "sim.estimate",   "simulink.emit", "codegen.threads", "kpn.map",
-        "kpn.validate"};
+        "sim.estimate",   "simulink.emit", "caam.emit-c",   "caam.emit-dot",
+        "codegen.threads", "kpn.map",      "kpn.validate"};
     const flow::fault::Kind kKinds[] = {flow::fault::Kind::Throw,
                                         flow::fault::Kind::Fatal};
     std::size_t injection_points = 0;
@@ -411,6 +413,65 @@ TEST_F(Resilience, QuarantineDoesNotCrossContaminateLaterSubsystems) {
     EXPECT_EQ(result.quarantined[0].subsystem, "control:Elevator");
     for (const flow::StrategyResult& sr : result.results)
         if (sr.strategy != "fsm-c")
+            EXPECT_TRUE(sr.ok) << sr.strategy << ":" << sr.subsystem;
+}
+
+// --- parallel dispatch chaos --------------------------------------------------------
+
+// A fault inside a worker unit must quarantine only that unit at any
+// --gen-jobs, and the whole run — quarantine set, survivors' bytes,
+// manifest — must match the serial run exactly.
+TEST_F(Resilience, ParallelChaosQuarantinesOnlyTheFaultedUnitAtAnyJobs) {
+    uml::Model model = cases::mixed_model();
+    const char* kSites[] = {"fsm.flatten", "caam.lift", "caam.emit-c",
+                            "simulink.emit", "codegen.threads",
+                            "kpn.validate"};
+    for (const char* site : kSites) {
+        SCOPED_TRACE(site);
+        auto& injector = flow::fault::Injector::instance();
+
+        // Serial reference under the same fault.
+        injector.disarm_all();
+        injector.arm(site, flow::fault::Kind::Fatal);
+        diag::DiagnosticEngine serial_engine;
+        flow::GenerateResult serial = run_generate(model, serial_engine);
+        ASSERT_EQ(serial.status, flow::GenerateStatus::Partial);
+        const std::string serial_manifest = flow::to_manifest_json(serial);
+        const FileMap serial_files = file_map(serial);
+
+        for (std::size_t jobs : {std::size_t{2}, std::size_t{4}}) {
+            SCOPED_TRACE("gen_jobs=" + std::to_string(jobs));
+            injector.disarm_all();
+            injector.arm(site, flow::fault::Kind::Fatal);
+            flow::GenerateOptions options;
+            options.gen_jobs = jobs;
+            diag::DiagnosticEngine engine;
+            flow::GenerateResult result =
+                run_generate(model, engine, options);
+            EXPECT_EQ(result.status, flow::GenerateStatus::Partial);
+            EXPECT_EQ(flow::to_manifest_json(result), serial_manifest);
+            EXPECT_EQ(file_map(result), serial_files);
+            EXPECT_EQ(engine.render_text(), serial_engine.render_text());
+        }
+    }
+}
+
+// Throw-kind faults exercise the worker-side exception guard: the throw
+// happens on a pool thread and must be contained to its unit, never
+// escape through parallel_for.
+TEST_F(Resilience, ParallelWorkerThrowIsContainedToItsUnit) {
+    uml::Model model = cases::mixed_model();
+    flow::fault::Injector::instance().arm("caam.emit-dot",
+                                          flow::fault::Kind::Throw);
+    flow::GenerateOptions options;
+    options.gen_jobs = 4;
+    diag::DiagnosticEngine engine;
+    flow::GenerateResult result = run_generate(model, engine, options);
+    EXPECT_EQ(result.status, flow::GenerateStatus::Partial);
+    ASSERT_EQ(result.quarantined.size(), 1u);
+    EXPECT_EQ(result.quarantined[0].strategy, "caam-dot");
+    for (const flow::StrategyResult& sr : result.results)
+        if (sr.strategy != "caam-dot")
             EXPECT_TRUE(sr.ok) << sr.strategy << ":" << sr.subsystem;
 }
 

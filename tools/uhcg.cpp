@@ -202,6 +202,10 @@ struct Cli {
     bool dse_verify_full = false;
     // Simulation backend (explore, generate, serve).
     std::string sim_backend;
+    // Parallel generate dispatch (generate, campaign).
+    std::size_t gen_jobs = 1;
+    bool caam_c = true;
+    bool caam_dot = true;
     // Resilience layer (generate).
     std::size_t max_retries = 0;
     std::uint64_t retry_backoff_ms = 0;
@@ -254,6 +258,12 @@ int usage(const char* argv0) {
            "         --no-channels --no-delays --dump-ecore <path> --report\n"
            "         --json-diagnostics\n"
            "         --trace-json <path> --with-kpn (generate command)\n"
+           "         --gen-jobs <n> (generate/campaign: worker threads for\n"
+           "                         the strategy dispatch; 1 = serial\n"
+           "                         (default), 0 = all hardware threads;\n"
+           "                         outputs are identical for any value)\n"
+           "         --no-caam-c --no-caam-dot (generate: skip the C /\n"
+           "                         Graphviz emitters of the shared CAAM)\n"
            "         --max-retries <n> --retry-backoff-ms <n>\n"
            "         --pass-budget-ms <n> --kpn-firings <n> --sim-steps <n>\n"
            "         --resume --checkpoint-dir <path> --manifest <path>\n"
@@ -342,6 +352,12 @@ bool parse_cli(int argc, char** argv, Cli& cli) {
             cli.json_diagnostics = true;
         } else if (arg == "--jobs") {
             if (!next_number(cli.jobs)) return false;
+        } else if (arg == "--gen-jobs") {
+            if (!next_number(cli.gen_jobs)) return false;
+        } else if (arg == "--no-caam-c") {
+            cli.caam_c = false;
+        } else if (arg == "--no-caam-dot") {
+            cli.caam_dot = false;
         } else if (arg == "--dse-chunk") {
             if (!next_number(cli.dse_chunk)) return false;
         } else if (arg == "--dse-verify-full") {
@@ -575,6 +591,9 @@ int cmd_generate(const uml::Model& model, const Cli& cli,
     options.mapper = cli.mapper;
     options.iterations = cli.iterations;
     options.with_kpn = cli.with_kpn;
+    options.caam_c = cli.caam_c;
+    options.caam_dot = cli.caam_dot;
+    options.gen_jobs = cli.gen_jobs;
     options.sim_backend = cli.sim_backend;
     options.resilience.retry.max_retries = cli.max_retries;
     options.resilience.retry.backoff_ms = cli.retry_backoff_ms;
@@ -839,6 +858,7 @@ int cmd_campaign(const Cli& cli, diag::DiagnosticEngine& engine) {
     options.out_dir = cli.output.empty() ? "campaign-out" : cli.output;
     options.resume = cli.resume;
     options.jobs = cli.jobs;
+    options.gen_jobs = cli.gen_jobs;
     options.shard_size = cli.shard_size;
     options.halt_after = cli.halt_after;
     options.retry.max_retries = cli.max_retries;
